@@ -1,0 +1,81 @@
+// Command trainsel trains an estimator-selection model on generated
+// workloads and saves it as JSON for use by cmd/progressd or an embedding
+// application.
+//
+// Usage:
+//
+//	trainsel [-out selector.json] [-queries N] [-scale F] [-trees M]
+//	         [-dynamic] [-extended] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"progressest/internal/catalog"
+	"progressest/internal/datagen"
+	"progressest/internal/mart"
+	"progressest/internal/progress"
+	"progressest/internal/selection"
+	"progressest/internal/workload"
+)
+
+func main() {
+	out := flag.String("out", "selector.json", "output model path")
+	queries := flag.Int("queries", 80, "queries per workload variant")
+	scale := flag.Float64("scale", 0.15, "database scale")
+	trees := flag.Int("trees", 200, "MART boosting iterations")
+	dynamic := flag.Bool("dynamic", true, "use dynamic features")
+	extended := flag.Bool("extended", true, "include BATCHDNE/DNESEEK/TGNINT candidates")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var examples []selection.Example
+	start := time.Now()
+	for _, kind := range []datagen.DatasetKind{
+		datagen.TPCHLike, datagen.TPCDSLike, datagen.Real1Like, datagen.Real2Like,
+	} {
+		for _, lvl := range []catalog.DesignLevel{
+			catalog.Untuned, catalog.PartiallyTuned, catalog.FullyTuned,
+		} {
+			res, err := workload.BuildAndRun(workload.Spec{
+				Name: kind.String(), Kind: kind, Queries: *queries,
+				Scale: *scale, Zipf: 1, Design: lvl, Seed: *seed + int64(lvl),
+			}, workload.RunOptions{Seed: *seed + int64(lvl)})
+			if err != nil {
+				fatal(err)
+			}
+			examples = append(examples, res.Examples...)
+			fmt.Printf("  %-16s %-16s -> %d pipelines\n", kind, lvl, len(res.Examples))
+		}
+	}
+	fmt.Printf("Collected %d training examples in %.1fs\n", len(examples), time.Since(start).Seconds())
+
+	kinds := progress.CoreKinds()
+	if *extended {
+		kinds = progress.ExtendedKinds()
+	}
+	start = time.Now()
+	sel, err := selection.Train(examples, selection.Config{
+		Kinds: kinds, Dynamic: *dynamic,
+		Mart: mart.Options{Trees: *trees, Seed: *seed},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Trained %d error models (M=%d) in %.1fs\n", len(kinds), *trees, time.Since(start).Seconds())
+
+	if err := sel.Save(*out); err != nil {
+		fatal(err)
+	}
+	ev := selection.Evaluate(sel, examples)
+	fmt.Printf("Saved %s (in-sample: picked-optimal %.1f%%, avg L1 %.4f, oracle %.4f)\n",
+		*out, 100*ev.PickedOptimal, ev.AvgL1, ev.OracleL1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trainsel:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,56 @@
+// Ad-hoc selection: the paper's headline experiment in miniature. Train
+// the estimator-selection model on three workload families, then apply it
+// to a completely different database and workload ("ad-hoc" queries) and
+// compare against using any single estimator exclusively.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"progressest"
+)
+
+func harvest(ds progressest.Dataset, design progressest.Design, seed int64) []progressest.Example {
+	w, err := progressest.Open(progressest.Config{
+		Dataset: ds, Queries: 60, Scale: 0.15, Zipf: 1, Design: design, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ex, err := w.Harvest()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ex
+}
+
+func main() {
+	// Training data: TPC-H (two designs), TPC-DS and Real-1.
+	var train []progressest.Example
+	train = append(train, harvest(progressest.TPCH, progressest.Untuned, 1)...)
+	train = append(train, harvest(progressest.TPCH, progressest.FullyTuned, 2)...)
+	train = append(train, harvest(progressest.TPCDS, progressest.PartiallyTuned, 3)...)
+	train = append(train, harvest(progressest.Real1, progressest.PartiallyTuned, 4)...)
+	fmt.Printf("training on %d pipelines from 4 workloads\n", len(train))
+
+	sel, err := progressest.TrainSelector(train, progressest.SelectorConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Test data: the Real-2 snowflake workload — never seen in training,
+	// different schema, different plan shapes.
+	test := harvest(progressest.Real2, progressest.FullyTuned, 5)
+	fmt.Printf("testing on %d ad-hoc pipelines (unseen workload)\n\n", len(test))
+
+	ev := progressest.EvaluateSelector(sel, test)
+	fmt.Printf("%-22s avgL1=%.4f  picked-optimal=%4.1f%%  >5x-tail=%4.1f%%\n",
+		"estimator selection", ev.AvgL1, 100*ev.PickedOptimal, 100*ev.RatioOver5x)
+	for _, e := range progressest.AllEstimators() {
+		f := progressest.EvaluateFixed(e, progressest.AllEstimators(), test)
+		fmt.Printf("%-22s avgL1=%.4f  picked-optimal=%4.1f%%  >5x-tail=%4.1f%%\n",
+			"always "+e.String(), f.AvgL1, 100*f.PickedOptimal, 100*f.RatioOver5x)
+	}
+	fmt.Printf("\noracle (lower bound)   avgL1=%.4f\n", ev.OracleL1)
+}

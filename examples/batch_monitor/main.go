@@ -1,0 +1,56 @@
+// Batch monitor: one progress bar for a whole batch of reports. Executes
+// several decision-support queries back to back and shows the combined
+// batch progress under different estimators — the multi-query scenario the
+// paper lists as an important extension.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"progressest"
+)
+
+func main() {
+	w, err := progressest.Open(progressest.Config{
+		Dataset: progressest.TPCDS,
+		Queries: 12,
+		Scale:   0.15,
+		Design:  progressest.PartiallyTuned,
+		Seed:    8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	batch := []int{1, 4, 7, 9}
+	fmt.Printf("batch of %d reports:\n", len(batch))
+	for _, q := range batch {
+		fmt.Printf("  - %s\n", w.QueryText(q))
+	}
+
+	run, err := w.RunBatch(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nestimated work shares:")
+	for i := range batch {
+		fmt.Printf("  query %d: %5.1f%%\n", batch[i], 100*run.QueryWeight(i))
+	}
+
+	est, truth := run.Progress(progressest.TGNINT)
+	fmt.Println("\nbatch progress (TGNINT vs true):")
+	for step := 0; step <= 12; step++ {
+		i := step * (len(est) - 1) / 12
+		n := int(est[i] * 32)
+		fmt.Printf("  [%s%s] %5.1f%%  (true %5.1f%%)\n",
+			strings.Repeat("=", n), strings.Repeat(" ", 32-n), 100*est[i], 100*truth[i])
+	}
+
+	fmt.Println("\nbatch-level L1 error per estimator:")
+	for _, e := range progressest.AllEstimators() {
+		l1, _ := run.Errors(e)
+		fmt.Printf("  %-10s %.4f\n", e, l1)
+	}
+}

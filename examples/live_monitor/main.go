@@ -1,0 +1,70 @@
+// Live monitor: a DBA-console-style progress bar. Runs a long decision
+// support query and replays its execution, showing what a progress dialog
+// driven by a trained selector would have displayed at each moment,
+// against true progress.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"progressest"
+)
+
+func bar(frac float64, width int) string {
+	n := int(frac * float64(width))
+	if n > width {
+		n = width
+	}
+	return "[" + strings.Repeat("=", n) + strings.Repeat(" ", width-n) + "]"
+}
+
+func main() {
+	w, err := progressest.Open(progressest.Config{
+		Dataset: progressest.Real1,
+		Queries: 30,
+		Scale:   0.2,
+		Zipf:    1,
+		Design:  progressest.PartiallyTuned,
+		Seed:    11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Train a selector on this system's own history (the first 25
+	// queries), then monitor a "new" query with it.
+	examples, err := w.Harvest()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sel, err := progressest.TrainSelector(examples, progressest.SelectorConfig{Trees: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const queryIdx = 27
+	fmt.Println("monitoring:", w.QueryText(queryIdx))
+	run, err := w.Run(queryIdx)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for p := 0; p < run.NumPipelines(); p++ {
+		obs := run.Observations(p)
+		if obs < 10 {
+			continue
+		}
+		choice := sel.Pick(run.Features(p))
+		fmt.Printf("\npipeline %d — selector picked %v:\n", p, choice)
+		truth := run.TrueProgress(p)
+		est := run.Estimates(p, choice)
+		for step := 0; step <= 12; step++ {
+			i := step * (obs - 1) / 12
+			fmt.Printf("  %s %5.1f%%   (true %5.1f%%)\n", bar(est[i], 32), 100*est[i], 100*truth[i])
+		}
+		l1, _ := run.Errors(p, choice)
+		fmt.Printf("  final L1 error of the displayed estimator: %.4f\n", l1)
+	}
+}

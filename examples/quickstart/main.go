@@ -1,0 +1,63 @@
+// Quickstart: generate a TPC-H-like workload, execute one query, and
+// compare every candidate progress estimator against true progress.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"progressest"
+)
+
+func main() {
+	// Open a small skewed TPC-H-like database with a partially tuned
+	// physical design and 20 randomly parameterised queries.
+	w, err := progressest.Open(progressest.Config{
+		Dataset: progressest.TPCH,
+		Queries: 20,
+		Scale:   0.15,
+		Zipf:    1,
+		Design:  progressest.PartiallyTuned,
+		Seed:    42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Query:", w.QueryText(3))
+	run, err := w.Run(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nExecuted plan:")
+	fmt.Println(run.PlanText())
+
+	// Print a progress table for the longest pipeline.
+	best, bestObs := 0, 0
+	for p := 0; p < run.NumPipelines(); p++ {
+		if o := run.Observations(p); o > bestObs {
+			best, bestObs = p, o
+		}
+	}
+	truth := run.TrueProgress(best)
+	fmt.Printf("Pipeline %d (%d observations):\n\n", best, bestObs)
+	fmt.Printf("%8s", "true")
+	for _, e := range progressest.AllEstimators() {
+		fmt.Printf("%10s", e)
+	}
+	fmt.Println()
+	for step := 0; step <= 10; step++ {
+		i := step * (bestObs - 1) / 10
+		fmt.Printf("%7.0f%%", 100*truth[i])
+		for _, e := range progressest.AllEstimators() {
+			fmt.Printf("%9.0f%%", 100*run.Estimates(best, e)[i])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nPer-estimator L1 error on this pipeline:")
+	for _, e := range progressest.AllEstimators() {
+		l1, l2 := run.Errors(best, e)
+		fmt.Printf("  %-10s L1=%.4f  L2=%.4f\n", e, l1, l2)
+	}
+}

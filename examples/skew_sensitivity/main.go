@@ -1,0 +1,77 @@
+// Skew sensitivity: how data skew changes which progress estimator wins.
+// Regenerates the TPC-H-like database with Zipf factors z = 0, 1, 2 (as in
+// the paper's Table 4 setup) and reports, per skew level, how often each
+// estimator is the best choice and what a selector trained on the *other*
+// skew levels achieves.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"progressest"
+)
+
+func harvest(zipf float64, seed int64) []progressest.Example {
+	w, err := progressest.Open(progressest.Config{
+		Dataset: progressest.TPCH,
+		Queries: 60,
+		Scale:   0.15,
+		Zipf:    zipf,
+		Design:  progressest.PartiallyTuned,
+		Seed:    seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ex, err := w.Harvest()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ex
+}
+
+func main() {
+	zipfs := []float64{0, 1, 2}
+	sets := make([][]progressest.Example, len(zipfs))
+	for i, z := range zipfs {
+		sets[i] = harvest(z, 100+int64(i))
+	}
+
+	core := progressest.CoreEstimators()
+	for i, z := range zipfs {
+		fmt.Printf("=== test on skew z=%v (%d pipelines), train on the other two ===\n", z, len(sets[i]))
+
+		// How often is each estimator strictly best at this skew level?
+		counts := map[progressest.Estimator]int{}
+		for _, e := range sets[i] {
+			counts[e.BestKind(core)]++
+		}
+		for _, k := range core {
+			fmt.Printf("  %-4s optimal for %5.1f%%\n", k,
+				100*float64(counts[k])/float64(len(sets[i])))
+		}
+
+		var train []progressest.Example
+		for o := range sets {
+			if o != i {
+				train = append(train, sets[o]...)
+			}
+		}
+		sel, err := progressest.TrainSelector(train, progressest.SelectorConfig{
+			Candidates: core,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ev := progressest.EvaluateSelector(sel, sets[i])
+		bestFixed := 1.0
+		for _, k := range core {
+			if f := progressest.EvaluateFixed(k, core, sets[i]); f.AvgL1 < bestFixed {
+				bestFixed = f.AvgL1
+			}
+		}
+		fmt.Printf("  selection: picked-optimal %.1f%%, avgL1 %.4f (best fixed %.4f, oracle %.4f)\n\n",
+			100*ev.PickedOptimal, ev.AvgL1, bestFixed, ev.OracleL1)
+	}
+}

@@ -1,0 +1,143 @@
+// Package catalog defines schema metadata: tables, columns, indexes and
+// physical-design presets. The paper evaluates progress estimation under
+// three physical designs produced by the Database Tuning Advisor
+// ("untuned", "partially tuned", "fully tuned"); here a physical design is
+// simply the set of indexes materialised over a schema, which in turn
+// drives the optimizer's choice of access paths and join algorithms.
+package catalog
+
+import "fmt"
+
+// Column describes one column of a table. Width is the (logical) byte
+// width of the column, used to account bytes read/written for the
+// bytes-processed model of progress.
+type Column struct {
+	Name  string
+	Width int
+}
+
+// Table is the metadata of one base table.
+type Table struct {
+	Name    string
+	Columns []Column
+}
+
+// ColumnIndex returns the ordinal of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// RowWidth returns the total byte width of one row.
+func (t *Table) RowWidth() int {
+	w := 0
+	for _, c := range t.Columns {
+		w += c.Width
+	}
+	return w
+}
+
+// Index describes a secondary (or primary) index over a single column.
+type Index struct {
+	Name   string
+	Table  string
+	Column string
+	// Unique marks primary-key-like indexes whose seeks return at most one
+	// row.
+	Unique bool
+}
+
+// Schema is a set of tables.
+type Schema struct {
+	Name   string
+	Tables []*Table
+}
+
+// Table returns the named table, or nil.
+func (s *Schema) Table(name string) *Table {
+	for _, t := range s.Tables {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// MustTable returns the named table or panics; used when the schema is a
+// compile-time constant of the workload generator.
+func (s *Schema) MustTable(name string) *Table {
+	t := s.Table(name)
+	if t == nil {
+		panic(fmt.Sprintf("catalog: schema %q has no table %q", s.Name, name))
+	}
+	return t
+}
+
+// DesignLevel identifies one of the paper's three physical-design presets.
+type DesignLevel int
+
+const (
+	// Untuned materialises only the indexes required by integrity
+	// constraints (primary keys).
+	Untuned DesignLevel = iota
+	// PartiallyTuned adds indexes on roughly half of the frequently
+	// joined/filtered columns (DTA under a 50% space budget in the paper).
+	PartiallyTuned
+	// FullyTuned adds indexes on all frequently joined and filtered
+	// columns, pushing plans towards index seeks and nested-loop joins.
+	FullyTuned
+)
+
+// String implements fmt.Stringer.
+func (d DesignLevel) String() string {
+	switch d {
+	case Untuned:
+		return "untuned"
+	case PartiallyTuned:
+		return "partially-tuned"
+	case FullyTuned:
+		return "fully-tuned"
+	default:
+		return fmt.Sprintf("DesignLevel(%d)", int(d))
+	}
+}
+
+// PhysicalDesign is the set of indexes materialised for a schema.
+type PhysicalDesign struct {
+	Level   DesignLevel
+	Indexes []Index
+}
+
+// HasIndex reports whether an index exists on table.column.
+func (d *PhysicalDesign) HasIndex(table, column string) bool {
+	return d.Find(table, column) != nil
+}
+
+// Find returns the index on table.column, or nil.
+func (d *PhysicalDesign) Find(table, column string) *Index {
+	for i := range d.Indexes {
+		ix := &d.Indexes[i]
+		if ix.Table == table && ix.Column == column {
+			return ix
+		}
+	}
+	return nil
+}
+
+// Validate checks that every index references an existing table and column.
+func (d *PhysicalDesign) Validate(s *Schema) error {
+	for _, ix := range d.Indexes {
+		t := s.Table(ix.Table)
+		if t == nil {
+			return fmt.Errorf("catalog: index %q references unknown table %q", ix.Name, ix.Table)
+		}
+		if t.ColumnIndex(ix.Column) < 0 {
+			return fmt.Errorf("catalog: index %q references unknown column %s.%s", ix.Name, ix.Table, ix.Column)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package catalog
+
+import "testing"
+
+func sampleSchema() *Schema {
+	return &Schema{
+		Name: "test",
+		Tables: []*Table{
+			{Name: "orders", Columns: []Column{
+				{Name: "o_orderkey", Width: 8},
+				{Name: "o_custkey", Width: 8},
+				{Name: "o_totalprice", Width: 8},
+			}},
+			{Name: "customer", Columns: []Column{
+				{Name: "c_custkey", Width: 8},
+				{Name: "c_name", Width: 32},
+			}},
+		},
+	}
+}
+
+func TestColumnIndexAndRowWidth(t *testing.T) {
+	s := sampleSchema()
+	c := s.MustTable("customer")
+	if got := c.ColumnIndex("c_name"); got != 1 {
+		t.Errorf("ColumnIndex = %d, want 1", got)
+	}
+	if got := c.ColumnIndex("missing"); got != -1 {
+		t.Errorf("ColumnIndex(missing) = %d, want -1", got)
+	}
+	if got := c.RowWidth(); got != 40 {
+		t.Errorf("RowWidth = %d, want 40", got)
+	}
+}
+
+func TestTableLookup(t *testing.T) {
+	s := sampleSchema()
+	if s.Table("orders") == nil {
+		t.Error("Table(orders) = nil")
+	}
+	if s.Table("nope") != nil {
+		t.Error("Table(nope) should be nil")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTable on missing table should panic")
+		}
+	}()
+	s.MustTable("nope")
+}
+
+func TestPhysicalDesign(t *testing.T) {
+	s := sampleSchema()
+	d := &PhysicalDesign{
+		Level: PartiallyTuned,
+		Indexes: []Index{
+			{Name: "pk_orders", Table: "orders", Column: "o_orderkey", Unique: true},
+			{Name: "ix_cust", Table: "orders", Column: "o_custkey"},
+		},
+	}
+	if err := d.Validate(s); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !d.HasIndex("orders", "o_custkey") {
+		t.Error("HasIndex(orders.o_custkey) = false")
+	}
+	if d.HasIndex("orders", "o_totalprice") {
+		t.Error("HasIndex(orders.o_totalprice) = true")
+	}
+	if ix := d.Find("orders", "o_orderkey"); ix == nil || !ix.Unique {
+		t.Error("Find should return the unique pk index")
+	}
+}
+
+func TestValidateCatchesBadIndexes(t *testing.T) {
+	s := sampleSchema()
+	bad1 := &PhysicalDesign{Indexes: []Index{{Name: "x", Table: "ghost", Column: "c"}}}
+	if bad1.Validate(s) == nil {
+		t.Error("expected error for unknown table")
+	}
+	bad2 := &PhysicalDesign{Indexes: []Index{{Name: "x", Table: "orders", Column: "ghost"}}}
+	if bad2.Validate(s) == nil {
+		t.Error("expected error for unknown column")
+	}
+}
+
+func TestDesignLevelString(t *testing.T) {
+	cases := map[DesignLevel]string{
+		Untuned:        "untuned",
+		PartiallyTuned: "partially-tuned",
+		FullyTuned:     "fully-tuned",
+		DesignLevel(9): "DesignLevel(9)",
+	}
+	for lvl, want := range cases {
+		if got := lvl.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(lvl), got, want)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package datagen generates the synthetic databases the experiments run
+// over. It replaces the paper's TPC-H/TPC-DS dbgen tools (including the
+// Microsoft "TPC-H with skew" generator [1] used to induce Zipfian
+// variance in per-tuple work) and the two proprietary customer databases
+// ("Real-1" Sales, 9GB and "Real-2", 12GB), which are not available.
+//
+// All generation is deterministic given (scale, skew, seed). Row counts
+// are scaled down from the paper's multi-GB databases so that thousands of
+// queries execute in seconds inside the simulated engine; what matters for
+// progress estimation is the *distribution* of per-tuple work and the
+// *error structure* of optimizer estimates, both of which are preserved by
+// the Zipfian foreign keys and correlated columns below.
+package datagen
+
+import (
+	"math/rand"
+
+	"progressest/internal/catalog"
+	"progressest/internal/storage"
+	"progressest/internal/zipfian"
+)
+
+// Params controls database generation.
+type Params struct {
+	// Scale multiplies base-table row counts; 1.0 stands in for the paper's
+	// 10GB databases.
+	Scale float64
+	// Zipf is the skew factor z (0 = uniform) applied to foreign keys and
+	// selected value columns, mirroring the skewed TPC-H generator.
+	Zipf float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// scaled returns max(1, round(n*scale)).
+func scaled(n int, scale float64) int {
+	v := int(float64(n)*scale + 0.5)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// fkGen returns a foreign-key generator over [1, n]: Zipfian with the
+// configured skew (through a value permutation so hot keys are spread
+// across the domain), or uniform when z = 0.
+func fkGen(n int, z float64, seed int64) func() int64 {
+	if n < 1 {
+		n = 1
+	}
+	if z == 0 {
+		r := rand.New(rand.NewSource(seed))
+		return func() int64 { return 1 + r.Int63n(int64(n)) }
+	}
+	p := zipfian.NewPermuted(int64(n), z, seed)
+	return p.Next
+}
+
+// uniform returns a uniform generator over [lo, hi].
+func uniform(lo, hi int64, seed int64) func() int64 {
+	r := rand.New(rand.NewSource(seed))
+	span := hi - lo + 1
+	return func() int64 { return lo + r.Int63n(span) }
+}
+
+// DatasetKind names the database families used in the evaluation.
+type DatasetKind int
+
+// The database families of Section 6.
+const (
+	TPCHLike DatasetKind = iota
+	TPCDSLike
+	Real1Like
+	Real2Like
+)
+
+// String implements fmt.Stringer.
+func (k DatasetKind) String() string {
+	switch k {
+	case TPCHLike:
+		return "tpch-like"
+	case TPCDSLike:
+		return "tpcds-like"
+	case Real1Like:
+		return "real1-sales"
+	case Real2Like:
+		return "real2-snowflake"
+	default:
+		return "unknown-dataset"
+	}
+}
+
+// Generate builds the database of the given kind.
+func Generate(kind DatasetKind, p Params) *storage.Database {
+	switch kind {
+	case TPCHLike:
+		return GenTPCH(p)
+	case TPCDSLike:
+		return GenTPCDS(p)
+	case Real1Like:
+		return GenReal1(p)
+	case Real2Like:
+		return GenReal2(p)
+	default:
+		panic("datagen: unknown dataset kind")
+	}
+}
+
+// Designs returns the physical-design presets (untuned, partially tuned,
+// fully tuned) for the given dataset kind, mirroring the paper's DTA
+// configurations: "untuned" has only primary-key indexes, "fully tuned"
+// adds indexes on all join and frequent filter columns (pushing plans
+// towards index seeks, nested-loop joins and batch sorts — see Table 1),
+// and "partially tuned" sits in between.
+func Designs(kind DatasetKind) map[catalog.DesignLevel]*catalog.PhysicalDesign {
+	switch kind {
+	case TPCHLike:
+		return tpchDesigns()
+	case TPCDSLike:
+		return tpcdsDesigns()
+	case Real1Like:
+		return real1Designs()
+	case Real2Like:
+		return real2Designs()
+	default:
+		panic("datagen: unknown dataset kind")
+	}
+}
+
+// pk builds a unique index descriptor for a primary-key column.
+func pk(table, column string) catalog.Index {
+	return catalog.Index{Name: "pk_" + table, Table: table, Column: column, Unique: true}
+}
+
+// ix builds a non-unique secondary index descriptor.
+func ix(table, column string) catalog.Index {
+	return catalog.Index{Name: "ix_" + table + "_" + column, Table: table, Column: column}
+}

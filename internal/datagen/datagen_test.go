@@ -1,0 +1,153 @@
+package datagen
+
+import (
+	"testing"
+
+	"progressest/internal/catalog"
+	"progressest/internal/stats"
+)
+
+func TestGenerateAllKinds(t *testing.T) {
+	for _, kind := range []DatasetKind{TPCHLike, TPCDSLike, Real1Like, Real2Like} {
+		db := Generate(kind, Params{Scale: 0.1, Zipf: 1, Seed: 1})
+		if db.TotalRows() == 0 {
+			t.Errorf("%v: empty database", kind)
+		}
+		for _, tm := range db.Schema.Tables {
+			if db.MustTable(tm.Name).NumRows() == 0 {
+				t.Errorf("%v: table %s is empty", kind, tm.Name)
+			}
+		}
+	}
+}
+
+func TestScaleChangesSize(t *testing.T) {
+	small := GenTPCH(Params{Scale: 0.1, Seed: 1})
+	large := GenTPCH(Params{Scale: 0.5, Seed: 1})
+	if small.TotalRows() >= large.TotalRows() {
+		t.Errorf("scale 0.1 (%d rows) should be smaller than 0.5 (%d rows)",
+			small.TotalRows(), large.TotalRows())
+	}
+	// Tiny dimension tables are scale-independent.
+	if small.MustTable("region").NumRows() != 5 || small.MustTable("nation").NumRows() != 25 {
+		t.Error("region/nation should have fixed sizes")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := GenTPCH(Params{Scale: 0.1, Zipf: 1, Seed: 9})
+	b := GenTPCH(Params{Scale: 0.1, Zipf: 1, Seed: 9})
+	ra, rb := a.MustTable("lineitem").Rows, b.MustTable("lineitem").Rows
+	if len(ra) != len(rb) {
+		t.Fatalf("row counts differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		for j := range ra[i] {
+			if ra[i][j] != rb[i][j] {
+				t.Fatalf("row %d col %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestForeignKeysValid(t *testing.T) {
+	db := GenTPCH(Params{Scale: 0.1, Zipf: 2, Seed: 3})
+	nCust := int64(db.MustTable("customer").NumRows())
+	for _, r := range db.MustTable("orders").Rows {
+		if r[1] < 1 || r[1] > nCust {
+			t.Fatalf("o_custkey %d out of range [1,%d]", r[1], nCust)
+		}
+	}
+	nOrd := int64(db.MustTable("orders").NumRows())
+	nPart := int64(db.MustTable("part").NumRows())
+	for _, r := range db.MustTable("lineitem").Rows {
+		if r[0] < 1 || r[0] > nOrd {
+			t.Fatalf("l_orderkey %d out of range", r[0])
+		}
+		if r[1] < 1 || r[1] > nPart {
+			t.Fatalf("l_partkey %d out of range", r[1])
+		}
+	}
+}
+
+// fkSkewCV computes the coefficient of variation of foreign-key
+// frequencies, a scale-free skew measure.
+func fkSkewCV(rows [][]int64, col int) float64 {
+	counts := make(map[int64]float64)
+	for _, r := range rows {
+		counts[r[col]]++
+	}
+	vals := make([]float64, 0, len(counts))
+	for _, c := range counts {
+		vals = append(vals, c)
+	}
+	return stats.StdDev(vals) / stats.Mean(vals)
+}
+
+func TestZipfParameterInducesSkew(t *testing.T) {
+	flat := GenTPCH(Params{Scale: 0.2, Zipf: 0, Seed: 4})
+	skewed := GenTPCH(Params{Scale: 0.2, Zipf: 2, Seed: 4})
+	cvFlat := fkSkewCV(flat.MustTable("lineitem").Rows, 1)
+	cvSkew := fkSkewCV(skewed.MustTable("lineitem").Rows, 1)
+	if cvSkew < 2*cvFlat {
+		t.Errorf("z=2 skew CV %.3f should far exceed z=0 CV %.3f", cvSkew, cvFlat)
+	}
+}
+
+func TestDesignsValidateAgainstSchemas(t *testing.T) {
+	for _, kind := range []DatasetKind{TPCHLike, TPCDSLike, Real1Like, Real2Like} {
+		db := Generate(kind, Params{Scale: 0.05, Seed: 1})
+		designs := Designs(kind)
+		if len(designs) != 3 {
+			t.Fatalf("%v: want 3 design levels, got %d", kind, len(designs))
+		}
+		for lvl, d := range designs {
+			if err := d.Validate(db.Schema); err != nil {
+				t.Errorf("%v/%v: %v", kind, lvl, err)
+			}
+		}
+		// Designs must be strictly increasing in index count.
+		u := len(designs[catalog.Untuned].Indexes)
+		p := len(designs[catalog.PartiallyTuned].Indexes)
+		f := len(designs[catalog.FullyTuned].Indexes)
+		if !(u < p && p < f) {
+			t.Errorf("%v: index counts should increase: %d, %d, %d", kind, u, p, f)
+		}
+	}
+}
+
+func TestApplyDesignBuildsIndexes(t *testing.T) {
+	db := GenTPCDS(Params{Scale: 0.05, Seed: 2})
+	if err := db.ApplyDesign(Designs(TPCDSLike)[catalog.FullyTuned]); err != nil {
+		t.Fatal(err)
+	}
+	if db.MustTable("store_sales").IndexOn("ss_item_sk") == nil {
+		t.Error("fully tuned design should index ss_item_sk")
+	}
+}
+
+func TestReal1AmountCorrelatesWithPrice(t *testing.T) {
+	db := GenReal1(Params{Scale: 0.2, Seed: 5})
+	prods := db.MustTable("products")
+	var prices, amounts []float64
+	for _, r := range db.MustTable("sales").Rows[:2000] {
+		prices = append(prices, float64(prods.Rows[r[1]-1][3]))
+		amounts = append(amounts, float64(r[6]))
+	}
+	if corr := stats.Pearson(prices, amounts); corr < 0.5 {
+		t.Errorf("sale amount should correlate with product price, got r=%.3f", corr)
+	}
+}
+
+func TestDatasetKindString(t *testing.T) {
+	names := map[DatasetKind]string{
+		TPCHLike: "tpch-like", TPCDSLike: "tpcds-like",
+		Real1Like: "real1-sales", Real2Like: "real2-snowflake",
+		DatasetKind(99): "unknown-dataset",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(k), got, want)
+		}
+	}
+}

@@ -1,0 +1,380 @@
+package datagen
+
+import (
+	"progressest/internal/catalog"
+	"progressest/internal/storage"
+)
+
+// Real-1: a Sales decision-support database. The paper describes it as a
+// 9GB reporting database whose queries join 5-8 tables with nested
+// sub-queries; we model a retail sales schema with two fact tables
+// (sales, returns) over product/store/customer/employee/time dimensions,
+// with correlated columns (product price drives sale amount) so that the
+// independence assumption in the optimizer produces realistic estimation
+// errors.
+const (
+	real1Products  = 5000
+	real1Stores    = 150
+	real1Customers = 15000
+	real1Employees = 900
+	real1Dates     = 1100
+	real1Sales     = 55000
+	real1Returns   = 5500
+)
+
+// Real1Schema returns the Sales schema.
+func Real1Schema() *catalog.Schema {
+	return &catalog.Schema{
+		Name: "real1_sales",
+		Tables: []*catalog.Table{
+			{Name: "products", Columns: []catalog.Column{
+				{Name: "pr_id", Width: 8}, {Name: "pr_category", Width: 8},
+				{Name: "pr_supplier", Width: 8}, {Name: "pr_price", Width: 8},
+			}},
+			{Name: "stores", Columns: []catalog.Column{
+				{Name: "st_id", Width: 8}, {Name: "st_region", Width: 8},
+				{Name: "st_size", Width: 8},
+			}},
+			{Name: "customers", Columns: []catalog.Column{
+				{Name: "cu_id", Width: 8}, {Name: "cu_segment", Width: 8},
+				{Name: "cu_region", Width: 8},
+			}},
+			{Name: "employees", Columns: []catalog.Column{
+				{Name: "em_id", Width: 8}, {Name: "em_store", Width: 8},
+				{Name: "em_role", Width: 8},
+			}},
+			{Name: "dates", Columns: []catalog.Column{
+				{Name: "dt_id", Width: 8}, {Name: "dt_year", Width: 8},
+				{Name: "dt_quarter", Width: 8},
+			}},
+			{Name: "sales", Columns: []catalog.Column{
+				{Name: "sa_id", Width: 8}, {Name: "sa_product", Width: 8},
+				{Name: "sa_store", Width: 8}, {Name: "sa_customer", Width: 8},
+				{Name: "sa_employee", Width: 8}, {Name: "sa_date", Width: 8},
+				{Name: "sa_amount", Width: 8}, {Name: "sa_qty", Width: 8},
+			}},
+			{Name: "returns", Columns: []catalog.Column{
+				{Name: "re_sale", Width: 8}, {Name: "re_product", Width: 8},
+				{Name: "re_customer", Width: 8}, {Name: "re_reason", Width: 8},
+			}},
+		},
+	}
+}
+
+// GenReal1 generates the Sales database. Fact foreign keys are skewed
+// (hot products/customers) regardless of the Zipf parameter, because the
+// paper's real workloads run on naturally skewed data; p.Zipf adds to the
+// base skew.
+func GenReal1(p Params) *storage.Database {
+	db := storage.NewDatabase(Real1Schema())
+	seed := p.Seed + 2000
+	baseZ := 0.9 + p.Zipf/2
+
+	nProd := scaled(real1Products, p.Scale)
+	prods := db.MustTable("products")
+	cat := uniform(1, 40, seed+1)
+	sup := uniform(1, 300, seed+2)
+	price := uniform(100, 50000, seed+3)
+	for i := 1; i <= nProd; i++ {
+		prods.Append(storage.Row{int64(i), cat(), sup(), price()})
+	}
+
+	nStores := scaled(real1Stores, p.Scale)
+	stores := db.MustTable("stores")
+	region := uniform(1, 12, seed+4)
+	size := uniform(1, 5, seed+5)
+	for i := 1; i <= nStores; i++ {
+		stores.Append(storage.Row{int64(i), region(), size()})
+	}
+
+	nCust := scaled(real1Customers, p.Scale)
+	custs := db.MustTable("customers")
+	seg := uniform(1, 8, seed+6)
+	cregion := uniform(1, 12, seed+7)
+	for i := 1; i <= nCust; i++ {
+		custs.Append(storage.Row{int64(i), seg(), cregion()})
+	}
+
+	nEmp := scaled(real1Employees, p.Scale)
+	emps := db.MustTable("employees")
+	estore := fkGen(nStores, baseZ, seed+8)
+	role := uniform(1, 6, seed+9)
+	for i := 1; i <= nEmp; i++ {
+		emps.Append(storage.Row{int64(i), estore(), role()})
+	}
+
+	nDates := scaled(real1Dates, p.Scale)
+	dates := db.MustTable("dates")
+	for i := 1; i <= nDates; i++ {
+		dates.Append(storage.Row{int64(i), int64(2005 + (i-1)/365), int64(1 + ((i-1)/91)%4)})
+	}
+
+	nSales := scaled(real1Sales, p.Scale)
+	salesT := db.MustTable("sales")
+	sProd := fkGen(nProd, baseZ, seed+10)
+	sStore := fkGen(nStores, baseZ/2, seed+11)
+	sCust := fkGen(nCust, baseZ, seed+12)
+	sEmp := fkGen(nEmp, baseZ/2, seed+13)
+	sDate := uniform(1, int64(nDates), seed+14)
+	qty := uniform(1, 20, seed+15)
+	noise := uniform(-50, 50, seed+16)
+	for i := 1; i <= nSales; i++ {
+		prod := sProd()
+		q := qty()
+		// amount correlates with product price: breaks the optimizer's
+		// independence assumption for predicates on amount after a join.
+		amount := prods.Rows[prod-1][3]*q/10 + noise()
+		salesT.Append(storage.Row{int64(i), prod, sStore(), sCust(), sEmp(), sDate(), amount, q})
+	}
+
+	nRet := scaled(real1Returns, p.Scale)
+	rets := db.MustTable("returns")
+	rSale := fkGen(nSales, baseZ, seed+17)
+	reason := uniform(1, 10, seed+18)
+	for i := 0; i < nRet; i++ {
+		sale := rSale()
+		rets.Append(storage.Row{sale, salesT.Rows[sale-1][1], salesT.Rows[sale-1][3], reason()})
+	}
+	return db
+}
+
+func real1Designs() map[catalog.DesignLevel]*catalog.PhysicalDesign {
+	pks := []catalog.Index{
+		pk("products", "pr_id"),
+		pk("stores", "st_id"),
+		pk("customers", "cu_id"),
+		pk("employees", "em_id"),
+		pk("dates", "dt_id"),
+		pk("sales", "sa_id"),
+	}
+	partial := append(append([]catalog.Index{}, pks...),
+		ix("sales", "sa_product"),
+		ix("sales", "sa_date"),
+		ix("returns", "re_sale"),
+	)
+	full := append(append([]catalog.Index{}, partial...),
+		ix("sales", "sa_customer"),
+		ix("sales", "sa_store"),
+		ix("products", "pr_category"),
+		ix("customers", "cu_segment"),
+		ix("employees", "em_store"),
+	)
+	return map[catalog.DesignLevel]*catalog.PhysicalDesign{
+		catalog.Untuned:        {Level: catalog.Untuned, Indexes: pks},
+		catalog.PartiallyTuned: {Level: catalog.PartiallyTuned, Indexes: partial},
+		catalog.FullyTuned:     {Level: catalog.FullyTuned, Indexes: full},
+	}
+}
+
+// Real-2: a larger snowflake decision-support database whose typical query
+// joins ~12 tables (the paper's second proprietary workload, 12GB, 632
+// queries). We model a transactions fact with six direct dimensions, each
+// of which snowflakes into further tables.
+const (
+	real2Accounts   = 9000
+	real2Branches   = 220
+	real2Cities     = 90
+	real2Regions2   = 12
+	real2Products2  = 4000
+	real2Categories = 60
+	real2Depts      = 12
+	real2Channels   = 6
+	real2Currencies = 30
+	real2Dates2     = 1500
+	real2Months     = 60
+	real2Txns       = 70000
+)
+
+// Real2Schema returns the snowflake schema.
+func Real2Schema() *catalog.Schema {
+	return &catalog.Schema{
+		Name: "real2_snowflake",
+		Tables: []*catalog.Table{
+			{Name: "regions2", Columns: []catalog.Column{
+				{Name: "rg_id", Width: 8}, {Name: "rg_zone", Width: 8},
+			}},
+			{Name: "cities", Columns: []catalog.Column{
+				{Name: "ci_id", Width: 8}, {Name: "ci_region", Width: 8},
+				{Name: "ci_pop", Width: 8},
+			}},
+			{Name: "branches", Columns: []catalog.Column{
+				{Name: "br_id", Width: 8}, {Name: "br_city", Width: 8},
+				{Name: "br_tier", Width: 8},
+			}},
+			{Name: "accounts", Columns: []catalog.Column{
+				{Name: "ac_id", Width: 8}, {Name: "ac_branch", Width: 8},
+				{Name: "ac_type", Width: 8}, {Name: "ac_open_month", Width: 8},
+			}},
+			{Name: "departments", Columns: []catalog.Column{
+				{Name: "dp_id", Width: 8}, {Name: "dp_division", Width: 8},
+			}},
+			{Name: "categories", Columns: []catalog.Column{
+				{Name: "ca_id", Width: 8}, {Name: "ca_dept", Width: 8},
+			}},
+			{Name: "products2", Columns: []catalog.Column{
+				{Name: "pd_id", Width: 8}, {Name: "pd_category", Width: 8},
+				{Name: "pd_price", Width: 8}, {Name: "pd_margin", Width: 8},
+			}},
+			{Name: "channels", Columns: []catalog.Column{
+				{Name: "ch_id", Width: 8}, {Name: "ch_kind", Width: 8},
+			}},
+			{Name: "currencies", Columns: []catalog.Column{
+				{Name: "cy_id", Width: 8}, {Name: "cy_zone", Width: 8},
+			}},
+			{Name: "months", Columns: []catalog.Column{
+				{Name: "mo_id", Width: 8}, {Name: "mo_year", Width: 8},
+			}},
+			{Name: "dates2", Columns: []catalog.Column{
+				{Name: "dt_id", Width: 8}, {Name: "dt_month", Width: 8},
+				{Name: "dt_dow", Width: 8},
+			}},
+			{Name: "transactions", Columns: []catalog.Column{
+				{Name: "tx_id", Width: 8}, {Name: "tx_account", Width: 8},
+				{Name: "tx_product", Width: 8}, {Name: "tx_channel", Width: 8},
+				{Name: "tx_currency", Width: 8}, {Name: "tx_date", Width: 8},
+				{Name: "tx_amount", Width: 8}, {Name: "tx_units", Width: 8},
+			}},
+		},
+	}
+}
+
+// GenReal2 generates the snowflake database with naturally skewed fact
+// keys and correlated snowflake dimensions.
+func GenReal2(p Params) *storage.Database {
+	db := storage.NewDatabase(Real2Schema())
+	seed := p.Seed + 3000
+	baseZ := 1.0 + p.Zipf/2
+
+	nReg := scaled(real2Regions2, p.Scale)
+	regs := db.MustTable("regions2")
+	zone := uniform(1, 4, seed+1)
+	for i := 1; i <= nReg; i++ {
+		regs.Append(storage.Row{int64(i), zone()})
+	}
+
+	nCity := scaled(real2Cities, p.Scale)
+	cities := db.MustTable("cities")
+	cityReg := fkGen(nReg, baseZ/2, seed+2)
+	pop := uniform(10, 9000, seed+3)
+	for i := 1; i <= nCity; i++ {
+		cities.Append(storage.Row{int64(i), cityReg(), pop()})
+	}
+
+	nBr := scaled(real2Branches, p.Scale)
+	brs := db.MustTable("branches")
+	brCity := fkGen(nCity, baseZ/2, seed+4)
+	tier := uniform(1, 4, seed+5)
+	for i := 1; i <= nBr; i++ {
+		brs.Append(storage.Row{int64(i), brCity(), tier()})
+	}
+
+	nMo := scaled(real2Months, p.Scale)
+	mos := db.MustTable("months")
+	for i := 1; i <= nMo; i++ {
+		mos.Append(storage.Row{int64(i), int64(2004 + (i-1)/12)})
+	}
+
+	nAcc := scaled(real2Accounts, p.Scale)
+	accs := db.MustTable("accounts")
+	accBr := fkGen(nBr, baseZ, seed+6)
+	accType := uniform(1, 8, seed+7)
+	accMo := uniform(1, int64(nMo), seed+8)
+	for i := 1; i <= nAcc; i++ {
+		accs.Append(storage.Row{int64(i), accBr(), accType(), accMo()})
+	}
+
+	nDp := scaled(real2Depts, p.Scale)
+	dps := db.MustTable("departments")
+	div := uniform(1, 3, seed+9)
+	for i := 1; i <= nDp; i++ {
+		dps.Append(storage.Row{int64(i), div()})
+	}
+
+	nCa := scaled(real2Categories, p.Scale)
+	cas := db.MustTable("categories")
+	caDp := fkGen(nDp, baseZ/2, seed+10)
+	for i := 1; i <= nCa; i++ {
+		cas.Append(storage.Row{int64(i), caDp()})
+	}
+
+	nPd := scaled(real2Products2, p.Scale)
+	pds := db.MustTable("products2")
+	pdCa := fkGen(nCa, baseZ/2, seed+11)
+	pdPrice := uniform(50, 80000, seed+12)
+	pdMargin := uniform(1, 60, seed+13)
+	for i := 1; i <= nPd; i++ {
+		pds.Append(storage.Row{int64(i), pdCa(), pdPrice(), pdMargin()})
+	}
+
+	nCh := scaled(real2Channels, p.Scale)
+	chs := db.MustTable("channels")
+	kind := uniform(1, 3, seed+14)
+	for i := 1; i <= nCh; i++ {
+		chs.Append(storage.Row{int64(i), kind()})
+	}
+
+	nCy := scaled(real2Currencies, p.Scale)
+	cys := db.MustTable("currencies")
+	cyZone := uniform(1, 4, seed+15)
+	for i := 1; i <= nCy; i++ {
+		cys.Append(storage.Row{int64(i), cyZone()})
+	}
+
+	nDt := scaled(real2Dates2, p.Scale)
+	dts := db.MustTable("dates2")
+	for i := 1; i <= nDt; i++ {
+		dts.Append(storage.Row{int64(i), int64(1 + (i-1)*nMo/nDt), int64(1 + (i-1)%7)})
+	}
+
+	nTx := scaled(real2Txns, p.Scale)
+	txs := db.MustTable("transactions")
+	txAcc := fkGen(nAcc, baseZ, seed+16)
+	txPd := fkGen(nPd, baseZ, seed+17)
+	txCh := fkGen(nCh, baseZ/2, seed+18)
+	txCy := fkGen(nCy, baseZ, seed+19)
+	txDt := uniform(1, int64(nDt), seed+20)
+	units := uniform(1, 30, seed+21)
+	noise := uniform(-100, 100, seed+22)
+	for i := 1; i <= nTx; i++ {
+		pd := txPd()
+		u := units()
+		amount := pds.Rows[pd-1][2]*u/10 + noise()
+		txs.Append(storage.Row{int64(i), txAcc(), pd, txCh(), txCy(), txDt(), amount, u})
+	}
+	return db
+}
+
+func real2Designs() map[catalog.DesignLevel]*catalog.PhysicalDesign {
+	pks := []catalog.Index{
+		pk("regions2", "rg_id"),
+		pk("cities", "ci_id"),
+		pk("branches", "br_id"),
+		pk("accounts", "ac_id"),
+		pk("departments", "dp_id"),
+		pk("categories", "ca_id"),
+		pk("products2", "pd_id"),
+		pk("channels", "ch_id"),
+		pk("currencies", "cy_id"),
+		pk("months", "mo_id"),
+		pk("dates2", "dt_id"),
+		pk("transactions", "tx_id"),
+	}
+	partial := append(append([]catalog.Index{}, pks...),
+		ix("transactions", "tx_account"),
+		ix("transactions", "tx_product"),
+		ix("accounts", "ac_branch"),
+	)
+	full := append(append([]catalog.Index{}, partial...),
+		ix("transactions", "tx_date"),
+		ix("transactions", "tx_currency"),
+		ix("products2", "pd_category"),
+		ix("branches", "br_city"),
+		ix("cities", "ci_region"),
+		ix("categories", "ca_dept"),
+	)
+	return map[catalog.DesignLevel]*catalog.PhysicalDesign{
+		catalog.Untuned:        {Level: catalog.Untuned, Indexes: pks},
+		catalog.PartiallyTuned: {Level: catalog.PartiallyTuned, Indexes: partial},
+		catalog.FullyTuned:     {Level: catalog.FullyTuned, Indexes: full},
+	}
+}

@@ -1,0 +1,143 @@
+package datagen
+
+import (
+	"progressest/internal/catalog"
+	"progressest/internal/storage"
+)
+
+// Base row counts for the TPC-DS-like star schema.
+const (
+	tpcdsDates     = 1200
+	tpcdsItems     = 6000
+	tpcdsCustomers = 12000
+	tpcdsStores    = 60
+	tpcdsPromos    = 120
+	tpcdsSales     = 60000
+)
+
+// TPCDSSchema returns the TPC-DS-like star schema: a store_sales fact
+// table with five dimension tables.
+func TPCDSSchema() *catalog.Schema {
+	return &catalog.Schema{
+		Name: "tpcds",
+		Tables: []*catalog.Table{
+			{Name: "date_dim", Columns: []catalog.Column{
+				{Name: "d_date_sk", Width: 8}, {Name: "d_year", Width: 8},
+				{Name: "d_moy", Width: 8}, {Name: "d_dom", Width: 8},
+			}},
+			{Name: "item", Columns: []catalog.Column{
+				{Name: "i_item_sk", Width: 8}, {Name: "i_category", Width: 8},
+				{Name: "i_brand", Width: 8}, {Name: "i_price", Width: 8},
+			}},
+			{Name: "customer", Columns: []catalog.Column{
+				{Name: "c_customer_sk", Width: 8}, {Name: "c_birth_year", Width: 8},
+				{Name: "c_nation", Width: 8},
+			}},
+			{Name: "store", Columns: []catalog.Column{
+				{Name: "s_store_sk", Width: 8}, {Name: "s_state", Width: 8},
+			}},
+			{Name: "promotion", Columns: []catalog.Column{
+				{Name: "p_promo_sk", Width: 8}, {Name: "p_channel", Width: 8},
+			}},
+			{Name: "store_sales", Columns: []catalog.Column{
+				{Name: "ss_sold_date_sk", Width: 8}, {Name: "ss_item_sk", Width: 8},
+				{Name: "ss_customer_sk", Width: 8}, {Name: "ss_store_sk", Width: 8},
+				{Name: "ss_promo_sk", Width: 8}, {Name: "ss_quantity", Width: 8},
+				{Name: "ss_sales_price", Width: 8},
+			}},
+		},
+	}
+}
+
+// GenTPCDS generates the TPC-DS-like database. Sales fact foreign keys are
+// Zipf-skewed: popular items/customers account for most sales, which is
+// also what TPC-DS's comparability constraints produce.
+func GenTPCDS(p Params) *storage.Database {
+	db := storage.NewDatabase(TPCDSSchema())
+	seed := p.Seed + 1000
+
+	nDates := scaled(tpcdsDates, p.Scale)
+	dates := db.MustTable("date_dim")
+	for i := 1; i <= nDates; i++ {
+		year := 1998 + (i-1)/365
+		moy := 1 + ((i-1)/30)%12
+		dom := 1 + (i-1)%30
+		dates.Append(storage.Row{int64(i), int64(year), int64(moy), int64(dom)})
+	}
+
+	nItems := scaled(tpcdsItems, p.Scale)
+	items := db.MustTable("item")
+	cat := uniform(1, 10, seed+1)
+	brand := uniform(1, 100, seed+2)
+	price := uniform(100, 30000, seed+3)
+	for i := 1; i <= nItems; i++ {
+		items.Append(storage.Row{int64(i), cat(), brand(), price()})
+	}
+
+	nCust := scaled(tpcdsCustomers, p.Scale)
+	cust := db.MustTable("customer")
+	birth := uniform(1930, 2005, seed+4)
+	nation := uniform(1, 25, seed+5)
+	for i := 1; i <= nCust; i++ {
+		cust.Append(storage.Row{int64(i), birth(), nation()})
+	}
+
+	nStores := scaled(tpcdsStores, p.Scale)
+	stores := db.MustTable("store")
+	state := uniform(1, 50, seed+6)
+	for i := 1; i <= nStores; i++ {
+		stores.Append(storage.Row{int64(i), state()})
+	}
+
+	nPromos := scaled(tpcdsPromos, p.Scale)
+	promos := db.MustTable("promotion")
+	channel := uniform(1, 4, seed+7)
+	for i := 1; i <= nPromos; i++ {
+		promos.Append(storage.Row{int64(i), channel()})
+	}
+
+	nSales := scaled(tpcdsSales, p.Scale)
+	sales := db.MustTable("store_sales")
+	z := p.Zipf
+	if z == 0 {
+		// The paper's TPC-DS database is used as-is (no skew knob), but the
+		// TPC-DS spec itself mandates skewed fact keys; default to mild skew.
+		z = 0.8
+	}
+	sDate := fkGen(nDates, z/2, seed+8)
+	sItem := fkGen(nItems, z, seed+9)
+	sCust := fkGen(nCust, z, seed+10)
+	sStore := fkGen(nStores, z/2, seed+11)
+	sPromo := fkGen(nPromos, z, seed+12)
+	qty := uniform(1, 100, seed+13)
+	sp := uniform(100, 30000, seed+14)
+	for i := 0; i < nSales; i++ {
+		sales.Append(storage.Row{sDate(), sItem(), sCust(), sStore(), sPromo(), qty(), sp()})
+	}
+	return db
+}
+
+func tpcdsDesigns() map[catalog.DesignLevel]*catalog.PhysicalDesign {
+	pks := []catalog.Index{
+		pk("date_dim", "d_date_sk"),
+		pk("item", "i_item_sk"),
+		pk("customer", "c_customer_sk"),
+		pk("store", "s_store_sk"),
+		pk("promotion", "p_promo_sk"),
+	}
+	partial := append(append([]catalog.Index{}, pks...),
+		ix("store_sales", "ss_item_sk"),
+		ix("store_sales", "ss_sold_date_sk"),
+	)
+	full := append(append([]catalog.Index{}, partial...),
+		ix("store_sales", "ss_customer_sk"),
+		ix("store_sales", "ss_store_sk"),
+		ix("item", "i_category"),
+		ix("date_dim", "d_year"),
+	)
+	return map[catalog.DesignLevel]*catalog.PhysicalDesign{
+		catalog.Untuned:        {Level: catalog.Untuned, Indexes: pks},
+		catalog.PartiallyTuned: {Level: catalog.PartiallyTuned, Indexes: partial},
+		catalog.FullyTuned:     {Level: catalog.FullyTuned, Indexes: full},
+	}
+}

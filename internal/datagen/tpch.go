@@ -1,0 +1,186 @@
+package datagen
+
+import (
+	"progressest/internal/catalog"
+	"progressest/internal/storage"
+)
+
+// Base (scale = 1.0) row counts for the TPC-H-like schema. These are
+// scaled down ~15x from TPC-H SF1 so a 1000-query workload executes in
+// seconds; relative table sizes match TPC-H.
+const (
+	tpchRegions   = 5
+	tpchNations   = 25
+	tpchSuppliers = 700
+	tpchCustomers = 10000
+	tpchParts     = 14000
+	tpchPartsupp  = 4 * tpchParts
+	tpchOrders    = 10000
+	tpchLineAvg   = 4 // average lineitems per order
+)
+
+// TPCHSchema returns the TPC-H-like schema metadata.
+func TPCHSchema() *catalog.Schema {
+	return &catalog.Schema{
+		Name: "tpch",
+		Tables: []*catalog.Table{
+			{Name: "region", Columns: []catalog.Column{
+				{Name: "r_regionkey", Width: 8}, {Name: "r_name", Width: 24},
+			}},
+			{Name: "nation", Columns: []catalog.Column{
+				{Name: "n_nationkey", Width: 8}, {Name: "n_regionkey", Width: 8},
+				{Name: "n_name", Width: 24},
+			}},
+			{Name: "supplier", Columns: []catalog.Column{
+				{Name: "s_suppkey", Width: 8}, {Name: "s_nationkey", Width: 8},
+				{Name: "s_acctbal", Width: 8},
+			}},
+			{Name: "customer", Columns: []catalog.Column{
+				{Name: "c_custkey", Width: 8}, {Name: "c_nationkey", Width: 8},
+				{Name: "c_mktsegment", Width: 8}, {Name: "c_acctbal", Width: 8},
+			}},
+			{Name: "part", Columns: []catalog.Column{
+				{Name: "p_partkey", Width: 8}, {Name: "p_brand", Width: 8},
+				{Name: "p_type", Width: 8}, {Name: "p_size", Width: 8},
+				{Name: "p_retailprice", Width: 8},
+			}},
+			{Name: "partsupp", Columns: []catalog.Column{
+				{Name: "ps_partkey", Width: 8}, {Name: "ps_suppkey", Width: 8},
+				{Name: "ps_availqty", Width: 8}, {Name: "ps_supplycost", Width: 8},
+			}},
+			{Name: "orders", Columns: []catalog.Column{
+				{Name: "o_orderkey", Width: 8}, {Name: "o_custkey", Width: 8},
+				{Name: "o_orderdate", Width: 8}, {Name: "o_orderpriority", Width: 8},
+				{Name: "o_totalprice", Width: 8},
+			}},
+			{Name: "lineitem", Columns: []catalog.Column{
+				{Name: "l_orderkey", Width: 8}, {Name: "l_partkey", Width: 8},
+				{Name: "l_suppkey", Width: 8}, {Name: "l_quantity", Width: 8},
+				{Name: "l_extendedprice", Width: 8}, {Name: "l_discount", Width: 8},
+				{Name: "l_shipdate", Width: 8}, {Name: "l_returnflag", Width: 8},
+			}},
+		},
+	}
+}
+
+// GenTPCH generates the TPC-H-like database. The skew parameter z is
+// applied to the foreign keys o_custkey, l_partkey and l_suppkey (this is
+// what the skewed TPC-H generator does, inducing variance in per-tuple
+// join work) and to the number of lineitems per order.
+func GenTPCH(p Params) *storage.Database {
+	db := storage.NewDatabase(TPCHSchema())
+	seed := p.Seed
+
+	regions := db.MustTable("region")
+	for i := 1; i <= tpchRegions; i++ {
+		regions.Append(storage.Row{int64(i), int64(i)})
+	}
+
+	nations := db.MustTable("nation")
+	for i := 1; i <= tpchNations; i++ {
+		nations.Append(storage.Row{int64(i), int64(1 + (i-1)%tpchRegions), int64(i)})
+	}
+
+	nSupp := scaled(tpchSuppliers, p.Scale)
+	supp := db.MustTable("supplier")
+	suppNation := uniform(1, tpchNations, seed+1)
+	suppBal := uniform(-999, 9999, seed+2)
+	for i := 1; i <= nSupp; i++ {
+		supp.Append(storage.Row{int64(i), suppNation(), suppBal()})
+	}
+
+	nCust := scaled(tpchCustomers, p.Scale)
+	cust := db.MustTable("customer")
+	custNation := uniform(1, tpchNations, seed+3)
+	custSeg := uniform(1, 5, seed+4)
+	custBal := uniform(-999, 9999, seed+5)
+	for i := 1; i <= nCust; i++ {
+		cust.Append(storage.Row{int64(i), custNation(), custSeg(), custBal()})
+	}
+
+	nPart := scaled(tpchParts, p.Scale)
+	part := db.MustTable("part")
+	brand := uniform(1, 25, seed+6)
+	ptype := uniform(1, 150, seed+7)
+	psize := uniform(1, 50, seed+8)
+	pprice := uniform(900, 2100, seed+9)
+	for i := 1; i <= nPart; i++ {
+		part.Append(storage.Row{int64(i), brand(), ptype(), psize(), pprice()})
+	}
+
+	psupp := db.MustTable("partsupp")
+	psSupp := fkGen(nSupp, p.Zipf, seed+10)
+	psQty := uniform(1, 9999, seed+11)
+	psCost := uniform(1, 1000, seed+12)
+	for i := 1; i <= nPart; i++ {
+		for j := 0; j < 4; j++ {
+			psupp.Append(storage.Row{int64(i), psSupp(), psQty(), psCost()})
+		}
+	}
+
+	nOrd := scaled(tpchOrders, p.Scale)
+	orders := db.MustTable("orders")
+	ordCust := fkGen(nCust, p.Zipf, seed+13)
+	ordDate := uniform(1, 2406, seed+14) // days in [1992-01-01, 1998-08-02]
+	ordPrio := uniform(1, 5, seed+15)
+	ordPrice := uniform(1000, 500000, seed+16)
+	for i := 1; i <= nOrd; i++ {
+		orders.Append(storage.Row{int64(i), ordCust(), ordDate(), ordPrio(), ordPrice()})
+	}
+
+	line := db.MustTable("lineitem")
+	linePart := fkGen(nPart, p.Zipf, seed+17)
+	lineSupp := fkGen(nSupp, p.Zipf, seed+18)
+	lineQty := uniform(1, 50, seed+19)
+	linePrice := uniform(900, 105000, seed+20)
+	lineDisc := uniform(0, 10, seed+21)
+	lineFlag := uniform(1, 3, seed+22)
+	// Lineitems per order: 1..7, skew-dependent so that skewed databases
+	// also have variance in fan-out from orders into lineitem.
+	lineCnt := fkGen(2*tpchLineAvg-1, p.Zipf, seed+23)
+	shipDelta := uniform(1, 120, seed+24)
+	for o := 1; o <= nOrd; o++ {
+		cnt := int(lineCnt())
+		odate := orders.Rows[o-1][2]
+		for j := 0; j < cnt; j++ {
+			line.Append(storage.Row{
+				int64(o), linePart(), lineSupp(), lineQty(),
+				linePrice(), lineDisc(), odate + shipDelta(), lineFlag(),
+			})
+		}
+	}
+	return db
+}
+
+// tpchDesigns mirrors the paper's three DTA configurations for TPC-H.
+func tpchDesigns() map[catalog.DesignLevel]*catalog.PhysicalDesign {
+	pks := []catalog.Index{
+		pk("region", "r_regionkey"),
+		pk("nation", "n_nationkey"),
+		pk("supplier", "s_suppkey"),
+		pk("customer", "c_custkey"),
+		pk("part", "p_partkey"),
+		pk("orders", "o_orderkey"),
+		ix("partsupp", "ps_partkey"),
+		ix("lineitem", "l_orderkey"),
+	}
+	partial := append(append([]catalog.Index{}, pks...),
+		ix("orders", "o_custkey"),
+		ix("lineitem", "l_partkey"),
+		ix("orders", "o_orderdate"),
+	)
+	full := append(append([]catalog.Index{}, partial...),
+		ix("lineitem", "l_suppkey"),
+		ix("lineitem", "l_shipdate"),
+		ix("customer", "c_nationkey"),
+		ix("supplier", "s_nationkey"),
+		ix("partsupp", "ps_suppkey"),
+		ix("part", "p_size"),
+		ix("part", "p_brand"),
+	)
+	return map[catalog.DesignLevel]*catalog.PhysicalDesign{
+		catalog.Untuned:        {Level: catalog.Untuned, Indexes: pks},
+		catalog.PartiallyTuned: {Level: catalog.PartiallyTuned, Indexes: partial},
+		catalog.FullyTuned:     {Level: catalog.FullyTuned, Indexes: full},
+	}
+}

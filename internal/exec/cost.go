@@ -1,0 +1,74 @@
+package exec
+
+import "progressest/internal/plan"
+
+// The virtual-time cost model. Each GetNext call at a node advances the
+// virtual clock by a per-operator CPU cost; scans and spills additionally
+// pay an I/O cost per logical byte. The constants are chosen so that work
+// per GetNext call varies across operators: the GetNext model of progress
+// is then a good — but deliberately imperfect — proxy for elapsed time,
+// matching the paper's empirical finding (Section 6.7) that the idealised
+// GetNext model has a small but nonzero error (L1 ~ 0.06).
+const (
+	// ioCostPerByte is the virtual time charged per logical byte of I/O.
+	ioCostPerByte = 0.035
+	// spillIOFactor inflates spill I/O (random writes + later reads).
+	spillIOFactor = 2.0
+)
+
+// cpuCost returns the CPU cost charged when node n produces one row (or,
+// for blocking consumers, processes one input row; see chargeConsume).
+func cpuCost(op plan.OpType) float64 {
+	switch op {
+	case plan.TableScan:
+		return 1.0
+	case plan.IndexScan:
+		return 1.2
+	case plan.IndexSeek:
+		return 1.1
+	case plan.Filter:
+		return 0.45
+	case plan.Project:
+		return 0.3
+	case plan.HashJoin:
+		return 2.2
+	case plan.MergeJoin:
+		return 1.4
+	case plan.NestedLoopJoin:
+		return 0.9
+	case plan.SemiJoin:
+		return 1.8
+	case plan.Sort:
+		return 1.0
+	case plan.BatchSort:
+		return 1.0
+	case plan.HashAgg:
+		return 1.6
+	case plan.StreamAgg:
+		return 0.9
+	case plan.Top:
+		return 0.2
+	default:
+		return 1.0
+	}
+}
+
+// seekOverhead is the extra cost of repositioning an index seek (the
+// B-tree descent), charged once per rebind.
+const seekOverhead = 3.5
+
+// consumeCost is charged per input row by blocking consumers (sort
+// insertion, hash-table build/aggregate probe) in addition to the child's
+// own production cost.
+func consumeCost(op plan.OpType) float64 {
+	switch op {
+	case plan.Sort, plan.BatchSort:
+		return 0.8
+	case plan.HashAgg:
+		return 1.4
+	case plan.HashJoin, plan.SemiJoin: // build-side insertion
+		return 1.3
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,169 @@
+package exec
+
+import (
+	"sort"
+	"testing"
+
+	"progressest/internal/catalog"
+	"progressest/internal/optimizer"
+	"progressest/internal/plan"
+	"progressest/internal/storage"
+)
+
+// sortedKeys runs a plan and returns the multiset of first-column values
+// of its output, sorted — a physical-order-independent result fingerprint.
+func sortedKeys(db *storage.Database, p *plan.Plan) []int64 {
+	rows := collectRows(db, p)
+	out := make([]int64, len(rows))
+	for i, r := range rows {
+		out[i] = r[0]
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+func equalKeys(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestJoinOperatorEquivalence checks that merge, hash and nested-loop
+// joins produce identical result multisets for the same logical join.
+func TestJoinOperatorEquivalence(t *testing.T) {
+	db := testDB(t, catalog.PartiallyTuned, 1)
+	stats := optimizer.BuildStats(db)
+	spec := &optimizer.QuerySpec{
+		First: optimizer.TableTerm{Table: "orders", Filters: []optimizer.FilterSpec{
+			{Column: "o_orderdate", IsRange: true, Lo: 1, Hi: 1000},
+		}},
+		Joins: []optimizer.JoinTerm{{
+			Right:     optimizer.TableTerm{Table: "lineitem"},
+			LeftTable: "orders", LeftCol: "o_orderkey", RightCol: "l_orderkey",
+		}},
+	}
+
+	var results [][]int64
+	var shapes []plan.OpType
+	// Force different join algorithms through planner thresholds.
+	for _, force := range []struct {
+		name string
+		tune func(p *optimizer.Planner)
+	}{
+		{"default", func(p *optimizer.Planner) {}},
+		{"no-nl", func(p *optimizer.Planner) { p.NLMaxOuterRows = 0 }},
+	} {
+		pln := optimizer.NewPlanner(db, stats)
+		force.tune(pln)
+		pl, err := pln.Plan(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", force.name, err)
+		}
+		for _, op := range []plan.OpType{plan.HashJoin, plan.MergeJoin, plan.NestedLoopJoin} {
+			if pl.CountOp(op) > 0 {
+				shapes = append(shapes, op)
+			}
+		}
+		results = append(results, sortedKeys(db, pl))
+	}
+	if len(results) < 2 {
+		t.Fatal("need at least two plans")
+	}
+	for i := 1; i < len(results); i++ {
+		if !equalKeys(results[0], results[i]) {
+			t.Fatalf("join algorithms disagree: %d vs %d rows (shapes %v)",
+				len(results[0]), len(results[i]), shapes)
+		}
+	}
+}
+
+// TestAggOperatorEquivalence checks StreamAgg (over sorted input) against
+// HashAgg for the same grouping.
+func TestAggOperatorEquivalence(t *testing.T) {
+	db := testDB(t, catalog.PartiallyTuned, 1)
+	meta := db.Schema.MustTable("lineitem")
+	n := float64(db.MustTable("lineitem").NumRows())
+	width := float64(meta.RowWidth())
+
+	mkScan := func() *plan.Node {
+		return &plan.Node{Op: plan.TableScan, TableName: "lineitem",
+			EstRows: n, RowWidth: width, OutCols: len(meta.Columns)}
+	}
+	hash := plan.Finalize(&plan.Node{
+		Op: plan.HashAgg, Children: []*plan.Node{mkScan()},
+		GroupCols: []int{3}, // l_quantity
+		Aggs:      []plan.AggSpec{{Func: plan.AggCount}, {Func: plan.AggSum, Col: 4}},
+		EstRows:   50, RowWidth: 24, OutCols: 3,
+	})
+	srt := &plan.Node{Op: plan.Sort, Children: []*plan.Node{mkScan()},
+		SortCols: []int{3}, EstRows: n, RowWidth: width, OutCols: len(meta.Columns)}
+	stream := plan.Finalize(&plan.Node{
+		Op: plan.StreamAgg, Children: []*plan.Node{srt},
+		GroupCols: []int{3},
+		Aggs:      []plan.AggSpec{{Func: plan.AggCount}, {Func: plan.AggSum, Col: 4}},
+		EstRows:   50, RowWidth: 24, OutCols: 3,
+	})
+
+	hashRows := collectRows(db, hash)
+	streamRows := collectRows(db, stream)
+	if len(hashRows) != len(streamRows) {
+		t.Fatalf("group counts differ: hash %d vs stream %d", len(hashRows), len(streamRows))
+	}
+	byKey := make(map[int64][2]int64, len(hashRows))
+	for _, r := range hashRows {
+		byKey[r[0]] = [2]int64{r[1], r[2]}
+	}
+	for _, r := range streamRows {
+		want, ok := byKey[r[0]]
+		if !ok {
+			t.Fatalf("stream produced unknown group %d", r[0])
+		}
+		if r[1] != want[0] || r[2] != want[1] {
+			t.Fatalf("group %d: stream (%d,%d) vs hash (%d,%d)",
+				r[0], r[1], r[2], want[0], want[1])
+		}
+	}
+}
+
+// TestBatchSortPreservesJoinResults checks that inserting a batch sort on
+// the outer side of a nested-loop join changes only physical behaviour,
+// never results.
+func TestBatchSortPreservesJoinResults(t *testing.T) {
+	db := testDB(t, catalog.FullyTuned, 1)
+	ordersMeta := db.Schema.MustTable("orders")
+	lineMeta := db.Schema.MustTable("lineitem")
+	nOrders := float64(db.MustTable("orders").NumRows())
+
+	build := func(batchSort bool) *plan.Plan {
+		scan := &plan.Node{Op: plan.TableScan, TableName: "orders",
+			EstRows: nOrders, RowWidth: float64(ordersMeta.RowWidth()),
+			OutCols: len(ordersMeta.Columns)}
+		outer := scan
+		if batchSort {
+			outer = &plan.Node{Op: plan.BatchSort, Children: []*plan.Node{scan},
+				SortCols: []int{0}, BatchSize: 64,
+				EstRows: nOrders, RowWidth: scan.RowWidth, OutCols: scan.OutCols}
+		}
+		seek := &plan.Node{Op: plan.IndexSeek, TableName: "lineitem",
+			IndexColumn: "l_orderkey", SeekOuterCol: 0,
+			EstRows: nOrders * 4, RowWidth: float64(lineMeta.RowWidth()),
+			OutCols: len(lineMeta.Columns)}
+		nlj := &plan.Node{Op: plan.NestedLoopJoin, Children: []*plan.Node{outer, seek},
+			JoinLeftCol: 0, JoinRightCol: scan.OutCols,
+			EstRows: nOrders * 4, RowWidth: scan.RowWidth + seek.RowWidth,
+			OutCols: scan.OutCols + seek.OutCols}
+		return plan.Finalize(nlj)
+	}
+
+	plain := sortedKeys(db, build(false))
+	batched := sortedKeys(db, build(true))
+	if !equalKeys(plain, batched) {
+		t.Fatalf("batch sort changed join results: %d vs %d rows", len(plain), len(batched))
+	}
+}

@@ -1,0 +1,287 @@
+// Package exec is the query execution engine: a Volcano-style iterator
+// interpreter over the in-memory storage layer. It maintains, per plan
+// node, the counters progress estimation consumes (Section 3.1): GetNext
+// counts K_i, logical bytes read R_i and written W_i, plus a deterministic
+// virtual clock, and emits periodic Snapshots of all counters. Disk spills
+// caused by memory contention in hash joins are modelled as additional
+// GetNext calls at the spilling node, as in the paper.
+package exec
+
+import (
+	"fmt"
+
+	"progressest/internal/pipeline"
+	"progressest/internal/plan"
+	"progressest/internal/storage"
+)
+
+// Options configures one query execution.
+type Options struct {
+	// MemBudgetRows is the number of rows a blocking operator (hash join
+	// build, sort) can hold before spilling. Zero means unlimited.
+	MemBudgetRows int
+	// TargetObservations is the approximate number of counter snapshots to
+	// capture (default 400).
+	TargetObservations int
+	// MaxObservations caps stored snapshots; when exceeded, the trace is
+	// thinned and the sampling interval doubled (default 1200).
+	MaxObservations int
+}
+
+func (o Options) withDefaults() Options {
+	if o.TargetObservations <= 0 {
+		o.TargetObservations = 400
+	}
+	if o.MaxObservations <= 0 {
+		o.MaxObservations = 1200
+	}
+	return o
+}
+
+// Run executes the plan to completion and returns its Trace.
+func Run(db *storage.Database, p *plan.Plan, opts Options) *Trace {
+	opts = opts.withDefaults()
+	pipes := pipeline.Decompose(p)
+	n := p.NumNodes()
+
+	obsEvery := int64(p.TotalEstRows()) / int64(opts.TargetObservations)
+	if obsEvery < 1 {
+		obsEvery = 1
+	}
+
+	ctx := &context{
+		db:          db,
+		p:           p,
+		opts:        opts,
+		K:           make([]int64, n),
+		R:           make([]int64, n),
+		W:           make([]int64, n),
+		firstActive: make([]float64, n),
+		lastActive:  make([]float64, n),
+		obsEvery:    obsEvery,
+	}
+	for i := range ctx.firstActive {
+		ctx.firstActive[i] = -1
+	}
+
+	root := buildIter(ctx, p.Root)
+	root.open()
+	for {
+		if _, ok := root.next(); !ok {
+			break
+		}
+	}
+	root.close()
+	ctx.snapshot() // final observation at tend
+
+	tr := &Trace{
+		Plan:      p,
+		Pipes:     pipes,
+		Snapshots: ctx.snapshots,
+		N:         ctx.K,
+		FinalR:    ctx.R,
+		FinalW:    ctx.W,
+		TotalTime: ctx.clock,
+	}
+	tr.PipeSpans = make([]Span, len(pipes.Pipelines))
+	for i, pl := range pipes.Pipelines {
+		start, end := -1.0, -1.0
+		for _, id := range pl.Nodes {
+			if ctx.firstActive[id] < 0 {
+				continue
+			}
+			if start < 0 || ctx.firstActive[id] < start {
+				start = ctx.firstActive[id]
+			}
+			if ctx.lastActive[id] > end {
+				end = ctx.lastActive[id]
+			}
+		}
+		tr.PipeSpans[i] = Span{Start: start, End: end}
+	}
+	tr.DriverTotalsKnown = make([]bool, len(pipes.Pipelines))
+	tr.DriverTotal = make([]int64, n)
+	for i, pl := range pipes.Pipelines {
+		known := len(pl.Drivers) > 0
+		for _, d := range pl.Drivers {
+			node := p.Node(d)
+			total, ok := driverTotal(db, node, ctx)
+			if !ok {
+				known = false
+				continue
+			}
+			tr.DriverTotal[d] = total
+		}
+		tr.DriverTotalsKnown[i] = known
+	}
+	return tr
+}
+
+// driverTotal returns the exact input size of a driver node when it is
+// knowable at pipeline start: base-table scans know their table size,
+// constant-range index seeks know the range size, and blocking operators
+// (Sort, HashAgg) know their output size once filled (which is before
+// their pipeline starts emitting). Returns ok=false otherwise.
+func driverTotal(db *storage.Database, n *plan.Node, ctx *context) (int64, bool) {
+	switch n.Op {
+	case plan.TableScan, plan.IndexScan:
+		return int64(db.MustTable(n.TableName).NumRows()), true
+	case plan.IndexSeek:
+		if n.SeekOuterCol >= 0 {
+			return 0, false
+		}
+		ix := db.MustTable(n.TableName).IndexOn(n.IndexColumn)
+		if ix == nil {
+			return 0, false
+		}
+		lo, hi := ix.SeekRange(n.SeekLo, n.SeekHi)
+		return int64(hi - lo), true
+	case plan.Sort, plan.HashAgg:
+		// Known at emission time: equals the node's true output count.
+		return ctx.K[n.ID], true
+	default:
+		return 0, false
+	}
+}
+
+// context carries the execution state shared by all iterators.
+type context struct {
+	db   *storage.Database
+	p    *plan.Plan
+	opts Options
+
+	clock float64
+	K     []int64
+	R     []int64
+	W     []int64
+
+	firstActive []float64
+	lastActive  []float64
+
+	totalGN   int64
+	obsEvery  int64
+	snapshots []Snapshot
+	lastSnapT float64
+}
+
+// produced records one GetNext call at node n: increments K_n, advances
+// the clock, marks the node active and possibly snapshots all counters.
+func (c *context) produced(n *plan.Node) {
+	c.K[n.ID]++
+	c.tickActive(n.ID, cpuCost(n.Op))
+	c.maybeSnapshot()
+}
+
+// spillCall records a spill-induced extra GetNext call at node n.
+// markActive=false is used for build-phase spills of a hash join so that
+// the probe pipeline's activity span is not polluted by build-phase work.
+func (c *context) spillCall(n *plan.Node, bytes float64, markActive bool) {
+	c.K[n.ID]++
+	cost := cpuCost(n.Op) + bytes*ioCostPerByte*spillIOFactor
+	if markActive {
+		c.tickActive(n.ID, cost)
+	} else {
+		c.clock += cost
+	}
+	c.maybeSnapshot()
+}
+
+// tickActive advances the clock and the node's activity span.
+func (c *context) tickActive(id int, cost float64) {
+	c.clock += cost
+	if c.firstActive[id] < 0 {
+		c.firstActive[id] = c.clock
+	}
+	c.lastActive[id] = c.clock
+}
+
+// consumed charges the cost of a blocking consumer absorbing one input
+// row (no GetNext at the consumer, no activity marking).
+func (c *context) consumed(n *plan.Node) {
+	c.clock += consumeCost(n.Op)
+}
+
+// read accounts logical bytes read at node n.
+func (c *context) read(n *plan.Node, bytes float64) {
+	c.R[n.ID] += int64(bytes)
+	c.clock += bytes * ioCostPerByte
+}
+
+// write accounts logical bytes written at node n.
+func (c *context) write(n *plan.Node, bytes float64) {
+	c.W[n.ID] += int64(bytes)
+	c.clock += bytes * ioCostPerByte
+}
+
+func (c *context) maybeSnapshot() {
+	c.totalGN++
+	if c.totalGN%c.obsEvery != 0 {
+		return
+	}
+	c.snapshot()
+	if len(c.snapshots) > c.opts.MaxObservations {
+		// Thin: keep every other snapshot and halve the sampling rate.
+		kept := c.snapshots[:0]
+		for i, s := range c.snapshots {
+			if i%2 == 1 {
+				kept = append(kept, s)
+			}
+		}
+		c.snapshots = kept
+		c.obsEvery *= 2
+	}
+}
+
+func (c *context) snapshot() {
+	if len(c.snapshots) > 0 && c.clock == c.lastSnapT {
+		return
+	}
+	s := Snapshot{
+		Time: c.clock,
+		K:    append([]int64(nil), c.K...),
+		R:    append([]int64(nil), c.R...),
+		W:    append([]int64(nil), c.W...),
+	}
+	c.snapshots = append(c.snapshots, s)
+	c.lastSnapT = c.clock
+}
+
+// buildIter constructs the iterator for a plan node.
+func buildIter(ctx *context, n *plan.Node) iter {
+	switch n.Op {
+	case plan.TableScan:
+		return newTableScan(ctx, n)
+	case plan.IndexScan:
+		return newIndexScan(ctx, n)
+	case plan.IndexSeek:
+		return newIndexSeek(ctx, n)
+	case plan.Filter:
+		return &filterIter{ctx: ctx, n: n, child: buildIter(ctx, n.Children[0])}
+	case plan.Project:
+		return &projectIter{ctx: ctx, n: n, child: buildIter(ctx, n.Children[0])}
+	case plan.HashJoin:
+		return &hashJoinIter{ctx: ctx, n: n,
+			probe: buildIter(ctx, n.Children[0]), build: buildIter(ctx, n.Children[1])}
+	case plan.MergeJoin:
+		return &mergeJoinIter{ctx: ctx, n: n,
+			left: buildIter(ctx, n.Children[0]), right: buildIter(ctx, n.Children[1])}
+	case plan.SemiJoin:
+		return &semiJoinIter{ctx: ctx, n: n,
+			probe: buildIter(ctx, n.Children[0]), build: buildIter(ctx, n.Children[1])}
+	case plan.NestedLoopJoin:
+		return &nlJoinIter{ctx: ctx, n: n,
+			outer: buildIter(ctx, n.Children[0]), inner: buildIter(ctx, n.Children[1])}
+	case plan.Sort:
+		return &sortIter{ctx: ctx, n: n, child: buildIter(ctx, n.Children[0])}
+	case plan.BatchSort:
+		return &batchSortIter{ctx: ctx, n: n, child: buildIter(ctx, n.Children[0])}
+	case plan.HashAgg:
+		return &hashAggIter{ctx: ctx, n: n, child: buildIter(ctx, n.Children[0])}
+	case plan.StreamAgg:
+		return &streamAggIter{ctx: ctx, n: n, child: buildIter(ctx, n.Children[0])}
+	case plan.Top:
+		return &topIter{ctx: ctx, n: n, child: buildIter(ctx, n.Children[0])}
+	default:
+		panic(fmt.Sprintf("exec: no iterator for %v", n.Op))
+	}
+}

@@ -1,0 +1,809 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"progressest/internal/plan"
+	"progressest/internal/storage"
+)
+
+// iter is the Volcano iterator contract. rebind repositions an iterator on
+// the inner side of a nested-loop join for a new outer row; iterators that
+// cannot appear there panic.
+type iter interface {
+	open()
+	next() (storage.Row, bool)
+	rebind(outer storage.Row)
+	close()
+}
+
+// --- scans ---
+
+type tableScanIter struct {
+	ctx   *context
+	n     *plan.Node
+	tbl   *storage.Table
+	width float64
+	pos   int
+}
+
+func newTableScan(ctx *context, n *plan.Node) *tableScanIter {
+	tbl := ctx.db.MustTable(n.TableName)
+	return &tableScanIter{ctx: ctx, n: n, tbl: tbl, width: float64(tbl.Meta.RowWidth())}
+}
+
+func (it *tableScanIter) open() { it.pos = 0 }
+
+func (it *tableScanIter) next() (storage.Row, bool) {
+	if it.pos >= len(it.tbl.Rows) {
+		return nil, false
+	}
+	row := it.tbl.Rows[it.pos]
+	it.pos++
+	it.ctx.read(it.n, it.width)
+	it.ctx.produced(it.n)
+	return row, true
+}
+
+func (it *tableScanIter) rebind(storage.Row) { it.pos = 0 }
+func (it *tableScanIter) close()             {}
+
+type indexScanIter struct {
+	ctx   *context
+	n     *plan.Node
+	tbl   *storage.Table
+	ix    *storage.Index
+	width float64
+	pos   int
+}
+
+func newIndexScan(ctx *context, n *plan.Node) *indexScanIter {
+	tbl := ctx.db.MustTable(n.TableName)
+	ix := tbl.IndexOn(n.IndexColumn)
+	if ix == nil {
+		panic(fmt.Sprintf("exec: IndexScan on %s.%s without index", n.TableName, n.IndexColumn))
+	}
+	return &indexScanIter{ctx: ctx, n: n, tbl: tbl, ix: ix, width: float64(tbl.Meta.RowWidth())}
+}
+
+func (it *indexScanIter) open() { it.pos = 0 }
+
+func (it *indexScanIter) next() (storage.Row, bool) {
+	if it.pos >= it.ix.Len() {
+		return nil, false
+	}
+	_, rowID := it.ix.Entry(it.pos)
+	it.pos++
+	it.ctx.read(it.n, it.width)
+	it.ctx.produced(it.n)
+	return it.tbl.Rows[rowID], true
+}
+
+func (it *indexScanIter) rebind(storage.Row) { it.pos = 0 }
+func (it *indexScanIter) close()             {}
+
+type indexSeekIter struct {
+	ctx   *context
+	n     *plan.Node
+	tbl   *storage.Table
+	ix    *storage.Index
+	width float64
+	pos   int
+	end   int
+}
+
+func newIndexSeek(ctx *context, n *plan.Node) *indexSeekIter {
+	tbl := ctx.db.MustTable(n.TableName)
+	ix := tbl.IndexOn(n.IndexColumn)
+	if ix == nil {
+		panic(fmt.Sprintf("exec: IndexSeek on %s.%s without index", n.TableName, n.IndexColumn))
+	}
+	return &indexSeekIter{ctx: ctx, n: n, tbl: tbl, ix: ix, width: float64(tbl.Meta.RowWidth())}
+}
+
+func (it *indexSeekIter) open() {
+	if it.n.SeekOuterCol < 0 {
+		it.pos, it.end = it.ix.SeekRange(it.n.SeekLo, it.n.SeekHi)
+		it.ctx.clock += seekOverhead
+	} else {
+		it.pos, it.end = 0, 0 // positioned by rebind
+	}
+}
+
+func (it *indexSeekIter) next() (storage.Row, bool) {
+	if it.pos >= it.end {
+		return nil, false
+	}
+	_, rowID := it.ix.Entry(it.pos)
+	it.pos++
+	it.ctx.read(it.n, it.width)
+	it.ctx.produced(it.n)
+	return it.tbl.Rows[rowID], true
+}
+
+func (it *indexSeekIter) rebind(outer storage.Row) {
+	key := outer[it.n.SeekOuterCol]
+	it.pos, it.end = it.ix.SeekEqual(key)
+	it.ctx.clock += seekOverhead
+}
+
+func (it *indexSeekIter) close() {}
+
+// --- streaming unary operators ---
+
+type filterIter struct {
+	ctx   *context
+	n     *plan.Node
+	child iter
+}
+
+func (it *filterIter) open() { it.child.open() }
+
+func (it *filterIter) next() (storage.Row, bool) {
+	for {
+		row, ok := it.child.next()
+		if !ok {
+			return nil, false
+		}
+		if it.n.Pred.Eval(row) {
+			it.ctx.produced(it.n)
+			return row, true
+		}
+		// Rejected rows still cost evaluation time.
+		it.ctx.clock += cpuCost(plan.Filter) * 0.5
+	}
+}
+
+func (it *filterIter) rebind(outer storage.Row) { it.child.rebind(outer) }
+func (it *filterIter) close()                   { it.child.close() }
+
+type projectIter struct {
+	ctx   *context
+	n     *plan.Node
+	child iter
+}
+
+func (it *projectIter) open() { it.child.open() }
+
+func (it *projectIter) next() (storage.Row, bool) {
+	row, ok := it.child.next()
+	if !ok {
+		return nil, false
+	}
+	out := make(storage.Row, len(it.n.ProjCols))
+	for i, c := range it.n.ProjCols {
+		out[i] = row[c]
+	}
+	it.ctx.produced(it.n)
+	return out, true
+}
+
+func (it *projectIter) rebind(outer storage.Row) { it.child.rebind(outer) }
+func (it *projectIter) close()                   { it.child.close() }
+
+// --- joins ---
+
+// mix64 is a finalizing hash for spill-partition assignment.
+func mix64(x int64) uint64 {
+	z := uint64(x)
+	z = (z ^ (z >> 33)) * 0xff51afd7ed558ccd
+	z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53
+	return z ^ (z >> 33)
+}
+
+const spillPartitions = 16
+
+type hashJoinIter struct {
+	ctx   *context
+	n     *plan.Node
+	probe iter
+	build iter
+
+	ht          map[int64][]storage.Row
+	spilledPart [spillPartitions]bool
+	spillBuild  map[int64][]storage.Row
+	spillProbe  []storage.Row
+	buildWidth  float64
+	probeWidth  float64
+
+	// phase-2 state: joining buffered spilled probe rows
+	phase2    bool
+	p2idx     int
+	p2matches []storage.Row
+	p2match   int
+	p2row     storage.Row
+
+	matches []storage.Row
+	midx    int
+	cur     storage.Row
+}
+
+func (it *hashJoinIter) open() {
+	it.probe.open()
+	it.build.open()
+	it.ht = make(map[int64][]storage.Row)
+	it.spillBuild = make(map[int64][]storage.Row)
+
+	leftCols := it.n.Children[0].OutCols
+	it.probeWidth = it.n.Children[0].RowWidth
+	it.buildWidth = it.n.Children[1].RowWidth
+	_ = leftCols
+
+	// Build phase: consume the entire build input. If the build side
+	// exceeds the memory budget, later rows in spilled partitions are
+	// written out (extra GetNext calls at this node, as the paper models
+	// spills).
+	var buildRows []storage.Row
+	for {
+		row, ok := it.build.next()
+		if !ok {
+			break
+		}
+		it.ctx.consumed(it.n)
+		buildRows = append(buildRows, row)
+	}
+	budget := it.ctx.opts.MemBudgetRows
+	if budget > 0 && len(buildRows) > budget {
+		// Choose how many of the 16 partitions must spill.
+		frac := 1.0 - float64(budget)/float64(len(buildRows))
+		nSpill := int(frac*spillPartitions + 0.999)
+		if nSpill > spillPartitions-1 {
+			nSpill = spillPartitions - 1
+		}
+		for p := 0; p < nSpill; p++ {
+			it.spilledPart[p] = true
+		}
+	}
+	key := it.n.JoinRightCol
+	for _, row := range buildRows {
+		k := row[key]
+		if it.spilledPart[mix64(k)%spillPartitions] {
+			it.spillBuild[k] = append(it.spillBuild[k], row)
+			it.ctx.write(it.n, it.buildWidth)
+			it.ctx.spillCall(it.n, it.buildWidth, false)
+		} else {
+			it.ht[k] = append(it.ht[k], row)
+		}
+	}
+}
+
+func (it *hashJoinIter) emit(probeRow, buildRow storage.Row) storage.Row {
+	out := make(storage.Row, 0, len(probeRow)+len(buildRow))
+	out = append(out, probeRow...)
+	out = append(out, buildRow...)
+	it.ctx.produced(it.n)
+	return out
+}
+
+func (it *hashJoinIter) next() (storage.Row, bool) {
+	for {
+		// Drain pending matches for the current probe row.
+		if it.midx < len(it.matches) {
+			m := it.matches[it.midx]
+			it.midx++
+			return it.emit(it.cur, m), true
+		}
+		if it.phase2 {
+			return it.nextPhase2()
+		}
+		row, ok := it.probe.next()
+		if !ok {
+			// Probe input exhausted: switch to spilled partitions.
+			it.phase2 = true
+			continue
+		}
+		k := row[it.n.JoinLeftCol]
+		if it.spilledPart[mix64(k)%spillPartitions] {
+			// Probe row in a spilled partition: write it out for phase 2.
+			it.spillProbe = append(it.spillProbe, row)
+			it.ctx.write(it.n, it.probeWidth)
+			it.ctx.spillCall(it.n, it.probeWidth, true)
+			continue
+		}
+		it.cur = row
+		it.matches = it.ht[k]
+		it.midx = 0
+	}
+}
+
+func (it *hashJoinIter) nextPhase2() (storage.Row, bool) {
+	for {
+		if it.p2match < len(it.p2matches) {
+			m := it.p2matches[it.p2match]
+			it.p2match++
+			return it.emit(it.p2row, m), true
+		}
+		if it.p2idx >= len(it.spillProbe) {
+			return nil, false
+		}
+		row := it.spillProbe[it.p2idx]
+		it.p2idx++
+		// Read the probe row (and its matching build rows) back from
+		// "disk": extra GetNext call + read I/O.
+		it.ctx.read(it.n, it.probeWidth)
+		it.ctx.spillCall(it.n, it.probeWidth, true)
+		it.p2row = row
+		it.p2matches = it.spillBuild[row[it.n.JoinLeftCol]]
+		it.p2match = 0
+	}
+}
+
+func (it *hashJoinIter) rebind(storage.Row) { panic("exec: hash join cannot be rebound") }
+func (it *hashJoinIter) close()             { it.probe.close(); it.build.close() }
+
+// semiJoinIter is a hash semi join: the build side is consumed into a key
+// set; each probe row is emitted at most once, when its key is present.
+// It implements EXISTS sub-queries, so its output schema is the probe
+// row unchanged.
+type semiJoinIter struct {
+	ctx   *context
+	n     *plan.Node
+	probe iter
+	build iter
+	keys  map[int64]struct{}
+}
+
+func (it *semiJoinIter) open() {
+	it.probe.open()
+	it.build.open()
+	it.keys = make(map[int64]struct{})
+	key := it.n.JoinRightCol
+	for {
+		row, ok := it.build.next()
+		if !ok {
+			break
+		}
+		it.ctx.consumed(it.n)
+		it.keys[row[key]] = struct{}{}
+	}
+}
+
+func (it *semiJoinIter) next() (storage.Row, bool) {
+	for {
+		row, ok := it.probe.next()
+		if !ok {
+			return nil, false
+		}
+		if _, hit := it.keys[row[it.n.JoinLeftCol]]; hit {
+			it.ctx.produced(it.n)
+			return row, true
+		}
+		// Misses still cost a hash probe.
+		it.ctx.clock += cpuCost(plan.SemiJoin) * 0.4
+	}
+}
+
+func (it *semiJoinIter) rebind(storage.Row) { panic("exec: semi join cannot be rebound") }
+func (it *semiJoinIter) close()             { it.probe.close(); it.build.close() }
+
+type mergeJoinIter struct {
+	ctx   *context
+	n     *plan.Node
+	left  iter
+	right iter
+
+	lRow, rRow storage.Row
+	lOK, rOK   bool
+
+	group    []storage.Row // buffered right rows with the current key
+	groupKey int64
+	gidx     int
+	curLeft  storage.Row
+}
+
+func (it *mergeJoinIter) open() {
+	it.left.open()
+	it.right.open()
+	it.lRow, it.lOK = it.left.next()
+	it.rRow, it.rOK = it.right.next()
+}
+
+func (it *mergeJoinIter) next() (storage.Row, bool) {
+	lc, rc := it.n.JoinLeftCol, it.n.JoinRightCol
+	for {
+		if it.gidx < len(it.group) {
+			r := it.group[it.gidx]
+			it.gidx++
+			out := make(storage.Row, 0, len(it.curLeft)+len(r))
+			out = append(out, it.curLeft...)
+			out = append(out, r...)
+			it.ctx.produced(it.n)
+			return out, true
+		}
+		if !it.lOK {
+			return nil, false
+		}
+		// Advance the left row; reuse the buffered group if its key matches.
+		if it.group != nil && it.lRow[lc] == it.groupKey {
+			it.curLeft = it.lRow
+			it.gidx = 0
+			it.lRow, it.lOK = it.left.next()
+			continue
+		}
+		it.group = nil
+		// Advance right until rKey >= lKey.
+		for it.rOK && it.rRow[rc] < it.lRow[lc] {
+			it.rRow, it.rOK = it.right.next()
+		}
+		if !it.rOK {
+			// Right exhausted; drain the remaining left side (no output).
+			for it.lOK {
+				it.lRow, it.lOK = it.left.next()
+			}
+			return nil, false
+		}
+		if it.rRow[rc] > it.lRow[lc] {
+			it.lRow, it.lOK = it.left.next()
+			continue
+		}
+		// Equal keys: buffer the full right group.
+		it.groupKey = it.rRow[rc]
+		it.group = it.group[:0]
+		for it.rOK && it.rRow[rc] == it.groupKey {
+			it.group = append(it.group, it.rRow)
+			it.rRow, it.rOK = it.right.next()
+		}
+		it.curLeft = it.lRow
+		it.gidx = 0
+		it.lRow, it.lOK = it.left.next()
+	}
+}
+
+func (it *mergeJoinIter) rebind(storage.Row) { panic("exec: merge join cannot be rebound") }
+func (it *mergeJoinIter) close()             { it.left.close(); it.right.close() }
+
+type nlJoinIter struct {
+	ctx   *context
+	n     *plan.Node
+	outer iter
+	inner iter
+
+	curOuter storage.Row
+	haveCur  bool
+	opened   bool
+}
+
+func (it *nlJoinIter) open() {
+	it.outer.open()
+	it.inner.open()
+	it.opened = true
+}
+
+func (it *nlJoinIter) next() (storage.Row, bool) {
+	for {
+		if !it.haveCur {
+			row, ok := it.outer.next()
+			if !ok {
+				return nil, false
+			}
+			it.curOuter = row
+			it.haveCur = true
+			it.ctx.clock += cpuCost(plan.NestedLoopJoin) * 0.5
+			it.inner.rebind(row)
+		}
+		innerRow, ok := it.inner.next()
+		if !ok {
+			it.haveCur = false
+			continue
+		}
+		out := make(storage.Row, 0, len(it.curOuter)+len(innerRow))
+		out = append(out, it.curOuter...)
+		out = append(out, innerRow...)
+		it.ctx.produced(it.n)
+		return out, true
+	}
+}
+
+func (it *nlJoinIter) rebind(storage.Row) { panic("exec: nested-loop join cannot be rebound") }
+func (it *nlJoinIter) close()             { it.outer.close(); it.inner.close() }
+
+// --- sorts ---
+
+func sortRows(rows []storage.Row, cols []int) {
+	sort.SliceStable(rows, func(a, b int) bool {
+		for _, c := range cols {
+			if rows[a][c] != rows[b][c] {
+				return rows[a][c] < rows[b][c]
+			}
+		}
+		return false
+	})
+}
+
+type sortIter struct {
+	ctx   *context
+	n     *plan.Node
+	child iter
+	rows  []storage.Row
+	pos   int
+}
+
+func (it *sortIter) open() {
+	it.child.open()
+	for {
+		row, ok := it.child.next()
+		if !ok {
+			break
+		}
+		it.ctx.consumed(it.n)
+		it.rows = append(it.rows, row)
+	}
+	// Spill accounting when the input exceeds memory: one write + one read
+	// of the whole input (external merge sort).
+	budget := it.ctx.opts.MemBudgetRows
+	if budget > 0 && len(it.rows) > budget {
+		bytes := float64(len(it.rows)) * it.n.RowWidth
+		it.ctx.write(it.n, bytes)
+		it.ctx.read(it.n, bytes)
+	}
+	sortRows(it.rows, it.n.SortCols)
+	// Charge the n log n comparison work.
+	nr := float64(len(it.rows))
+	if nr > 1 {
+		it.ctx.clock += nr * log2(nr) * 0.12
+	}
+	it.pos = 0
+}
+
+func (it *sortIter) next() (storage.Row, bool) {
+	if it.pos >= len(it.rows) {
+		return nil, false
+	}
+	row := it.rows[it.pos]
+	it.pos++
+	it.ctx.produced(it.n)
+	return row, true
+}
+
+func (it *sortIter) rebind(storage.Row) { panic("exec: sort cannot be rebound") }
+func (it *sortIter) close()             { it.child.close() }
+
+// batchSortIter implements the partial batch sort used to localise
+// references in nested iterations (Section 5.1): it consumes BatchSize
+// rows from its child, sorts them, emits them, then refills. The blocking
+// happens per batch, which is what breaks driver-node-only estimators.
+type batchSortIter struct {
+	ctx   *context
+	n     *plan.Node
+	child iter
+	buf   []storage.Row
+	pos   int
+	done  bool
+}
+
+func (it *batchSortIter) open() {
+	it.child.open()
+	it.buf = nil
+	it.pos = 0
+	it.done = false
+}
+
+func (it *batchSortIter) fill() {
+	it.buf = it.buf[:0]
+	it.pos = 0
+	for len(it.buf) < it.n.BatchSize {
+		row, ok := it.child.next()
+		if !ok {
+			it.done = true
+			break
+		}
+		it.ctx.consumed(it.n)
+		it.buf = append(it.buf, row)
+	}
+	sortRows(it.buf, it.n.SortCols)
+	nb := float64(len(it.buf))
+	if nb > 1 {
+		it.ctx.clock += nb * log2(nb) * 0.12
+	}
+}
+
+func (it *batchSortIter) next() (storage.Row, bool) {
+	for {
+		if it.pos < len(it.buf) {
+			row := it.buf[it.pos]
+			it.pos++
+			it.ctx.produced(it.n)
+			return row, true
+		}
+		if it.done {
+			return nil, false
+		}
+		it.fill()
+		if len(it.buf) == 0 {
+			return nil, false
+		}
+	}
+}
+
+func (it *batchSortIter) rebind(storage.Row) { panic("exec: batch sort cannot be rebound") }
+func (it *batchSortIter) close()             { it.child.close() }
+
+// --- aggregation ---
+
+// groupKey packs up to two group columns into one int64. Generated data
+// keeps column values well below 2^31, so the packing is collision-free.
+func groupKey(row storage.Row, cols []int) int64 {
+	switch len(cols) {
+	case 1:
+		return row[cols[0]]
+	case 2:
+		return row[cols[0]]<<32 | (row[cols[1]] & 0xffffffff)
+	default:
+		panic(fmt.Sprintf("exec: %d group columns unsupported (max 2)", len(cols)))
+	}
+}
+
+type aggState struct {
+	groupVals []int64
+	accs      []int64
+	counts    []int64
+	inited    bool
+}
+
+func newAggState(n *plan.Node, row storage.Row) *aggState {
+	st := &aggState{
+		groupVals: make([]int64, len(n.GroupCols)),
+		accs:      make([]int64, len(n.Aggs)),
+		counts:    make([]int64, len(n.Aggs)),
+	}
+	for i, c := range n.GroupCols {
+		st.groupVals[i] = row[c]
+	}
+	return st
+}
+
+func (st *aggState) update(n *plan.Node, row storage.Row) {
+	for i, a := range n.Aggs {
+		switch a.Func {
+		case AggCountFunc:
+			st.accs[i]++
+		case AggSumFunc:
+			st.accs[i] += row[a.Col]
+		case AggMinFunc:
+			if !st.inited || row[a.Col] < st.accs[i] {
+				st.accs[i] = row[a.Col]
+			}
+		case AggMaxFunc:
+			if !st.inited || row[a.Col] > st.accs[i] {
+				st.accs[i] = row[a.Col]
+			}
+		}
+		st.counts[i]++
+	}
+	st.inited = true
+}
+
+// Aliases so the switch above reads naturally.
+const (
+	AggCountFunc = plan.AggCount
+	AggSumFunc   = plan.AggSum
+	AggMinFunc   = plan.AggMin
+	AggMaxFunc   = plan.AggMax
+)
+
+func (st *aggState) row() storage.Row {
+	out := make(storage.Row, 0, len(st.groupVals)+len(st.accs))
+	out = append(out, st.groupVals...)
+	out = append(out, st.accs...)
+	return out
+}
+
+type hashAggIter struct {
+	ctx    *context
+	n      *plan.Node
+	child  iter
+	groups []*aggState
+	pos    int
+}
+
+func (it *hashAggIter) open() {
+	it.child.open()
+	byKey := make(map[int64]*aggState)
+	var order []int64
+	for {
+		row, ok := it.child.next()
+		if !ok {
+			break
+		}
+		it.ctx.consumed(it.n)
+		k := groupKey(row, it.n.GroupCols)
+		st, ok := byKey[k]
+		if !ok {
+			st = newAggState(it.n, row)
+			byKey[k] = st
+			order = append(order, k)
+		}
+		st.update(it.n, row)
+	}
+	it.groups = make([]*aggState, len(order))
+	for i, k := range order {
+		it.groups[i] = byKey[k]
+	}
+	it.pos = 0
+}
+
+func (it *hashAggIter) next() (storage.Row, bool) {
+	if it.pos >= len(it.groups) {
+		return nil, false
+	}
+	st := it.groups[it.pos]
+	it.pos++
+	it.ctx.produced(it.n)
+	return st.row(), true
+}
+
+func (it *hashAggIter) rebind(storage.Row) { panic("exec: hash aggregate cannot be rebound") }
+func (it *hashAggIter) close()             { it.child.close() }
+
+type streamAggIter struct {
+	ctx     *context
+	n       *plan.Node
+	child   iter
+	pending storage.Row
+	havePen bool
+	done    bool
+}
+
+func (it *streamAggIter) open() {
+	it.child.open()
+	it.pending, it.havePen = it.child.next()
+	if it.havePen {
+		it.ctx.consumed(it.n)
+	}
+}
+
+func (it *streamAggIter) next() (storage.Row, bool) {
+	if !it.havePen || it.done {
+		return nil, false
+	}
+	st := newAggState(it.n, it.pending)
+	key := groupKey(it.pending, it.n.GroupCols)
+	st.update(it.n, it.pending)
+	for {
+		row, ok := it.child.next()
+		if !ok {
+			it.havePen = false
+			break
+		}
+		it.ctx.consumed(it.n)
+		if groupKey(row, it.n.GroupCols) != key {
+			it.pending = row
+			break
+		}
+		st.update(it.n, row)
+	}
+	it.ctx.produced(it.n)
+	return st.row(), true
+}
+
+func (it *streamAggIter) rebind(storage.Row) { panic("exec: stream aggregate cannot be rebound") }
+func (it *streamAggIter) close()             { it.child.close() }
+
+type topIter struct {
+	ctx     *context
+	n       *plan.Node
+	child   iter
+	emitted int64
+}
+
+func (it *topIter) open() { it.child.open(); it.emitted = 0 }
+
+func (it *topIter) next() (storage.Row, bool) {
+	if it.emitted >= it.n.TopN {
+		return nil, false
+	}
+	row, ok := it.child.next()
+	if !ok {
+		return nil, false
+	}
+	it.emitted++
+	it.ctx.produced(it.n)
+	return row, true
+}
+
+func (it *topIter) rebind(storage.Row) { panic("exec: top cannot be rebound") }
+func (it *topIter) close()             { it.child.close() }
+
+func log2(x float64) float64 { return math.Log2(x) }

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"progressest/internal/progress"
+	"progressest/internal/selection"
+	"progressest/internal/textplot"
+)
+
+// AdHocResult holds the full "ad-hoc queries" evaluation (Section 6.2):
+// each of the six workloads is held out in turn, estimator selection is
+// trained on the other five, and all metrics are aggregated over the six
+// folds. It feeds Figure 4 (ratio curves), Table 6 (tail fractions) and
+// Figure 5 (average L1/L2 errors).
+type AdHocResult struct {
+	// Techniques maps technique name -> aggregated evaluation.
+	Techniques map[string]TechniqueStats
+
+	// RatioCurves[name] is the sorted per-pipeline error/min-error curve
+	// (min over the core estimators), for Figure 4.
+	RatioCurves map[string][]float64
+
+	// OracleCoreL1 / OracleExtL1 are the oracle-selection lower bounds for
+	// the 3- and 6-estimator candidate sets.
+	OracleCoreL1 float64
+	OracleExtL1  float64
+
+	// PMAXL1/SAFEL1 (and L2) document why the worst-case estimators are
+	// excluded from the candidate set in practice.
+	PMAXL1, PMAXL2, SAFEL1, SAFEL2 float64
+
+	N int
+}
+
+// TechniqueStats aggregates one technique over all folds.
+type TechniqueStats struct {
+	AvgL1, AvgL2  float64
+	PickedOptimal float64
+	Over2x        float64
+	Over5x        float64
+	Over10x       float64
+}
+
+// techniqueOrder fixes presentation order.
+var techniqueOrder = []string{
+	"DNE", "TGN", "LUO",
+	"EstSel(static,3)", "EstSel(dynamic,3)",
+	"EstSel(static,6)", "EstSel(dynamic,6)",
+}
+
+// AdHoc runs (or returns the cached) six-fold leave-one-workload-out
+// evaluation.
+func (s *Suite) AdHoc() (*AdHocResult, error) {
+	if s.adhoc != nil {
+		return s.adhoc, nil
+	}
+	sets, _, err := s.adhocExamples()
+	if err != nil {
+		return nil, err
+	}
+	res := &AdHocResult{
+		Techniques:  make(map[string]TechniqueStats),
+		RatioCurves: make(map[string][]float64),
+	}
+	core := progress.CoreKinds()
+	ext := progress.ExtendedKinds()
+
+	type selectorSpec struct {
+		name    string
+		kinds   []progress.Kind
+		dynamic bool
+	}
+	selSpecs := []selectorSpec{
+		{"EstSel(static,3)", core, false},
+		{"EstSel(dynamic,3)", core, true},
+		{"EstSel(static,6)", ext, false},
+		{"EstSel(dynamic,6)", ext, true},
+	}
+
+	// Accumulators.
+	sums := make(map[string]*TechniqueStats)
+	for _, n := range techniqueOrder {
+		sums[n] = &TechniqueStats{}
+	}
+
+	addExample := func(name string, chosenL1, chosenL2, minCore float64) {
+		st := sums[name]
+		st.AvgL1 += chosenL1
+		st.AvgL2 += chosenL2
+		if minCore <= 0 {
+			minCore = 1e-6
+		}
+		ratio := chosenL1 / minCore
+		res.RatioCurves[name] = append(res.RatioCurves[name], ratio)
+		if ratio > 2 {
+			st.Over2x++
+		}
+		if ratio > 5 {
+			st.Over5x++
+		}
+		if ratio > 10 {
+			st.Over10x++
+		}
+	}
+
+	for fold := range sets {
+		var train []selection.Example
+		for o := range sets {
+			if o != fold {
+				train = append(train, sets[o]...)
+			}
+		}
+		test := sets[fold]
+		if len(test) == 0 {
+			continue
+		}
+		selectors := make(map[string]*selection.Selector, len(selSpecs))
+		for _, sp := range selSpecs {
+			sel, err := selection.Train(train, selection.Config{
+				Kinds: sp.kinds, Dynamic: sp.dynamic, Mart: s.Cfg.martOptions(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			selectors[sp.name] = sel
+		}
+
+		for i := range test {
+			e := &test[i]
+			res.N++
+			minCore, minExt := e.ErrL1[core[0]], e.ErrL1[ext[0]]
+			for _, k := range core[1:] {
+				if e.ErrL1[k] < minCore {
+					minCore = e.ErrL1[k]
+				}
+			}
+			for _, k := range ext[1:] {
+				if e.ErrL1[k] < minExt {
+					minExt = e.ErrL1[k]
+				}
+			}
+			res.OracleCoreL1 += minCore
+			res.OracleExtL1 += minExt
+			res.PMAXL1 += e.ErrL1[progress.PMAX]
+			res.PMAXL2 += e.ErrL2[progress.PMAX]
+			res.SAFEL1 += e.ErrL1[progress.SAFE]
+			res.SAFEL2 += e.ErrL2[progress.SAFE]
+
+			for _, k := range core {
+				addExample(k.String(), e.ErrL1[k], e.ErrL2[k], minCore)
+				if isNear(e.ErrL1[k], minCore) {
+					sums[k.String()].PickedOptimal++
+				}
+			}
+			for _, sp := range selSpecs {
+				chosen := selectors[sp.name].Select(e.Features)
+				addExample(sp.name, e.ErrL1[chosen], e.ErrL2[chosen], minCore)
+				minSet := minCore
+				if len(sp.kinds) > 3 {
+					minSet = minExt
+				}
+				if isNear(e.ErrL1[chosen], minSet) {
+					sums[sp.name].PickedOptimal++
+				}
+			}
+		}
+	}
+
+	n := float64(res.N)
+	for name, st := range sums {
+		res.Techniques[name] = TechniqueStats{
+			AvgL1:         st.AvgL1 / n,
+			AvgL2:         st.AvgL2 / n,
+			PickedOptimal: st.PickedOptimal / n,
+			Over2x:        st.Over2x / n,
+			Over5x:        st.Over5x / n,
+			Over10x:       st.Over10x / n,
+		}
+	}
+	for name := range res.RatioCurves {
+		res.RatioCurves[name] = textplot.SortedRatios(res.RatioCurves[name])
+	}
+	res.OracleCoreL1 /= n
+	res.OracleExtL1 /= n
+	res.PMAXL1 /= n
+	res.PMAXL2 /= n
+	res.SAFEL1 /= n
+	res.SAFEL2 /= n
+	s.adhoc = res
+	return res, nil
+}
+
+// isNear mirrors the near-optimal tolerance of the selection package.
+func isNear(err, best float64) bool {
+	return err <= best+0.01 || (best > 0 && err <= best*1.01)
+}
+
+// Figure4String renders the ratio curves (Figure 4).
+func (r *AdHocResult) Figure4String() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: error ratio vs optimal core estimator, sorted per technique (log y)\n\n")
+	names := []string{"DNE", "TGN", "LUO", "EstSel(static,3)", "EstSel(dynamic,3)"}
+	var series []textplot.Series
+	for _, n := range names {
+		series = append(series, textplot.Series{Name: n, Values: r.RatioCurves[n]})
+	}
+	b.WriteString(textplot.Lines(series, 64, 12, true, "error / min error"))
+	b.WriteString("\nPicked-optimal rates:\n")
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %-18s %s\n", n, pct(r.Techniques[n].PickedOptimal))
+	}
+	b.WriteString("\nPaper: DNE/TGN/LUO optimal for 31%/44%/25%; selection picks optimal for 55% (static) / 64% (dynamic).\n")
+	return b.String()
+}
+
+// Table6String renders the tail-fraction table (Table 6).
+func (r *AdHocResult) Table6String() string {
+	var b strings.Builder
+	b.WriteString("Table 6: fraction of pipelines with error ratio above 2x/5x/10x of minimum\n\n")
+	names := []string{"DNE", "TGN", "LUO", "EstSel(static,3)", "EstSel(dynamic,3)"}
+	header := append([]string{"threshold"}, names...)
+	rows := [][]string{
+		{"2x"}, {"5x"}, {"10x"},
+	}
+	for _, n := range names {
+		st := r.Techniques[n]
+		rows[0] = append(rows[0], pct(st.Over2x))
+		rows[1] = append(rows[1], pct(st.Over5x))
+		rows[2] = append(rows[2], pct(st.Over10x))
+	}
+	b.WriteString(textplot.Table(header, rows))
+	b.WriteString("\nPaper: 5x tail shrinks from 7.8-14.5% (single estimators) to 3.7% (static) and 0.8% (dynamic).\n")
+	return b.String()
+}
+
+// Figure5String renders the average-error bars (Figure 5).
+func (r *AdHocResult) Figure5String() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: average progress-estimation error by technique\n\nL1:\n")
+	var labels []string
+	var l1s, l2s []float64
+	for _, n := range techniqueOrder {
+		labels = append(labels, n)
+		l1s = append(l1s, r.Techniques[n].AvgL1)
+		l2s = append(l2s, r.Techniques[n].AvgL2)
+	}
+	b.WriteString(textplot.Bars(labels, l1s, 40))
+	b.WriteString("\nL2:\n")
+	b.WriteString(textplot.Bars(labels, l2s, 40))
+	fmt.Fprintf(&b, "\nOracle selection lower bound: L1=%.4f (3 estimators), L1=%.4f (6 estimators)\n",
+		r.OracleCoreL1, r.OracleExtL1)
+	fmt.Fprintf(&b, "Worst-case estimators (ruled out): PMAX L1=%.4f L2=%.4f, SAFE L1=%.4f L2=%.4f\n",
+		r.PMAXL1, r.PMAXL2, r.SAFEL1, r.SAFEL2)
+	b.WriteString("\nPaper: selection < any single estimator; dynamic < static; 6 estimators < 3;\n")
+	b.WriteString("PMAX/SAFE ~2x worse than the worst alternative.\n")
+	return b.String()
+}

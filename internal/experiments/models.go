@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"progressest/internal/progress"
+)
+
+// ModelsResult reproduces Section 6.7: the error of the idealised GetNext
+// and Bytes-Processed models when given oracle cardinalities, validating
+// the GetNext model as the theoretical basis of progress estimation.
+type ModelsResult struct {
+	GetNextL1, GetNextL2 float64
+	BytesL1, BytesL2     float64
+	BestPracticalL1      float64
+	N                    int
+}
+
+// Models pools all six workloads and averages the oracle-model errors.
+func (s *Suite) Models() (*ModelsResult, error) {
+	sets, _, err := s.adhocExamples()
+	if err != nil {
+		return nil, err
+	}
+	res := &ModelsResult{}
+	for _, set := range sets {
+		for i := range set {
+			e := &set[i]
+			res.GetNextL1 += e.ErrL1[progress.OracleGetNext]
+			res.GetNextL2 += e.ErrL2[progress.OracleGetNext]
+			res.BytesL1 += e.ErrL1[progress.OracleBytes]
+			res.BytesL2 += e.ErrL2[progress.OracleBytes]
+			best := e.ErrL1[progress.DNE]
+			for _, k := range progress.CoreKinds()[1:] {
+				if e.ErrL1[k] < best {
+					best = e.ErrL1[k]
+				}
+			}
+			res.BestPracticalL1 += best
+			res.N++
+		}
+	}
+	n := float64(res.N)
+	res.GetNextL1 /= n
+	res.GetNextL2 /= n
+	res.BytesL1 /= n
+	res.BytesL2 /= n
+	res.BestPracticalL1 /= n
+	return res, nil
+}
+
+// String renders the comparison.
+func (r *ModelsResult) String() string {
+	var b strings.Builder
+	b.WriteString("Section 6.7: validating the Total GetNext and Bytes Processed models\n")
+	b.WriteString("(idealised models with oracle cardinalities)\n\n")
+	fmt.Fprintf(&b, "  GetNext model (true N_i):        L1=%.4f  L2=%.4f\n", r.GetNextL1, r.GetNextL2)
+	fmt.Fprintf(&b, "  Bytes Processed model (true):    L1=%.4f  L2=%.4f\n", r.BytesL1, r.BytesL2)
+	fmt.Fprintf(&b, "  Best practical core estimator:   L1=%.4f (per-pipeline oracle choice)\n", r.BestPracticalL1)
+	b.WriteString("\nPaper: GetNext model L1=0.062 vs Bytes model L1=0.12 — the GetNext model\n")
+	b.WriteString("correlates well with execution time and is a sound basis for progress estimation;\n")
+	b.WriteString("remaining error comes from cardinality refinement, not the model.\n")
+	return b.String()
+}

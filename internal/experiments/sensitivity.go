@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"progressest/internal/catalog"
+	"progressest/internal/progress"
+	"progressest/internal/selection"
+	"progressest/internal/textplot"
+)
+
+// SensitivityResult is the shared shape of Tables 2-5: three experiments,
+// each training estimator selection on two example groups and testing on
+// the third, reporting the rate at which each fixed estimator is optimal
+// on the test group and the rate at which selection picks the optimal
+// estimator.
+type SensitivityResult struct {
+	Title      string
+	GroupNames []string
+	// OptimalShare[g][kind] is the strict optimal share on test group g.
+	OptimalShare []map[progress.Kind]float64
+	// SelectionPicked[g] is estimator selection's picked-optimal rate.
+	SelectionPicked []float64
+	// SelectionAvgL1[g] and BestFixedAvgL1[g] compare average errors (the
+	// paper notes selection's average error stayed lowest even when its
+	// picked rate dipped).
+	SelectionAvgL1 []float64
+	BestFixedAvgL1 []float64
+	GroupSizes     []int
+}
+
+// runSensitivity trains on all groups but g and evaluates on g, for each g.
+func (s *Suite) runSensitivity(title string, names []string, groups [][]selection.Example) (*SensitivityResult, error) {
+	res := &SensitivityResult{Title: title, GroupNames: names}
+	kinds := progress.CoreKinds()
+	for g := range groups {
+		var train []selection.Example
+		for o := range groups {
+			if o != g {
+				train = append(train, groups[o]...)
+			}
+		}
+		test := groups[g]
+		res.GroupSizes = append(res.GroupSizes, len(test))
+		if len(train) == 0 || len(test) == 0 {
+			res.OptimalShare = append(res.OptimalShare, map[progress.Kind]float64{})
+			res.SelectionPicked = append(res.SelectionPicked, 0)
+			res.SelectionAvgL1 = append(res.SelectionAvgL1, 0)
+			res.BestFixedAvgL1 = append(res.BestFixedAvgL1, 0)
+			continue
+		}
+		sel, err := selection.Train(train, selection.Config{
+			Kinds: kinds, Dynamic: true, Mart: s.Cfg.martOptions(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		ev := selection.Evaluate(sel, test)
+		res.OptimalShare = append(res.OptimalShare, selection.OptimalShare(kinds, test))
+		res.SelectionPicked = append(res.SelectionPicked, ev.PickedOptimal)
+		res.SelectionAvgL1 = append(res.SelectionAvgL1, ev.AvgL1)
+		best := -1.0
+		for _, k := range kinds {
+			f := selection.EvaluateFixed(k, kinds, test)
+			if best < 0 || f.AvgL1 < best {
+				best = f.AvgL1
+			}
+		}
+		res.BestFixedAvgL1 = append(res.BestFixedAvgL1, best)
+	}
+	return res, nil
+}
+
+// String renders the sensitivity table.
+func (r *SensitivityResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n\n", r.Title)
+	header := append([]string{"Estimator"}, r.GroupNames...)
+	var rows [][]string
+	for _, k := range progress.CoreKinds() {
+		row := []string{k.String()}
+		for g := range r.GroupNames {
+			row = append(row, pct(r.OptimalShare[g][k]))
+		}
+		rows = append(rows, row)
+	}
+	selRow := []string{"EST. SEL."}
+	for g := range r.GroupNames {
+		selRow = append(selRow, pct(r.SelectionPicked[g]))
+	}
+	rows = append(rows, selRow)
+	b.WriteString(textplot.Table(header, rows))
+	b.WriteString("\nAverage L1 (selection vs best fixed):\n")
+	for g, name := range r.GroupNames {
+		fmt.Fprintf(&b, "  %-18s sel=%.4f  best-fixed=%.4f  (n=%d)\n",
+			name, r.SelectionAvgL1[g], r.BestFixedAvgL1[g], r.GroupSizes[g])
+	}
+	return b.String()
+}
+
+// Table2 varies the total number of GetNext calls ("selectivity") between
+// training and test: pipelines whose operator signature occurs at least 6
+// times are sorted by total GetNext calls and bucketed into three
+// equal-sized groups; each experiment tests on one bucket.
+func (s *Suite) Table2() (*SensitivityResult, error) {
+	r, err := s.run(s.tpchSpec(catalog.PartiallyTuned, 1, s.Cfg.Scale, 22))
+	if err != nil {
+		return nil, err
+	}
+	bySig := make(map[string][]selection.Example)
+	for _, e := range r.Examples {
+		bySig[e.Signature] = append(bySig[e.Signature], e)
+	}
+	groups := make([][]selection.Example, 3)
+	for _, set := range bySig {
+		if len(set) < 6 {
+			continue
+		}
+		sort.Slice(set, func(a, b int) bool {
+			return set[a].Meta["getnext_total"] < set[b].Meta["getnext_total"]
+		})
+		third := len(set) / 3
+		groups[0] = append(groups[0], set[:third]...)
+		groups[1] = append(groups[1], set[third:2*third]...)
+		groups[2] = append(groups[2], set[2*third:]...)
+	}
+	return s.runSensitivity(
+		"Table 2: sensitivity to total GetNext calls (train on 2 buckets, test on 1)",
+		[]string{"small queries", "medium queries", "large queries"}, groups)
+}
+
+// Table3 varies the physical design between training and test.
+func (s *Suite) Table3() (*SensitivityResult, error) {
+	var groups [][]selection.Example
+	var names []string
+	for _, lvl := range []catalog.DesignLevel{catalog.FullyTuned, catalog.PartiallyTuned, catalog.Untuned} {
+		r, err := s.run(s.tpchSpec(lvl, 1, s.Cfg.Scale, 21+int64(lvl)))
+		if err != nil {
+			return nil, err
+		}
+		groups = append(groups, r.Examples)
+		names = append(names, lvl.String())
+	}
+	return s.runSensitivity(
+		"Table 3: sensitivity to physical design (train on 2 designs, test on 1)",
+		names, groups)
+}
+
+// Table4 varies the Zipf data skew between training and test.
+func (s *Suite) Table4() (*SensitivityResult, error) {
+	var groups [][]selection.Example
+	var names []string
+	for i, z := range []float64{0, 1, 2} {
+		r, err := s.run(s.tpchSpec(catalog.PartiallyTuned, z, s.Cfg.Scale, 50+int64(i)))
+		if err != nil {
+			return nil, err
+		}
+		groups = append(groups, r.Examples)
+		names = append(names, fmt.Sprintf("skew z=%v", z))
+	}
+	return s.runSensitivity(
+		"Table 4: sensitivity to data skew (train on 2 skews, test on 1)",
+		names, groups)
+}
+
+// Table5 varies the data size between training and test.
+func (s *Suite) Table5() (*SensitivityResult, error) {
+	var groups [][]selection.Example
+	var names []string
+	for i, mul := range []float64{0.5, 1.0, 2.0} {
+		r, err := s.run(s.tpchSpec(catalog.PartiallyTuned, 1, s.Cfg.Scale*mul, 60+int64(i)))
+		if err != nil {
+			return nil, err
+		}
+		groups = append(groups, r.Examples)
+		names = append(names, fmt.Sprintf("%.0f%% data", 100*mul))
+	}
+	return s.runSensitivity(
+		"Table 5: sensitivity to data size (train on 2 sizes, test on 1)",
+		names, groups)
+}

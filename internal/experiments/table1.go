@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"progressest/internal/catalog"
+	"progressest/internal/plan"
+	"progressest/internal/textplot"
+)
+
+// Table1Result reproduces Table 1: the fraction of pipelines containing
+// each operator under the three TPC-H physical designs — demonstrating
+// that tuning shifts the operator mix (more index seeks, nested loops and
+// batch sorts as indexes are added).
+type Table1Result struct {
+	// Share[design][op] is the fraction of pipelines containing op.
+	Share map[catalog.DesignLevel]map[plan.OpType]float64
+}
+
+// table1Ops are the operator rows the paper reports.
+var table1Ops = []plan.OpType{
+	plan.NestedLoopJoin, plan.MergeJoin, plan.HashJoin,
+	plan.IndexSeek, plan.BatchSort, plan.StreamAgg, plan.HashAgg,
+}
+
+// Table1 runs the TPC-H workload under the three designs.
+func (s *Suite) Table1() (*Table1Result, error) {
+	res := &Table1Result{Share: make(map[catalog.DesignLevel]map[plan.OpType]float64)}
+	for _, lvl := range []catalog.DesignLevel{catalog.Untuned, catalog.PartiallyTuned, catalog.FullyTuned} {
+		r, err := s.run(s.tpchSpec(lvl, 1, s.Cfg.Scale, 21+int64(lvl)))
+		if err != nil {
+			return nil, err
+		}
+		res.Share[lvl] = r.OpPipelineShare
+	}
+	return res, nil
+}
+
+// String renders the table.
+func (r *Table1Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 1: fraction of pipelines containing each operator (TPC-H-like)\n\n")
+	header := []string{"Operator", "untuned", "partially tuned", "fully tuned"}
+	var rows [][]string
+	for _, op := range table1Ops {
+		rows = append(rows, []string{
+			op.String(),
+			pct(r.Share[catalog.Untuned][op]),
+			pct(r.Share[catalog.PartiallyTuned][op]),
+			pct(r.Share[catalog.FullyTuned][op]),
+		})
+	}
+	b.WriteString(textplot.Table(header, rows))
+	fmt.Fprintf(&b, "\nPaper: index seeks rise from 47%% to 96%% and batch sorts from 12%% to 34%% with tuning.\n")
+	return b.String()
+}

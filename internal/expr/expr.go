@@ -1,0 +1,209 @@
+// Package expr provides the scalar predicate language used by filter and
+// join operators. Rows in the execution engine are flat []int64 slices
+// (possibly concatenations of several base-table rows), so predicates
+// reference values by position; the planner resolves column names to
+// positions when it builds the physical plan.
+package expr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CmpOp is a comparison operator.
+type CmpOp int
+
+// Comparison operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// String implements fmt.Stringer.
+func (op CmpOp) String() string {
+	switch op {
+	case Eq:
+		return "="
+	case Ne:
+		return "<>"
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", int(op))
+	}
+}
+
+// compare applies op to (a, b).
+func compare(a, b int64, op CmpOp) bool {
+	switch op {
+	case Eq:
+		return a == b
+	case Ne:
+		return a != b
+	case Lt:
+		return a < b
+	case Le:
+		return a <= b
+	case Gt:
+		return a > b
+	case Ge:
+		return a >= b
+	default:
+		panic(fmt.Sprintf("expr: unknown CmpOp %d", int(op)))
+	}
+}
+
+// Predicate evaluates to a boolean over one row.
+type Predicate interface {
+	Eval(row []int64) bool
+	String() string
+}
+
+// ColConst compares a column against a constant: row[Col] Op Val.
+type ColConst struct {
+	Col  int
+	Name string // column name for display / selectivity estimation
+	Op   CmpOp
+	Val  int64
+}
+
+// Eval implements Predicate.
+func (p *ColConst) Eval(row []int64) bool { return compare(row[p.Col], p.Val, p.Op) }
+
+// String implements Predicate.
+func (p *ColConst) String() string {
+	name := p.Name
+	if name == "" {
+		name = fmt.Sprintf("$%d", p.Col)
+	}
+	return fmt.Sprintf("%s %s %d", name, p.Op, p.Val)
+}
+
+// Between checks lo <= row[Col] <= hi.
+type Between struct {
+	Col    int
+	Name   string
+	Lo, Hi int64
+}
+
+// Eval implements Predicate.
+func (p *Between) Eval(row []int64) bool { return row[p.Col] >= p.Lo && row[p.Col] <= p.Hi }
+
+// String implements Predicate.
+func (p *Between) String() string {
+	name := p.Name
+	if name == "" {
+		name = fmt.Sprintf("$%d", p.Col)
+	}
+	return fmt.Sprintf("%s BETWEEN %d AND %d", name, p.Lo, p.Hi)
+}
+
+// ColCol compares two columns of the (joined) row: row[A] Op row[B].
+type ColCol struct {
+	A, B int
+	Op   CmpOp
+}
+
+// Eval implements Predicate.
+func (p *ColCol) Eval(row []int64) bool { return compare(row[p.A], row[p.B], p.Op) }
+
+// String implements Predicate.
+func (p *ColCol) String() string { return fmt.Sprintf("$%d %s $%d", p.A, p.Op, p.B) }
+
+// And is the conjunction of predicates; an empty And is true.
+type And struct {
+	Preds []Predicate
+}
+
+// Eval implements Predicate.
+func (p *And) Eval(row []int64) bool {
+	for _, q := range p.Preds {
+		if !q.Eval(row) {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements Predicate.
+func (p *And) String() string {
+	if len(p.Preds) == 0 {
+		return "TRUE"
+	}
+	parts := make([]string, len(p.Preds))
+	for i, q := range p.Preds {
+		parts[i] = q.String()
+	}
+	return "(" + strings.Join(parts, " AND ") + ")"
+}
+
+// Or is the disjunction of predicates; an empty Or is false.
+type Or struct {
+	Preds []Predicate
+}
+
+// Eval implements Predicate.
+func (p *Or) Eval(row []int64) bool {
+	for _, q := range p.Preds {
+		if q.Eval(row) {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements Predicate.
+func (p *Or) String() string {
+	if len(p.Preds) == 0 {
+		return "FALSE"
+	}
+	parts := make([]string, len(p.Preds))
+	for i, q := range p.Preds {
+		parts[i] = q.String()
+	}
+	return "(" + strings.Join(parts, " OR ") + ")"
+}
+
+// Shift returns a copy of p with all column positions offset by delta.
+// Join operators use it to rebase predicates onto concatenated rows.
+func Shift(p Predicate, delta int) Predicate {
+	switch q := p.(type) {
+	case *ColConst:
+		c := *q
+		c.Col += delta
+		return &c
+	case *Between:
+		c := *q
+		c.Col += delta
+		return &c
+	case *ColCol:
+		c := *q
+		c.A += delta
+		c.B += delta
+		return &c
+	case *And:
+		out := &And{Preds: make([]Predicate, len(q.Preds))}
+		for i, sub := range q.Preds {
+			out.Preds[i] = Shift(sub, delta)
+		}
+		return out
+	case *Or:
+		out := &Or{Preds: make([]Predicate, len(q.Preds))}
+		for i, sub := range q.Preds {
+			out.Preds[i] = Shift(sub, delta)
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("expr: Shift of unknown predicate type %T", p))
+	}
+}

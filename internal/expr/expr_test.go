@@ -1,0 +1,100 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestColConstAllOps(t *testing.T) {
+	row := []int64{5}
+	cases := []struct {
+		op   CmpOp
+		val  int64
+		want bool
+	}{
+		{Eq, 5, true}, {Eq, 4, false},
+		{Ne, 4, true}, {Ne, 5, false},
+		{Lt, 6, true}, {Lt, 5, false},
+		{Le, 5, true}, {Le, 4, false},
+		{Gt, 4, true}, {Gt, 5, false},
+		{Ge, 5, true}, {Ge, 6, false},
+	}
+	for _, c := range cases {
+		p := &ColConst{Col: 0, Op: c.op, Val: c.val}
+		if got := p.Eval(row); got != c.want {
+			t.Errorf("5 %s %d = %v, want %v", c.op, c.val, got, c.want)
+		}
+	}
+}
+
+func TestBetween(t *testing.T) {
+	p := &Between{Col: 0, Lo: 10, Hi: 20}
+	for _, c := range []struct {
+		v    int64
+		want bool
+	}{{9, false}, {10, true}, {15, true}, {20, true}, {21, false}} {
+		if got := p.Eval([]int64{c.v}); got != c.want {
+			t.Errorf("Between(%d) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestColCol(t *testing.T) {
+	p := &ColCol{A: 0, B: 1, Op: Eq}
+	if !p.Eval([]int64{3, 3}) || p.Eval([]int64{3, 4}) {
+		t.Error("ColCol Eq misbehaves")
+	}
+}
+
+func TestAndOrSemantics(t *testing.T) {
+	tr := &ColConst{Col: 0, Op: Eq, Val: 1}
+	fa := &ColConst{Col: 0, Op: Eq, Val: 2}
+	row := []int64{1}
+	if !(&And{}).Eval(row) {
+		t.Error("empty And must be true")
+	}
+	if (&Or{}).Eval(row) {
+		t.Error("empty Or must be false")
+	}
+	if (&And{Preds: []Predicate{tr, fa}}).Eval(row) {
+		t.Error("And(true,false) must be false")
+	}
+	if !(&Or{Preds: []Predicate{fa, tr}}).Eval(row) {
+		t.Error("Or(false,true) must be true")
+	}
+}
+
+func TestShiftPreservesSemantics(t *testing.T) {
+	f := func(a, b int64, delta uint8) bool {
+		d := int(delta % 8)
+		p := &And{Preds: []Predicate{
+			&ColConst{Col: 0, Op: Lt, Val: b},
+			&Or{Preds: []Predicate{
+				&ColCol{A: 0, B: 1, Op: Le},
+				&Between{Col: 1, Lo: -10, Hi: 10},
+			}},
+		}}
+		shifted := Shift(p, d)
+		row := make([]int64, d+2)
+		row[d] = a
+		row[d+1] = b
+		return p.Eval([]int64{a, b}) == shifted.Eval(row)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	p := &And{Preds: []Predicate{
+		&ColConst{Col: 0, Name: "x", Op: Ge, Val: 3},
+		&Between{Col: 1, Name: "y", Lo: 1, Hi: 2},
+	}}
+	want := "(x >= 3 AND y BETWEEN 1 AND 2)"
+	if got := p.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if (&And{}).String() != "TRUE" || (&Or{}).String() != "FALSE" {
+		t.Error("empty And/Or string forms wrong")
+	}
+}

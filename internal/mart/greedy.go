@@ -1,0 +1,62 @@
+package mart
+
+// GreedyStep records one step of greedy forward feature selection: the
+// feature chosen and the training MSE of the model built from all features
+// selected so far.
+type GreedyStep struct {
+	Feature int
+	Name    string
+	MSE     float64
+}
+
+// GreedySelect runs the greedy forward feature-selection procedure of
+// Section 6.5: repeatedly add the feature that, together with the features
+// already selected, yields the lowest-MSE MART model. It returns the
+// selection order with per-step MSE. names may be nil. steps is capped at
+// the number of features.
+func GreedySelect(X [][]float64, y []float64, names []string, steps int, opts Options) ([]GreedyStep, error) {
+	if len(X) == 0 {
+		return nil, nil
+	}
+	nf := len(X[0])
+	if steps > nf {
+		steps = nf
+	}
+	selected := make([]int, 0, steps)
+	inSet := make([]bool, nf)
+	var out []GreedyStep
+
+	sub := make([][]float64, len(X))
+	for step := 0; step < steps; step++ {
+		bestF, bestMSE := -1, 0.0
+		for f := 0; f < nf; f++ {
+			if inSet[f] {
+				continue
+			}
+			cols := append(append([]int(nil), selected...), f)
+			for i, row := range X {
+				v := make([]float64, len(cols))
+				for j, c := range cols {
+					v[j] = row[c]
+				}
+				sub[i] = v
+			}
+			m, err := Train(sub, y, opts)
+			if err != nil {
+				return nil, err
+			}
+			mse := MSE(m.PredictAll(sub), y)
+			if bestF < 0 || mse < bestMSE {
+				bestF, bestMSE = f, mse
+			}
+		}
+		selected = append(selected, bestF)
+		inSet[bestF] = true
+		name := ""
+		if names != nil {
+			name = names[bestF]
+		}
+		out = append(out, GreedyStep{Feature: bestF, Name: name, MSE: bestMSE})
+	}
+	return out, nil
+}

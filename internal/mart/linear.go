@@ -1,0 +1,160 @@
+package mart
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Ridge is a linear least-squares model with L2 regularisation. It serves
+// as the linear-model baseline the paper compared MART against (Section
+// 4.2 reports that linear models were significantly less accurate because
+// they need input normalisation and cannot capture the non-linear
+// dependence between features and estimator errors); the ablation
+// benchmarks quantify this on our data.
+type Ridge struct {
+	Weights []float64 `json:"weights"`
+	Bias    float64   `json:"bias"`
+	// Normalisation applied to inputs (linear models need it; MART does
+	// not — one of the paper's reasons for choosing MART).
+	Mean  []float64 `json:"mean"`
+	Scale []float64 `json:"scale"`
+}
+
+// TrainRidge fits ridge regression with regularisation strength lambda by
+// solving the normal equations with Cholesky decomposition.
+func TrainRidge(X [][]float64, y []float64, lambda float64) (*Ridge, error) {
+	if len(X) == 0 {
+		return nil, errors.New("mart: empty training set")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("mart: %d rows but %d labels", len(X), len(y))
+	}
+	n, d := len(X), len(X[0])
+
+	// Standardise features.
+	mean := make([]float64, d)
+	scale := make([]float64, d)
+	for j := 0; j < d; j++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += X[i][j]
+		}
+		mean[j] = s / float64(n)
+		var v float64
+		for i := 0; i < n; i++ {
+			dd := X[i][j] - mean[j]
+			v += dd * dd
+		}
+		scale[j] = sqrt(v / float64(n))
+		if scale[j] < 1e-12 {
+			scale[j] = 1
+		}
+	}
+	var ymean float64
+	for _, v := range y {
+		ymean += v
+	}
+	ymean /= float64(n)
+
+	// A = Z'Z + lambda*I, b = Z'(y - ymean) on standardised Z.
+	a := make([][]float64, d)
+	for j := range a {
+		a[j] = make([]float64, d)
+	}
+	b := make([]float64, d)
+	z := make([]float64, d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			z[j] = (X[i][j] - mean[j]) / scale[j]
+		}
+		yc := y[i] - ymean
+		for j := 0; j < d; j++ {
+			b[j] += z[j] * yc
+			for k := j; k < d; k++ {
+				a[j][k] += z[j] * z[k]
+			}
+		}
+	}
+	for j := 0; j < d; j++ {
+		a[j][j] += lambda
+		for k := 0; k < j; k++ {
+			a[j][k] = a[k][j]
+		}
+	}
+	w, err := choleskySolve(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return &Ridge{Weights: w, Bias: ymean, Mean: mean, Scale: scale}, nil
+}
+
+// Predict returns the ridge model output for one feature vector.
+func (r *Ridge) Predict(x []float64) float64 {
+	out := r.Bias
+	for j, w := range r.Weights {
+		out += w * (x[j] - r.Mean[j]) / r.Scale[j]
+	}
+	return out
+}
+
+// PredictAll predicts for many rows.
+func (r *Ridge) PredictAll(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = r.Predict(x)
+	}
+	return out
+}
+
+// choleskySolve solves A w = b for symmetric positive-definite A.
+func choleskySolve(a [][]float64, b []float64) ([]float64, error) {
+	d := len(a)
+	l := make([][]float64, d)
+	for i := range l {
+		l[i] = make([]float64, d)
+	}
+	for i := 0; i < d; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i][j]
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, errors.New("mart: matrix not positive definite")
+				}
+				l[i][i] = sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	// Forward substitution: L z = b.
+	z := make([]float64, d)
+	for i := 0; i < d; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i][k] * z[k]
+		}
+		z[i] = sum / l[i][i]
+	}
+	// Back substitution: L' w = z.
+	w := make([]float64, d)
+	for i := d - 1; i >= 0; i-- {
+		sum := z[i]
+		for k := i + 1; k < d; k++ {
+			sum -= l[k][i] * w[k]
+		}
+		w[i] = sum / l[i][i]
+	}
+	return w, nil
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton iterations are plenty here, but use the stdlib for clarity.
+	return math.Sqrt(x)
+}

@@ -1,0 +1,469 @@
+// Package mart implements Multiple Additive Regression Trees: stochastic
+// gradient boosting (Friedman 2001) with least-squares loss and binary
+// regression trees as the base learner — the statistical model the paper
+// uses to predict per-estimator progress-estimation errors (Section 4.2).
+//
+// As in the paper, trees have a bounded number of leaves (30 by default)
+// and the model is the sum of M boosted trees (M=200 by default). Features
+// are pre-binned into quantile histograms so training scales to the
+// paper's largest configuration (60K examples, M=1000) in seconds, and —
+// like the paper emphasises — no input normalisation is required and
+// non-linear feature/error dependencies are handled natively.
+package mart
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Options are the training hyperparameters.
+type Options struct {
+	// Trees is the number of boosting iterations M (default 200).
+	Trees int
+	// MaxLeaves bounds the leaf count per tree (default 30, as in §6).
+	MaxLeaves int
+	// LearningRate is the shrinkage applied to each tree (default 0.1).
+	LearningRate float64
+	// Subsample is the row fraction sampled per boosting iteration
+	// (stochastic gradient boosting; default 0.7).
+	Subsample float64
+	// MinLeaf is the minimum number of training rows per leaf (default 5).
+	MinLeaf int
+	// Bins is the number of histogram bins per feature (default 64).
+	Bins int
+	// Seed drives the row subsampling.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Trees <= 0 {
+		o.Trees = 200
+	}
+	if o.MaxLeaves <= 1 {
+		o.MaxLeaves = 30
+	}
+	if o.LearningRate <= 0 {
+		o.LearningRate = 0.1
+	}
+	if o.Subsample <= 0 || o.Subsample > 1 {
+		o.Subsample = 0.7
+	}
+	if o.MinLeaf <= 0 {
+		o.MinLeaf = 5
+	}
+	if o.Bins <= 1 || o.Bins > 64 {
+		o.Bins = 64
+	}
+	return o
+}
+
+// node is one node of a regression tree in array form.
+type node struct {
+	Feature   int     `json:"f"`
+	Threshold float64 `json:"t"`
+	Left      int     `json:"l"` // -1 for leaf
+	Right     int     `json:"r"`
+	Value     float64 `json:"v"` // leaf value (already shrunk)
+
+	// thresholdBin is the bin index of Threshold, used only while
+	// training (predictBinned); not serialised.
+	thresholdBin int
+}
+
+// tree is one regression tree.
+type tree struct {
+	Nodes []node `json:"nodes"`
+}
+
+func (t *tree) predict(x []float64) float64 {
+	i := 0
+	for {
+		n := &t.Nodes[i]
+		if n.Left < 0 {
+			return n.Value
+		}
+		if x[n.Feature] <= n.Threshold {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+}
+
+// Model is a trained MART model.
+type Model struct {
+	Bias       float64   `json:"bias"`
+	Trees      []tree    `json:"trees"`
+	NumFeature int       `json:"num_features"`
+	Names      []string  `json:"names,omitempty"`
+	Importance []float64 `json:"importance"`
+}
+
+// Predict returns the model output for one feature vector.
+func (m *Model) Predict(x []float64) float64 {
+	if len(x) != m.NumFeature {
+		panic(fmt.Sprintf("mart: feature vector length %d, model expects %d", len(x), m.NumFeature))
+	}
+	out := m.Bias
+	for i := range m.Trees {
+		out += m.Trees[i].predict(x)
+	}
+	return out
+}
+
+// PredictAll predicts for many rows.
+func (m *Model) PredictAll(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = m.Predict(x)
+	}
+	return out
+}
+
+// FeatureImportance returns the total squared-error reduction attributed
+// to each feature across all trees, normalised to sum to 1 (0 if the
+// model never split).
+func (m *Model) FeatureImportance() []float64 {
+	out := make([]float64, len(m.Importance))
+	var sum float64
+	for _, v := range m.Importance {
+		sum += v
+	}
+	if sum <= 0 {
+		return out
+	}
+	for i, v := range m.Importance {
+		out[i] = v / sum
+	}
+	return out
+}
+
+// Train fits a MART model to (X, y). All rows must have equal length.
+func Train(X [][]float64, y []float64, opts Options) (*Model, error) {
+	if len(X) == 0 {
+		return nil, errors.New("mart: empty training set")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("mart: %d rows but %d labels", len(X), len(y))
+	}
+	opts = opts.withDefaults()
+	nf := len(X[0])
+	for i, row := range X {
+		if len(row) != nf {
+			return nil, fmt.Errorf("mart: row %d has %d features, want %d", i, len(row), nf)
+		}
+	}
+
+	b := newBinner(X, opts.Bins)
+	pool := newHistPool(nf, opts.Bins)
+	m := &Model{NumFeature: nf, Importance: make([]float64, nf)}
+	var bias float64
+	for _, v := range y {
+		bias += v
+	}
+	bias /= float64(len(y))
+	m.Bias = bias
+
+	// Current model output per row.
+	f := make([]float64, len(y))
+	for i := range f {
+		f[i] = bias
+	}
+	resid := make([]float64, len(y))
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+	perm := make([]int, len(y))
+	for i := range perm {
+		perm[i] = i
+	}
+
+	for t := 0; t < opts.Trees; t++ {
+		for i := range y {
+			resid[i] = y[i] - f[i]
+		}
+		// Stochastic subsample of rows.
+		rows := perm
+		if opts.Subsample < 1 {
+			rng.Shuffle(len(perm), func(a, c int) { perm[a], perm[c] = perm[c], perm[a] })
+			n := int(opts.Subsample * float64(len(perm)))
+			if n < 2 {
+				n = len(perm)
+			}
+			rows = perm[:n]
+		}
+		tr := fitTree(b, resid, rows, opts, m.Importance, pool)
+		// Apply shrinkage and update the running model on ALL rows.
+		for i := range tr.Nodes {
+			if tr.Nodes[i].Left < 0 {
+				tr.Nodes[i].Value *= opts.LearningRate
+			}
+		}
+		for i := range f {
+			f[i] += tr.predictBinned(b, i)
+		}
+		m.Trees = append(m.Trees, *tr)
+	}
+	return m, nil
+}
+
+// MSE returns the mean squared error of predictions against labels.
+func MSE(pred, y []float64) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range pred {
+		d := pred[i] - y[i]
+		sum += d * d
+	}
+	return sum / float64(len(pred))
+}
+
+// --- feature binning ---
+
+// binner holds the quantile-binned design matrix in row-major form (one
+// contiguous bin vector per row, so a single pass over a leaf's rows fills
+// the histograms of every feature) plus the raw threshold value at each
+// bin's upper edge.
+type binner struct {
+	rows       [][]uint8   // [row][feature]
+	thresholds [][]float64 // [feature][binIdx] upper edge value
+	numRows    int
+}
+
+func newBinner(X [][]float64, nbins int) *binner {
+	nf := len(X[0])
+	b := &binner{
+		rows:       make([][]uint8, len(X)),
+		thresholds: make([][]float64, nf),
+		numRows:    len(X),
+	}
+	flat := make([]uint8, len(X)*nf)
+	for ri := range X {
+		b.rows[ri] = flat[ri*nf : (ri+1)*nf]
+	}
+	vals := make([]float64, len(X))
+	for fi := 0; fi < nf; fi++ {
+		for ri := range X {
+			vals[ri] = X[ri][fi]
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		// Candidate thresholds at quantile boundaries, deduplicated.
+		var ths []float64
+		for q := 1; q < nbins; q++ {
+			v := sorted[q*(len(sorted)-1)/nbins]
+			if len(ths) == 0 || v > ths[len(ths)-1] {
+				ths = append(ths, v)
+			}
+		}
+		// Drop a trailing threshold equal to the max (right side empty).
+		for len(ths) > 0 && ths[len(ths)-1] >= sorted[len(sorted)-1] {
+			ths = ths[:len(ths)-1]
+		}
+		b.thresholds[fi] = ths
+		// Bin index of v is the smallest b with v <= ths[b] (len(ths) for
+		// values above every threshold).
+		for ri := range X {
+			v := vals[ri]
+			lo, hi := 0, len(ths)
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if v <= ths[mid] {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
+			}
+			b.rows[ri][fi] = uint8(lo)
+		}
+	}
+	return b
+}
+
+// predictBinned evaluates a tree for training row ri using bin indices
+// (exact for thresholds that are bin edges).
+func (t *tree) predictBinned(b *binner, ri int) float64 {
+	i := 0
+	bins := b.rows[ri]
+	for {
+		n := &t.Nodes[i]
+		if n.Left < 0 {
+			return n.Value
+		}
+		// Threshold is thresholds[f][binIdx]; row goes left iff its bin
+		// index <= binIdx of the threshold.
+		if int(bins[n.Feature]) <= n.thresholdBin {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+}
+
+// --- tree fitting (leaf-wise best-first growth) ---
+
+type leafCand struct {
+	rows []int // training row indices in this leaf
+
+	bestGain    float64
+	bestFeature int
+	bestBin     int
+	sum         float64
+	nodeIdx     int // position in tree.Nodes
+}
+
+// histPool is scratch space for per-leaf histograms: one (sum, count) pair
+// per (feature, bin), reused across leaves of all trees.
+type histPool struct {
+	sums [][64]float64
+	cnts [][64]int32
+	bins int
+}
+
+func newHistPool(nf, bins int) *histPool {
+	if bins > 64 {
+		bins = 64
+	}
+	return &histPool{
+		sums: make([][64]float64, nf),
+		cnts: make([][64]int32, nf),
+		bins: bins,
+	}
+}
+
+func (h *histPool) reset() {
+	for i := range h.sums {
+		h.sums[i] = [64]float64{}
+		h.cnts[i] = [64]int32{}
+	}
+}
+
+func fitTree(b *binner, resid []float64, rows []int, opts Options, importance []float64, pool *histPool) *tree {
+	t := &tree{}
+	root := &leafCand{rows: rows}
+	for _, r := range rows {
+		root.sum += resid[r]
+	}
+	t.Nodes = append(t.Nodes, node{Left: -1, Right: -1, Value: mean(root.sum, len(root.rows))})
+	root.nodeIdx = 0
+	findBestSplit(b, resid, root, opts, pool)
+
+	leaves := []*leafCand{root}
+	numLeaves := 1
+	for numLeaves < opts.MaxLeaves {
+		// Pick the leaf with the highest gain.
+		bi, bg := -1, 1e-12
+		for i, lf := range leaves {
+			if lf != nil && lf.bestGain > bg {
+				bi, bg = i, lf.bestGain
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		lf := leaves[bi]
+		leftRows, rightRows := partition(b, lf)
+		importance[lf.bestFeature] += lf.bestGain
+
+		var lsum, rsum float64
+		for _, r := range leftRows {
+			lsum += resid[r]
+		}
+		for _, r := range rightRows {
+			rsum += resid[r]
+		}
+		li := len(t.Nodes)
+		t.Nodes = append(t.Nodes, node{Left: -1, Right: -1, Value: mean(lsum, len(leftRows))})
+		ri := len(t.Nodes)
+		t.Nodes = append(t.Nodes, node{Left: -1, Right: -1, Value: mean(rsum, len(rightRows))})
+
+		parent := &t.Nodes[lf.nodeIdx]
+		parent.Feature = lf.bestFeature
+		parent.Threshold = b.thresholds[lf.bestFeature][lf.bestBin]
+		parent.thresholdBin = lf.bestBin
+		parent.Left = li
+		parent.Right = ri
+		parent.Value = 0
+
+		left := &leafCand{rows: leftRows, sum: lsum, nodeIdx: li}
+		right := &leafCand{rows: rightRows, sum: rsum, nodeIdx: ri}
+		findBestSplit(b, resid, left, opts, pool)
+		findBestSplit(b, resid, right, opts, pool)
+		leaves[bi] = left
+		leaves = append(leaves, right)
+		numLeaves++
+	}
+	return t
+}
+
+func mean(sum float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// findBestSplit computes the best (feature, bin) split of the leaf by the
+// squared-error-reduction criterion. Histograms for all features fill in
+// one cache-friendly pass over the leaf's (row-major) bin vectors.
+func findBestSplit(b *binner, resid []float64, lf *leafCand, opts Options, pool *histPool) {
+	lf.bestGain = 0
+	n := len(lf.rows)
+	if n < 2*opts.MinLeaf {
+		return
+	}
+	parentScore := lf.sum * lf.sum / float64(n)
+
+	pool.reset()
+	nf := len(b.thresholds)
+	for _, r := range lf.rows {
+		bins := b.rows[r]
+		rv := resid[r]
+		for fi := 0; fi < nf; fi++ {
+			bin := bins[fi]
+			pool.sums[fi][bin] += rv
+			pool.cnts[fi][bin]++
+		}
+	}
+	for fi := 0; fi < nf; fi++ {
+		ths := b.thresholds[fi]
+		if len(ths) == 0 {
+			continue
+		}
+		// Prefix scan over bins: split at bin => rows with bin <= split go
+		// left.
+		var lsum float64
+		var lcnt int
+		sums, cnts := &pool.sums[fi], &pool.cnts[fi]
+		for bin := 0; bin < len(ths); bin++ {
+			lsum += sums[bin]
+			lcnt += int(cnts[bin])
+			rcnt := n - lcnt
+			if lcnt < opts.MinLeaf || rcnt < opts.MinLeaf {
+				continue
+			}
+			rsum := lf.sum - lsum
+			gain := lsum*lsum/float64(lcnt) + rsum*rsum/float64(rcnt) - parentScore
+			if gain > lf.bestGain {
+				lf.bestGain = gain
+				lf.bestFeature = fi
+				lf.bestBin = bin
+			}
+		}
+	}
+}
+
+// partition splits the leaf's rows by its best split.
+func partition(b *binner, lf *leafCand) (left, right []int) {
+	fi, bin := lf.bestFeature, uint8(lf.bestBin)
+	for _, r := range lf.rows {
+		if b.rows[r][fi] <= bin {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	return left, right
+}

@@ -1,0 +1,48 @@
+package mart
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// MarshalJSON-based persistence: models are plain JSON documents so they
+// can be inspected, diffed and shipped alongside a running system (the
+// paper notes retrained models must be cheap to deploy).
+
+// Save writes the model to path as JSON.
+func (m *Model) Save(path string) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("mart: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("mart: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model saved by Save.
+func Load(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("mart: load: %w", err)
+	}
+	var m Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("mart: unmarshal: %w", err)
+	}
+	return &m, nil
+}
+
+// Encode returns the JSON encoding of the model.
+func (m *Model) Encode() ([]byte, error) { return json.Marshal(m) }
+
+// Decode parses a model from its JSON encoding.
+func Decode(data []byte) (*Model, error) {
+	var m Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("mart: decode: %w", err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,135 @@
+package optimizer
+
+import (
+	"sort"
+)
+
+// Histogram is an equi-depth histogram over one integer column, the
+// cardinality-estimation statistic the planner uses. Equi-depth histograms
+// assume values within a bucket are uniformly frequent, so per-key
+// estimates on Zipf-skewed columns are systematically wrong for hot keys —
+// exactly the realistic estimation-error structure progress estimators
+// must survive (Section 4.4.1 derives how TGN's error tracks these
+// cardinality errors).
+type Histogram struct {
+	// Hi[b] is the inclusive upper bound of bucket b; bucket b covers
+	// (Hi[b-1], Hi[b]].
+	Hi []int64
+	// Rows[b] is the number of rows in bucket b.
+	Rows []float64
+	// Distinct[b] is the number of distinct values in bucket b.
+	Distinct []float64
+
+	TotalRows float64
+	NDV       float64
+	Min, Max  int64
+}
+
+// BuildHistogram constructs an equi-depth histogram with at most buckets
+// buckets over the values.
+func BuildHistogram(values []int64, buckets int) *Histogram {
+	h := &Histogram{}
+	if len(values) == 0 {
+		return h
+	}
+	sorted := append([]int64(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	h.TotalRows = float64(len(sorted))
+	h.Min, h.Max = sorted[0], sorted[len(sorted)-1]
+
+	perBucket := (len(sorted) + buckets - 1) / buckets
+	if perBucket < 1 {
+		perBucket = 1
+	}
+	i := 0
+	for i < len(sorted) {
+		end := i + perBucket
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		// Extend the bucket so equal values never straddle a boundary.
+		for end < len(sorted) && sorted[end] == sorted[end-1] {
+			end++
+		}
+		distinct := 1.0
+		for j := i + 1; j < end; j++ {
+			if sorted[j] != sorted[j-1] {
+				distinct++
+			}
+		}
+		h.Hi = append(h.Hi, sorted[end-1])
+		h.Rows = append(h.Rows, float64(end-i))
+		h.Distinct = append(h.Distinct, distinct)
+		h.NDV += distinct
+		i = end
+	}
+	return h
+}
+
+// EstEq estimates the number of rows with value = v: the average frequency
+// of the containing bucket.
+func (h *Histogram) EstEq(v int64) float64 {
+	if len(h.Hi) == 0 || v < h.Min || v > h.Max {
+		return 0
+	}
+	b := h.bucketOf(v)
+	if h.Distinct[b] <= 0 {
+		return 0
+	}
+	return h.Rows[b] / h.Distinct[b]
+}
+
+// EstRange estimates the number of rows with lo <= value <= hi, assuming
+// uniform value spread within buckets.
+func (h *Histogram) EstRange(lo, hi int64) float64 {
+	if len(h.Hi) == 0 || hi < lo || hi < h.Min || lo > h.Max {
+		return 0
+	}
+	if lo < h.Min {
+		lo = h.Min
+	}
+	if hi > h.Max {
+		hi = h.Max
+	}
+	var est float64
+	bLo := int64(h.Min) - 1
+	for b := range h.Hi {
+		bucketLo := bLo + 1
+		bucketHi := h.Hi[b]
+		bLo = bucketHi
+		if bucketHi < lo || bucketLo > hi {
+			continue
+		}
+		ovLo, ovHi := bucketLo, bucketHi
+		if lo > ovLo {
+			ovLo = lo
+		}
+		if hi < ovHi {
+			ovHi = hi
+		}
+		span := float64(bucketHi - bucketLo + 1)
+		frac := float64(ovHi-ovLo+1) / span
+		if frac > 1 {
+			frac = 1
+		}
+		est += h.Rows[b] * frac
+	}
+	return est
+}
+
+// Selectivity converts an estimated row count into a fraction of the
+// table.
+func (h *Histogram) Selectivity(rows float64) float64 {
+	if h.TotalRows <= 0 {
+		return 0
+	}
+	s := rows / h.TotalRows
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+func (h *Histogram) bucketOf(v int64) int {
+	return sort.Search(len(h.Hi), func(b int) bool { return h.Hi[b] >= v })
+}

@@ -1,0 +1,137 @@
+package optimizer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"progressest/internal/zipfian"
+)
+
+func TestHistogramUniformRange(t *testing.T) {
+	values := make([]int64, 10000)
+	for i := range values {
+		values[i] = int64(i % 100)
+	}
+	h := BuildHistogram(values, 20)
+	if h.TotalRows != 10000 {
+		t.Fatalf("TotalRows = %v", h.TotalRows)
+	}
+	if math.Abs(h.NDV-100) > 1 {
+		t.Errorf("NDV = %v, want 100", h.NDV)
+	}
+	// Range [0, 49] covers half the rows.
+	est := h.EstRange(0, 49)
+	if math.Abs(est-5000) > 500 {
+		t.Errorf("EstRange(0,49) = %v, want ~5000", est)
+	}
+	// Point estimate ~ 100 rows per value.
+	if eq := h.EstEq(50); math.Abs(eq-100) > 30 {
+		t.Errorf("EstEq(50) = %v, want ~100", eq)
+	}
+}
+
+func TestHistogramEmptyAndOutOfRange(t *testing.T) {
+	h := BuildHistogram(nil, 10)
+	if h.EstEq(5) != 0 || h.EstRange(0, 10) != 0 {
+		t.Error("empty histogram should estimate 0")
+	}
+	h = BuildHistogram([]int64{5, 6, 7}, 4)
+	if h.EstEq(100) != 0 {
+		t.Error("out-of-range point estimate should be 0")
+	}
+	if h.EstRange(100, 200) != 0 {
+		t.Error("out-of-range range estimate should be 0")
+	}
+	if got := h.EstRange(0, 100); math.Abs(got-3) > 0.01 {
+		t.Errorf("full-range estimate = %v, want 3", got)
+	}
+}
+
+func TestHistogramErrsOnZipfTailKeys(t *testing.T) {
+	// Equi-depth histograms isolate extreme heavy hitters in their own
+	// buckets (estimating them well), but mid-tail keys share buckets with
+	// keys of very different frequencies, so their per-key estimates carry
+	// substantial error. This is one source of the realistic cardinality
+	// errors the planner produces on skewed data.
+	g := zipfian.New(1000, 1.5, 7)
+	values := make([]int64, 50000)
+	trueCount := make(map[int64]float64)
+	for i := range values {
+		v := g.Next()
+		values[i] = v
+		trueCount[v]++
+	}
+	h := BuildHistogram(values, 20)
+	maxRelErr := 0.0
+	for rank := int64(3); rank <= 100; rank++ {
+		actual := trueCount[rank]
+		if actual == 0 {
+			continue
+		}
+		est := h.EstEq(rank)
+		rel := math.Abs(est-actual) / actual
+		if rel > maxRelErr {
+			maxRelErr = rel
+		}
+	}
+	if maxRelErr < 0.3 {
+		t.Errorf("expected substantial per-key error on skewed tail, max rel err %.3f", maxRelErr)
+	}
+}
+
+func TestHistogramRangeAdditivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	values := make([]int64, 5000)
+	for i := range values {
+		values[i] = rng.Int63n(500)
+	}
+	h := BuildHistogram(values, 20)
+	whole := h.EstRange(0, 499)
+	parts := h.EstRange(0, 249) + h.EstRange(250, 499)
+	if math.Abs(whole-parts) > 1 {
+		t.Errorf("range estimates should be additive: whole %v vs parts %v", whole, parts)
+	}
+	if math.Abs(whole-5000) > 50 {
+		t.Errorf("full range = %v, want ~5000", whole)
+	}
+}
+
+func TestHistogramPropertyBounds(t *testing.T) {
+	f := func(raw []int16, loRaw, hiRaw int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		values := make([]int64, len(raw))
+		for i, v := range raw {
+			values[i] = int64(v)
+		}
+		h := BuildHistogram(values, 8)
+		lo, hi := int64(loRaw), int64(hiRaw)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		est := h.EstRange(lo, hi)
+		// Estimates must be within [0, TotalRows].
+		return est >= 0 && est <= h.TotalRows+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketBoundariesRespectDuplicates(t *testing.T) {
+	// A single massive value must not straddle buckets.
+	values := make([]int64, 1000)
+	for i := range values {
+		values[i] = 42
+	}
+	h := BuildHistogram(values, 10)
+	if len(h.Hi) != 1 {
+		t.Errorf("constant column should collapse to 1 bucket, got %d", len(h.Hi))
+	}
+	if got := h.EstEq(42); math.Abs(got-1000) > 0.01 {
+		t.Errorf("EstEq(42) = %v, want 1000", got)
+	}
+}

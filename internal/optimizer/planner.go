@@ -1,0 +1,650 @@
+// Package optimizer turns logical QuerySpecs into physical plans and
+// supplies the per-node cardinality estimates E_i that progress estimators
+// consume. Estimation uses equi-depth histograms plus the textbook
+// independence and uniformity assumptions, so estimates degrade in the
+// realistic ways (skewed keys, correlated predicates, multi-join error
+// compounding) that the paper's estimator-selection framework must cope
+// with.
+package optimizer
+
+import (
+	"fmt"
+	"math"
+
+	"progressest/internal/catalog"
+	"progressest/internal/expr"
+	"progressest/internal/plan"
+	"progressest/internal/storage"
+)
+
+// Stats holds the histograms for every column of a database.
+type Stats struct {
+	hists map[string]map[string]*Histogram
+}
+
+// HistogramBuckets is the equi-depth bucket count used for all columns.
+const HistogramBuckets = 20
+
+// statsSampleFrac and statsSampleMin control statistics sampling: like
+// production systems, histograms are built from a row sample rather than
+// the full table, so distinct counts and per-key frequencies carry
+// realistic error (scaled-up sample NDVs underestimate true NDVs on skewed
+// columns, inflating join estimates — a classic failure mode progress
+// estimators must live with).
+const (
+	statsSampleFrac = 0.1
+	statsSampleMin  = 800
+)
+
+// BuildStats computes sampled histograms for all columns of all tables.
+func BuildStats(db *storage.Database) *Stats {
+	s := &Stats{hists: make(map[string]map[string]*Histogram)}
+	for _, tm := range db.Schema.Tables {
+		tbl := db.MustTable(tm.Name)
+		n := len(tbl.Rows)
+		sampleN := int(float64(n) * statsSampleFrac)
+		if sampleN < statsSampleMin {
+			sampleN = statsSampleMin
+		}
+		if sampleN > n {
+			sampleN = n
+		}
+		// Deterministic systematic sample (every k-th row).
+		stride := 1
+		if sampleN < n {
+			stride = n / sampleN
+		}
+		cols := make(map[string]*Histogram, len(tm.Columns))
+		values := make([]int64, 0, sampleN)
+		for ci, cm := range tm.Columns {
+			values = values[:0]
+			for ri := 0; ri < n; ri += stride {
+				values = append(values, tbl.Rows[ri][ci])
+			}
+			h := BuildHistogram(values, HistogramBuckets)
+			// Scale row counts back to the full table; scale NDV with a
+			// first-order estimator (distinct values seen in the sample
+			// can at most scale linearly, and saturate for low-NDV
+			// columns).
+			factor := float64(n) / float64(len(values))
+			h.TotalRows *= factor
+			for b := range h.Rows {
+				h.Rows[b] *= factor
+				// Distinct counts scale sublinearly; use the sample count
+				// unless the bucket looks key-like (all values distinct).
+				if h.Distinct[b] >= h.Rows[b]/factor*0.95 {
+					h.Distinct[b] *= factor
+				}
+			}
+			h.NDV = 0
+			for b := range h.Distinct {
+				h.NDV += h.Distinct[b]
+			}
+			cols[cm.Name] = h
+		}
+		s.hists[tm.Name] = cols
+	}
+	return s
+}
+
+// Histogram returns the histogram for table.column, or nil.
+func (s *Stats) Histogram(table, column string) *Histogram {
+	if cols, ok := s.hists[table]; ok {
+		return cols[column]
+	}
+	return nil
+}
+
+// Planner builds physical plans for one database + physical design.
+type Planner struct {
+	DB    *storage.Database
+	Stats *Stats
+
+	// NLMaxOuterRows is the largest estimated outer cardinality for which
+	// an index nested-loop join is chosen over a hash join.
+	NLMaxOuterRows float64
+	// BatchSortMinOuterRows is the outer cardinality above which a batch
+	// sort is inserted on the outer side of a nested-loop join.
+	BatchSortMinOuterRows float64
+}
+
+// NewPlanner returns a planner with default thresholds.
+func NewPlanner(db *storage.Database, stats *Stats) *Planner {
+	return &Planner{
+		DB:                    db,
+		Stats:                 stats,
+		NLMaxOuterRows:        4000,
+		BatchSortMinOuterRows: 400,
+	}
+}
+
+// design returns the active physical design (never nil; an empty design if
+// none was applied).
+func (p *Planner) design() *catalog.PhysicalDesign {
+	if p.DB.Design != nil {
+		return p.DB.Design
+	}
+	return &catalog.PhysicalDesign{}
+}
+
+// planState tracks the schema and physical properties of the plan built so
+// far.
+type planState struct {
+	node   *plan.Node
+	cols   []ColRef // positional output schema
+	est    float64  // estimated output rows
+	sorted *ColRef  // column the output is ordered by, if any
+}
+
+func (st *planState) colPos(table, column string) int {
+	for i, c := range st.cols {
+		if c.Table == table && c.Column == column {
+			return i
+		}
+	}
+	return -1
+}
+
+func colNames(cols []ColRef) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = c.Table + "." + c.Column
+	}
+	return out
+}
+
+// Plan builds the physical plan for the query spec.
+func (p *Planner) Plan(q *QuerySpec) (*plan.Plan, error) {
+	st, err := p.planBase(q.First, preferSortCol(q))
+	if err != nil {
+		return nil, err
+	}
+	for i := range q.Joins {
+		st, err = p.planJoin(st, &q.Joins[i])
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := range q.Exists {
+		st, err = p.planExists(st, &q.Exists[i])
+		if err != nil {
+			return nil, err
+		}
+	}
+	if q.Group != nil {
+		st, err = p.planGroup(st, q.Group)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if q.OrderBy != nil {
+		pos := st.colPos(q.OrderBy.Table, q.OrderBy.Column)
+		if pos < 0 {
+			return nil, fmt.Errorf("optimizer: ORDER BY column %s.%s not in output",
+				q.OrderBy.Table, q.OrderBy.Column)
+		}
+		if st.sorted == nil || *st.sorted != *q.OrderBy {
+			n := &plan.Node{
+				Op: plan.Sort, Children: []*plan.Node{st.node},
+				SortCols: []int{pos}, EstRows: st.est,
+				RowWidth: st.node.RowWidth, OutCols: len(st.cols),
+				ColNames: colNames(st.cols),
+			}
+			st = &planState{node: n, cols: st.cols, est: st.est, sorted: q.OrderBy}
+		}
+	}
+	if q.TopN > 0 {
+		est := st.est
+		if float64(q.TopN) < est {
+			est = float64(q.TopN)
+		}
+		n := &plan.Node{
+			Op: plan.Top, Children: []*plan.Node{st.node}, TopN: q.TopN,
+			EstRows: est, RowWidth: st.node.RowWidth, OutCols: len(st.cols),
+			ColNames: colNames(st.cols),
+		}
+		st = &planState{node: n, cols: st.cols, est: est, sorted: st.sorted}
+	}
+	return plan.Finalize(st.node), nil
+}
+
+// preferSortCol looks ahead: if the first join could be a merge join, the
+// first table should be accessed through an index scan on its join column.
+func preferSortCol(q *QuerySpec) string {
+	if len(q.Joins) == 0 {
+		return ""
+	}
+	j := &q.Joins[0]
+	if j.LeftTable != q.First.Table {
+		return ""
+	}
+	return j.LeftCol
+}
+
+// planBase builds the access path for one base table with its filters.
+func (p *Planner) planBase(term TableTerm, mergeSortCol string) (*planState, error) {
+	tbl := p.DB.Table(term.Table)
+	if tbl == nil {
+		return nil, fmt.Errorf("optimizer: unknown table %q", term.Table)
+	}
+	meta := tbl.Meta
+	design := p.design()
+	tableRows := float64(tbl.NumRows())
+	width := float64(meta.RowWidth())
+
+	cols := make([]ColRef, len(meta.Columns))
+	for i, c := range meta.Columns {
+		cols[i] = ColRef{Table: term.Table, Column: c.Name}
+	}
+
+	// Find the most selective filter backed by an index.
+	bestIdx := -1
+	bestRows := tableRows
+	for i, f := range term.Filters {
+		if !design.HasIndex(term.Table, f.Column) {
+			continue
+		}
+		lo, hi, ok := seekRange(&f)
+		if !ok {
+			continue
+		}
+		h := p.Stats.Histogram(term.Table, f.Column)
+		if h == nil {
+			continue
+		}
+		est := h.EstRange(lo, hi)
+		if est < bestRows {
+			bestRows = est
+			bestIdx = i
+		}
+	}
+
+	var st *planState
+	switch {
+	case bestIdx >= 0 && bestRows < 0.4*tableRows:
+		// Index seek on the best filter, residual filters above.
+		f := term.Filters[bestIdx]
+		lo, hi, _ := seekRange(&f)
+		seek := &plan.Node{
+			Op: plan.IndexSeek, TableName: term.Table, IndexColumn: f.Column,
+			SeekLo: lo, SeekHi: hi, SeekOuterCol: -1,
+			EstRows: maxf(bestRows, 1), RowWidth: width,
+			OutCols: len(cols), ColNames: colNames(cols),
+		}
+		sortedCol := ColRef{Table: term.Table, Column: f.Column}
+		st = &planState{node: seek, cols: cols, est: maxf(bestRows, 1), sorted: &sortedCol}
+		residual := append(append([]FilterSpec{}, term.Filters[:bestIdx]...), term.Filters[bestIdx+1:]...)
+		st = p.applyFilters(st, term.Table, residual)
+	case mergeSortCol != "" && design.HasIndex(term.Table, mergeSortCol):
+		// Ordered scan on the upcoming join column enables a merge join.
+		scan := &plan.Node{
+			Op: plan.IndexScan, TableName: term.Table, IndexColumn: mergeSortCol,
+			EstRows: tableRows, RowWidth: width,
+			OutCols: len(cols), ColNames: colNames(cols),
+		}
+		sortedCol := ColRef{Table: term.Table, Column: mergeSortCol}
+		st = &planState{node: scan, cols: cols, est: tableRows, sorted: &sortedCol}
+		st = p.applyFilters(st, term.Table, term.Filters)
+	default:
+		scan := &plan.Node{
+			Op: plan.TableScan, TableName: term.Table,
+			EstRows: tableRows, RowWidth: width,
+			OutCols: len(cols), ColNames: colNames(cols),
+		}
+		st = &planState{node: scan, cols: cols, est: tableRows}
+		st = p.applyFilters(st, term.Table, term.Filters)
+	}
+	return st, nil
+}
+
+// applyFilters adds a Filter node for the given predicates (if any),
+// multiplying independence-assumption selectivities.
+func (p *Planner) applyFilters(st *planState, table string, filters []FilterSpec) *planState {
+	if len(filters) == 0 {
+		return st
+	}
+	preds := make([]expr.Predicate, 0, len(filters))
+	sel := 1.0
+	for i := range filters {
+		f := &filters[i]
+		pos := st.colPos(table, f.Column)
+		if pos < 0 {
+			panic(fmt.Sprintf("optimizer: filter column %s.%s not in schema", table, f.Column))
+		}
+		if f.IsRange {
+			preds = append(preds, &expr.Between{Col: pos, Name: f.Column, Lo: f.Lo, Hi: f.Hi})
+		} else {
+			preds = append(preds, &expr.ColConst{Col: pos, Name: f.Column, Op: f.Op, Val: f.Val})
+		}
+		sel *= p.filterSelectivity(table, f)
+	}
+	var pred expr.Predicate
+	if len(preds) == 1 {
+		pred = preds[0]
+	} else {
+		pred = &expr.And{Preds: preds}
+	}
+	est := maxf(st.est*sel, 1)
+	n := &plan.Node{
+		Op: plan.Filter, Children: []*plan.Node{st.node}, Pred: pred,
+		EstRows: est, RowWidth: st.node.RowWidth,
+		OutCols: len(st.cols), ColNames: colNames(st.cols),
+	}
+	return &planState{node: n, cols: st.cols, est: est, sorted: st.sorted}
+}
+
+// filterSelectivity estimates the fraction of rows passing one filter.
+func (p *Planner) filterSelectivity(table string, f *FilterSpec) float64 {
+	h := p.Stats.Histogram(table, f.Column)
+	if h == nil || h.TotalRows == 0 {
+		return 0.3
+	}
+	if f.IsRange {
+		return h.Selectivity(h.EstRange(f.Lo, f.Hi))
+	}
+	switch f.Op {
+	case expr.Eq:
+		return h.Selectivity(h.EstEq(f.Val))
+	case expr.Ne:
+		return 1 - h.Selectivity(h.EstEq(f.Val))
+	case expr.Lt:
+		return h.Selectivity(h.EstRange(h.Min, f.Val-1))
+	case expr.Le:
+		return h.Selectivity(h.EstRange(h.Min, f.Val))
+	case expr.Gt:
+		return h.Selectivity(h.EstRange(f.Val+1, h.Max))
+	case expr.Ge:
+		return h.Selectivity(h.EstRange(f.Val, h.Max))
+	default:
+		return 0.3
+	}
+}
+
+// seekRange converts a filter into an index seek range when possible.
+func seekRange(f *FilterSpec) (lo, hi int64, ok bool) {
+	const inf = int64(1) << 60
+	if f.IsRange {
+		return f.Lo, f.Hi, true
+	}
+	switch f.Op {
+	case expr.Eq:
+		return f.Val, f.Val, true
+	case expr.Lt:
+		return -inf, f.Val - 1, true
+	case expr.Le:
+		return -inf, f.Val, true
+	case expr.Gt:
+		return f.Val + 1, inf, true
+	case expr.Ge:
+		return f.Val, inf, true
+	default:
+		return 0, 0, false
+	}
+}
+
+// planJoin adds one join to the chain, choosing among index nested-loop
+// (with optional batch sort), merge and hash joins.
+func (p *Planner) planJoin(left *planState, j *JoinTerm) (*planState, error) {
+	design := p.design()
+	leftPos := left.colPos(j.LeftTable, j.LeftCol)
+	if leftPos < 0 {
+		return nil, fmt.Errorf("optimizer: join column %s.%s not in schema", j.LeftTable, j.LeftCol)
+	}
+	rightTbl := p.DB.Table(j.Right.Table)
+	if rightTbl == nil {
+		return nil, fmt.Errorf("optimizer: unknown table %q", j.Right.Table)
+	}
+	rightRows := float64(rightTbl.NumRows())
+	rightWidth := float64(rightTbl.Meta.RowWidth())
+	rightFilterSel := 1.0
+	for i := range j.Right.Filters {
+		rightFilterSel *= p.filterSelectivity(j.Right.Table, &j.Right.Filters[i])
+	}
+
+	hLeft := p.Stats.Histogram(j.LeftTable, j.LeftCol)
+	hRight := p.Stats.Histogram(j.Right.Table, j.RightCol)
+	ndvL, ndvR := 1.0, 1.0
+	if hLeft != nil && hLeft.NDV > 0 {
+		ndvL = hLeft.NDV
+	}
+	if hRight != nil && hRight.NDV > 0 {
+		ndvR = hRight.NDV
+	}
+	// |L JOIN R| = |L|*|R| / max(V(L.a), V(R.b)), with R's filters applied
+	// independently.
+	joinEst := maxf(left.est*rightRows*rightFilterSel/maxf(ndvL, ndvR), 1)
+
+	rightCols := make([]ColRef, len(rightTbl.Meta.Columns))
+	for i, c := range rightTbl.Meta.Columns {
+		rightCols[i] = ColRef{Table: j.Right.Table, Column: c.Name}
+	}
+	outCols := append(append([]ColRef{}, left.cols...), rightCols...)
+
+	// Cost-based physical join selection (mirroring the execution engine's
+	// cost constants): an index nested-loop join pays a seek per outer row
+	// plus the matching inner rows; a hash join pays a build over the
+	// (filtered) inner and a probe per outer row; a merge join streams
+	// both sides but requires sorted inputs. Output emission cost is
+	// common to all three.
+	rightFiltered := rightRows * rightFilterSel
+	matchPerSeek := maxf(rightRows/ndvR, 0.5)
+	nlCost := math.Inf(1)
+	if design.HasIndex(j.Right.Table, j.RightCol) && left.est <= p.NLMaxOuterRows {
+		nlCost = left.est * (4.5 + matchPerSeek)
+	}
+	hashCost := 1.3*rightFiltered + 2.2*left.est
+	mergeCost := math.Inf(1)
+	if left.sorted != nil && left.sorted.Table == j.LeftTable &&
+		left.sorted.Column == j.LeftCol && design.HasIndex(j.Right.Table, j.RightCol) {
+		mergeCost = 1.4 * (left.est + rightRows)
+	}
+	useNL := nlCost <= hashCost && nlCost <= mergeCost
+	useMerge := !useNL && mergeCost <= hashCost
+
+	switch {
+	case useNL:
+		outer := left
+		// Batch sort the outer side to localise inner index references.
+		if left.est >= p.BatchSortMinOuterRows {
+			batch := int(clampf(left.est/6, 256, 4000))
+			bs := &plan.Node{
+				Op: plan.BatchSort, Children: []*plan.Node{left.node},
+				SortCols: []int{leftPos}, BatchSize: batch,
+				EstRows: left.est, RowWidth: left.node.RowWidth,
+				OutCols: len(left.cols), ColNames: colNames(left.cols),
+			}
+			outer = &planState{node: bs, cols: left.cols, est: left.est}
+		}
+		// Inner: index seek keyed by the outer join column + residual
+		// filters.
+		seekEst := maxf(rightRows/ndvR, 0.5)
+		seek := &plan.Node{
+			Op: plan.IndexSeek, TableName: j.Right.Table, IndexColumn: j.RightCol,
+			SeekOuterCol: leftPos,
+			EstRows:      maxf(left.est*seekEst, 1), RowWidth: rightWidth,
+			OutCols: len(rightCols), ColNames: colNames(rightCols),
+		}
+		innerSt := &planState{node: seek, cols: rightCols, est: seek.EstRows}
+		innerSt = p.applyFilters(innerSt, j.Right.Table, j.Right.Filters)
+		nlj := &plan.Node{
+			Op: plan.NestedLoopJoin, Children: []*plan.Node{outer.node, innerSt.node},
+			JoinLeftCol: leftPos, JoinRightCol: len(left.cols) + rightColPos(rightTbl.Meta, j.RightCol),
+			EstRows: joinEst, RowWidth: left.node.RowWidth + rightWidth,
+			OutCols: len(outCols), ColNames: colNames(outCols),
+		}
+		sorted := outer.sorted
+		if outer.node.Op == plan.BatchSort {
+			sorted = nil
+		}
+		return &planState{node: nlj, cols: outCols, est: joinEst, sorted: sorted}, nil
+
+	case useMerge:
+		rightSt, err := p.planBase(j.Right, j.RightCol)
+		if err != nil {
+			return nil, err
+		}
+		if rightSt.sorted == nil || rightSt.sorted.Column != j.RightCol {
+			// Filters changed the access path; fall back to hash join.
+			return p.hashJoin(left, rightSt, j, leftPos, outCols, joinEst, rightTbl.Meta)
+		}
+		mj := &plan.Node{
+			Op: plan.MergeJoin, Children: []*plan.Node{left.node, rightSt.node},
+			JoinLeftCol: leftPos, JoinRightCol: rightSt.colPos(j.Right.Table, j.RightCol),
+			EstRows: joinEst, RowWidth: left.node.RowWidth + rightSt.node.RowWidth,
+			OutCols: len(outCols), ColNames: colNames(outCols),
+		}
+		sorted := &ColRef{Table: j.LeftTable, Column: j.LeftCol}
+		return &planState{node: mj, cols: outCols, est: joinEst, sorted: sorted}, nil
+
+	default:
+		rightSt, err := p.planBase(j.Right, "")
+		if err != nil {
+			return nil, err
+		}
+		return p.hashJoin(left, rightSt, j, leftPos, outCols, joinEst, rightTbl.Meta)
+	}
+}
+
+func (p *Planner) hashJoin(left, right *planState, j *JoinTerm, leftPos int,
+	outCols []ColRef, joinEst float64, rightMeta *catalog.Table) (*planState, error) {
+	rightJoinPos := right.colPos(j.Right.Table, j.RightCol)
+	if rightJoinPos < 0 {
+		return nil, fmt.Errorf("optimizer: join column %s.%s not in build schema",
+			j.Right.Table, j.RightCol)
+	}
+	hj := &plan.Node{
+		Op: plan.HashJoin, Children: []*plan.Node{left.node, right.node},
+		JoinLeftCol: leftPos, JoinRightCol: rightJoinPos,
+		EstRows: joinEst, RowWidth: left.node.RowWidth + right.node.RowWidth,
+		OutCols: len(outCols), ColNames: colNames(outCols),
+	}
+	// Hash join preserves probe order.
+	return &planState{node: hj, cols: outCols, est: joinEst, sorted: left.sorted}, nil
+}
+
+// planExists adds a hash semi join implementing an EXISTS sub-query: the
+// (filtered) right table builds a key set, and result rows survive iff
+// their key is present. The output schema is the left schema unchanged.
+func (p *Planner) planExists(left *planState, j *JoinTerm) (*planState, error) {
+	leftPos := left.colPos(j.LeftTable, j.LeftCol)
+	if leftPos < 0 {
+		return nil, fmt.Errorf("optimizer: EXISTS column %s.%s not in schema", j.LeftTable, j.LeftCol)
+	}
+	rightSt, err := p.planBase(j.Right, "")
+	if err != nil {
+		return nil, err
+	}
+	rightPos := rightSt.colPos(j.Right.Table, j.RightCol)
+	if rightPos < 0 {
+		return nil, fmt.Errorf("optimizer: EXISTS column %s.%s not in build schema",
+			j.Right.Table, j.RightCol)
+	}
+	// Selectivity: the fraction of left keys with at least one surviving
+	// right match. Approximate the number of distinct surviving right
+	// keys by scaling the column's NDV with the filter selectivity
+	// (independence), and divide by the larger key domain.
+	ndvL, ndvR := 1.0, 1.0
+	if h := p.Stats.Histogram(j.LeftTable, j.LeftCol); h != nil && h.NDV > 0 {
+		ndvL = h.NDV
+	}
+	if h := p.Stats.Histogram(j.Right.Table, j.RightCol); h != nil && h.NDV > 0 {
+		ndvR = h.NDV
+	}
+	rightSel := 1.0
+	if rightRows := float64(p.DB.MustTable(j.Right.Table).NumRows()); rightRows > 0 {
+		rightSel = rightSt.est / rightRows
+	}
+	matchProb := minf(1, ndvR*rightSel/maxf(ndvL, ndvR))
+	est := maxf(left.est*matchProb, 1)
+
+	sj := &plan.Node{
+		Op: plan.SemiJoin, Children: []*plan.Node{left.node, rightSt.node},
+		JoinLeftCol: leftPos, JoinRightCol: rightPos,
+		EstRows: est, RowWidth: left.node.RowWidth,
+		OutCols: len(left.cols), ColNames: colNames(left.cols),
+	}
+	// Semi join preserves probe order.
+	return &planState{node: sj, cols: left.cols, est: est, sorted: left.sorted}, nil
+}
+
+func rightColPos(meta *catalog.Table, col string) int {
+	i := meta.ColumnIndex(col)
+	if i < 0 {
+		panic(fmt.Sprintf("optimizer: column %q not in table %s", col, meta.Name))
+	}
+	return i
+}
+
+// planGroup adds the aggregation.
+func (p *Planner) planGroup(st *planState, g *GroupSpec) (*planState, error) {
+	if len(g.Cols) == 0 || len(g.Cols) > 2 {
+		return nil, fmt.Errorf("optimizer: %d group columns unsupported", len(g.Cols))
+	}
+	groupPos := make([]int, len(g.Cols))
+	ndv := 1.0
+	for i, c := range g.Cols {
+		pos := st.colPos(c.Table, c.Column)
+		if pos < 0 {
+			return nil, fmt.Errorf("optimizer: group column %s.%s not in schema", c.Table, c.Column)
+		}
+		groupPos[i] = pos
+		if h := p.Stats.Histogram(c.Table, c.Column); h != nil && h.NDV > 0 {
+			ndv *= h.NDV
+		}
+	}
+	aggs := make([]plan.AggSpec, len(g.Aggs))
+	for i, a := range g.Aggs {
+		col := 0
+		if a.Func != plan.AggCount {
+			col = st.colPos(a.Col.Table, a.Col.Column)
+			if col < 0 {
+				return nil, fmt.Errorf("optimizer: agg column %s.%s not in schema", a.Col.Table, a.Col.Column)
+			}
+		}
+		aggs[i] = plan.AggSpec{Func: a.Func, Col: col}
+	}
+	est := minf(ndv, st.est)
+	outCols := make([]ColRef, 0, len(g.Cols)+len(g.Aggs))
+	outCols = append(outCols, g.Cols...)
+	for _, a := range g.Aggs {
+		outCols = append(outCols, ColRef{Table: "agg", Column: a.Func.String()})
+	}
+
+	op := plan.HashAgg
+	var sorted *ColRef
+	if st.sorted != nil && *st.sorted == g.Cols[0] && len(g.Cols) == 1 {
+		op = plan.StreamAgg
+		sorted = &g.Cols[0]
+	}
+	n := &plan.Node{
+		Op: op, Children: []*plan.Node{st.node},
+		GroupCols: groupPos, Aggs: aggs,
+		EstRows: maxf(est, 1), RowWidth: float64(8 * len(outCols)),
+		OutCols: len(outCols), ColNames: colNames(outCols),
+	}
+	return &planState{node: n, cols: outCols, est: maxf(est, 1), sorted: sorted}, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func clampf(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,284 @@
+package optimizer
+
+import (
+	"testing"
+
+	"progressest/internal/catalog"
+	"progressest/internal/datagen"
+	"progressest/internal/expr"
+	"progressest/internal/plan"
+)
+
+func tpchPlanner(t *testing.T, level catalog.DesignLevel) *Planner {
+	t.Helper()
+	db := datagen.GenTPCH(datagen.Params{Scale: 0.05, Zipf: 1, Seed: 1})
+	if err := db.ApplyDesign(datagen.Designs(datagen.TPCHLike)[level]); err != nil {
+		t.Fatal(err)
+	}
+	return NewPlanner(db, BuildStats(db))
+}
+
+func simpleJoinSpec() *QuerySpec {
+	return &QuerySpec{
+		First: TableTerm{Table: "orders", Filters: []FilterSpec{
+			{Column: "o_orderdate", IsRange: true, Lo: 1, Hi: 1200},
+		}},
+		Joins: []JoinTerm{{
+			Right:     TableTerm{Table: "lineitem"},
+			LeftTable: "orders", LeftCol: "o_orderkey", RightCol: "l_orderkey",
+		}},
+	}
+}
+
+func TestPlanShapesVaryWithDesign(t *testing.T) {
+	spec := simpleJoinSpec()
+
+	// Untuned: no index on o_orderdate; join should still find l_orderkey
+	// indexed (constraint index), so either NL or hash is possible
+	// depending on outer size. With ~half of orders surviving the filter,
+	// the outer exceeds NLMaxOuterRows => hash join... unless the index
+	// enables NL. Just check the plan builds and has a join.
+	for _, lvl := range []catalog.DesignLevel{catalog.Untuned, catalog.PartiallyTuned, catalog.FullyTuned} {
+		p := tpchPlanner(t, lvl)
+		pl, err := p.Plan(spec)
+		if err != nil {
+			t.Fatalf("%v: %v", lvl, err)
+		}
+		joins := pl.CountOp(plan.HashJoin) + pl.CountOp(plan.MergeJoin) + pl.CountOp(plan.NestedLoopJoin)
+		if joins != 1 {
+			t.Errorf("%v: want exactly 1 join, got %d\n%s", lvl, joins, pl)
+		}
+	}
+}
+
+func TestSelectiveFilterUsesIndexSeek(t *testing.T) {
+	p := tpchPlanner(t, catalog.FullyTuned)
+	spec := &QuerySpec{
+		First: TableTerm{Table: "orders", Filters: []FilterSpec{
+			{Column: "o_orderdate", IsRange: true, Lo: 100, Hi: 130},
+		}},
+	}
+	pl, err := p.Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.CountOp(plan.IndexSeek) != 1 {
+		t.Errorf("selective indexed filter should use IndexSeek:\n%s", pl)
+	}
+}
+
+func TestUnindexedFilterUsesScan(t *testing.T) {
+	p := tpchPlanner(t, catalog.Untuned)
+	spec := &QuerySpec{
+		First: TableTerm{Table: "orders", Filters: []FilterSpec{
+			{Column: "o_orderdate", IsRange: true, Lo: 100, Hi: 130},
+		}},
+	}
+	pl, err := p.Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.CountOp(plan.TableScan) != 1 || pl.CountOp(plan.Filter) != 1 {
+		t.Errorf("unindexed filter should scan+filter:\n%s", pl)
+	}
+}
+
+func TestNestedLoopWithBatchSortForTunedDesign(t *testing.T) {
+	db := datagen.GenTPCH(datagen.Params{Scale: 0.3, Zipf: 1, Seed: 1})
+	if err := db.ApplyDesign(datagen.Designs(datagen.TPCHLike)[catalog.FullyTuned]); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlanner(db, BuildStats(db))
+	// Mid-sized outer (above the batch-sort threshold, below the NL cap)
+	// joined to an indexed FK column.
+	spec := &QuerySpec{
+		First: TableTerm{Table: "orders", Filters: []FilterSpec{
+			{Column: "o_orderdate", IsRange: true, Lo: 1, Hi: 800},
+		}},
+		Joins: []JoinTerm{{
+			Right:     TableTerm{Table: "lineitem"},
+			LeftTable: "orders", LeftCol: "o_orderkey", RightCol: "l_orderkey",
+		}},
+	}
+	pl, err := p.Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.CountOp(plan.NestedLoopJoin) != 1 {
+		t.Fatalf("want nested loop join:\n%s", pl)
+	}
+	if pl.CountOp(plan.BatchSort) != 1 {
+		t.Errorf("outer above BatchSortMinOuterRows should get a batch sort:\n%s", pl)
+	}
+	// The inner (lineitem) seek must be bound to the outer column.
+	for _, n := range pl.Nodes() {
+		if n.Op == plan.IndexSeek && n.TableName == "lineitem" && n.SeekOuterCol < 0 {
+			t.Errorf("inner index seek should be outer-bound:\n%s", pl)
+		}
+	}
+}
+
+func TestMergeJoinWhenBothSidesIndexed(t *testing.T) {
+	p := tpchPlanner(t, catalog.PartiallyTuned)
+	p.NLMaxOuterRows = 0 // force NL off so merge is considered
+	spec := &QuerySpec{
+		First: TableTerm{Table: "orders"},
+		Joins: []JoinTerm{{
+			Right:     TableTerm{Table: "lineitem"},
+			LeftTable: "orders", LeftCol: "o_orderkey", RightCol: "l_orderkey",
+		}},
+	}
+	pl, err := p.Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.CountOp(plan.MergeJoin) != 1 {
+		t.Errorf("want merge join when both join columns are indexed:\n%s", pl)
+	}
+	if pl.CountOp(plan.IndexScan) != 2 {
+		t.Errorf("merge join should read both sides through ordered index scans:\n%s", pl)
+	}
+}
+
+func TestGroupingAndTop(t *testing.T) {
+	p := tpchPlanner(t, catalog.Untuned)
+	spec := &QuerySpec{
+		First: TableTerm{Table: "lineitem"},
+		Group: &GroupSpec{
+			Cols: []ColRef{{Table: "lineitem", Column: "l_returnflag"}},
+			Aggs: []AggRef{
+				{Func: plan.AggSum, Col: ColRef{Table: "lineitem", Column: "l_extendedprice"}},
+				{Func: plan.AggCount},
+			},
+		},
+		OrderBy: &ColRef{Table: "lineitem", Column: "l_returnflag"},
+		TopN:    2,
+	}
+	pl, err := p.Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.CountOp(plan.HashAgg) != 1 {
+		t.Errorf("want hash aggregate:\n%s", pl)
+	}
+	if pl.CountOp(plan.Top) != 1 {
+		t.Errorf("want top:\n%s", pl)
+	}
+	root := pl.Root
+	if root.Op != plan.Top {
+		t.Errorf("root should be Top, got %v", root.Op)
+	}
+	if root.EstRows > 2 {
+		t.Errorf("Top estimate %v should be capped at 2", root.EstRows)
+	}
+}
+
+func TestStreamAggOnSortedInput(t *testing.T) {
+	p := tpchPlanner(t, catalog.PartiallyTuned)
+	p.NLMaxOuterRows = 0
+	spec := &QuerySpec{
+		First: TableTerm{Table: "orders"},
+		Joins: []JoinTerm{{
+			Right:     TableTerm{Table: "lineitem"},
+			LeftTable: "orders", LeftCol: "o_orderkey", RightCol: "l_orderkey",
+		}},
+		Group: &GroupSpec{
+			Cols: []ColRef{{Table: "orders", Column: "o_orderkey"}},
+			Aggs: []AggRef{{Func: plan.AggSum, Col: ColRef{Table: "lineitem", Column: "l_quantity"}}},
+		},
+	}
+	pl, err := p.Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.CountOp(plan.MergeJoin) == 1 && pl.CountOp(plan.StreamAgg) != 1 {
+		t.Errorf("grouping on merge-join order should use StreamAgg:\n%s", pl)
+	}
+}
+
+func TestEstimatesArePositive(t *testing.T) {
+	p := tpchPlanner(t, catalog.FullyTuned)
+	spec := &QuerySpec{
+		First: TableTerm{Table: "customer", Filters: []FilterSpec{
+			{Column: "c_mktsegment", Op: expr.Eq, Val: 3},
+		}},
+		Joins: []JoinTerm{
+			{Right: TableTerm{Table: "orders"}, LeftTable: "customer",
+				LeftCol: "c_custkey", RightCol: "o_custkey"},
+			{Right: TableTerm{Table: "lineitem"}, LeftTable: "orders",
+				LeftCol: "o_orderkey", RightCol: "l_orderkey"},
+		},
+	}
+	pl, err := p.Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range pl.Nodes() {
+		if n.EstRows <= 0 {
+			t.Errorf("node %d (%v) has non-positive estimate %v", n.ID, n.Op, n.EstRows)
+		}
+		if n.RowWidth <= 0 {
+			t.Errorf("node %d (%v) has non-positive row width", n.ID, n.Op)
+		}
+	}
+	if got := pl.TotalEstRows(); got <= 0 {
+		t.Errorf("TotalEstRows = %v", got)
+	}
+}
+
+func TestExistsPlansSemiJoin(t *testing.T) {
+	p := tpchPlanner(t, catalog.PartiallyTuned)
+	spec := &QuerySpec{
+		First: TableTerm{Table: "orders"},
+		Exists: []JoinTerm{{
+			Right: TableTerm{Table: "lineitem", Filters: []FilterSpec{
+				{Column: "l_shipdate", IsRange: true, Lo: 100, Hi: 900},
+			}},
+			LeftTable: "orders", LeftCol: "o_orderkey", RightCol: "l_orderkey",
+		}},
+	}
+	pl, err := p.Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.CountOp(plan.SemiJoin) != 1 {
+		t.Fatalf("want a semi join:\n%s", pl)
+	}
+	root := pl.Root
+	if root.Op != plan.SemiJoin {
+		t.Fatalf("semi join should be the root here, got %v", root.Op)
+	}
+	// Output schema is the probe schema, and the estimate cannot exceed
+	// the probe side's.
+	probe := root.Children[0]
+	if root.OutCols != probe.OutCols {
+		t.Errorf("semi join schema %d cols, probe %d", root.OutCols, probe.OutCols)
+	}
+	if root.EstRows > probe.EstRows+1e-9 {
+		t.Errorf("semi join estimate %v exceeds probe %v", root.EstRows, probe.EstRows)
+	}
+	// Unknown EXISTS columns must error.
+	bad := &QuerySpec{
+		First: TableTerm{Table: "orders"},
+		Exists: []JoinTerm{{Right: TableTerm{Table: "lineitem"},
+			LeftTable: "orders", LeftCol: "ghost", RightCol: "l_orderkey"}},
+	}
+	if _, err := p.Plan(bad); err == nil {
+		t.Error("unknown EXISTS column should error")
+	}
+}
+
+func TestPlanErrorsOnUnknownNames(t *testing.T) {
+	p := tpchPlanner(t, catalog.Untuned)
+	if _, err := p.Plan(&QuerySpec{First: TableTerm{Table: "ghost"}}); err == nil {
+		t.Error("unknown table should error")
+	}
+	bad := &QuerySpec{
+		First: TableTerm{Table: "orders"},
+		Joins: []JoinTerm{{Right: TableTerm{Table: "lineitem"},
+			LeftTable: "orders", LeftCol: "ghost", RightCol: "l_orderkey"}},
+	}
+	if _, err := p.Plan(bad); err == nil {
+		t.Error("unknown join column should error")
+	}
+}

@@ -1,0 +1,113 @@
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+
+	"progressest/internal/expr"
+	"progressest/internal/plan"
+)
+
+// QuerySpec is the logical form of a query: a left-deep join chain over
+// base tables with per-table filters, optional grouping/aggregation,
+// ordering and Top. Workload templates bind parameters into QuerySpecs;
+// the planner turns a QuerySpec into a physical plan under a physical
+// design.
+type QuerySpec struct {
+	First TableTerm
+	Joins []JoinTerm
+	// Exists are EXISTS sub-queries, planned as hash semi joins after the
+	// inner joins: each keeps only result rows for which the (filtered)
+	// right table contains a matching key.
+	Exists []JoinTerm
+	Group  *GroupSpec
+	// OrderBy sorts the final result by this column (applied after
+	// grouping if any).
+	OrderBy *ColRef
+	// TopN truncates the result; 0 means no Top.
+	TopN int64
+}
+
+// TableTerm is one base-table occurrence with local filter predicates.
+type TableTerm struct {
+	Table   string
+	Filters []FilterSpec
+}
+
+// FilterSpec is a single-column predicate on a base table.
+type FilterSpec struct {
+	Column string
+	// Range predicates use Lo..Hi (inclusive); point predicates use Op/Val.
+	IsRange bool
+	Lo, Hi  int64
+	Op      expr.CmpOp
+	Val     int64
+}
+
+// JoinTerm joins one new table into the chain via an equijoin.
+type JoinTerm struct {
+	Right     TableTerm
+	LeftTable string // earlier table providing the left join column
+	LeftCol   string
+	RightCol  string
+}
+
+// ColRef names a column of a base table in the query.
+type ColRef struct {
+	Table  string
+	Column string
+}
+
+// AggRef is one aggregate output.
+type AggRef struct {
+	Func plan.AggFunc
+	Col  ColRef // ignored for count
+}
+
+// GroupSpec describes GROUP BY with aggregates (at most two group columns,
+// matching the execution engine's group-key packing).
+type GroupSpec struct {
+	Cols []ColRef
+	Aggs []AggRef
+}
+
+// String renders the spec as pseudo-SQL for logging.
+func (q *QuerySpec) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Group != nil {
+		var parts []string
+		for _, c := range q.Group.Cols {
+			parts = append(parts, c.Table+"."+c.Column)
+		}
+		for _, a := range q.Group.Aggs {
+			if a.Func == plan.AggCount {
+				parts = append(parts, "count(*)")
+			} else {
+				parts = append(parts, fmt.Sprintf("%v(%s.%s)", a.Func, a.Col.Table, a.Col.Column))
+			}
+		}
+		b.WriteString(strings.Join(parts, ", "))
+	} else {
+		b.WriteString("*")
+	}
+	fmt.Fprintf(&b, " FROM %s", q.First.Table)
+	for _, j := range q.Joins {
+		fmt.Fprintf(&b, " JOIN %s ON %s.%s = %s.%s",
+			j.Right.Table, j.LeftTable, j.LeftCol, j.Right.Table, j.RightCol)
+	}
+	for _, j := range q.Exists {
+		fmt.Fprintf(&b, " WHERE EXISTS(%s: %s.%s = %s.%s)",
+			j.Right.Table, j.LeftTable, j.LeftCol, j.Right.Table, j.RightCol)
+	}
+	if q.Group != nil {
+		b.WriteString(" GROUP BY ...")
+	}
+	if q.OrderBy != nil {
+		fmt.Fprintf(&b, " ORDER BY %s.%s", q.OrderBy.Table, q.OrderBy.Column)
+	}
+	if q.TopN > 0 {
+		fmt.Fprintf(&b, " TOP %d", q.TopN)
+	}
+	return b.String()
+}

@@ -1,0 +1,167 @@
+package pipeline
+
+import (
+	"testing"
+
+	"progressest/internal/plan"
+)
+
+// mini plan builders (IDs assigned by Finalize).
+func scan(table string) *plan.Node {
+	return &plan.Node{Op: plan.TableScan, TableName: table, EstRows: 100, RowWidth: 8, OutCols: 1}
+}
+
+func TestSingleScanIsOnePipeline(t *testing.T) {
+	p := plan.Finalize(scan("t"))
+	d := Decompose(p)
+	if len(d.Pipelines) != 1 {
+		t.Fatalf("want 1 pipeline, got %d", len(d.Pipelines))
+	}
+	pl := d.Pipelines[0]
+	if len(pl.Drivers) != 1 || pl.Drivers[0] != p.Root.ID {
+		t.Errorf("scan should be its own driver: %+v", pl)
+	}
+}
+
+func TestHashJoinSplitsBuildSide(t *testing.T) {
+	probe, build := scan("probe"), scan("build")
+	hj := &plan.Node{Op: plan.HashJoin, Children: []*plan.Node{probe, build}}
+	p := plan.Finalize(hj)
+	d := Decompose(p)
+	if len(d.Pipelines) != 2 {
+		t.Fatalf("want 2 pipelines, got %d", len(d.Pipelines))
+	}
+	// Probe and join share a pipeline; build is alone.
+	if d.PipelineOf(probe.ID) != d.PipelineOf(hj.ID) {
+		t.Error("probe and hash join should share a pipeline")
+	}
+	if d.PipelineOf(build.ID) == d.PipelineOf(hj.ID) {
+		t.Error("build side should be a separate pipeline")
+	}
+	if !d.PipelineOf(build.ID).IsDriver(build.ID) {
+		t.Error("build scan should drive its pipeline")
+	}
+	if !d.PipelineOf(probe.ID).IsDriver(probe.ID) {
+		t.Error("probe scan should drive the probe pipeline")
+	}
+}
+
+func TestNestedLoopInnerNotDriver(t *testing.T) {
+	outer := scan("outer")
+	inner := &plan.Node{Op: plan.IndexSeek, TableName: "inner", SeekOuterCol: 0}
+	nlj := &plan.Node{Op: plan.NestedLoopJoin, Children: []*plan.Node{outer, inner}}
+	p := plan.Finalize(nlj)
+	d := Decompose(p)
+	if len(d.Pipelines) != 1 {
+		t.Fatalf("nested loop should be one pipeline, got %d", len(d.Pipelines))
+	}
+	pl := d.Pipelines[0]
+	if !pl.IsDriver(outer.ID) {
+		t.Error("outer scan should be the driver")
+	}
+	if pl.IsDriver(inner.ID) {
+		t.Error("inner seek must not be a driver")
+	}
+	if !pl.Contains(inner.ID) {
+		t.Error("inner seek belongs to the same pipeline")
+	}
+}
+
+func TestSortDrivesParentPipeline(t *testing.T) {
+	s := scan("t")
+	srt := &plan.Node{Op: plan.Sort, Children: []*plan.Node{s}, SortCols: []int{0}}
+	top := &plan.Node{Op: plan.Top, Children: []*plan.Node{srt}, TopN: 5}
+	p := plan.Finalize(top)
+	d := Decompose(p)
+	if len(d.Pipelines) != 2 {
+		t.Fatalf("want 2 pipelines, got %d", len(d.Pipelines))
+	}
+	// Sort belongs to the pipeline containing Top, as its driver.
+	if d.PipelineOf(srt.ID) != d.PipelineOf(top.ID) {
+		t.Error("sort should belong to the pipeline it feeds")
+	}
+	if !d.PipelineOf(srt.ID).IsDriver(srt.ID) {
+		t.Error("sort should drive the emission pipeline")
+	}
+	// Scan is alone in its pipeline, driving it.
+	if d.PipelineOf(s.ID) == d.PipelineOf(srt.ID) {
+		t.Error("sort input should be a separate pipeline")
+	}
+	if !d.PipelineOf(s.ID).IsDriver(s.ID) {
+		t.Error("scan should drive the input pipeline")
+	}
+}
+
+func TestSemiJoinSplitsBuildSide(t *testing.T) {
+	probe, build := scan("probe"), scan("build")
+	sj := &plan.Node{Op: plan.SemiJoin, Children: []*plan.Node{probe, build}}
+	p := plan.Finalize(sj)
+	d := Decompose(p)
+	if len(d.Pipelines) != 2 {
+		t.Fatalf("want 2 pipelines, got %d", len(d.Pipelines))
+	}
+	if d.PipelineOf(probe.ID) != d.PipelineOf(sj.ID) {
+		t.Error("probe and semi join should share a pipeline")
+	}
+	if d.PipelineOf(build.ID) == d.PipelineOf(sj.ID) {
+		t.Error("semi-join build side should be a separate pipeline")
+	}
+}
+
+func TestMergeJoinBothSidesDrivers(t *testing.T) {
+	l, r := scan("l"), scan("r")
+	mj := &plan.Node{Op: plan.MergeJoin, Children: []*plan.Node{l, r}}
+	p := plan.Finalize(mj)
+	d := Decompose(p)
+	if len(d.Pipelines) != 1 {
+		t.Fatalf("merge join should be one pipeline, got %d", len(d.Pipelines))
+	}
+	pl := d.Pipelines[0]
+	if !pl.IsDriver(l.ID) || !pl.IsDriver(r.ID) {
+		t.Error("both merge-join inputs should be drivers")
+	}
+}
+
+func TestComplexPlanDecomposition(t *testing.T) {
+	// HashAgg over HashJoin(Filter(scan), Sort(scan)).
+	probeScan := scan("a")
+	filter := &plan.Node{Op: plan.Filter, Children: []*plan.Node{probeScan}}
+	buildScan := scan("b")
+	srt := &plan.Node{Op: plan.Sort, Children: []*plan.Node{buildScan}, SortCols: []int{0}}
+	hj := &plan.Node{Op: plan.HashJoin, Children: []*plan.Node{filter, srt}}
+	agg := &plan.Node{Op: plan.HashAgg, Children: []*plan.Node{hj}, GroupCols: []int{0}}
+	p := plan.Finalize(agg)
+	d := Decompose(p)
+
+	// Pipelines: [agg emission], [probe scan+filter+hj], [sort emission],
+	// [build scan].
+	if len(d.Pipelines) != 4 {
+		t.Fatalf("want 4 pipelines, got %d", len(d.Pipelines))
+	}
+	if d.PipelineOf(hj.ID) != d.PipelineOf(filter.ID) ||
+		d.PipelineOf(filter.ID) != d.PipelineOf(probeScan.ID) {
+		t.Error("probe chain should share one pipeline")
+	}
+	if d.PipelineOf(srt.ID) == d.PipelineOf(buildScan.ID) {
+		t.Error("sort emission and its input should be separate pipelines")
+	}
+	if d.PipelineOf(agg.ID) == d.PipelineOf(hj.ID) {
+		t.Error("hash agg emission should be separate from its input")
+	}
+	if !d.PipelineOf(agg.ID).IsDriver(agg.ID) {
+		t.Error("hash agg drives its emission pipeline")
+	}
+	// Every node assigned exactly once.
+	seen := map[int]bool{}
+	for _, pl := range d.Pipelines {
+		for _, id := range pl.Nodes {
+			if seen[id] {
+				t.Errorf("node %d in multiple pipelines", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != p.NumNodes() {
+		t.Errorf("assigned %d nodes, plan has %d", len(seen), p.NumNodes())
+	}
+}

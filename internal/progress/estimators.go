@@ -1,0 +1,341 @@
+package progress
+
+import (
+	"math"
+
+	"progressest/internal/plan"
+	"progressest/internal/stats"
+)
+
+// Series returns the estimator's progress estimate at every observation of
+// the pipeline. Results are cached on the view, so replaying all
+// estimators over one trace costs a single pass each.
+func (v *PipelineView) Series(kind Kind) []float64 {
+	if v.cache == nil {
+		v.cache = make(map[Kind][]float64)
+	}
+	if s, ok := v.cache[kind]; ok {
+		return s
+	}
+	var s []float64
+	switch kind {
+	case DNE:
+		s = v.ratioSeries(v.Pipe.Drivers)
+	case TGN:
+		s = v.ratioSeries(v.Pipe.Nodes)
+	case BATCHDNE:
+		s = v.ratioSeries(v.batchDrivers)
+	case DNESEEK:
+		s = v.ratioSeries(v.seekDrivers)
+	case TGNINT:
+		s = v.tgnintSeries()
+	case LUO:
+		s = v.luoSeries(false)
+	case OracleBytes:
+		s = v.luoSeries(true)
+	case PMAX:
+		s, _ = v.worstCaseSeries()
+	case SAFE:
+		_, s = v.worstCaseSeries()
+	case OracleGetNext:
+		s = v.oracleGetNextSeries()
+	default:
+		panic("progress: unknown estimator kind " + kind.String())
+	}
+	v.cache[kind] = s
+	return s
+}
+
+// Estimate returns the estimator's value at observation ordinal i.
+func (v *PipelineView) Estimate(kind Kind, i int) float64 { return v.Series(kind)[i] }
+
+// ratioSeries computes sum(K)/sum(refined E) over a node set — the shape
+// shared by DNE (eq. 4), TGN (eq. 3), BATCHDNE (eq. 6) and DNESEEK (eq. 7).
+func (v *PipelineView) ratioSeries(ids []int) []float64 {
+	out := make([]float64, len(v.Obs))
+	for i := range v.Obs {
+		k, e := v.sums(ids, v.snap(i))
+		if e <= 0 {
+			out[i] = 1
+			continue
+		}
+		out[i] = clamp01(k / e)
+	}
+	return out
+}
+
+// tgnintSeries computes the cardinality-interpolation estimator (eq. 8):
+//
+//	TGNINT = sum(K) / (sum(K) + (1 - DNE) * sum(E))
+func (v *PipelineView) tgnintSeries() []float64 {
+	out := make([]float64, len(v.Obs))
+	for i := range v.Obs {
+		s := v.snap(i)
+		k, e := v.sums(v.Pipe.Nodes, s)
+		dk, de := v.sums(v.Pipe.Drivers, s)
+		dne := 1.0
+		if de > 0 {
+			dne = clamp01(dk / de)
+		}
+		den := k + (1-dne)*e
+		if den <= 0 {
+			out[i] = 1
+			continue
+		}
+		out[i] = clamp01(k / den)
+	}
+	return out
+}
+
+// luoSeries computes the bytes-processed estimator of Luo et al.: bytes
+// read at the driver nodes plus bytes written at the pipeline's top node,
+// over the estimated total, where the output total is refined by
+// interpolation between the optimizer estimate and the scaled-up observed
+// count (Section 3.3, eq. 2). Spill I/O inside the pipeline counts as
+// bytes processed. With oracle=true, true totals replace all estimates
+// (the idealised bytes-processed model of Section 6.7).
+func (v *PipelineView) luoSeries(oracle bool) []float64 {
+	top := v.topNode()
+	out := make([]float64, len(v.Obs))
+	spillNodes := v.spillNodes()
+
+	// True totals for the oracle variant.
+	var trueTotal float64
+	if oracle {
+		for _, d := range v.Pipe.Drivers {
+			trueTotal += float64(v.Trace.N[d]) * v.Width[d]
+		}
+		trueTotal += float64(v.Trace.N[top]) * v.Width[top]
+		for _, id := range spillNodes {
+			trueTotal += float64(v.Trace.FinalR[id] + v.Trace.FinalW[id])
+		}
+	}
+
+	for i := range v.Obs {
+		s := v.snap(i)
+		var done float64
+		for _, d := range v.Pipe.Drivers {
+			done += float64(s.K[d]) * v.Width[d]
+		}
+		done += float64(s.K[top]) * v.Width[top]
+		for _, id := range spillNodes {
+			done += float64(s.R[id] + s.W[id])
+		}
+
+		var total float64
+		if oracle {
+			total = trueTotal
+		} else {
+			alpha := v.DriverFraction(i)
+			for _, d := range v.Pipe.Drivers {
+				total += v.refinedE(d, s) * v.Width[d]
+			}
+			// Interpolated output estimate (eq. 2).
+			eTop := v.refinedE(top, s)
+			if alpha > 0 {
+				scaled := float64(s.K[top]) / alpha
+				eTop = alpha*scaled + (1-alpha)*eTop
+			}
+			total += eTop * v.Width[top]
+		}
+		if total <= 0 {
+			out[i] = 1
+			continue
+		}
+		out[i] = clamp01(done / total)
+	}
+	return out
+}
+
+// worstCaseSeries computes PMAX and SAFE together. Both are built from
+// bounds on the remaining work: each remaining driver tuple triggers at
+// least 1 and at most m GetNext calls, where m is the largest per-tuple
+// fan-out observed so far.
+func (v *PipelineView) worstCaseSeries() (pmax, safe []float64) {
+	n := len(v.Obs)
+	pmax = make([]float64, n)
+	safe = make([]float64, n)
+	m := 1.0
+	var prevK, prevDK float64
+	for i := 0; i < n; i++ {
+		s := v.snap(i)
+		k, _ := v.sums(v.Pipe.Nodes, s)
+		dk, de := v.sums(v.Pipe.Drivers, s)
+		if ddk := dk - prevDK; ddk > 0 {
+			if fanout := (k - prevK) / ddk; fanout > m {
+				m = fanout
+			}
+		}
+		prevK, prevDK = k, dk
+		remaining := de - dk
+		if remaining < 0 {
+			remaining = 0
+		}
+		loDen := k + remaining*m
+		hiDen := k + remaining
+		lo, hi := 1.0, 1.0
+		if loDen > 0 {
+			lo = clamp01(k / loDen)
+		}
+		if hiDen > 0 {
+			hi = clamp01(k / hiDen)
+		}
+		pmax[i] = lo
+		safe[i] = clamp01(math.Sqrt(lo * hi))
+	}
+	return pmax, safe
+}
+
+// UnrefinedTGNSeries computes the TGN estimator *without* any online
+// refinement of cardinality estimates: sum(K) over the raw plan-time
+// sum(E_i^0), clamped to [0,1]. It exists to quantify how much the
+// Section 3.3 refinement techniques contribute (the paper's concluding
+// outlook points at online cardinality refinement as the main lever for
+// further progress-estimation gains).
+func (v *PipelineView) UnrefinedTGNSeries() []float64 {
+	var e0 float64
+	for _, id := range v.Pipe.Nodes {
+		e0 += v.Trace.Plan.Node(id).EstRows
+	}
+	out := make([]float64, len(v.Obs))
+	for i := range v.Obs {
+		s := v.snap(i)
+		var k float64
+		for _, id := range v.Pipe.Nodes {
+			k += float64(s.K[id])
+		}
+		if e0 <= 0 {
+			out[i] = 1
+			continue
+		}
+		out[i] = clamp01(k / e0)
+	}
+	return out
+}
+
+// UnrefinedTGNErrors returns the error statistics of the unrefined TGN
+// series.
+func (v *PipelineView) UnrefinedTGNErrors() ErrorStats {
+	est := v.UnrefinedTGNSeries()
+	truth := v.TrueSeries()
+	dev := make([]float64, len(est))
+	for i := range est {
+		dev[i] = est[i] - truth[i]
+	}
+	return errorStatsOf(dev, est, truth)
+}
+
+// oracleGetNextSeries is the idealised GetNext model: sum(K)/sum(N) with
+// true totals (Section 6.7).
+func (v *PipelineView) oracleGetNextSeries() []float64 {
+	var total float64
+	for _, id := range v.Pipe.Nodes {
+		total += float64(v.Trace.N[id])
+	}
+	out := make([]float64, len(v.Obs))
+	for i := range v.Obs {
+		s := v.snap(i)
+		var k float64
+		for _, id := range v.Pipe.Nodes {
+			k += float64(s.K[id])
+		}
+		if total <= 0 {
+			out[i] = 1
+			continue
+		}
+		out[i] = clamp01(k / total)
+	}
+	return out
+}
+
+// topNode returns the pipeline's output node: the member whose parent is
+// outside the pipeline (or the plan root).
+func (v *PipelineView) topNode() int {
+	inPipe := make(map[int]bool, len(v.Pipe.Nodes))
+	for _, id := range v.Pipe.Nodes {
+		inPipe[id] = true
+	}
+	childOf := make(map[int]bool)
+	for _, id := range v.Pipe.Nodes {
+		for _, c := range v.Trace.Plan.Node(id).Children {
+			if inPipe[c.ID] {
+				childOf[c.ID] = true
+			}
+		}
+	}
+	for _, id := range v.Pipe.Nodes {
+		if !childOf[id] {
+			return id
+		}
+	}
+	return v.Pipe.Nodes[len(v.Pipe.Nodes)-1]
+}
+
+// spillNodes returns pipeline members that can incur spill I/O.
+func (v *PipelineView) spillNodes() []int {
+	var out []int
+	for _, id := range v.Pipe.Nodes {
+		op := v.Trace.Plan.Node(id).Op
+		if op == plan.HashJoin || op == plan.Sort {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ErrorStats aggregates the deviation of an estimator from true progress
+// over a pipeline's observations, in the paper's metrics.
+type ErrorStats struct {
+	L1    float64 // mean absolute deviation
+	L2    float64 // root mean squared deviation
+	Ratio float64 // mean max(est/true, true/est)
+}
+
+// Errors computes the estimator's error statistics against true pipeline
+// progress (measured in virtual time, as the paper measures wall time).
+func (v *PipelineView) Errors(kind Kind) ErrorStats {
+	est := v.Series(kind)
+	truth := v.TrueSeries()
+	dev := make([]float64, len(est))
+	for i := range est {
+		dev[i] = est[i] - truth[i]
+	}
+	return errorStatsOf(dev, est, truth)
+}
+
+// errorStatsOf bundles the three error metrics.
+func errorStatsOf(dev, est, truth []float64) ErrorStats {
+	return ErrorStats{
+		L1:    stats.L1Error(dev),
+		L2:    stats.L2Error(dev),
+		Ratio: stats.RatioError(est, truth),
+	}
+}
+
+// ErrorStatsFrom computes error statistics for an externally composed
+// progress series (used by online estimator revision, which splices the
+// series of two estimators).
+func ErrorStatsFrom(dev, est, truth []float64) ErrorStats {
+	return errorStatsOf(dev, est, truth)
+}
+
+// AllErrors computes error statistics for every selectable estimator.
+func (v *PipelineView) AllErrors() map[Kind]ErrorStats {
+	out := make(map[Kind]ErrorStats, NumKinds)
+	for _, k := range Kinds() {
+		out[k] = v.Errors(k)
+	}
+	return out
+}
+
+// Best returns the estimator with the smallest L1 error among kinds.
+func Best(errs map[Kind]ErrorStats, kinds []Kind) (Kind, float64) {
+	best := kinds[0]
+	bestErr := math.Inf(1)
+	for _, k := range kinds {
+		if e, ok := errs[k]; ok && e.L1 < bestErr {
+			best, bestErr = k, e.L1
+		}
+	}
+	return best, bestErr
+}

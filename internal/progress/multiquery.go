@@ -1,0 +1,86 @@
+package progress
+
+import "progressest/internal/exec"
+
+// MultiQuery estimates the combined progress of several queries, the
+// extension direction of Luo et al.'s multi-query progress indicators that
+// the paper lists as future work. Queries execute independently (our
+// engine runs them serially on a shared virtual clock domain per query);
+// the combined estimate weighs each query by its estimated total work, and
+// queries that have finished contribute their full weight.
+//
+// This models the "batch of reports" scenario: a DBA submits N
+// long-running queries and wants one progress bar for the batch.
+type MultiQuery struct {
+	Queries []*QueryView
+
+	weights []float64
+}
+
+// NewMultiQuery combines the traces of independently executed queries.
+func NewMultiQuery(traces []*exec.Trace) *MultiQuery {
+	m := &MultiQuery{}
+	var total float64
+	for _, tr := range traces {
+		qv := NewQueryView(tr)
+		m.Queries = append(m.Queries, qv)
+		w := tr.Plan.TotalEstRows()
+		if w <= 0 {
+			w = 1
+		}
+		m.weights = append(m.weights, w)
+		total += w
+	}
+	for i := range m.weights {
+		m.weights[i] /= total
+	}
+	return m
+}
+
+// QueryWeight returns query q's share of the batch's estimated work.
+func (m *MultiQuery) QueryWeight(q int) float64 { return m.weights[q] }
+
+// BatchProgress returns the combined batch progress when each query q has
+// independently reached progress fraction perQuery[q] (pass 1 for finished
+// queries, 0 for queued ones).
+func (m *MultiQuery) BatchProgress(perQuery []float64) float64 {
+	var sum float64
+	for q, f := range perQuery {
+		sum += m.weights[q] * clamp01(f)
+	}
+	return clamp01(sum)
+}
+
+// SerialSeries replays the batch as if the queries executed back to back
+// (the engine's execution model) and returns the batch progress at every
+// observation of every query, using estimator kind throughout, together
+// with the matching true batch progress.
+func (m *MultiQuery) SerialSeries(kind Kind) (est, truth []float64) {
+	done := 0.0
+	var totalTime float64
+	for _, qv := range m.Queries {
+		totalTime += qv.Trace.TotalTime
+	}
+	var elapsed float64
+	for q, qv := range m.Queries {
+		qSeries := qv.Series(kind)
+		for i := range qv.Trace.Snapshots {
+			est = append(est, clamp01(done+m.weights[q]*qSeries[i]))
+			truth = append(truth, clamp01((elapsed+qv.Trace.Snapshots[i].Time)/totalTime))
+		}
+		done += m.weights[q]
+		elapsed += qv.Trace.TotalTime
+	}
+	return est, truth
+}
+
+// Errors returns the error statistics of the serial batch series for one
+// estimator.
+func (m *MultiQuery) Errors(kind Kind) ErrorStats {
+	est, truth := m.SerialSeries(kind)
+	dev := make([]float64, len(est))
+	for i := range est {
+		dev[i] = est[i] - truth[i]
+	}
+	return errorStatsOf(dev, est, truth)
+}

@@ -1,0 +1,114 @@
+package progress
+
+import (
+	"math"
+	"testing"
+
+	"progressest/internal/catalog"
+	"progressest/internal/datagen"
+	"progressest/internal/exec"
+	"progressest/internal/optimizer"
+)
+
+func multiQueryFixture(t *testing.T, n int) *MultiQuery {
+	t.Helper()
+	db := datagen.GenTPCH(datagen.Params{Scale: 0.08, Zipf: 1, Seed: 31})
+	if err := db.ApplyDesign(datagen.Designs(datagen.TPCHLike)[catalog.PartiallyTuned]); err != nil {
+		t.Fatal(err)
+	}
+	planner := optimizer.NewPlanner(db, optimizer.BuildStats(db))
+	var traces []*exec.Trace
+	for i := 0; i < n; i++ {
+		spec := &optimizer.QuerySpec{
+			First: optimizer.TableTerm{Table: "orders", Filters: []optimizer.FilterSpec{
+				{Column: "o_orderdate", IsRange: true, Lo: 1, Hi: int64(600 * (i + 1))},
+			}},
+			Joins: []optimizer.JoinTerm{{
+				Right:     optimizer.TableTerm{Table: "lineitem"},
+				LeftTable: "orders", LeftCol: "o_orderkey", RightCol: "l_orderkey",
+			}},
+		}
+		pl, err := planner.Plan(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, exec.Run(db, pl, exec.Options{}))
+	}
+	return NewMultiQuery(traces)
+}
+
+func TestMultiQueryWeightsNormalised(t *testing.T) {
+	m := multiQueryFixture(t, 3)
+	var sum float64
+	for q := range m.Queries {
+		w := m.QueryWeight(q)
+		if w <= 0 || w > 1 {
+			t.Fatalf("weight %v", w)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %v", sum)
+	}
+	// The query with the wider date range does more work.
+	if m.QueryWeight(0) >= m.QueryWeight(2) {
+		t.Errorf("weights should grow with query size: %v vs %v",
+			m.QueryWeight(0), m.QueryWeight(2))
+	}
+}
+
+func TestBatchProgressConvexCombination(t *testing.T) {
+	m := multiQueryFixture(t, 3)
+	if got := m.BatchProgress([]float64{0, 0, 0}); got != 0 {
+		t.Errorf("all-zero batch progress = %v", got)
+	}
+	if got := m.BatchProgress([]float64{1, 1, 1}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("all-done batch progress = %v", got)
+	}
+	half := m.BatchProgress([]float64{0.5, 0.5, 0.5})
+	if math.Abs(half-0.5) > 1e-9 {
+		t.Errorf("uniform half progress = %v", half)
+	}
+	// Out-of-range inputs are clamped.
+	if got := m.BatchProgress([]float64{2, -1, 0.5}); got < 0 || got > 1 {
+		t.Errorf("clamping failed: %v", got)
+	}
+}
+
+func TestSerialSeriesMonotoneTruth(t *testing.T) {
+	m := multiQueryFixture(t, 3)
+	est, truth := m.SerialSeries(DNE)
+	if len(est) != len(truth) || len(est) == 0 {
+		t.Fatal("misaligned series")
+	}
+	for i := 1; i < len(truth); i++ {
+		if truth[i] < truth[i-1]-1e-12 {
+			t.Fatalf("batch truth not monotone at %d", i)
+		}
+	}
+	if truth[len(truth)-1] < 0.999 {
+		t.Errorf("final batch truth %v", truth[len(truth)-1])
+	}
+	for _, v := range est {
+		if v < 0 || v > 1 {
+			t.Fatalf("batch estimate %v out of range", v)
+		}
+	}
+}
+
+func TestMultiQueryOracleErrors(t *testing.T) {
+	m := multiQueryFixture(t, 2)
+	oracle := m.Errors(OracleGetNext)
+	if oracle.L1 < 0 || oracle.L2 < oracle.L1-1e-9 {
+		t.Fatalf("bad oracle stats %+v", oracle)
+	}
+	worst := 0.0
+	for _, k := range CoreKinds() {
+		if e := m.Errors(k).L1; e > worst {
+			worst = e
+		}
+	}
+	if oracle.L1 > worst+1e-9 {
+		t.Errorf("batch oracle %.4f should not exceed worst estimator %.4f", oracle.L1, worst)
+	}
+}

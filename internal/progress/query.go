@@ -1,0 +1,119 @@
+package progress
+
+import "progressest/internal/exec"
+
+// QueryView combines per-pipeline estimates into whole-query progress,
+// following eq. 5 of the paper: the query's progress is the weighted sum
+// of the pipelines' estimated progress, each weighted by its share of the
+// estimated total work (driver-node E_i for driver-based estimators; we
+// use the pipeline's total estimated GetNext count, which reduces to the
+// same weights for single-driver pipelines and remains well-defined for
+// every estimator kind).
+type QueryView struct {
+	Trace *exec.Trace
+	Views []*PipelineView
+
+	weights []float64 // per pipeline, normalised
+}
+
+// NewQueryView builds the pipeline views and work weights of a trace.
+func NewQueryView(tr *exec.Trace) *QueryView {
+	q := &QueryView{Trace: tr}
+	var total float64
+	for p := range tr.Pipes.Pipelines {
+		v := NewPipelineView(tr, p)
+		q.Views = append(q.Views, v)
+		var w float64
+		for _, id := range v.Pipe.Nodes {
+			w += v.E0[id]
+		}
+		q.weights = append(q.weights, w)
+		total += w
+	}
+	if total > 0 {
+		for i := range q.weights {
+			q.weights[i] /= total
+		}
+	}
+	return q
+}
+
+// Weight returns pipeline p's share of the estimated total work.
+func (q *QueryView) Weight(p int) float64 { return q.weights[p] }
+
+// EstimateAt returns the whole-query progress estimate at global snapshot
+// index obs, using estimator kind (or a per-pipeline choice function) for
+// each pipeline: completed pipelines contribute their full weight, the
+// active pipeline contributes its partial estimate, and future pipelines
+// contribute zero.
+func (q *QueryView) EstimateAt(obs int, choose func(p int) Kind) float64 {
+	t := q.Trace.Snapshots[obs].Time
+	var sum float64
+	for p, v := range q.Views {
+		span := q.Trace.PipeSpans[p]
+		switch {
+		case span.End <= span.Start:
+			// Degenerate pipeline (no activity): count as done.
+			sum += q.weights[p]
+		case t >= span.End:
+			sum += q.weights[p]
+		case t < span.Start:
+			// not started
+		default:
+			// Active: use the estimator's value at the nearest pipeline
+			// observation at or before obs.
+			ord := v.ordinalAtOrBefore(obs)
+			if ord < 0 {
+				continue
+			}
+			sum += q.weights[p] * v.Estimate(choose(p), ord)
+		}
+	}
+	return clamp01(sum)
+}
+
+// Series returns the whole-query progress series over all snapshots for a
+// single estimator kind.
+func (q *QueryView) Series(kind Kind) []float64 {
+	out := make([]float64, len(q.Trace.Snapshots))
+	for i := range out {
+		out[i] = q.EstimateAt(i, func(int) Kind { return kind })
+	}
+	return out
+}
+
+// TrueSeries returns the true whole-query progress (virtual time).
+func (q *QueryView) TrueSeries() []float64 {
+	out := make([]float64, len(q.Trace.Snapshots))
+	for i := range out {
+		out[i] = q.Trace.TrueProgress(i)
+	}
+	return out
+}
+
+// Errors returns the error statistics of a single-estimator query series.
+func (q *QueryView) Errors(kind Kind) ErrorStats {
+	est := q.Series(kind)
+	truth := q.TrueSeries()
+	dev := make([]float64, len(est))
+	for i := range est {
+		dev[i] = est[i] - truth[i]
+	}
+	return errorStatsOf(dev, est, truth)
+}
+
+// ordinalAtOrBefore maps a global snapshot index to the pipeline-local
+// observation ordinal at or before it, or -1.
+func (v *PipelineView) ordinalAtOrBefore(obs int) int {
+	// v.Obs is sorted ascending; binary search for the last <= obs.
+	lo, hi := 0, len(v.Obs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v.Obs[mid] <= obs {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}

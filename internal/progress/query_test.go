@@ -1,0 +1,140 @@
+package progress
+
+import (
+	"math"
+	"testing"
+
+	"progressest/internal/catalog"
+	"progressest/internal/datagen"
+	"progressest/internal/exec"
+	"progressest/internal/optimizer"
+	"progressest/internal/plan"
+)
+
+func queryView(t *testing.T) *QueryView {
+	t.Helper()
+	db := datagen.GenTPCH(datagen.Params{Scale: 0.08, Zipf: 1, Seed: 21})
+	if err := db.ApplyDesign(datagen.Designs(datagen.TPCHLike)[catalog.Untuned]); err != nil {
+		t.Fatal(err)
+	}
+	spec := &optimizer.QuerySpec{
+		First: optimizer.TableTerm{Table: "orders", Filters: []optimizer.FilterSpec{
+			{Column: "o_orderdate", IsRange: true, Lo: 1, Hi: 1800},
+		}},
+		Joins: []optimizer.JoinTerm{{
+			Right:     optimizer.TableTerm{Table: "lineitem"},
+			LeftTable: "orders", LeftCol: "o_orderkey", RightCol: "l_orderkey",
+		}},
+		Group: &optimizer.GroupSpec{
+			Cols: []optimizer.ColRef{{Table: "lineitem", Column: "l_returnflag"}},
+			Aggs: []optimizer.AggRef{{Func: plan.AggCount}},
+		},
+	}
+	pl, err := optimizer.NewPlanner(db, optimizer.BuildStats(db)).Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := exec.Run(db, pl, exec.Options{})
+	return NewQueryView(tr)
+}
+
+func TestQueryWeightsNormalised(t *testing.T) {
+	q := queryView(t)
+	var sum float64
+	for p := range q.Views {
+		w := q.Weight(p)
+		if w < 0 || w > 1 {
+			t.Fatalf("weight %v out of range", w)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %v", sum)
+	}
+}
+
+func TestQuerySeriesBoundedAndTerminal(t *testing.T) {
+	q := queryView(t)
+	for _, k := range []Kind{DNE, TGN, LUO, TGNINT, OracleGetNext} {
+		s := q.Series(k)
+		for i, v := range s {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("%v: query progress %v at obs %d", k, v, i)
+			}
+		}
+		if last := s[len(s)-1]; last < 0.98 {
+			t.Errorf("%v: final query progress %v, want ~1", k, last)
+		}
+	}
+}
+
+func TestQueryTrueSeriesMonotone(t *testing.T) {
+	q := queryView(t)
+	truth := q.TrueSeries()
+	for i := 1; i < len(truth); i++ {
+		if truth[i] < truth[i-1] {
+			t.Fatalf("true progress not monotone at %d", i)
+		}
+	}
+	if truth[len(truth)-1] < 0.999 {
+		t.Errorf("final true progress %v", truth[len(truth)-1])
+	}
+}
+
+func TestQueryOracleBeatsWorstEstimator(t *testing.T) {
+	q := queryView(t)
+	oracle := q.Errors(OracleGetNext).L1
+	worst := 0.0
+	for _, k := range CoreKinds() {
+		if e := q.Errors(k).L1; e > worst {
+			worst = e
+		}
+	}
+	if oracle > worst+1e-9 {
+		t.Errorf("query-level oracle L1 %.4f should not exceed worst estimator %.4f", oracle, worst)
+	}
+}
+
+func TestPerPipelineChoiceFunction(t *testing.T) {
+	q := queryView(t)
+	// A mixed choice (alternating estimators per pipeline) must still
+	// produce bounded progress.
+	mixed := func(p int) Kind {
+		if p%2 == 0 {
+			return DNE
+		}
+		return TGN
+	}
+	for i := range q.Trace.Snapshots {
+		v := q.EstimateAt(i, mixed)
+		if v < 0 || v > 1 {
+			t.Fatalf("mixed estimate %v at obs %d", v, i)
+		}
+	}
+}
+
+func TestOrdinalAtOrBefore(t *testing.T) {
+	q := queryView(t)
+	for _, v := range q.Views {
+		if v.NumObs() == 0 {
+			continue
+		}
+		// The last global snapshot is at or after every pipeline obs.
+		last := len(q.Trace.Snapshots) - 1
+		if got := v.ordinalAtOrBefore(last); got > v.NumObs()-1 {
+			t.Fatalf("ordinal out of range: %d", got)
+		}
+		// Before the first pipeline observation: -1.
+		if v.Obs[0] > 0 {
+			if got := v.ordinalAtOrBefore(v.Obs[0] - 1); got != -1 {
+				t.Errorf("expected -1 before first obs, got %d", got)
+			}
+		}
+		// Exactly at each observation index: that ordinal.
+		for ord, oi := range v.Obs {
+			if got := v.ordinalAtOrBefore(oi); got != ord {
+				t.Fatalf("ordinalAtOrBefore(%d) = %d, want %d", oi, got, ord)
+			}
+		}
+	}
+}

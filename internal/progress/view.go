@@ -1,0 +1,195 @@
+package progress
+
+import (
+	"math"
+
+	"progressest/internal/exec"
+	"progressest/internal/pipeline"
+	"progressest/internal/plan"
+)
+
+// PipelineView is the per-pipeline evaluation context shared by all
+// estimators: the observation prefix belonging to the pipeline, the
+// driver-node set, exact driver totals where known, and structural upper
+// bounds used for online estimate refinement (Section 3.3).
+type PipelineView struct {
+	Trace *exec.Trace
+	Pipe  *pipeline.Pipeline
+
+	// Obs are the snapshot indices falling within the pipeline's span.
+	Obs []int
+
+	// E0 is the optimizer estimate per node (indexed by node ID), with
+	// exact totals substituted for driver nodes when known.
+	E0 []float64
+	// UB is the structural upper bound on N_i per node (+Inf if none).
+	UB []float64
+	// Width is the logical row width per node.
+	Width []float64
+
+	// DriverKnown reports whether all driver totals were known at
+	// pipeline start.
+	DriverKnown bool
+
+	batchDrivers []int // drivers + BatchSort members (eq. 6)
+	seekDrivers  []int // drivers + IndexSeek members (eq. 7)
+
+	cache map[Kind][]float64
+}
+
+// NewPipelineView prepares the evaluation context for pipeline p of the
+// trace.
+func NewPipelineView(tr *exec.Trace, p int) *PipelineView {
+	pipe := tr.Pipes.Pipelines[p]
+	nodes := tr.Plan.Nodes()
+	v := &PipelineView{
+		Trace: tr,
+		Pipe:  pipe,
+		Obs:   tr.PipelineObservations(p),
+		E0:    make([]float64, len(nodes)),
+		UB:    make([]float64, len(nodes)),
+		Width: make([]float64, len(nodes)),
+	}
+	for _, n := range nodes {
+		v.E0[n.ID] = n.EstRows
+		v.UB[n.ID] = math.Inf(1)
+		v.Width[n.ID] = n.RowWidth
+	}
+	v.DriverKnown = tr.DriverTotalsKnown[p]
+	// Exact totals for driver nodes when known (the common case for scans
+	// and completed blocking operators).
+	for _, d := range pipe.Drivers {
+		if t := tr.DriverTotal[d]; t > 0 || v.DriverKnown {
+			if v.DriverKnown {
+				v.E0[d] = float64(tr.DriverTotal[d])
+				v.UB[d] = float64(tr.DriverTotal[d])
+			}
+		}
+	}
+	// Structural upper bounds: a streaming unary operator cannot emit more
+	// rows than its input's bound.
+	var bound func(n *plan.Node) float64
+	bound = func(n *plan.Node) float64 {
+		if !pipe.Contains(n.ID) {
+			return math.Inf(1)
+		}
+		switch n.Op {
+		case plan.Filter, plan.Project, plan.BatchSort, plan.StreamAgg:
+			b := bound(n.Children[0])
+			if b < v.UB[n.ID] {
+				v.UB[n.ID] = b
+			}
+		case plan.Top:
+			b := bound(n.Children[0])
+			if float64(n.TopN) < b {
+				b = float64(n.TopN)
+			}
+			if b < v.UB[n.ID] {
+				v.UB[n.ID] = b
+			}
+		default:
+			for _, c := range n.Children {
+				bound(c)
+			}
+		}
+		return v.UB[n.ID]
+	}
+	bound(tr.Plan.Root)
+
+	// Extended driver sets for the batch/seek estimator variants.
+	v.batchDrivers = append([]int(nil), pipe.Drivers...)
+	v.seekDrivers = append([]int(nil), pipe.Drivers...)
+	for _, id := range pipe.Nodes {
+		switch tr.Plan.Node(id).Op {
+		case plan.BatchSort:
+			if !pipe.IsDriver(id) {
+				v.batchDrivers = append(v.batchDrivers, id)
+			}
+		case plan.IndexSeek:
+			if !pipe.IsDriver(id) {
+				v.seekDrivers = append(v.seekDrivers, id)
+			}
+		}
+	}
+	return v
+}
+
+// NumObs returns the number of observations within the pipeline.
+func (v *PipelineView) NumObs() int { return len(v.Obs) }
+
+// snap returns the snapshot of observation ordinal i.
+func (v *PipelineView) snap(i int) *exec.Snapshot {
+	return &v.Trace.Snapshots[v.Obs[i]]
+}
+
+// refinedE returns the bounds-refined estimate E_i(t) (Section 3.3,
+// following [6]): the initial estimate clamped to [K_i(t), UB_i].
+func (v *PipelineView) refinedE(id int, s *exec.Snapshot) float64 {
+	e := v.E0[id]
+	if k := float64(s.K[id]); k > e {
+		e = k
+	}
+	if ub := v.UB[id]; e > ub {
+		e = ub
+	}
+	return e
+}
+
+// sums returns sum of K and of refined E over the given node set.
+func (v *PipelineView) sums(ids []int, s *exec.Snapshot) (k, e float64) {
+	for _, id := range ids {
+		k += float64(s.K[id])
+		e += v.refinedE(id, s)
+	}
+	return k, e
+}
+
+// DriverFraction returns alpha_Pj (eq. 1): the consumed fraction of the
+// driver-node inputs at observation ordinal i.
+func (v *PipelineView) DriverFraction(i int) float64 {
+	k, e := v.sums(v.Pipe.Drivers, v.snap(i))
+	if e <= 0 {
+		return 1
+	}
+	return clamp01(k / e)
+}
+
+// TrueSeries returns the true pipeline progress at each observation.
+func (v *PipelineView) TrueSeries() []float64 {
+	out := make([]float64, len(v.Obs))
+	pid := v.Pipe.ID
+	for i, oi := range v.Obs {
+		out[i] = v.Trace.TruePipelineProgress(pid, oi)
+	}
+	return out
+}
+
+// TimeFractionSeries returns, per observation, the fraction of the
+// pipeline's span elapsed (identical to TrueSeries; exposed for feature
+// computation readability).
+func (v *PipelineView) TimeFractionSeries() []float64 { return v.TrueSeries() }
+
+// MarkerObservation returns the first observation ordinal t{x} at which
+// the consumed driver-input fraction reaches frac (Section 4.4.2), or -1
+// if the pipeline never reaches it within the recorded observations.
+func (v *PipelineView) MarkerObservation(frac float64) int {
+	for i := range v.Obs {
+		if v.DriverFraction(i) >= frac {
+			return i
+		}
+	}
+	return -1
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	if math.IsNaN(x) {
+		return 0
+	}
+	return x
+}

@@ -1,0 +1,179 @@
+package selection
+
+import (
+	"math"
+
+	"progressest/internal/progress"
+)
+
+// nearOptimalAbs / nearOptimalRel define the paper's "almost optimal"
+// tolerance (Section 6.6): an estimator counts as optimal if its error is
+// within 0.01 absolute or 1% relative of the best.
+const (
+	nearOptimalAbs = 0.01
+	nearOptimalRel = 0.01
+)
+
+// Evaluation summarises a selector (or fixed estimator) on a test set.
+type Evaluation struct {
+	// PickedOptimal is the fraction of pipelines where the technique's
+	// choice is (near-)optimal among the candidate set.
+	PickedOptimal float64
+	// AvgL1 and AvgL2 are the mean progress errors of the chosen
+	// estimators.
+	AvgL1, AvgL2 float64
+	// RatioOver2x/5x/10x are the fractions of pipelines whose error
+	// exceeds the per-pipeline minimum by the given factor (Table 6).
+	RatioOver2x, RatioOver5x, RatioOver10x float64
+	// OracleL1 is the mean of the per-pipeline minimum errors (the
+	// theoretical "oracle selection" lower bound).
+	OracleL1 float64
+	// N is the number of test examples.
+	N int
+}
+
+// isNearOptimal reports whether err is within tolerance of best.
+func isNearOptimal(err, best float64) bool {
+	return err <= best+nearOptimalAbs || (best > 0 && err <= best*(1+nearOptimalRel))
+}
+
+// ratioStats accumulates the shared tail metrics.
+func evaluateChoices(examples []Example, kinds []progress.Kind,
+	choose func(e *Example) progress.Kind) Evaluation {
+	var ev Evaluation
+	if len(examples) == 0 {
+		return ev
+	}
+	for i := range examples {
+		e := &examples[i]
+		best := math.Inf(1)
+		for _, k := range kinds {
+			if e.ErrL1[k] < best {
+				best = e.ErrL1[k]
+			}
+		}
+		chosen := choose(e)
+		errL1 := e.ErrL1[chosen]
+		ev.AvgL1 += errL1
+		ev.AvgL2 += e.ErrL2[chosen]
+		ev.OracleL1 += best
+		if isNearOptimal(errL1, best) {
+			ev.PickedOptimal++
+		}
+		if best <= 0 {
+			best = 1e-9
+		}
+		ratio := errL1 / best
+		if ratio > 2 {
+			ev.RatioOver2x++
+		}
+		if ratio > 5 {
+			ev.RatioOver5x++
+		}
+		if ratio > 10 {
+			ev.RatioOver10x++
+		}
+	}
+	n := float64(len(examples))
+	ev.PickedOptimal /= n
+	ev.AvgL1 /= n
+	ev.AvgL2 /= n
+	ev.OracleL1 /= n
+	ev.RatioOver2x /= n
+	ev.RatioOver5x /= n
+	ev.RatioOver10x /= n
+	ev.N = len(examples)
+	return ev
+}
+
+// Evaluate runs the selector over the test examples.
+func Evaluate(s *Selector, examples []Example) Evaluation {
+	return evaluateChoices(examples, s.Kinds, func(e *Example) progress.Kind {
+		return s.Select(e.Features)
+	})
+}
+
+// EvaluateFixed evaluates always choosing one estimator, against the
+// optimum over kinds (the per-estimator rows of Tables 2-6).
+func EvaluateFixed(k progress.Kind, kinds []progress.Kind, examples []Example) Evaluation {
+	return evaluateChoices(examples, kinds, func(*Example) progress.Kind { return k })
+}
+
+// OptimalShare returns, per estimator, the fraction of examples where it
+// is the strict-minimum-error choice among kinds (the "% optimal" columns
+// of Tables 2-5).
+func OptimalShare(kinds []progress.Kind, examples []Example) map[progress.Kind]float64 {
+	out := make(map[progress.Kind]float64, len(kinds))
+	if len(examples) == 0 {
+		return out
+	}
+	for i := range examples {
+		best := examples[i].BestKind(kinds)
+		out[best]++
+	}
+	for k := range out {
+		out[k] /= float64(len(examples))
+	}
+	return out
+}
+
+// AlmostOptimalShare returns, per estimator, the fraction of examples
+// where it is near-optimal (Table 8, column 1).
+func AlmostOptimalShare(kinds []progress.Kind, examples []Example) map[progress.Kind]float64 {
+	out := make(map[progress.Kind]float64, len(kinds))
+	if len(examples) == 0 {
+		return out
+	}
+	for i := range examples {
+		e := &examples[i]
+		best := math.Inf(1)
+		for _, k := range kinds {
+			if e.ErrL1[k] < best {
+				best = e.ErrL1[k]
+			}
+		}
+		for _, k := range kinds {
+			if isNearOptimal(e.ErrL1[k], best) {
+				out[k]++
+			}
+		}
+	}
+	for k := range out {
+		out[k] /= float64(len(examples))
+	}
+	return out
+}
+
+// SignificantlyBestShare returns, per estimator, the fraction of examples
+// where it beats every alternative by more than the near-optimal tolerance
+// (Table 8, column 2: "significantly outperforms all others").
+func SignificantlyBestShare(kinds []progress.Kind, examples []Example) map[progress.Kind]float64 {
+	out := make(map[progress.Kind]float64, len(kinds))
+	if len(examples) == 0 {
+		return out
+	}
+	for i := range examples {
+		e := &examples[i]
+		for _, k := range kinds {
+			wins := true
+			for _, other := range kinds {
+				if other == k {
+					continue
+				}
+				// k must be strictly better than `other` by both margins.
+				if e.ErrL1[other] <= e.ErrL1[k]+nearOptimalAbs ||
+					e.ErrL1[other] <= e.ErrL1[k]*(1+nearOptimalRel) {
+					wins = false
+					break
+				}
+			}
+			if wins {
+				out[k]++
+			}
+		}
+	}
+	for k := range out {
+		out[k] /= float64(len(examples))
+	}
+	return out
+}

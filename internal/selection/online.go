@@ -1,0 +1,74 @@
+package selection
+
+import (
+	"progressest/internal/features"
+	"progressest/internal/progress"
+)
+
+// OnlineMonitor implements the online revision of estimator choices
+// described in Section 4.4: a static selector picks an estimator from
+// plan-time features before the query starts; once enough of the driver
+// input has been consumed to compute the dynamic features (20% by
+// default), a dynamic selector revises the choice. The monitor produces
+// the composite progress series a progress dialog would actually have
+// displayed.
+type OnlineMonitor struct {
+	// Static picks the initial estimator from plan-time features.
+	Static *Selector
+	// Dynamic revises the choice once dynamic features are available.
+	Dynamic *Selector
+	// ReviseAtDriverFraction is the driver-input fraction at which the
+	// choice is revised (default 0.20, the last marker the paper uses).
+	ReviseAtDriverFraction float64
+}
+
+// OnlineResult is the outcome of monitoring one pipeline.
+type OnlineResult struct {
+	// Initial and Revised are the static-time and revised choices (equal
+	// if the dynamic model agreed or revision never triggered).
+	Initial, Revised progress.Kind
+	// RevisedAt is the observation ordinal where the revision took
+	// effect, or -1.
+	RevisedAt int
+	// Series is the composite progress series shown to the user.
+	Series []float64
+	// Err is the composite series' error against true pipeline progress.
+	Err progress.ErrorStats
+}
+
+// Monitor replays the pipeline through the online policy.
+func (m *OnlineMonitor) Monitor(v *progress.PipelineView) OnlineResult {
+	frac := m.ReviseAtDriverFraction
+	if frac <= 0 {
+		frac = 0.20
+	}
+	full := features.Full(v)
+	res := OnlineResult{RevisedAt: -1}
+	res.Initial = m.Static.Select(full)
+	res.Revised = res.Initial
+	if m.Dynamic != nil {
+		if at := v.MarkerObservation(frac); at >= 0 {
+			if choice := m.Dynamic.Select(full); choice != res.Initial {
+				res.Revised = choice
+				res.RevisedAt = at
+			} else {
+				res.RevisedAt = at
+			}
+		}
+	}
+
+	initialSeries := v.Series(res.Initial)
+	res.Series = append([]float64(nil), initialSeries...)
+	if res.RevisedAt >= 0 && res.Revised != res.Initial {
+		revised := v.Series(res.Revised)
+		copy(res.Series[res.RevisedAt:], revised[res.RevisedAt:])
+	}
+
+	truth := v.TrueSeries()
+	dev := make([]float64, len(res.Series))
+	for i := range dev {
+		dev[i] = res.Series[i] - truth[i]
+	}
+	res.Err = progress.ErrorStatsFrom(dev, res.Series, truth)
+	return res
+}

@@ -1,0 +1,256 @@
+package selection_test
+
+import (
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"progressest/internal/catalog"
+	"progressest/internal/datagen"
+	"progressest/internal/features"
+	"progressest/internal/mart"
+	"progressest/internal/progress"
+	"progressest/internal/selection"
+	"progressest/internal/workload"
+)
+
+// Shared example pool (built once; workload execution is the slow part).
+var (
+	examplesOnce sync.Once
+	examplePool  []selection.Example
+)
+
+func pool(t *testing.T) []selection.Example {
+	t.Helper()
+	examplesOnce.Do(func() {
+		for _, kind := range []datagen.DatasetKind{datagen.TPCHLike, datagen.TPCDSLike} {
+			for _, lvl := range []catalog.DesignLevel{catalog.Untuned, catalog.FullyTuned} {
+				res, err := workload.BuildAndRun(workload.Spec{
+					Name: kind.String(), Kind: kind, Queries: 30,
+					Scale: 0.1, Zipf: 1, Design: lvl, Seed: 100 + int64(lvl),
+				}, workload.RunOptions{Seed: int64(lvl)})
+				if err != nil {
+					panic(err)
+				}
+				examplePool = append(examplePool, res.Examples...)
+			}
+		}
+	})
+	if len(examplePool) < 40 {
+		t.Fatalf("example pool too small: %d", len(examplePool))
+	}
+	return examplePool
+}
+
+func fastOpts() mart.Options { return mart.Options{Trees: 60, Seed: 1} }
+
+func TestTrainAndSelectBasics(t *testing.T) {
+	ex := pool(t)
+	s, err := selection.Train(ex, selection.Config{Kinds: progress.CoreKinds(), Mart: fastOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ex[:20] {
+		k := s.Select(ex[i].Features)
+		found := false
+		for _, c := range s.Kinds {
+			if c == k {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("selected %v not in candidate set", k)
+		}
+		preds := s.PredictErrors(ex[i].Features)
+		if len(preds) != len(s.Kinds) {
+			t.Fatalf("PredictErrors returned %d entries", len(preds))
+		}
+		// The selected kind must have the minimum predicted error.
+		for _, c := range s.Kinds {
+			if preds[c] < preds[k] {
+				t.Fatalf("Select returned %v but %v has lower predicted error", k, c)
+			}
+		}
+	}
+}
+
+func TestSelectionBeatsWorstEstimatorInSample(t *testing.T) {
+	ex := pool(t)
+	s, err := selection.Train(ex, selection.Config{Kinds: progress.CoreKinds(), Dynamic: true, Mart: fastOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := selection.Evaluate(s, ex)
+	worst := 0.0
+	for _, k := range progress.CoreKinds() {
+		if f := selection.EvaluateFixed(k, progress.CoreKinds(), ex); f.AvgL1 > worst {
+			worst = f.AvgL1
+		}
+	}
+	if ev.AvgL1 >= worst {
+		t.Errorf("in-sample selection (%.4f) should beat the worst fixed estimator (%.4f)",
+			ev.AvgL1, worst)
+	}
+	if ev.OracleL1 > ev.AvgL1+1e-12 {
+		t.Errorf("oracle (%.4f) cannot exceed selection (%.4f)", ev.OracleL1, ev.AvgL1)
+	}
+}
+
+func TestStaticSelectorIgnoresDynamicSuffix(t *testing.T) {
+	ex := pool(t)
+	s, err := selection.Train(ex, selection.Config{Kinds: progress.CoreKinds(), Dynamic: false, Mart: fastOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturbing dynamic features must not change a static selector's
+	// choice.
+	e := ex[0]
+	perturbed := append([]float64(nil), e.Features...)
+	for i := features.NumStatic; i < len(perturbed); i++ {
+		perturbed[i] += 123.456
+	}
+	if s.Select(e.Features) != s.Select(perturbed) {
+		t.Error("static selector should ignore dynamic features")
+	}
+}
+
+func TestDynamicSelectorUsesDynamicSuffix(t *testing.T) {
+	ex := pool(t)
+	s, err := selection.Train(ex, selection.Config{Kinds: progress.ExtendedKinds(), Dynamic: true, Mart: fastOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least one dynamic feature should matter across a trained model's
+	// importance vector.
+	var dynImportance float64
+	for _, m := range s.Models {
+		imp := m.FeatureImportance()
+		for i := features.NumStatic; i < len(imp); i++ {
+			dynImportance += imp[i]
+		}
+	}
+	if dynImportance == 0 {
+		t.Error("dynamic selector never split on a dynamic feature")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ex := pool(t)
+	s, err := selection.Train(ex, selection.Config{Kinds: progress.ExtendedKinds(), Dynamic: true, Mart: fastOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "selector.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := selection.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Dynamic != s.Dynamic || len(loaded.Kinds) != len(s.Kinds) {
+		t.Fatal("selector metadata lost in round trip")
+	}
+	for i := range ex[:30] {
+		if s.Select(ex[i].Features) != loaded.Select(ex[i].Features) {
+			t.Fatal("loaded selector selects differently")
+		}
+	}
+}
+
+func TestEvaluateFixedIdentities(t *testing.T) {
+	ex := pool(t)
+	kinds := progress.CoreKinds()
+	// Sum of strict-optimal shares is 1.
+	shares := selection.OptimalShare(kinds, ex)
+	var sum float64
+	for _, v := range shares {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("optimal shares sum to %v", sum)
+	}
+	// Almost-optimal shares are each >= strict shares.
+	almost := selection.AlmostOptimalShare(kinds, ex)
+	for _, k := range kinds {
+		if almost[k] < shares[k]-1e-9 {
+			t.Errorf("%v: almost-optimal %v < strict %v", k, almost[k], shares[k])
+		}
+	}
+	// Significantly-best shares sum to <= 1.
+	sig := selection.SignificantlyBestShare(kinds, ex)
+	sum = 0
+	for _, v := range sig {
+		sum += v
+	}
+	if sum > 1.001 {
+		t.Errorf("significantly-best shares sum to %v > 1", sum)
+	}
+}
+
+func TestEvaluationTailMonotone(t *testing.T) {
+	ex := pool(t)
+	for _, k := range progress.CoreKinds() {
+		ev := selection.EvaluateFixed(k, progress.CoreKinds(), ex)
+		if ev.RatioOver2x < ev.RatioOver5x || ev.RatioOver5x < ev.RatioOver10x {
+			t.Errorf("%v: tail fractions not monotone: %v %v %v",
+				k, ev.RatioOver2x, ev.RatioOver5x, ev.RatioOver10x)
+		}
+	}
+}
+
+func TestTrainRejectsEmptyInput(t *testing.T) {
+	if _, err := selection.Train(nil, selection.Config{}); err == nil {
+		t.Error("empty training set should error")
+	}
+}
+
+func TestBestKind(t *testing.T) {
+	var e selection.Example
+	e.ErrL1[progress.DNE] = 0.5
+	e.ErrL1[progress.TGN] = 0.1
+	e.ErrL1[progress.LUO] = 0.3
+	if got := e.BestKind(progress.CoreKinds()); got != progress.TGN {
+		t.Errorf("BestKind = %v, want TGN", got)
+	}
+}
+
+func TestSyntheticSeparableSelection(t *testing.T) {
+	// A fully learnable synthetic task: feature 0 decides which estimator
+	// is good. The selector must recover this rule out of sample.
+	rng := rand.New(rand.NewSource(42))
+	mk := func(n int) []selection.Example {
+		out := make([]selection.Example, n)
+		for i := range out {
+			f := make([]float64, features.NumStatic)
+			for j := range f {
+				f[j] = rng.Float64()
+			}
+			var e selection.Example
+			e.Features = f
+			if f[0] > 0.5 {
+				e.ErrL1[progress.DNE] = 0.05
+				e.ErrL1[progress.TGN] = 0.40
+			} else {
+				e.ErrL1[progress.DNE] = 0.40
+				e.ErrL1[progress.TGN] = 0.05
+			}
+			e.ErrL1[progress.LUO] = 0.25
+			out[i] = e
+		}
+		return out
+	}
+	s, err := selection.Train(mk(500), selection.Config{Kinds: progress.CoreKinds(), Mart: fastOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := mk(200)
+	ev := selection.Evaluate(s, test)
+	if ev.PickedOptimal < 0.95 {
+		t.Errorf("separable task: picked optimal only %.2f", ev.PickedOptimal)
+	}
+	if ev.AvgL1 > 0.08 {
+		t.Errorf("separable task: avg L1 %.4f", ev.AvgL1)
+	}
+}

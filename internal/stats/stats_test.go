@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); !almostEq(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEq(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || L1Error(nil) != 0 || L2Error(nil) != 0 {
+		t.Error("empty inputs must yield 0")
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("Quantile of empty slice must be 0")
+	}
+}
+
+func TestLpMatchesSpecialisations(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		return almostEq(LpError(xs, 1), L1Error(xs), 1e-9) &&
+			almostEq(LpError(xs, 2), L2Error(xs), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestL2AtLeastL1(t *testing.T) {
+	// RMS >= mean absolute value (power-mean inequality).
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		return L2Error(xs) >= L1Error(xs)-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatioError(t *testing.T) {
+	if got := RatioError([]float64{0.5}, []float64{0.25}); !almostEq(got, 2, 1e-12) {
+		t.Errorf("RatioError = %v, want 2", got)
+	}
+	if got := RatioError([]float64{0.25}, []float64{0.5}); !almostEq(got, 2, 1e-12) {
+		t.Errorf("RatioError symmetric = %v, want 2", got)
+	}
+	if got := RatioError([]float64{0, 0.5}, []float64{0.1, 0.5}); !almostEq(got, 1, 1e-12) {
+		t.Errorf("RatioError skipping zeros = %v, want 1", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// input must not be mutated
+	shuffled := []float64{5, 1, 4, 2, 3}
+	Quantile(shuffled, 0.5)
+	if shuffled[0] != 5 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(xs, ys); !almostEq(got, 1, 1e-12) {
+		t.Errorf("perfect correlation = %v, want 1", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(xs, neg); !almostEq(got, -1, 1e-12) {
+		t.Errorf("perfect anticorrelation = %v, want -1", got)
+	}
+	if got := Pearson(xs, []float64{3, 3, 3, 3, 3}); got != 0 {
+		t.Errorf("constant series correlation = %v, want 0", got)
+	}
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	var o Online
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 7
+		o.Add(xs[i])
+	}
+	if !almostEq(o.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("online mean %v != batch %v", o.Mean(), Mean(xs))
+	}
+	if !almostEq(o.Variance(), Variance(xs), 1e-9) {
+		t.Errorf("online variance %v != batch %v", o.Variance(), Variance(xs))
+	}
+	if o.N() != 1000 {
+		t.Errorf("N = %d, want 1000", o.N())
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(-1, 0, 1) != 0 || Clamp(2, 0, 1) != 1 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}

@@ -1,0 +1,163 @@
+// Package storage implements the in-memory storage substrate the execution
+// engine runs over: heap tables of integer-typed rows, plus sorted
+// secondary indexes supporting ordered scans, equality seeks and range
+// seeks. It plays the role SQL Server's storage engine plays in the paper:
+// the source of tuples whose flow the GetNext counters observe.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"progressest/internal/catalog"
+)
+
+// Row is one tuple. All values are int64; the catalog's column widths are
+// used when accounting logical bytes read/written.
+type Row = []int64
+
+// Table is a heap table plus any materialised indexes.
+type Table struct {
+	Meta    *catalog.Table
+	Rows    []Row
+	indexes map[string]*Index // keyed by column name
+}
+
+// NewTable creates an empty table for the given metadata.
+func NewTable(meta *catalog.Table) *Table {
+	return &Table{Meta: meta, indexes: make(map[string]*Index)}
+}
+
+// NumRows returns the table cardinality.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// Append adds a row. The row length must match the table's column count.
+func (t *Table) Append(r Row) {
+	if len(r) != len(t.Meta.Columns) {
+		panic(fmt.Sprintf("storage: row width %d != table %s width %d",
+			len(r), t.Meta.Name, len(t.Meta.Columns)))
+	}
+	t.Rows = append(t.Rows, r)
+}
+
+// Index is a sorted secondary index over one column: entries ordered by
+// (key, rowID), supporting ordered scans and logarithmic seeks.
+type Index struct {
+	Meta   catalog.Index
+	Column int // ordinal of the indexed column
+	keys   []int64
+	rowIDs []int32
+}
+
+// BuildIndex materialises an index over the named column and registers it
+// with the table. Building is idempotent per column.
+func (t *Table) BuildIndex(meta catalog.Index) (*Index, error) {
+	col := t.Meta.ColumnIndex(meta.Column)
+	if col < 0 {
+		return nil, fmt.Errorf("storage: table %s has no column %q", t.Meta.Name, meta.Column)
+	}
+	if ix, ok := t.indexes[meta.Column]; ok {
+		return ix, nil
+	}
+	ix := &Index{Meta: meta, Column: col}
+	n := len(t.Rows)
+	ix.keys = make([]int64, n)
+	ix.rowIDs = make([]int32, n)
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ka, kb := t.Rows[order[a]][col], t.Rows[order[b]][col]
+		if ka != kb {
+			return ka < kb
+		}
+		return order[a] < order[b]
+	})
+	for i, id := range order {
+		ix.keys[i] = t.Rows[id][col]
+		ix.rowIDs[i] = id
+	}
+	t.indexes[meta.Column] = ix
+	return ix, nil
+}
+
+// IndexOn returns the index over the named column, or nil.
+func (t *Table) IndexOn(column string) *Index {
+	return t.indexes[column]
+}
+
+// Len returns the number of index entries.
+func (ix *Index) Len() int { return len(ix.keys) }
+
+// SeekEqual returns the positions [lo, hi) of entries with the given key.
+func (ix *Index) SeekEqual(key int64) (lo, hi int) {
+	lo = sort.Search(len(ix.keys), func(i int) bool { return ix.keys[i] >= key })
+	hi = sort.Search(len(ix.keys), func(i int) bool { return ix.keys[i] > key })
+	return lo, hi
+}
+
+// SeekRange returns the positions [lo, hi) of entries with loKey <= key <= hiKey.
+func (ix *Index) SeekRange(loKey, hiKey int64) (lo, hi int) {
+	lo = sort.Search(len(ix.keys), func(i int) bool { return ix.keys[i] >= loKey })
+	hi = sort.Search(len(ix.keys), func(i int) bool { return ix.keys[i] > hiKey })
+	return lo, hi
+}
+
+// Entry returns the (key, rowID) pair at position i in index order.
+func (ix *Index) Entry(i int) (key int64, rowID int32) {
+	return ix.keys[i], ix.rowIDs[i]
+}
+
+// Database is a set of populated tables.
+type Database struct {
+	Schema *catalog.Schema
+	Design *catalog.PhysicalDesign
+	tables map[string]*Table
+}
+
+// NewDatabase creates an empty database for a schema.
+func NewDatabase(schema *catalog.Schema) *Database {
+	db := &Database{Schema: schema, tables: make(map[string]*Table)}
+	for _, tm := range schema.Tables {
+		db.tables[tm.Name] = NewTable(tm)
+	}
+	return db
+}
+
+// Table returns the named table, or nil.
+func (db *Database) Table(name string) *Table { return db.tables[name] }
+
+// MustTable returns the named table or panics.
+func (db *Database) MustTable(name string) *Table {
+	t := db.tables[name]
+	if t == nil {
+		panic(fmt.Sprintf("storage: database has no table %q", name))
+	}
+	return t
+}
+
+// ApplyDesign builds every index in the physical design and remembers the
+// design for optimizer consultation.
+func (db *Database) ApplyDesign(design *catalog.PhysicalDesign) error {
+	if err := design.Validate(db.Schema); err != nil {
+		return err
+	}
+	for _, ixm := range design.Indexes {
+		if _, err := db.MustTable(ixm.Table).BuildIndex(ixm); err != nil {
+			return err
+		}
+	}
+	db.Design = design
+	return nil
+}
+
+// TotalRows returns the sum of all table cardinalities (a convenient
+// "data size" figure for experiment reporting).
+func (db *Database) TotalRows() int {
+	n := 0
+	for _, t := range db.tables {
+		n += t.NumRows()
+	}
+	return n
+}

@@ -1,0 +1,187 @@
+package storage
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"progressest/internal/catalog"
+)
+
+func testMeta() *catalog.Table {
+	return &catalog.Table{Name: "t", Columns: []catalog.Column{
+		{Name: "k", Width: 8}, {Name: "v", Width: 8},
+	}}
+}
+
+func TestAppendAndWidthCheck(t *testing.T) {
+	tbl := NewTable(testMeta())
+	tbl.Append(Row{1, 10})
+	tbl.Append(Row{2, 20})
+	if tbl.NumRows() != 2 {
+		t.Fatalf("NumRows = %d, want 2", tbl.NumRows())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("appending a short row should panic")
+		}
+	}()
+	tbl.Append(Row{1})
+}
+
+func TestIndexSeekEqual(t *testing.T) {
+	tbl := NewTable(testMeta())
+	for i := 0; i < 100; i++ {
+		tbl.Append(Row{int64(i % 10), int64(i)})
+	}
+	ix, err := tbl.BuildIndex(catalog.Index{Name: "ix_k", Table: "t", Column: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := ix.SeekEqual(3)
+	if hi-lo != 10 {
+		t.Errorf("SeekEqual(3) matched %d rows, want 10", hi-lo)
+	}
+	for i := lo; i < hi; i++ {
+		key, rowID := ix.Entry(i)
+		if key != 3 {
+			t.Errorf("entry key = %d, want 3", key)
+		}
+		if tbl.Rows[rowID][0] != 3 {
+			t.Errorf("row %d has key %d, want 3", rowID, tbl.Rows[rowID][0])
+		}
+	}
+	lo, hi = ix.SeekEqual(99)
+	if hi != lo {
+		t.Errorf("SeekEqual(missing) matched %d rows, want 0", hi-lo)
+	}
+}
+
+func TestIndexSeekRange(t *testing.T) {
+	tbl := NewTable(testMeta())
+	for i := 0; i < 50; i++ {
+		tbl.Append(Row{int64(i), int64(i)})
+	}
+	ix, err := tbl.BuildIndex(catalog.Index{Name: "ix", Table: "t", Column: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := ix.SeekRange(10, 19)
+	if hi-lo != 10 {
+		t.Errorf("SeekRange(10,19) matched %d rows, want 10", hi-lo)
+	}
+	lo, hi = ix.SeekRange(100, 200)
+	if hi-lo != 0 {
+		t.Errorf("empty range matched %d rows", hi-lo)
+	}
+	lo, hi = ix.SeekRange(-5, 1000)
+	if hi-lo != 50 {
+		t.Errorf("full range matched %d rows, want 50", hi-lo)
+	}
+}
+
+func TestIndexOrderedProperty(t *testing.T) {
+	f := func(vals []int16) bool {
+		tbl := NewTable(testMeta())
+		for i, v := range vals {
+			tbl.Append(Row{int64(v), int64(i)})
+		}
+		ix, err := tbl.BuildIndex(catalog.Index{Name: "ix", Table: "t", Column: "k"})
+		if err != nil {
+			return false
+		}
+		if ix.Len() != len(vals) {
+			return false
+		}
+		var prev int64 = -1 << 62
+		for i := 0; i < ix.Len(); i++ {
+			k, id := ix.Entry(i)
+			if k < prev {
+				return false
+			}
+			if tbl.Rows[id][0] != k {
+				return false
+			}
+			prev = k
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeekMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tbl := NewTable(testMeta())
+	for i := 0; i < 1000; i++ {
+		tbl.Append(Row{rng.Int63n(50), int64(i)})
+	}
+	ix, _ := tbl.BuildIndex(catalog.Index{Name: "ix", Table: "t", Column: "k"})
+	for key := int64(-1); key <= 51; key++ {
+		lo, hi := ix.SeekEqual(key)
+		want := 0
+		for _, r := range tbl.Rows {
+			if r[0] == key {
+				want++
+			}
+		}
+		if hi-lo != want {
+			t.Errorf("key %d: index found %d rows, scan found %d", key, hi-lo, want)
+		}
+	}
+}
+
+func TestBuildIndexIdempotent(t *testing.T) {
+	tbl := NewTable(testMeta())
+	tbl.Append(Row{1, 1})
+	a, _ := tbl.BuildIndex(catalog.Index{Name: "ix", Table: "t", Column: "k"})
+	b, _ := tbl.BuildIndex(catalog.Index{Name: "ix2", Table: "t", Column: "k"})
+	if a != b {
+		t.Error("rebuilding an index on the same column should reuse it")
+	}
+	if _, err := tbl.BuildIndex(catalog.Index{Name: "bad", Table: "t", Column: "ghost"}); err == nil {
+		t.Error("expected error for unknown column")
+	}
+}
+
+func TestDatabaseApplyDesign(t *testing.T) {
+	schema := &catalog.Schema{Name: "s", Tables: []*catalog.Table{testMeta()}}
+	db := NewDatabase(schema)
+	db.MustTable("t").Append(Row{7, 70})
+	design := &catalog.PhysicalDesign{
+		Level:   catalog.FullyTuned,
+		Indexes: []catalog.Index{{Name: "ix", Table: "t", Column: "k"}},
+	}
+	if err := db.ApplyDesign(design); err != nil {
+		t.Fatal(err)
+	}
+	if db.MustTable("t").IndexOn("k") == nil {
+		t.Error("index not built by ApplyDesign")
+	}
+	if db.TotalRows() != 1 {
+		t.Errorf("TotalRows = %d, want 1", db.TotalRows())
+	}
+	bad := &catalog.PhysicalDesign{Indexes: []catalog.Index{{Name: "x", Table: "nope", Column: "k"}}}
+	if err := db.ApplyDesign(bad); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestIndexStableOnDuplicates(t *testing.T) {
+	tbl := NewTable(testMeta())
+	for i := 0; i < 20; i++ {
+		tbl.Append(Row{5, int64(i)})
+	}
+	ix, _ := tbl.BuildIndex(catalog.Index{Name: "ix", Table: "t", Column: "k"})
+	ids := make([]int, 0, 20)
+	lo, hi := ix.SeekEqual(5)
+	for i := lo; i < hi; i++ {
+		_, id := ix.Entry(i)
+		ids = append(ids, int(id))
+	}
+	if !sort.IntsAreSorted(ids) {
+		t.Error("duplicate keys should keep rowIDs in insertion order")
+	}
+}

@@ -1,0 +1,193 @@
+// Package textplot renders small ASCII charts so the experiment harness
+// can reproduce the paper's *figures* (error-ratio curves, progress-vs-
+// time traces, error bars) directly in terminal output and log files.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// markers cycle through the series of one chart.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Lines renders multiple series as an ASCII line chart. X is the sample
+// index scaled to width; LogY plots log10 of the values (values <= 0 are
+// clamped to the smallest positive value).
+func Lines(series []Series, width, height int, logY bool, yLabel string) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	// Transform and find bounds.
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	transformed := make([][]float64, len(series))
+	var minPos = math.Inf(1)
+	if logY {
+		for _, s := range series {
+			for _, v := range s.Values {
+				if v > 0 && v < minPos {
+					minPos = v
+				}
+			}
+		}
+		if math.IsInf(minPos, 1) {
+			minPos = 1e-6
+		}
+	}
+	for si, s := range series {
+		tv := make([]float64, len(s.Values))
+		for i, v := range s.Values {
+			if logY {
+				if v <= 0 {
+					v = minPos
+				}
+				v = math.Log10(v)
+			}
+			tv[i] = v
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+		transformed[si] = tv
+	}
+	if math.IsInf(minV, 1) {
+		return "(no data)\n"
+	}
+	if maxV-minV < 1e-12 {
+		maxV = minV + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, tv := range transformed {
+		if len(tv) == 0 {
+			continue
+		}
+		mk := markers[si%len(markers)]
+		for c := 0; c < width; c++ {
+			idx := c * (len(tv) - 1) / maxInt(width-1, 1)
+			v := tv[idx]
+			r := int((maxV - v) / (maxV - minV) * float64(height-1))
+			if r < 0 {
+				r = 0
+			}
+			if r >= height {
+				r = height - 1
+			}
+			grid[r][c] = mk
+		}
+	}
+
+	var b strings.Builder
+	for r, row := range grid {
+		axis := maxV - (maxV-minV)*float64(r)/float64(height-1)
+		if logY {
+			fmt.Fprintf(&b, "%9.3g |%s|\n", math.Pow(10, axis), row)
+		} else {
+			fmt.Fprintf(&b, "%9.3g |%s|\n", axis, row)
+		}
+	}
+	b.WriteString(strings.Repeat(" ", 11) + strings.Repeat("-", width+2) + "\n")
+	legend := make([]string, len(series))
+	for i, s := range series {
+		legend[i] = fmt.Sprintf("%c=%s", markers[i%len(markers)], s.Name)
+	}
+	fmt.Fprintf(&b, "%11s %s   (y: %s%s)\n", "", strings.Join(legend, "  "), yLabel,
+		map[bool]string{true: ", log scale", false: ""}[logY])
+	return b.String()
+}
+
+// Bars renders a labelled horizontal bar chart.
+func Bars(labels []string, values []float64, width int) string {
+	if len(labels) != len(values) {
+		panic("textplot: labels and values must align")
+	}
+	if width < 10 {
+		width = 10
+	}
+	maxV := 0.0
+	maxLabel := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	var b strings.Builder
+	for i, v := range values {
+		n := int(v / maxV * float64(width))
+		fmt.Fprintf(&b, "%-*s | %-*s %.4f\n", maxLabel, labels[i], width, strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+// SortedRatios sorts a copy of xs ascending — the presentation used by the
+// paper's Figure 1/4 per-query ratio curves.
+func SortedRatios(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Float64s(out)
+	return out
+}
+
+// Table renders rows with a header as aligned columns.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total) + "\n")
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

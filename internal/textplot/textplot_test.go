@@ -1,0 +1,77 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLinesBasic(t *testing.T) {
+	out := Lines([]Series{
+		{Name: "a", Values: []float64{1, 2, 3, 4, 5}},
+		{Name: "b", Values: []float64{5, 4, 3, 2, 1}},
+	}, 40, 8, false, "value")
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("chart missing series markers")
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Error("chart missing legend")
+	}
+	if len(strings.Split(strings.TrimRight(out, "\n"), "\n")) != 10 {
+		t.Errorf("unexpected line count:\n%s", out)
+	}
+}
+
+func TestLinesLogScaleHandlesZeros(t *testing.T) {
+	out := Lines([]Series{{Name: "r", Values: []float64{0, 1, 10, 100}}}, 30, 6, true, "ratio")
+	if !strings.Contains(out, "log scale") {
+		t.Error("log scale label missing")
+	}
+}
+
+func TestLinesEmpty(t *testing.T) {
+	if out := Lines(nil, 30, 6, false, "x"); !strings.Contains(out, "no data") {
+		t.Errorf("empty chart output %q", out)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"DNE", "TGN"}, []float64{0.2, 0.1}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 bars, got %d", len(lines))
+	}
+	if strings.Count(lines[0], "#") <= strings.Count(lines[1], "#") {
+		t.Error("larger value should have a longer bar")
+	}
+}
+
+func TestBarsPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched labels/values should panic")
+		}
+	}()
+	Bars([]string{"a"}, []float64{1, 2}, 10)
+}
+
+func TestSortedRatios(t *testing.T) {
+	in := []float64{3, 1, 2}
+	out := SortedRatios(in)
+	if out[0] != 1 || out[2] != 3 {
+		t.Error("not sorted")
+	}
+	if in[0] != 3 {
+		t.Error("input mutated")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"est", "err"}, [][]string{{"DNE", "0.17"}, {"TGN", "0.14"}})
+	if !strings.Contains(out, "est") || !strings.Contains(out, "DNE") {
+		t.Errorf("table missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("want header+rule+2 rows, got %d lines", len(lines))
+	}
+}

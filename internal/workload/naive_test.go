@@ -1,0 +1,234 @@
+package workload
+
+import (
+	"testing"
+
+	"progressest/internal/catalog"
+	"progressest/internal/datagen"
+	"progressest/internal/exec"
+	"progressest/internal/expr"
+	"progressest/internal/optimizer"
+	"progressest/internal/storage"
+)
+
+// naiveFilter evaluates one FilterSpec against a base-table row.
+func naiveFilter(f *optimizer.FilterSpec, v int64) bool {
+	if f.IsRange {
+		return v >= f.Lo && v <= f.Hi
+	}
+	switch f.Op {
+	case expr.Eq:
+		return v == f.Val
+	case expr.Ne:
+		return v != f.Val
+	case expr.Lt:
+		return v < f.Val
+	case expr.Le:
+		return v <= f.Val
+	case expr.Gt:
+		return v > f.Val
+	case expr.Ge:
+		return v >= f.Val
+	default:
+		return false
+	}
+}
+
+// naiveRows returns a table's rows surviving the term's filters.
+func naiveRows(db *storage.Database, term *optimizer.TableTerm) [][]int64 {
+	tbl := db.MustTable(term.Table)
+	var out [][]int64
+	for _, r := range tbl.Rows {
+		keep := true
+		for i := range term.Filters {
+			f := &term.Filters[i]
+			col := tbl.Meta.ColumnIndex(f.Column)
+			if !naiveFilter(f, r[col]) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// naiveResultCount evaluates a QuerySpec by brute force and returns the
+// final result cardinality (group count, Top-truncated).
+func naiveResultCount(db *storage.Database, q *optimizer.QuerySpec) int64 {
+	// Current relation: rows are concatenations, with a positional schema
+	// of (table, column) pairs.
+	type colRef struct{ table, column string }
+	var schema []colRef
+	addTable := func(name string) {
+		for _, c := range db.MustTable(name).Meta.Columns {
+			schema = append(schema, colRef{name, c.Name})
+		}
+	}
+	pos := func(table, column string) int {
+		for i, c := range schema {
+			if c.table == table && c.column == column {
+				return i
+			}
+		}
+		panic("naive: column not found " + table + "." + column)
+	}
+
+	rows := naiveRows(db, &q.First)
+	addTable(q.First.Table)
+	for ji := range q.Joins {
+		j := &q.Joins[ji]
+		leftPos := pos(j.LeftTable, j.LeftCol)
+		rightTbl := db.MustTable(j.Right.Table)
+		rightCol := rightTbl.Meta.ColumnIndex(j.RightCol)
+		ht := make(map[int64][][]int64)
+		for _, r := range naiveRows(db, &j.Right) {
+			ht[r[rightCol]] = append(ht[r[rightCol]], r)
+		}
+		var joined [][]int64
+		for _, l := range rows {
+			for _, r := range ht[l[leftPos]] {
+				row := make([]int64, 0, len(l)+len(r))
+				row = append(row, l...)
+				row = append(row, r...)
+				joined = append(joined, row)
+			}
+		}
+		rows = joined
+		addTable(j.Right.Table)
+	}
+
+	// Semi joins (EXISTS): keep rows whose key appears in the filtered
+	// right table.
+	for ei := range q.Exists {
+		j := &q.Exists[ei]
+		leftPos := pos(j.LeftTable, j.LeftCol)
+		rightTbl := db.MustTable(j.Right.Table)
+		rightCol := rightTbl.Meta.ColumnIndex(j.RightCol)
+		keys := make(map[int64]bool)
+		for _, r := range naiveRows(db, &j.Right) {
+			keys[r[rightCol]] = true
+		}
+		var kept [][]int64
+		for _, l := range rows {
+			if keys[l[leftPos]] {
+				kept = append(kept, l)
+			}
+		}
+		rows = kept
+	}
+
+	var count int64
+	if q.Group != nil {
+		groups := make(map[[2]int64]bool)
+		var cols [2]int
+		for i, c := range q.Group.Cols {
+			cols[i] = pos(c.Table, c.Column)
+		}
+		for _, r := range rows {
+			var key [2]int64
+			for i := range q.Group.Cols {
+				key[i] = r[cols[i]]
+			}
+			groups[key] = true
+		}
+		count = int64(len(groups))
+	} else {
+		count = int64(len(rows))
+	}
+	if q.TopN > 0 && count > q.TopN {
+		count = q.TopN
+	}
+	return count
+}
+
+// TestEngineMatchesNaiveEvaluationProperty executes randomly generated
+// queries from every template family under every physical design and
+// checks the engine's result cardinality against brute-force evaluation —
+// an end-to-end correctness property over the planner + all operators.
+func TestEngineMatchesNaiveEvaluationProperty(t *testing.T) {
+	for _, kind := range []datagen.DatasetKind{
+		datagen.TPCHLike, datagen.TPCDSLike, datagen.Real1Like, datagen.Real2Like,
+	} {
+		for _, lvl := range []catalog.DesignLevel{
+			catalog.Untuned, catalog.PartiallyTuned, catalog.FullyTuned,
+		} {
+			w, err := Build(Spec{
+				Name: "prop", Kind: kind, Queries: 15,
+				Scale: 0.05, Zipf: 1, Design: lvl, Seed: 900 + int64(lvl),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for qi, q := range w.Queries {
+				pl, err := w.Planner.Plan(q)
+				if err != nil {
+					t.Fatalf("%v/%v query %d: %v", kind, lvl, qi, err)
+				}
+				tr := exec.Run(w.DB, pl, exec.Options{})
+				got := tr.N[pl.Root.ID]
+				want := naiveResultCount(w.DB, q)
+				if got != want {
+					t.Errorf("%v/%v query %d: engine returned %d rows, naive %d\nquery: %s\nplan:\n%s",
+						kind, lvl, qi, got, want, q, pl)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineMatchesNaiveWithSpills re-checks a subset under severe memory
+// pressure: spilling must never change results.
+func TestEngineMatchesNaiveWithSpills(t *testing.T) {
+	w, err := Build(Spec{
+		Name: "spill", Kind: datagen.TPCHLike, Queries: 10,
+		Scale: 0.05, Zipf: 1.5, Design: catalog.Untuned, Seed: 901,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range w.Queries {
+		pl, err := w.Planner.Plan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := exec.Run(w.DB, pl, exec.Options{MemBudgetRows: 50})
+		got := tr.N[pl.Root.ID]
+		want := naiveResultCount(w.DB, q)
+		if got != want {
+			t.Errorf("query %d under spills: engine %d rows, naive %d", qi, got, want)
+		}
+	}
+}
+
+// TestEmptyResultQueries injects filters that eliminate all rows: the
+// engine must terminate cleanly with zero-output pipelines.
+func TestEmptyResultQueries(t *testing.T) {
+	db := datagen.GenTPCH(datagen.Params{Scale: 0.05, Zipf: 0, Seed: 902})
+	if err := db.ApplyDesign(datagen.Designs(datagen.TPCHLike)[catalog.PartiallyTuned]); err != nil {
+		t.Fatal(err)
+	}
+	planner := optimizer.NewPlanner(db, optimizer.BuildStats(db))
+	spec := &optimizer.QuerySpec{
+		First: optimizer.TableTerm{Table: "orders", Filters: []optimizer.FilterSpec{
+			{Column: "o_orderdate", IsRange: true, Lo: -100, Hi: -1}, // impossible
+		}},
+		Joins: []optimizer.JoinTerm{{
+			Right:     optimizer.TableTerm{Table: "lineitem"},
+			LeftTable: "orders", LeftCol: "o_orderkey", RightCol: "l_orderkey",
+		}},
+	}
+	pl, err := planner.Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := exec.Run(db, pl, exec.Options{})
+	if tr.N[pl.Root.ID] != 0 {
+		t.Errorf("impossible filter produced %d rows", tr.N[pl.Root.ID])
+	}
+	if tr.TotalTime <= 0 {
+		t.Error("even an empty query consumes time")
+	}
+}

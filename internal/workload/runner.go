@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"progressest/internal/exec"
+	"progressest/internal/features"
+	"progressest/internal/plan"
+	"progressest/internal/progress"
+	"progressest/internal/selection"
+)
+
+// RunOptions controls workload execution and example harvesting.
+type RunOptions struct {
+	// MinObservations drops pipelines with fewer counter snapshots
+	// (too short for meaningful progress estimation); default 8.
+	MinObservations int
+	// Exec are the engine options; MemBudgetRows == 0 enables the default
+	// randomised memory-contention policy (some queries spill, some do
+	// not, as in a loaded server).
+	Exec exec.Options
+	// Seed drives the memory-contention policy.
+	Seed int64
+}
+
+func (o RunOptions) withDefaults() RunOptions {
+	if o.MinObservations <= 0 {
+		o.MinObservations = 8
+	}
+	return o
+}
+
+// Result is the harvest of one workload run.
+type Result struct {
+	// Examples holds one labelled instance per usable pipeline.
+	Examples []selection.Example
+	// OpPipelineShare is, per operator, the fraction of pipelines whose
+	// plan contains it (Table 1).
+	OpPipelineShare map[plan.OpType]float64
+	// NumQueries and NumPipelines count executed queries and total
+	// (pre-filter) pipelines.
+	NumQueries   int
+	NumPipelines int
+}
+
+// Run executes every query of the workload and harvests per-pipeline
+// training examples: the full feature vector plus the measured L1/L2 error
+// of every candidate estimator (replayed over the shared counter trace).
+func (w *Workload) Run(opts RunOptions) (*Result, error) {
+	opts = opts.withDefaults()
+	res := &Result{OpPipelineShare: make(map[plan.OpType]float64)}
+	memRng := rand.New(rand.NewSource(opts.Seed ^ 0x0ddba11))
+
+	opCount := make(map[plan.OpType]int)
+	for qi, spec := range w.Queries {
+		pl, err := w.Planner.Plan(spec)
+		if err != nil {
+			return nil, fmt.Errorf("workload %s query %d: %w", w.Spec.Name, qi, err)
+		}
+		execOpts := opts.Exec
+		if execOpts.MemBudgetRows == 0 {
+			// Memory-contention policy: a third of queries run with ample
+			// memory, the rest under a randomised budget.
+			if memRng.Intn(3) > 0 {
+				execOpts.MemBudgetRows = 300 + memRng.Intn(3700)
+			}
+		}
+		tr := exec.Run(w.DB, pl, execOpts)
+
+		for p := range tr.Pipes.Pipelines {
+			res.NumPipelines++
+			pipe := tr.Pipes.Pipelines[p]
+			seen := make(map[plan.OpType]bool)
+			for _, id := range pipe.Nodes {
+				op := tr.Plan.Node(id).Op
+				if !seen[op] {
+					seen[op] = true
+					opCount[op]++
+				}
+			}
+
+			v := progress.NewPipelineView(tr, p)
+			if v.NumObs() < opts.MinObservations {
+				continue
+			}
+			ex := selection.Example{
+				Features:  features.Full(v),
+				Workload:  w.Spec.Name,
+				Signature: pipelineSignature(tr, p),
+				Meta: map[string]float64{
+					"query":    float64(qi),
+					"pipeline": float64(p),
+				},
+			}
+			var totalGN float64
+			for _, id := range pipe.Nodes {
+				totalGN += float64(tr.N[id])
+			}
+			ex.Meta["getnext_total"] = totalGN
+			for _, k := range progress.AllKinds() {
+				e := v.Errors(k)
+				ex.ErrL1[k] = e.L1
+				ex.ErrL2[k] = e.L2
+			}
+			res.Examples = append(res.Examples, ex)
+		}
+		res.NumQueries++
+	}
+	if res.NumPipelines > 0 {
+		for op, c := range opCount {
+			res.OpPipelineShare[op] = float64(c) / float64(res.NumPipelines)
+		}
+	}
+	return res, nil
+}
+
+// pipelineSignature summarises a pipeline's operator shape: the sorted
+// multiset of (operator, table) pairs of its members. Instances of the
+// same query template produce equal signatures, which is what the
+// selectivity-sensitivity experiment (Table 2) groups by.
+func pipelineSignature(tr *exec.Trace, p int) string {
+	pipe := tr.Pipes.Pipelines[p]
+	parts := make([]string, 0, len(pipe.Nodes))
+	for _, id := range pipe.Nodes {
+		n := tr.Plan.Node(id)
+		parts = append(parts, n.Op.String()+":"+n.TableName)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// BuildAndRun is the convenience composition of Build and Run.
+func BuildAndRun(spec Spec, opts RunOptions) (*Result, error) {
+	w, err := Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	return w.Run(opts)
+}

@@ -1,0 +1,291 @@
+package workload
+
+import (
+	"math/rand"
+
+	"progressest/internal/expr"
+	"progressest/internal/optimizer"
+	"progressest/internal/plan"
+	"progressest/internal/storage"
+)
+
+// genReal1Query samples one query shaped like the paper's "Real-1" Sales
+// reporting workload: 5-8 table joins over the sales/returns facts with
+// correlated-value filters.
+func genReal1Query(rng *rand.Rand, db *storage.Database) *optimizer.QuerySpec {
+	nDates := int64(db.MustTable("dates").NumRows())
+	switch rng.Intn(6) {
+	case 5:
+		// Nested sub-query (the paper describes Real-1 as featuring
+		// these): customers of a segment who EXISTS-returned something,
+		// joined to their sales.
+		seg := 1 + rng.Int63n(8)
+		reason := 1 + rng.Int63n(10)
+		return &optimizer.QuerySpec{
+			First: optimizer.TableTerm{Table: "customers", Filters: []optimizer.FilterSpec{
+				{Column: "cu_segment", Op: expr.Eq, Val: seg},
+			}},
+			Exists: []optimizer.JoinTerm{{
+				Right: optimizer.TableTerm{Table: "returns", Filters: []optimizer.FilterSpec{
+					{Column: "re_reason", Op: expr.Le, Val: reason},
+				}},
+				LeftTable: "customers", LeftCol: "cu_id", RightCol: "re_customer",
+			}},
+			Joins: []optimizer.JoinTerm{{
+				Right:     optimizer.TableTerm{Table: "sales"},
+				LeftTable: "customers", LeftCol: "cu_id", RightCol: "sa_customer",
+			}},
+			Group: &optimizer.GroupSpec{
+				Cols: []optimizer.ColRef{{Table: "customers", Column: "cu_region"}},
+				Aggs: []optimizer.AggRef{
+					{Func: plan.AggSum, Col: optimizer.ColRef{Table: "sales", Column: "sa_amount"}},
+				},
+			},
+		}
+	case 0:
+		// Sales by product category across regions: 5-way.
+		catLo, catHi := span(rng, 1, 40, 0.1, 0.4)
+		lo, hi := span(rng, 1, nDates, 0.2, 0.7)
+		return &optimizer.QuerySpec{
+			First: optimizer.TableTerm{Table: "sales", Filters: []optimizer.FilterSpec{
+				{Column: "sa_date", IsRange: true, Lo: lo, Hi: hi},
+			}},
+			Joins: []optimizer.JoinTerm{
+				{Right: optimizer.TableTerm{Table: "products", Filters: []optimizer.FilterSpec{
+					{Column: "pr_category", IsRange: true, Lo: catLo, Hi: catHi},
+				}}, LeftTable: "sales", LeftCol: "sa_product", RightCol: "pr_id"},
+				{Right: optimizer.TableTerm{Table: "stores"},
+					LeftTable: "sales", LeftCol: "sa_store", RightCol: "st_id"},
+				{Right: optimizer.TableTerm{Table: "customers"},
+					LeftTable: "sales", LeftCol: "sa_customer", RightCol: "cu_id"},
+			},
+			Group: &optimizer.GroupSpec{
+				Cols: []optimizer.ColRef{{Table: "stores", Column: "st_region"}},
+				Aggs: []optimizer.AggRef{
+					{Func: plan.AggSum, Col: optimizer.ColRef{Table: "sales", Column: "sa_amount"}},
+					{Func: plan.AggCount},
+				},
+			},
+		}
+	case 1:
+		// High-value sales: correlated amount filter (independence errors).
+		amt := 5000 + rng.Int63n(50000)
+		return &optimizer.QuerySpec{
+			First: optimizer.TableTerm{Table: "sales", Filters: []optimizer.FilterSpec{
+				{Column: "sa_amount", Op: expr.Ge, Val: amt},
+			}},
+			Joins: []optimizer.JoinTerm{
+				{Right: optimizer.TableTerm{Table: "products"},
+					LeftTable: "sales", LeftCol: "sa_product", RightCol: "pr_id"},
+				{Right: optimizer.TableTerm{Table: "employees"},
+					LeftTable: "sales", LeftCol: "sa_employee", RightCol: "em_id"},
+				{Right: optimizer.TableTerm{Table: "stores"},
+					LeftTable: "employees", LeftCol: "em_store", RightCol: "st_id"},
+			},
+			Group: &optimizer.GroupSpec{
+				Cols: []optimizer.ColRef{{Table: "products", Column: "pr_category"}},
+				Aggs: []optimizer.AggRef{
+					{Func: plan.AggSum, Col: optimizer.ColRef{Table: "sales", Column: "sa_amount"}},
+				},
+			},
+		}
+	case 2:
+		// Returns analysis: returns -> sales -> products -> customers.
+		reason := 1 + rng.Int63n(10)
+		return &optimizer.QuerySpec{
+			First: optimizer.TableTerm{Table: "returns", Filters: []optimizer.FilterSpec{
+				{Column: "re_reason", Op: expr.Eq, Val: reason},
+			}},
+			Joins: []optimizer.JoinTerm{
+				{Right: optimizer.TableTerm{Table: "sales"},
+					LeftTable: "returns", LeftCol: "re_sale", RightCol: "sa_id"},
+				{Right: optimizer.TableTerm{Table: "products"},
+					LeftTable: "sales", LeftCol: "sa_product", RightCol: "pr_id"},
+				{Right: optimizer.TableTerm{Table: "customers"},
+					LeftTable: "sales", LeftCol: "sa_customer", RightCol: "cu_id"},
+			},
+			Group: &optimizer.GroupSpec{
+				Cols: []optimizer.ColRef{{Table: "customers", Column: "cu_segment"}},
+				Aggs: []optimizer.AggRef{{Func: plan.AggCount}},
+			},
+		}
+	case 3:
+		// Segment report over a date window, 6-way.
+		seg := 1 + rng.Int63n(8)
+		lo, hi := span(rng, 1, nDates, 0.3, 0.8)
+		return &optimizer.QuerySpec{
+			First: optimizer.TableTerm{Table: "customers", Filters: []optimizer.FilterSpec{
+				{Column: "cu_segment", Op: expr.Eq, Val: seg},
+			}},
+			Joins: []optimizer.JoinTerm{
+				{Right: optimizer.TableTerm{Table: "sales", Filters: []optimizer.FilterSpec{
+					{Column: "sa_date", IsRange: true, Lo: lo, Hi: hi},
+				}}, LeftTable: "customers", LeftCol: "cu_id", RightCol: "sa_customer"},
+				{Right: optimizer.TableTerm{Table: "products"},
+					LeftTable: "sales", LeftCol: "sa_product", RightCol: "pr_id"},
+				{Right: optimizer.TableTerm{Table: "stores"},
+					LeftTable: "sales", LeftCol: "sa_store", RightCol: "st_id"},
+				{Right: optimizer.TableTerm{Table: "dates"},
+					LeftTable: "sales", LeftCol: "sa_date", RightCol: "dt_id"},
+			},
+			Group: &optimizer.GroupSpec{
+				Cols: []optimizer.ColRef{{Table: "dates", Column: "dt_quarter"}},
+				Aggs: []optimizer.AggRef{
+					{Func: plan.AggSum, Col: optimizer.ColRef{Table: "sales", Column: "sa_qty"}},
+				},
+			},
+		}
+	default:
+		// Store-size drill-down with Top.
+		sz := 1 + rng.Int63n(5)
+		return &optimizer.QuerySpec{
+			First: optimizer.TableTerm{Table: "stores", Filters: []optimizer.FilterSpec{
+				{Column: "st_size", Op: expr.Eq, Val: sz},
+			}},
+			Joins: []optimizer.JoinTerm{
+				{Right: optimizer.TableTerm{Table: "sales"},
+					LeftTable: "stores", LeftCol: "st_id", RightCol: "sa_store"},
+				{Right: optimizer.TableTerm{Table: "products"},
+					LeftTable: "sales", LeftCol: "sa_product", RightCol: "pr_id"},
+			},
+			Group: &optimizer.GroupSpec{
+				Cols: []optimizer.ColRef{{Table: "products", Column: "pr_supplier"}},
+				Aggs: []optimizer.AggRef{
+					{Func: plan.AggSum, Col: optimizer.ColRef{Table: "sales", Column: "sa_amount"}},
+				},
+			},
+			OrderBy: &optimizer.ColRef{Table: "products", Column: "pr_supplier"},
+			TopN:    20 + rng.Int63n(100),
+		}
+	}
+}
+
+// genReal2Query samples one query shaped like the paper's "Real-2"
+// workload: deep snowflake joins, typically around 12 tables. Queries
+// start either from the fact table (scan-heavy plans) or from a filtered
+// dimension (index-nested-loop-heavy plans), so the workload exercises a
+// broad operator mix despite its fixed schema.
+func genReal2Query(rng *rand.Rand, db *storage.Database) *optimizer.QuerySpec {
+	nDates := int64(db.MustTable("dates2").NumRows())
+	nMonths := int64(db.MustTable("months").NumRows())
+
+	accountArm := []optimizer.JoinTerm{
+		{Right: optimizer.TableTerm{Table: "accounts"},
+			LeftTable: "transactions", LeftCol: "tx_account", RightCol: "ac_id"},
+		{Right: optimizer.TableTerm{Table: "branches"},
+			LeftTable: "accounts", LeftCol: "ac_branch", RightCol: "br_id"},
+		{Right: optimizer.TableTerm{Table: "cities"},
+			LeftTable: "branches", LeftCol: "br_city", RightCol: "ci_id"},
+		{Right: optimizer.TableTerm{Table: "regions2"},
+			LeftTable: "cities", LeftCol: "ci_region", RightCol: "rg_id"},
+	}
+	productArm := []optimizer.JoinTerm{
+		{Right: optimizer.TableTerm{Table: "products2"},
+			LeftTable: "transactions", LeftCol: "tx_product", RightCol: "pd_id"},
+		{Right: optimizer.TableTerm{Table: "categories"},
+			LeftTable: "products2", LeftCol: "pd_category", RightCol: "ca_id"},
+		{Right: optimizer.TableTerm{Table: "departments"},
+			LeftTable: "categories", LeftCol: "ca_dept", RightCol: "dp_id"},
+	}
+	dateArm := []optimizer.JoinTerm{
+		{Right: optimizer.TableTerm{Table: "dates2"},
+			LeftTable: "transactions", LeftCol: "tx_date", RightCol: "dt_id"},
+		{Right: optimizer.TableTerm{Table: "months"},
+			LeftTable: "dates2", LeftCol: "dt_month", RightCol: "mo_id"},
+	}
+
+	groupChoices := []optimizer.ColRef{
+		{Table: "regions2", Column: "rg_zone"},
+		{Table: "departments", Column: "dp_division"},
+		{Table: "branches", Column: "br_tier"},
+		{Table: "categories", Column: "ca_id"},
+	}
+	aggs := []optimizer.AggRef{
+		{Func: plan.AggSum, Col: optimizer.ColRef{Table: "transactions", Column: "tx_amount"}},
+		{Func: plan.AggCount},
+	}
+
+	switch rng.Intn(4) {
+	case 0:
+		// Fact-first with a date filter: full snowflake.
+		lo, hi := span(rng, 1, nDates, 0.2, 0.7)
+		joins := append(append([]optimizer.JoinTerm{}, accountArm...), productArm...)
+		if rng.Intn(2) == 0 {
+			joins = append(joins, optimizer.JoinTerm{
+				Right:     optimizer.TableTerm{Table: "channels"},
+				LeftTable: "transactions", LeftCol: "tx_channel", RightCol: "ch_id"})
+		}
+		if rng.Intn(2) == 0 {
+			joins = append(joins, optimizer.JoinTerm{
+				Right:     optimizer.TableTerm{Table: "currencies"},
+				LeftTable: "transactions", LeftCol: "tx_currency", RightCol: "cy_id"})
+		}
+		if rng.Intn(2) == 0 {
+			joins = append(joins, dateArm...)
+		}
+		return &optimizer.QuerySpec{
+			First: optimizer.TableTerm{Table: "transactions", Filters: []optimizer.FilterSpec{
+				{Column: "tx_date", IsRange: true, Lo: lo, Hi: hi},
+			}},
+			Joins: joins,
+			Group: &optimizer.GroupSpec{Cols: []optimizer.ColRef{pick(rng, groupChoices)}, Aggs: aggs},
+		}
+	case 1:
+		// Fact-first with a correlated amount filter (independence errors).
+		amt := 1000 + rng.Int63n(100000)
+		joins := append(append([]optimizer.JoinTerm{}, productArm...), accountArm...)
+		return &optimizer.QuerySpec{
+			First: optimizer.TableTerm{Table: "transactions", Filters: []optimizer.FilterSpec{
+				{Column: "tx_amount", Op: expr.Ge, Val: amt},
+			}},
+			Joins: joins,
+			Group: &optimizer.GroupSpec{Cols: []optimizer.ColRef{pick(rng, groupChoices)}, Aggs: aggs},
+		}
+	case 2:
+		// Dimension-first: filtered accounts into the fact table (drives
+		// index nested loops under tuned designs), then product snowflake.
+		acType := 1 + rng.Int63n(8)
+		moLo, moHi := span(rng, 1, nMonths, 0.1, 0.5)
+		return &optimizer.QuerySpec{
+			First: optimizer.TableTerm{Table: "accounts", Filters: []optimizer.FilterSpec{
+				{Column: "ac_type", Op: expr.Eq, Val: acType},
+				{Column: "ac_open_month", IsRange: true, Lo: moLo, Hi: moHi},
+			}},
+			Joins: append([]optimizer.JoinTerm{
+				{Right: optimizer.TableTerm{Table: "transactions"},
+					LeftTable: "accounts", LeftCol: "ac_id", RightCol: "tx_account"},
+			}, productArm...),
+			Group: &optimizer.GroupSpec{
+				Cols: []optimizer.ColRef{{Table: "departments", Column: "dp_division"}},
+				Aggs: aggs,
+			},
+		}
+	default:
+		// Product-first: filtered products into the fact, then accounts
+		// snowflake and optional channel arm (~10-12 way).
+		prLo, prHi := span(rng, 50, 80000, 0.1, 0.4)
+		joins := append([]optimizer.JoinTerm{
+			{Right: optimizer.TableTerm{Table: "categories"},
+				LeftTable: "products2", LeftCol: "pd_category", RightCol: "ca_id"},
+			{Right: optimizer.TableTerm{Table: "departments"},
+				LeftTable: "categories", LeftCol: "ca_dept", RightCol: "dp_id"},
+			{Right: optimizer.TableTerm{Table: "transactions"},
+				LeftTable: "products2", LeftCol: "pd_id", RightCol: "tx_product"},
+		}, accountArm...)
+		if rng.Intn(2) == 0 {
+			joins = append(joins, optimizer.JoinTerm{
+				Right:     optimizer.TableTerm{Table: "channels"},
+				LeftTable: "transactions", LeftCol: "tx_channel", RightCol: "ch_id"})
+		}
+		return &optimizer.QuerySpec{
+			First: optimizer.TableTerm{Table: "products2", Filters: []optimizer.FilterSpec{
+				{Column: "pd_price", IsRange: true, Lo: prLo, Hi: prHi},
+			}},
+			Joins: joins,
+			Group: &optimizer.GroupSpec{
+				Cols: []optimizer.ColRef{{Table: "regions2", Column: "rg_zone"}},
+				Aggs: aggs,
+			},
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"math/rand"
+
+	"progressest/internal/expr"
+	"progressest/internal/optimizer"
+	"progressest/internal/plan"
+	"progressest/internal/storage"
+)
+
+// genTPCDSQuery samples one TPC-DS-like star-join query over the
+// store_sales fact table.
+func genTPCDSQuery(rng *rand.Rand, db *storage.Database) *optimizer.QuerySpec {
+	nDates := int64(db.MustTable("date_dim").NumRows())
+	switch rng.Intn(6) {
+	case 0:
+		// Sales by item category in a date window.
+		lo, hi := span(rng, 1, nDates, 0.1, 0.5)
+		cat := 1 + rng.Int63n(10)
+		return &optimizer.QuerySpec{
+			First: optimizer.TableTerm{Table: "store_sales", Filters: []optimizer.FilterSpec{
+				{Column: "ss_sold_date_sk", IsRange: true, Lo: lo, Hi: hi},
+			}},
+			Joins: []optimizer.JoinTerm{{
+				Right: optimizer.TableTerm{Table: "item", Filters: []optimizer.FilterSpec{
+					{Column: "i_category", Op: expr.Eq, Val: cat},
+				}},
+				LeftTable: "store_sales", LeftCol: "ss_item_sk", RightCol: "i_item_sk",
+			}},
+			Group: &optimizer.GroupSpec{
+				Cols: []optimizer.ColRef{{Table: "item", Column: "i_brand"}},
+				Aggs: []optimizer.AggRef{
+					{Func: plan.AggSum, Col: optimizer.ColRef{Table: "store_sales", Column: "ss_sales_price"}},
+				},
+			},
+		}
+	case 1:
+		// Customer demographics cut.
+		byLo, byHi := span(rng, 1930, 2005, 0.1, 0.4)
+		return &optimizer.QuerySpec{
+			First: optimizer.TableTerm{Table: "customer", Filters: []optimizer.FilterSpec{
+				{Column: "c_birth_year", IsRange: true, Lo: byLo, Hi: byHi},
+			}},
+			Joins: []optimizer.JoinTerm{{
+				Right:     optimizer.TableTerm{Table: "store_sales"},
+				LeftTable: "customer", LeftCol: "c_customer_sk", RightCol: "ss_customer_sk",
+			}},
+			Group: &optimizer.GroupSpec{
+				Cols: []optimizer.ColRef{{Table: "customer", Column: "c_nation"}},
+				Aggs: []optimizer.AggRef{
+					{Func: plan.AggSum, Col: optimizer.ColRef{Table: "store_sales", Column: "ss_quantity"}},
+					{Func: plan.AggCount},
+				},
+			},
+		}
+	case 2:
+		// Store performance by state.
+		qLo, qHi := span(rng, 1, 100, 0.2, 0.7)
+		return &optimizer.QuerySpec{
+			First: optimizer.TableTerm{Table: "store_sales", Filters: []optimizer.FilterSpec{
+				{Column: "ss_quantity", IsRange: true, Lo: qLo, Hi: qHi},
+			}},
+			Joins: []optimizer.JoinTerm{{
+				Right:     optimizer.TableTerm{Table: "store"},
+				LeftTable: "store_sales", LeftCol: "ss_store_sk", RightCol: "s_store_sk",
+			}},
+			Group: &optimizer.GroupSpec{
+				Cols: []optimizer.ColRef{{Table: "store", Column: "s_state"}},
+				Aggs: []optimizer.AggRef{
+					{Func: plan.AggSum, Col: optimizer.ColRef{Table: "store_sales", Column: "ss_sales_price"}},
+				},
+			},
+		}
+	case 3:
+		// Promotion effectiveness: 3-way star.
+		ch := 1 + rng.Int63n(4)
+		lo, hi := span(rng, 1, nDates, 0.2, 0.6)
+		return &optimizer.QuerySpec{
+			First: optimizer.TableTerm{Table: "store_sales", Filters: []optimizer.FilterSpec{
+				{Column: "ss_sold_date_sk", IsRange: true, Lo: lo, Hi: hi},
+			}},
+			Joins: []optimizer.JoinTerm{
+				{Right: optimizer.TableTerm{Table: "promotion", Filters: []optimizer.FilterSpec{
+					{Column: "p_channel", Op: expr.Eq, Val: ch},
+				}}, LeftTable: "store_sales", LeftCol: "ss_promo_sk", RightCol: "p_promo_sk"},
+				{Right: optimizer.TableTerm{Table: "item"},
+					LeftTable: "store_sales", LeftCol: "ss_item_sk", RightCol: "i_item_sk"},
+			},
+			Group: &optimizer.GroupSpec{
+				Cols: []optimizer.ColRef{{Table: "item", Column: "i_category"}},
+				Aggs: []optimizer.AggRef{
+					{Func: plan.AggSum, Col: optimizer.ColRef{Table: "store_sales", Column: "ss_sales_price"}},
+					{Func: plan.AggCount},
+				},
+			},
+		}
+	case 4:
+		// Date-dimension driven: year/month report.
+		year := 1998 + rng.Int63n(3)
+		return &optimizer.QuerySpec{
+			First: optimizer.TableTerm{Table: "date_dim", Filters: []optimizer.FilterSpec{
+				{Column: "d_year", Op: expr.Eq, Val: year},
+			}},
+			Joins: []optimizer.JoinTerm{{
+				Right:     optimizer.TableTerm{Table: "store_sales"},
+				LeftTable: "date_dim", LeftCol: "d_date_sk", RightCol: "ss_sold_date_sk",
+			}},
+			Group: &optimizer.GroupSpec{
+				Cols: []optimizer.ColRef{{Table: "date_dim", Column: "d_moy"}},
+				Aggs: []optimizer.AggRef{
+					{Func: plan.AggSum, Col: optimizer.ColRef{Table: "store_sales", Column: "ss_sales_price"}},
+				},
+			},
+		}
+	default:
+		// 4-way star: date + item + customer.
+		lo, hi := span(rng, 1, nDates, 0.1, 0.4)
+		catLo, catHi := span(rng, 1, 10, 0.2, 0.6)
+		return &optimizer.QuerySpec{
+			First: optimizer.TableTerm{Table: "store_sales", Filters: []optimizer.FilterSpec{
+				{Column: "ss_sold_date_sk", IsRange: true, Lo: lo, Hi: hi},
+			}},
+			Joins: []optimizer.JoinTerm{
+				{Right: optimizer.TableTerm{Table: "item", Filters: []optimizer.FilterSpec{
+					{Column: "i_category", IsRange: true, Lo: catLo, Hi: catHi},
+				}}, LeftTable: "store_sales", LeftCol: "ss_item_sk", RightCol: "i_item_sk"},
+				{Right: optimizer.TableTerm{Table: "customer"},
+					LeftTable: "store_sales", LeftCol: "ss_customer_sk", RightCol: "c_customer_sk"},
+			},
+			Group: &optimizer.GroupSpec{
+				Cols: []optimizer.ColRef{
+					{Table: "item", Column: "i_category"},
+					{Table: "customer", Column: "c_nation"},
+				},
+				Aggs: []optimizer.AggRef{{Func: plan.AggCount}},
+			},
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"math/rand"
+
+	"progressest/internal/expr"
+	"progressest/internal/optimizer"
+	"progressest/internal/plan"
+	"progressest/internal/storage"
+)
+
+// genTPCHQuery samples one TPC-H-like query: the template family covers
+// the plan shapes of the benchmark's decision-support queries (scan-heavy
+// single-table aggregation, 2-5 way joins, selective point lookups with
+// Top, FK-FK joins through partsupp).
+func genTPCHQuery(rng *rand.Rand, db *storage.Database) *optimizer.QuerySpec {
+	switch rng.Intn(10) {
+	case 9:
+		// Q4-like: orders in a date range WHERE EXISTS a late lineitem.
+		oLo, oHi := span(rng, 1, 2406, 0.1, 0.4)
+		sLo, sHi := span(rng, 1, 2500, 0.3, 0.8)
+		return &optimizer.QuerySpec{
+			First: optimizer.TableTerm{Table: "orders", Filters: []optimizer.FilterSpec{
+				{Column: "o_orderdate", IsRange: true, Lo: oLo, Hi: oHi},
+			}},
+			Exists: []optimizer.JoinTerm{{
+				Right: optimizer.TableTerm{Table: "lineitem", Filters: []optimizer.FilterSpec{
+					{Column: "l_shipdate", IsRange: true, Lo: sLo, Hi: sHi},
+				}},
+				LeftTable: "orders", LeftCol: "o_orderkey", RightCol: "l_orderkey",
+			}},
+			Group: &optimizer.GroupSpec{
+				Cols: []optimizer.ColRef{{Table: "orders", Column: "o_orderpriority"}},
+				Aggs: []optimizer.AggRef{{Func: plan.AggCount}},
+			},
+		}
+	case 0:
+		// Q1-like pricing summary: big lineitem scan + aggregation.
+		lo, hi := span(rng, 1, 2500, 0.4, 0.95)
+		return &optimizer.QuerySpec{
+			First: optimizer.TableTerm{Table: "lineitem", Filters: []optimizer.FilterSpec{
+				{Column: "l_shipdate", IsRange: true, Lo: lo, Hi: hi},
+			}},
+			Group: &optimizer.GroupSpec{
+				Cols: []optimizer.ColRef{{Table: "lineitem", Column: "l_returnflag"}},
+				Aggs: []optimizer.AggRef{
+					{Func: plan.AggSum, Col: optimizer.ColRef{Table: "lineitem", Column: "l_extendedprice"}},
+					{Func: plan.AggSum, Col: optimizer.ColRef{Table: "lineitem", Column: "l_quantity"}},
+					{Func: plan.AggCount},
+				},
+			},
+		}
+	case 1:
+		// Orders-lineitem join over a date range, grouped by priority.
+		lo, hi := span(rng, 1, 2406, 0.15, 0.7)
+		return &optimizer.QuerySpec{
+			First: optimizer.TableTerm{Table: "orders", Filters: []optimizer.FilterSpec{
+				{Column: "o_orderdate", IsRange: true, Lo: lo, Hi: hi},
+			}},
+			Joins: []optimizer.JoinTerm{{
+				Right:     optimizer.TableTerm{Table: "lineitem"},
+				LeftTable: "orders", LeftCol: "o_orderkey", RightCol: "l_orderkey",
+			}},
+			Group: &optimizer.GroupSpec{
+				Cols: []optimizer.ColRef{{Table: "orders", Column: "o_orderpriority"}},
+				Aggs: []optimizer.AggRef{{Func: plan.AggCount}},
+			},
+		}
+	case 2:
+		// Q3-like: customer segment -> orders -> lineitem.
+		seg := 1 + rng.Int63n(5)
+		lo, hi := span(rng, 1, 2406, 0.2, 0.8)
+		return &optimizer.QuerySpec{
+			First: optimizer.TableTerm{Table: "customer", Filters: []optimizer.FilterSpec{
+				{Column: "c_mktsegment", Op: expr.Eq, Val: seg},
+			}},
+			Joins: []optimizer.JoinTerm{
+				{Right: optimizer.TableTerm{Table: "orders", Filters: []optimizer.FilterSpec{
+					{Column: "o_orderdate", IsRange: true, Lo: lo, Hi: hi},
+				}}, LeftTable: "customer", LeftCol: "c_custkey", RightCol: "o_custkey"},
+				{Right: optimizer.TableTerm{Table: "lineitem"},
+					LeftTable: "orders", LeftCol: "o_orderkey", RightCol: "l_orderkey"},
+			},
+			Group: &optimizer.GroupSpec{
+				Cols: []optimizer.ColRef{{Table: "customer", Column: "c_nationkey"}},
+				Aggs: []optimizer.AggRef{
+					{Func: plan.AggSum, Col: optimizer.ColRef{Table: "lineitem", Column: "l_extendedprice"}},
+				},
+			},
+		}
+	case 3:
+		// Part-lineitem join on the skewed FK with a size filter.
+		szLo, szHi := span(rng, 1, 50, 0.1, 0.5)
+		return &optimizer.QuerySpec{
+			First: optimizer.TableTerm{Table: "part", Filters: []optimizer.FilterSpec{
+				{Column: "p_size", IsRange: true, Lo: szLo, Hi: szHi},
+			}},
+			Joins: []optimizer.JoinTerm{{
+				Right:     optimizer.TableTerm{Table: "lineitem"},
+				LeftTable: "part", LeftCol: "p_partkey", RightCol: "l_partkey",
+			}},
+			Group: &optimizer.GroupSpec{
+				Cols: []optimizer.ColRef{{Table: "part", Column: "p_brand"}},
+				Aggs: []optimizer.AggRef{
+					{Func: plan.AggSum, Col: optimizer.ColRef{Table: "lineitem", Column: "l_quantity"}},
+					{Func: plan.AggCount},
+				},
+			},
+		}
+	case 4:
+		// Q2-ish: region -> nation -> supplier -> partsupp chain.
+		region := 1 + rng.Int63n(5)
+		return &optimizer.QuerySpec{
+			First: optimizer.TableTerm{Table: "nation", Filters: []optimizer.FilterSpec{
+				{Column: "n_regionkey", Op: expr.Eq, Val: region},
+			}},
+			Joins: []optimizer.JoinTerm{
+				{Right: optimizer.TableTerm{Table: "supplier"},
+					LeftTable: "nation", LeftCol: "n_nationkey", RightCol: "s_nationkey"},
+				{Right: optimizer.TableTerm{Table: "partsupp"},
+					LeftTable: "supplier", LeftCol: "s_suppkey", RightCol: "ps_suppkey"},
+			},
+			Group: &optimizer.GroupSpec{
+				Cols: []optimizer.ColRef{{Table: "supplier", Column: "s_suppkey"}},
+				Aggs: []optimizer.AggRef{
+					{Func: plan.AggMin, Col: optimizer.ColRef{Table: "partsupp", Column: "ps_supplycost"}},
+				},
+			},
+			TopN: 20 + rng.Int63n(80),
+		}
+	case 5:
+		// Customer-orders join with balance filter, ordered Top.
+		bal := rng.Int63n(5000)
+		return &optimizer.QuerySpec{
+			First: optimizer.TableTerm{Table: "customer", Filters: []optimizer.FilterSpec{
+				{Column: "c_acctbal", Op: expr.Ge, Val: bal},
+			}},
+			Joins: []optimizer.JoinTerm{{
+				Right:     optimizer.TableTerm{Table: "orders"},
+				LeftTable: "customer", LeftCol: "c_custkey", RightCol: "o_custkey",
+			}},
+			Group: &optimizer.GroupSpec{
+				Cols: []optimizer.ColRef{{Table: "customer", Column: "c_custkey"}},
+				Aggs: []optimizer.AggRef{
+					{Func: plan.AggSum, Col: optimizer.ColRef{Table: "orders", Column: "o_totalprice"}},
+				},
+			},
+			OrderBy: &optimizer.ColRef{Table: "customer", Column: "c_custkey"},
+			TopN:    50 + rng.Int63n(200),
+		}
+	case 6:
+		// Q6-like selective lineitem scan.
+		dLo, dHi := span(rng, 0, 10, 0.2, 0.5)
+		qLo, qHi := span(rng, 1, 50, 0.2, 0.6)
+		return &optimizer.QuerySpec{
+			First: optimizer.TableTerm{Table: "lineitem", Filters: []optimizer.FilterSpec{
+				{Column: "l_discount", IsRange: true, Lo: dLo, Hi: dHi},
+				{Column: "l_quantity", IsRange: true, Lo: qLo, Hi: qHi},
+			}},
+			Group: &optimizer.GroupSpec{
+				Cols: []optimizer.ColRef{{Table: "lineitem", Column: "l_returnflag"}},
+				Aggs: []optimizer.AggRef{
+					{Func: plan.AggSum, Col: optimizer.ColRef{Table: "lineitem", Column: "l_extendedprice"}},
+				},
+			},
+		}
+	case 7:
+		// Partsupp-part FK-FK flavoured join grouped by type.
+		costLo, costHi := span(rng, 1, 1000, 0.2, 0.7)
+		return &optimizer.QuerySpec{
+			First: optimizer.TableTerm{Table: "partsupp", Filters: []optimizer.FilterSpec{
+				{Column: "ps_supplycost", IsRange: true, Lo: costLo, Hi: costHi},
+			}},
+			Joins: []optimizer.JoinTerm{{
+				Right:     optimizer.TableTerm{Table: "part"},
+				LeftTable: "partsupp", LeftCol: "ps_partkey", RightCol: "p_partkey",
+			}},
+			Group: &optimizer.GroupSpec{
+				Cols: []optimizer.ColRef{{Table: "part", Column: "p_type"}},
+				Aggs: []optimizer.AggRef{
+					{Func: plan.AggSum, Col: optimizer.ColRef{Table: "partsupp", Column: "ps_availqty"}},
+				},
+			},
+		}
+	default:
+		// 5-way chain: nation -> customer -> orders -> lineitem (-> part).
+		region := 1 + rng.Int63n(5)
+		lo, hi := span(rng, 1, 2406, 0.3, 0.9)
+		q := &optimizer.QuerySpec{
+			First: optimizer.TableTerm{Table: "nation", Filters: []optimizer.FilterSpec{
+				{Column: "n_regionkey", Op: expr.Eq, Val: region},
+			}},
+			Joins: []optimizer.JoinTerm{
+				{Right: optimizer.TableTerm{Table: "customer"},
+					LeftTable: "nation", LeftCol: "n_nationkey", RightCol: "c_nationkey"},
+				{Right: optimizer.TableTerm{Table: "orders", Filters: []optimizer.FilterSpec{
+					{Column: "o_orderdate", IsRange: true, Lo: lo, Hi: hi},
+				}}, LeftTable: "customer", LeftCol: "c_custkey", RightCol: "o_custkey"},
+				{Right: optimizer.TableTerm{Table: "lineitem"},
+					LeftTable: "orders", LeftCol: "o_orderkey", RightCol: "l_orderkey"},
+			},
+			Group: &optimizer.GroupSpec{
+				Cols: []optimizer.ColRef{{Table: "nation", Column: "n_name"}},
+				Aggs: []optimizer.AggRef{
+					{Func: plan.AggSum, Col: optimizer.ColRef{Table: "lineitem", Column: "l_extendedprice"}},
+					{Func: plan.AggCount},
+				},
+			},
+		}
+		if rng.Intn(2) == 0 {
+			q.Joins = append(q.Joins, optimizer.JoinTerm{
+				Right:     optimizer.TableTerm{Table: "part"},
+				LeftTable: "lineitem", LeftCol: "l_partkey", RightCol: "p_partkey",
+			})
+		}
+		return q
+	}
+}

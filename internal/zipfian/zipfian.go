@@ -1,0 +1,166 @@
+// Package zipfian provides deterministic Zipfian-distributed integer
+// generation, used to induce skew in synthetic data (the paper generates
+// TPC-H databases with Zipf skew factors z = 0, 1, 2 to create variance in
+// "per-tuple work").
+//
+// A Zipf distribution over ranks 1..N with parameter theta assigns rank r
+// probability proportional to 1/r^theta. theta = 0 degenerates to the
+// uniform distribution.
+package zipfian
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Generator draws Zipfian-distributed ranks in [1, N].
+// It uses the rejection-inversion method of Hörmann and Derflinger, which
+// needs O(1) setup and O(1) expected time per draw, independent of N.
+type Generator struct {
+	n     int64
+	theta float64
+	rng   *rand.Rand
+
+	// rejection-inversion state
+	hIntegralX1       float64
+	hIntegralNumItems float64
+	s                 float64
+}
+
+// New returns a Generator over ranks [1, n] with skew theta >= 0,
+// seeded deterministically.
+func New(n int64, theta float64, seed int64) *Generator {
+	if n < 1 {
+		panic(fmt.Sprintf("zipfian: n must be >= 1, got %d", n))
+	}
+	if theta < 0 {
+		panic(fmt.Sprintf("zipfian: theta must be >= 0, got %v", theta))
+	}
+	g := &Generator{
+		n:     n,
+		theta: theta,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	g.hIntegralX1 = g.hIntegral(1.5) - 1.0
+	g.hIntegralNumItems = g.hIntegral(float64(n) + 0.5)
+	g.s = 2.0 - g.hIntegralInverse(g.hIntegral(2.5)-g.h(2.0))
+	return g
+}
+
+// N returns the number of distinct ranks.
+func (g *Generator) N() int64 { return g.n }
+
+// Theta returns the skew parameter.
+func (g *Generator) Theta() float64 { return g.theta }
+
+// Next draws the next rank in [1, N]. Rank 1 is the most frequent.
+func (g *Generator) Next() int64 {
+	if g.theta == 0 {
+		return 1 + g.rng.Int63n(g.n)
+	}
+	for {
+		u := g.hIntegralNumItems + g.rng.Float64()*(g.hIntegralX1-g.hIntegralNumItems)
+		x := g.hIntegralInverse(u)
+		k := int64(x + 0.5)
+		if k < 1 {
+			k = 1
+		} else if k > g.n {
+			k = g.n
+		}
+		if float64(k)-x <= g.s || u >= g.hIntegral(float64(k)+0.5)-g.h(float64(k)) {
+			return k
+		}
+	}
+}
+
+// h is the density-shaped function 1/x^theta.
+func (g *Generator) h(x float64) float64 {
+	return math.Exp(-g.theta * math.Log(x))
+}
+
+// hIntegral is the antiderivative of h.
+func (g *Generator) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2((1.0-g.theta)*logX) * logX
+}
+
+func (g *Generator) hIntegralInverse(x float64) float64 {
+	t := x * (1.0 - g.theta)
+	if t < -1.0 {
+		t = -1.0
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1 computes log(1+x)/x stably near 0.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1.0 - x*(0.5-x*(1.0/3.0-0.25*x))
+}
+
+// helper2 computes (exp(x)-1)/x stably near 0.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1.0 + x*0.5*(1.0+x*(1.0/3.0)*(1.0+0.25*x))
+}
+
+// PMF returns the exact probability of rank r under Zipf(n, theta).
+func PMF(n int64, theta float64, r int64) float64 {
+	if r < 1 || r > n {
+		return 0
+	}
+	return math.Pow(float64(r), -theta) / generalizedHarmonic(n, theta)
+}
+
+// CDF returns the exact cumulative probability of ranks 1..r.
+func CDF(n int64, theta float64, r int64) float64 {
+	if r < 1 {
+		return 0
+	}
+	if r >= n {
+		return 1
+	}
+	return generalizedHarmonic(r, theta) / generalizedHarmonic(n, theta)
+}
+
+// generalizedHarmonic computes H_{n,theta} = sum_{k=1..n} 1/k^theta.
+func generalizedHarmonic(n int64, theta float64) float64 {
+	var sum float64
+	for k := int64(1); k <= n; k++ {
+		sum += math.Pow(float64(k), -theta)
+	}
+	return sum
+}
+
+// Permuted wraps a Generator so that ranks are mapped through a fixed
+// pseudo-random permutation of [1, N]. This decorrelates frequency from
+// value order, matching how skewed foreign keys appear in real data
+// (the hottest key is not necessarily the smallest).
+type Permuted struct {
+	g    *Generator
+	perm []int64
+}
+
+// NewPermuted returns a permuted Zipfian generator. The permutation is
+// derived deterministically from seed.
+func NewPermuted(n int64, theta float64, seed int64) *Permuted {
+	g := New(n, theta, seed)
+	perm := make([]int64, n)
+	for i := range perm {
+		perm[i] = int64(i) + 1
+	}
+	r := rand.New(rand.NewSource(seed ^ 0x1e3779b97f4a7c15))
+	r.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	return &Permuted{g: g, perm: perm}
+}
+
+// Next draws the next permuted rank in [1, N].
+func (p *Permuted) Next() int64 { return p.perm[p.g.Next()-1] }
+
+// N returns the number of distinct values.
+func (p *Permuted) N() int64 { return p.g.n }

@@ -1,0 +1,143 @@
+package zipfian
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformWhenThetaZero(t *testing.T) {
+	g := New(10, 0, 1)
+	counts := make([]int, 11)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[g.Next()]++
+	}
+	for r := 1; r <= 10; r++ {
+		frac := float64(counts[r]) / draws
+		if math.Abs(frac-0.1) > 0.01 {
+			t.Errorf("rank %d: frequency %.4f, want ~0.1", r, frac)
+		}
+	}
+}
+
+func TestSkewMatchesPMF(t *testing.T) {
+	for _, theta := range []float64{0.5, 1.0, 2.0} {
+		g := New(100, theta, 42)
+		counts := make([]int, 101)
+		const draws = 200000
+		for i := 0; i < draws; i++ {
+			counts[g.Next()]++
+		}
+		for _, r := range []int64{1, 2, 5, 10, 50} {
+			want := PMF(100, theta, r)
+			got := float64(counts[r]) / draws
+			if math.Abs(got-want) > 0.01+0.1*want {
+				t.Errorf("theta=%v rank=%d: frequency %.4f, want %.4f", theta, r, got, want)
+			}
+		}
+	}
+}
+
+func TestBoundsProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16, thetaRaw uint8) bool {
+		n := int64(nRaw%1000) + 1
+		theta := float64(thetaRaw%30) / 10.0
+		g := New(n, theta, seed)
+		for i := 0; i < 200; i++ {
+			v := g.Next()
+			if v < 1 || v > n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New(1000, 1.0, 7)
+	b := New(1000, 1.0, 7)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed must produce identical sequences")
+		}
+	}
+}
+
+func TestCDFMonotoneAndComplete(t *testing.T) {
+	prev := 0.0
+	for r := int64(1); r <= 50; r++ {
+		c := CDF(50, 1.5, r)
+		if c < prev {
+			t.Fatalf("CDF not monotone at rank %d: %v < %v", r, c, prev)
+		}
+		prev = c
+	}
+	if math.Abs(CDF(50, 1.5, 50)-1.0) > 1e-12 {
+		t.Errorf("CDF at n should be 1, got %v", CDF(50, 1.5, 50))
+	}
+}
+
+func TestPMFSumsToOne(t *testing.T) {
+	for _, theta := range []float64{0, 0.5, 1, 2} {
+		var sum float64
+		for r := int64(1); r <= 200; r++ {
+			sum += PMF(200, theta, r)
+		}
+		if math.Abs(sum-1.0) > 1e-9 {
+			t.Errorf("theta=%v: PMF sums to %v, want 1", theta, sum)
+		}
+	}
+}
+
+func TestPermutedCoversAllValues(t *testing.T) {
+	p := NewPermuted(20, 1.0, 3)
+	seen := make(map[int64]bool)
+	for i := 0; i < 20000; i++ {
+		v := p.Next()
+		if v < 1 || v > 20 {
+			t.Fatalf("out of range value %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 20 {
+		t.Errorf("permuted generator visited %d/20 distinct values", len(seen))
+	}
+}
+
+func TestPermutedDecorrelatesRankFromValue(t *testing.T) {
+	// With high skew, the most frequent value under NewPermuted should
+	// usually not be 1 (probability 1/N that the permutation maps rank 1
+	// to value 1). Check a handful of seeds.
+	hits := 0
+	for seed := int64(0); seed < 10; seed++ {
+		p := NewPermuted(50, 2.0, seed)
+		counts := make(map[int64]int)
+		for i := 0; i < 5000; i++ {
+			counts[p.Next()]++
+		}
+		best, bestC := int64(0), -1
+		for v, c := range counts {
+			if c > bestC {
+				best, bestC = v, c
+			}
+		}
+		if best == 1 {
+			hits++
+		}
+	}
+	if hits > 5 {
+		t.Errorf("permutation looks like identity: mode was value 1 in %d/10 seeds", hits)
+	}
+}
+
+func BenchmarkNextSkewed(b *testing.B) {
+	g := New(1_000_000, 1.0, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}

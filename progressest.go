@@ -1,0 +1,371 @@
+// Package progressest is a reproduction of "A Statistical Approach
+// Towards Robust Progress Estimation" (König, Ding, Chaudhuri, Narasayya;
+// VLDB 2011): a library for robust SQL progress estimation by statistical
+// selection among candidate progress estimators.
+//
+// The package bundles a complete substrate — synthetic decision-support
+// databases, a cost-based planner with realistic cardinality-estimation
+// error, and a Volcano-style execution engine instrumented with the
+// GetNext/bytes counters progress estimators consume — together with the
+// paper's candidate estimators (DNE, TGN, LUO, PMAX, SAFE, BATCHDNE,
+// DNESEEK, TGNINT) and the MART-based estimator-selection framework.
+//
+// Typical use:
+//
+//	w, _ := progressest.Open(progressest.Config{Dataset: progressest.TPCH})
+//	run, _ := w.Run(0)                     // execute one query
+//	series := run.Estimates(0, progressest.DNE)
+//	examples, _ := w.Harvest()             // labelled training data
+//	sel, _ := progressest.TrainSelector(examples, progressest.SelectorConfig{})
+//	best := sel.Pick(run.Features(0))      // chosen estimator per pipeline
+package progressest
+
+import (
+	"errors"
+	"fmt"
+
+	"progressest/internal/catalog"
+	"progressest/internal/datagen"
+	"progressest/internal/exec"
+	"progressest/internal/features"
+	"progressest/internal/mart"
+	"progressest/internal/progress"
+	"progressest/internal/selection"
+	"progressest/internal/workload"
+)
+
+// Dataset selects one of the four database/workload families used in the
+// paper's evaluation.
+type Dataset = datagen.DatasetKind
+
+// The workload families.
+const (
+	TPCH  Dataset = datagen.TPCHLike
+	TPCDS Dataset = datagen.TPCDSLike
+	Real1 Dataset = datagen.Real1Like
+	Real2 Dataset = datagen.Real2Like
+)
+
+// Design selects the physical-design preset (index set).
+type Design = catalog.DesignLevel
+
+// The physical designs.
+const (
+	Untuned        Design = catalog.Untuned
+	PartiallyTuned Design = catalog.PartiallyTuned
+	FullyTuned     Design = catalog.FullyTuned
+)
+
+// Estimator identifies a progress estimator.
+type Estimator = progress.Kind
+
+// The candidate estimators (see the paper, Sections 3.4 and 5) and the
+// idealised oracle models (Section 6.7).
+const (
+	DNE           Estimator = progress.DNE
+	TGN           Estimator = progress.TGN
+	LUO           Estimator = progress.LUO
+	PMAX          Estimator = progress.PMAX
+	SAFE          Estimator = progress.SAFE
+	BATCHDNE      Estimator = progress.BATCHDNE
+	DNESEEK       Estimator = progress.DNESEEK
+	TGNINT        Estimator = progress.TGNINT
+	OracleGetNext Estimator = progress.OracleGetNext
+	OracleBytes   Estimator = progress.OracleBytes
+)
+
+// CoreEstimators returns the three previously published estimators.
+func CoreEstimators() []Estimator { return progress.CoreKinds() }
+
+// AllEstimators returns all selectable candidate estimators, including
+// the paper's novel special-purpose ones.
+func AllEstimators() []Estimator { return progress.ExtendedKinds() }
+
+// Config describes a workload instance.
+type Config struct {
+	// Dataset picks the database family (default TPCH).
+	Dataset Dataset
+	// Queries is the number of queries to generate (default 100).
+	Queries int
+	// Scale scales base-table row counts (default 0.15).
+	Scale float64
+	// Zipf is the data-skew factor z (default 1).
+	Zipf float64
+	// Design is the physical-design preset (default PartiallyTuned).
+	Design Design
+	// Seed makes everything deterministic (default 1).
+	Seed int64
+}
+
+// Workload is a generated database plus parameterised queries.
+type Workload struct {
+	inner *workload.Workload
+}
+
+// Open generates the database and queries for the configuration.
+func Open(cfg Config) (*Workload, error) {
+	if cfg.Queries <= 0 {
+		cfg.Queries = 100
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = 0.15
+	}
+	if cfg.Zipf < 0 {
+		return nil, errors.New("progressest: negative Zipf factor")
+	}
+	if cfg.Zipf == 0 {
+		cfg.Zipf = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	w, err := workload.Build(workload.Spec{
+		Name:    cfg.Dataset.String(),
+		Kind:    cfg.Dataset,
+		Queries: cfg.Queries,
+		Scale:   cfg.Scale,
+		Zipf:    cfg.Zipf,
+		Design:  cfg.Design,
+		Seed:    cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{inner: w}, nil
+}
+
+// NumQueries returns the number of generated queries.
+func (w *Workload) NumQueries() int { return len(w.inner.Queries) }
+
+// QueryText returns a pseudo-SQL rendering of query i.
+func (w *Workload) QueryText(i int) string { return w.inner.Queries[i].String() }
+
+// Run plans and executes query i, capturing the counter trace.
+func (w *Workload) Run(i int) (*QueryRun, error) {
+	if i < 0 || i >= len(w.inner.Queries) {
+		return nil, fmt.Errorf("progressest: query index %d out of range [0,%d)", i, len(w.inner.Queries))
+	}
+	pl, err := w.inner.Planner.Plan(w.inner.Queries[i])
+	if err != nil {
+		return nil, err
+	}
+	tr := exec.Run(w.inner.DB, pl, exec.Options{})
+	run := &QueryRun{trace: tr}
+	for p := range tr.Pipes.Pipelines {
+		run.views = append(run.views, progress.NewPipelineView(tr, p))
+	}
+	return run, nil
+}
+
+// Example is one labelled pipeline execution: a feature vector plus the
+// measured error of every candidate estimator.
+type Example = selection.Example
+
+// Harvest executes every query of the workload and returns one labelled
+// Example per sufficiently long pipeline — the training data for
+// TrainSelector.
+func (w *Workload) Harvest() ([]Example, error) {
+	res, err := w.inner.Run(workload.RunOptions{Seed: w.inner.Spec.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return res.Examples, nil
+}
+
+// QueryRun is one executed query with its full observation trace.
+type QueryRun struct {
+	trace *exec.Trace
+	views []*progress.PipelineView
+	query *progress.QueryView // lazily built for whole-query progress
+}
+
+// queryView lazily builds the eq. 5 whole-query combination.
+func (r *QueryRun) queryView() *progress.QueryView {
+	if r.query == nil {
+		r.query = progress.NewQueryView(r.trace)
+	}
+	return r.query
+}
+
+// PlanText renders the executed physical plan.
+func (r *QueryRun) PlanText() string { return r.trace.Plan.String() }
+
+// NumPipelines returns the number of pipelines in the plan.
+func (r *QueryRun) NumPipelines() int { return len(r.views) }
+
+// Observations returns the number of counter snapshots recorded for
+// pipeline p.
+func (r *QueryRun) Observations(p int) int { return r.views[p].NumObs() }
+
+// Estimates returns estimator e's progress series over pipeline p's
+// observations (values in [0, 1]).
+func (r *QueryRun) Estimates(p int, e Estimator) []float64 {
+	return r.views[p].Series(e)
+}
+
+// TrueProgress returns the true (virtual-time) progress of pipeline p at
+// each observation.
+func (r *QueryRun) TrueProgress(p int) []float64 { return r.views[p].TrueSeries() }
+
+// Errors returns estimator e's L1 and L2 progress error on pipeline p.
+func (r *QueryRun) Errors(p int, e Estimator) (l1, l2 float64) {
+	st := r.views[p].Errors(e)
+	return st.L1, st.L2
+}
+
+// Features returns the selection feature vector of pipeline p (static
+// prefix + dynamic suffix).
+func (r *QueryRun) Features(p int) []float64 {
+	return features.Full(r.views[p])
+}
+
+// QueryEstimates returns whole-query progress (the estimate-weighted sum
+// of pipeline estimates, eq. 5 of the paper) using estimator e for every
+// pipeline, over all counter snapshots of the query.
+func (r *QueryRun) QueryEstimates(e Estimator) []float64 {
+	return r.queryView().Series(e)
+}
+
+// QueryTrueProgress returns the true whole-query progress per snapshot.
+func (r *QueryRun) QueryTrueProgress() []float64 {
+	return r.queryView().TrueSeries()
+}
+
+// QueryErrors returns the L1/L2 error of a single-estimator whole-query
+// progress series.
+func (r *QueryRun) QueryErrors(e Estimator) (l1, l2 float64) {
+	st := r.queryView().Errors(e)
+	return st.L1, st.L2
+}
+
+// PipelineWeight returns pipeline p's share of the query's estimated total
+// work (the eq. 5 weight).
+func (r *QueryRun) PipelineWeight(p int) float64 {
+	return r.queryView().Weight(p)
+}
+
+// FeatureNames returns the ordered names of the feature vector entries.
+func FeatureNames() []string { return features.Names() }
+
+// BatchRun is the combined execution of several queries, with one progress
+// series for the whole batch (the multi-query extension the paper lists as
+// future work, after Luo et al.'s multi-query indicators).
+type BatchRun struct {
+	m *progress.MultiQuery
+}
+
+// RunBatch executes the given queries back to back and returns the batch
+// view. Indices must be valid query indices of the workload.
+func (w *Workload) RunBatch(indices []int) (*BatchRun, error) {
+	var traces []*exec.Trace
+	for _, i := range indices {
+		if i < 0 || i >= len(w.inner.Queries) {
+			return nil, fmt.Errorf("progressest: query index %d out of range", i)
+		}
+		pl, err := w.inner.Planner.Plan(w.inner.Queries[i])
+		if err != nil {
+			return nil, err
+		}
+		traces = append(traces, exec.Run(w.inner.DB, pl, exec.Options{}))
+	}
+	if len(traces) == 0 {
+		return nil, errors.New("progressest: empty batch")
+	}
+	return &BatchRun{m: progress.NewMultiQuery(traces)}, nil
+}
+
+// QueryWeight returns query q's share of the batch's estimated work.
+func (b *BatchRun) QueryWeight(q int) float64 { return b.m.QueryWeight(q) }
+
+// Progress returns the batch progress series for one estimator together
+// with the true batch progress.
+func (b *BatchRun) Progress(e Estimator) (est, truth []float64) {
+	return b.m.SerialSeries(e)
+}
+
+// Errors returns the batch progress series' L1/L2 error for one estimator.
+func (b *BatchRun) Errors(e Estimator) (l1, l2 float64) {
+	st := b.m.Errors(e)
+	return st.L1, st.L2
+}
+
+// SelectorConfig configures selector training.
+type SelectorConfig struct {
+	// Candidates is the estimator set to select among (default
+	// AllEstimators()).
+	Candidates []Estimator
+	// StaticOnly restricts models to plan-time features; by default the
+	// selector also uses dynamic execution-feedback features.
+	StaticOnly bool
+	// Trees is the number of MART boosting iterations (default 200, as in
+	// the paper).
+	Trees int
+	// Seed drives stochastic boosting (default 1).
+	Seed int64
+}
+
+// Selector picks the estimator with the smallest predicted error for a
+// pipeline.
+type Selector struct {
+	inner *selection.Selector
+}
+
+// TrainSelector fits one MART error-regression model per candidate
+// estimator (the paper's Section 4 framework).
+func TrainSelector(examples []Example, cfg SelectorConfig) (*Selector, error) {
+	if len(cfg.Candidates) == 0 {
+		cfg.Candidates = AllEstimators()
+	}
+	if cfg.Trees <= 0 {
+		cfg.Trees = 200
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	s, err := selection.Train(examples, selection.Config{
+		Kinds:   cfg.Candidates,
+		Dynamic: !cfg.StaticOnly,
+		Mart:    mart.Options{Trees: cfg.Trees, Seed: cfg.Seed},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Selector{inner: s}, nil
+}
+
+// Pick returns the estimator with the smallest predicted error for the
+// feature vector.
+func (s *Selector) Pick(featureVector []float64) Estimator {
+	return s.inner.Select(featureVector)
+}
+
+// PredictedErrors returns the predicted L1 error per candidate.
+func (s *Selector) PredictedErrors(featureVector []float64) map[Estimator]float64 {
+	return s.inner.PredictErrors(featureVector)
+}
+
+// Save writes the selector to a JSON file.
+func (s *Selector) Save(path string) error { return s.inner.Save(path) }
+
+// LoadSelector reads a selector saved by Save.
+func LoadSelector(path string) (*Selector, error) {
+	inner, err := selection.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Selector{inner: inner}, nil
+}
+
+// Evaluation summarises a selector or fixed estimator on test examples.
+type Evaluation = selection.Evaluation
+
+// EvaluateSelector runs the selector over labelled test examples.
+func EvaluateSelector(s *Selector, examples []Example) Evaluation {
+	return selection.Evaluate(s.inner, examples)
+}
+
+// EvaluateFixed evaluates always using one estimator against the optimal
+// choice among candidates.
+func EvaluateFixed(e Estimator, candidates []Estimator, examples []Example) Evaluation {
+	return selection.EvaluateFixed(e, candidates, examples)
+}
