@@ -230,6 +230,80 @@ func BenchmarkAblationStaticVsDynamicFeatures(b *testing.B) {
 	}
 }
 
+// BenchmarkHarvestSequential and BenchmarkHarvestParallel are the paired
+// benchmark for the training hot path: harvesting labelled examples from
+// every query of a workload, sequentially vs. fanned out across a worker
+// pool. The parallel variant produces bit-identical examples (asserted by
+// TestHarvestParallelMatchesHarvest); compare ns/op for the wall-clock
+// speedup.
+func harvestWorkload(b *testing.B) *progressest.Workload {
+	b.Helper()
+	w, err := progressest.Open(progressest.Config{
+		Dataset: progressest.TPCH, Queries: 24, Scale: 0.1, Seed: 6,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+func BenchmarkHarvestSequential(b *testing.B) {
+	w := harvestWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Harvest(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHarvestParallel(b *testing.B) {
+	w := harvestWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.HarvestParallel(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOnlineVsReplay compares the cost of maintaining all candidate
+// estimators incrementally while a query runs (the streaming OnlineView
+// attached as exec.Observer) against executing and then replaying the
+// finished trace through every estimator — the dataflow the streaming
+// refactor replaces.
+func BenchmarkOnlineVsReplay(b *testing.B) {
+	w := harvestWorkload(b)
+	b.Run("online", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := w.Start(0, progressest.MonitorOptions{UpdateEvery: 1 << 30})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for range m.Updates {
+			}
+			if _, err := m.Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("replay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run, err := w.Run(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for p := 0; p < run.NumPipelines(); p++ {
+				for _, e := range progressest.AllEstimators() {
+					if l1, _ := run.Errors(p, e); l1 < 0 {
+						b.Fatal("negative error")
+					}
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkSelectionOverhead measures the per-pipeline runtime cost of
 // estimator selection itself (feature lookup + model evaluation), the
 // "low overhead" claim of the paper's Section 6.4 discussion.

@@ -1,130 +1,81 @@
-// Command progressd executes one query from a chosen workload and prints
-// a live progress report: at each reporting step, the estimates of every
-// candidate estimator next to true progress, plus (optionally) the
-// estimator a trained selection model would pick per pipeline.
+// Command progressd is the progress-estimation daemon: it builds a
+// workload (database + parameterised queries), optionally loads a trained
+// selection model, and serves live query monitoring over HTTP. Submitted
+// queries execute on their own goroutines while their streaming progress
+// estimates — per pipeline and combined per eq. 5 of the paper — are
+// polled as JSON.
+//
+// Endpoints:
+//
+//	POST /queries                {"query": i}  start workload query i
+//	GET  /queries                              list submitted queries
+//	GET  /queries/{id}/progress                freshest progress update
+//	GET  /healthz                              liveness probe
 //
 // Usage:
 //
-//	progressd [-workload tpch|tpcds|real1|real2] [-design 0|1|2]
-//	          [-query N] [-scale F] [-zipf F] [-seed N] [-steps N]
-//	          [-model selector.json]
+//	progressd [-addr :8080] [-workload tpch|tpcds|real1|real2]
+//	          [-design 0|1|2] [-queries N] [-scale F] [-zipf F] [-seed N]
+//	          [-every N] [-pace D] [-model selector.json]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
+	"net/http"
 	"os"
-	"strings"
 
-	"progressest/internal/catalog"
-	"progressest/internal/datagen"
-	"progressest/internal/exec"
-	"progressest/internal/features"
-	"progressest/internal/progress"
-	"progressest/internal/selection"
-	"progressest/internal/workload"
+	"progressest"
 )
 
 func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
 	wl := flag.String("workload", "tpch", "workload family: tpch, tpcds, real1, real2")
 	design := flag.Int("design", 1, "physical design: 0=untuned, 1=partial, 2=full")
-	query := flag.Int("query", 0, "query index within the workload")
+	queries := flag.Int("queries", 100, "number of queries to generate")
 	scale := flag.Float64("scale", 0.15, "database scale")
 	zipf := flag.Float64("zipf", 1, "data skew factor z")
 	seed := flag.Int64("seed", 1, "random seed")
-	steps := flag.Int("steps", 12, "number of progress report lines")
+	every := flag.Int("every", 8, "record a progress update every N counter snapshots")
+	pace := flag.Duration("pace", 0, "pace execution: sleep per progress update (0 = full speed)")
 	model := flag.String("model", "", "optional trained selector (see cmd/trainsel)")
 	flag.Parse()
 
-	kinds := map[string]datagen.DatasetKind{
-		"tpch": datagen.TPCHLike, "tpcds": datagen.TPCDSLike,
-		"real1": datagen.Real1Like, "real2": datagen.Real2Like,
+	datasets := map[string]progressest.Dataset{
+		"tpch": progressest.TPCH, "tpcds": progressest.TPCDS,
+		"real1": progressest.Real1, "real2": progressest.Real2,
 	}
-	kind, ok := kinds[*wl]
+	dataset, ok := datasets[*wl]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
 		os.Exit(2)
 	}
 
-	w, err := workload.Build(workload.Spec{
-		Name: *wl, Kind: kind, Queries: *query + 1,
-		Scale: *scale, Zipf: *zipf,
-		Design: catalog.DesignLevel(*design), Seed: *seed,
+	log.Printf("building %s workload (%d queries, scale %g, zipf %g, design %d)...",
+		*wl, *queries, *scale, *zipf, *design)
+	w, err := progressest.Open(progressest.Config{
+		Dataset: dataset,
+		Queries: *queries,
+		Scale:   *scale,
+		Zipf:    *zipf,
+		Design:  progressest.Design(*design),
+		Seed:    *seed,
 	})
 	if err != nil {
-		fatal(err)
+		log.Fatal(err)
 	}
-	spec := w.Queries[*query]
-	fmt.Printf("Query: %s\n\n", spec)
 
-	pl, err := w.Planner.Plan(spec)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("Plan:\n%s\n", pl)
-
-	tr := exec.Run(w.DB, pl, exec.Options{TargetObservations: 800})
-	fmt.Printf("Executed: %d pipelines, %d observations, %.0f virtual time units\n\n",
-		len(tr.Pipes.Pipelines), len(tr.Snapshots), tr.TotalTime)
-
-	var sel *selection.Selector
+	opts := progressest.MonitorOptions{UpdateEvery: *every, Pace: *pace}
 	if *model != "" {
-		sel, err = selection.Load(*model)
+		sel, err := progressest.LoadSelector(*model)
 		if err != nil {
-			fatal(err)
+			log.Fatal(err)
 		}
+		opts.Selector = sel
+		log.Printf("loaded selection model from %s", *model)
 	}
 
-	est := progress.ExtendedKinds()
-	for p := range tr.Pipes.Pipelines {
-		v := progress.NewPipelineView(tr, p)
-		if v.NumObs() < 3 {
-			continue
-		}
-		pipe := tr.Pipes.Pipelines[p]
-		fmt.Printf("Pipeline %d: %d nodes, drivers %v\n", p, len(pipe.Nodes), pipe.Drivers)
-		if sel != nil {
-			choice := sel.Select(features.Full(v))
-			fmt.Printf("  selection model picks: %v\n", choice)
-		}
-		header := []string{"  true"}
-		for _, k := range est {
-			header = append(header, fmt.Sprintf("%8s", k))
-		}
-		fmt.Println(strings.Join(header, " "))
-		truth := v.TrueSeries()
-		n := v.NumObs()
-		for s := 0; s < *steps; s++ {
-			i := s * (n - 1) / max(*steps-1, 1)
-			row := []string{fmt.Sprintf("%5.1f%%", 100*truth[i])}
-			for _, k := range est {
-				row = append(row, fmt.Sprintf("%7.1f%%", 100*v.Estimate(k, i)))
-			}
-			fmt.Println("  " + strings.Join(row, " "))
-		}
-		fmt.Println()
-		errs := v.AllErrors()
-		best, _ := progress.Best(errs, est)
-		fmt.Printf("  L1 errors:")
-		for _, k := range est {
-			mark := " "
-			if k == best {
-				mark = "*"
-			}
-			fmt.Printf("  %v=%.4f%s", k, errs[k].L1, mark)
-		}
-		fmt.Print("\n\n")
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "progressd:", err)
-	os.Exit(1)
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+	log.Printf("progressd listening on %s (%d queries ready)", *addr, w.NumQueries())
+	log.Fatal(http.ListenAndServe(*addr, progressest.NewServer(w, opts)))
 }

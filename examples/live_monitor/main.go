@@ -1,13 +1,20 @@
-// Live monitor: a DBA-console-style progress bar. Runs a long decision
-// support query and replays its execution, showing what a progress dialog
-// driven by a trained selector would have displayed at each moment,
-// against true progress.
+// Live monitor: a DBA-console-style progress bar fed by the progressd
+// daemon. The example trains a selector on the workload's own history
+// (harvested in parallel), starts the daemon's HTTP server in-process,
+// submits a query over HTTP, and polls its live progress — what a
+// monitoring dashboard pointed at progressd would display.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"log"
+	"net"
+	"net/http"
 	"strings"
+	"time"
 
 	"progressest"
 )
@@ -24,7 +31,7 @@ func main() {
 	w, err := progressest.Open(progressest.Config{
 		Dataset: progressest.Real1,
 		Queries: 30,
-		Scale:   0.2,
+		Scale:   0.25,
 		Zipf:    1,
 		Design:  progressest.PartiallyTuned,
 		Seed:    11,
@@ -33,9 +40,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Train a selector on this system's own history (the first 25
-	// queries), then monitor a "new" query with it.
-	examples, err := w.Harvest()
+	// Train a selector on this system's own history; the harvest fans the
+	// queries across all CPUs.
+	examples, err := w.HarvestParallel(0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,27 +51,84 @@ func main() {
 		log.Fatal(err)
 	}
 
-	const queryIdx = 27
-	fmt.Println("monitoring:", w.QueryText(queryIdx))
-	run, err := w.Run(queryIdx)
+	// Start the daemon in-process on a loopback port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
+	srv := &http.Server{Handler: progressest.NewServer(w, progressest.MonitorOptions{
+		Selector:    sel,
+		UpdateEvery: 8,
+		// Pace execution so the in-memory query runs at the observable
+		// speed of the production queries a progress bar exists for.
+		Pace: 5 * time.Millisecond,
+	})}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
 
-	for p := 0; p < run.NumPipelines(); p++ {
-		obs := run.Observations(p)
-		if obs < 10 {
-			continue
+	const queryIdx = 27
+	fmt.Println("monitoring:", w.QueryText(queryIdx))
+
+	body, _ := json.Marshal(map[string]int{"query": queryIdx})
+	resp, err := http.Post(base+"/queries", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(resp.Body)
+		log.Fatalf("submit failed: %s: %s", resp.Status, msg)
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("submitted as %s via POST %s/queries\n\n", info.ID, base)
+
+	type progressResp struct {
+		Done   bool                        `json:"done"`
+		Update *progressest.ProgressUpdate `json:"update"`
+	}
+	var last, lastLive *progressest.ProgressUpdate
+	for {
+		resp, err := http.Get(base + "/queries/" + info.ID + "/progress")
+		if err != nil {
+			log.Fatal(err)
 		}
-		choice := sel.Pick(run.Features(p))
-		fmt.Printf("\npipeline %d — selector picked %v:\n", p, choice)
-		truth := run.TrueProgress(p)
-		est := run.Estimates(p, choice)
-		for step := 0; step <= 12; step++ {
-			i := step * (obs - 1) / 12
-			fmt.Printf("  %s %5.1f%%   (true %5.1f%%)\n", bar(est[i], 32), 100*est[i], 100*truth[i])
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(resp.Body)
+			log.Fatalf("progress poll failed: %s: %s", resp.Status, msg)
 		}
-		l1, _ := run.Errors(p, choice)
-		fmt.Printf("  final L1 error of the displayed estimator: %.4f\n", l1)
+		var pr progressResp
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		if pr.Update != nil && (last == nil || pr.Update.Seq != last.Seq) {
+			last = pr.Update
+			if !last.Done {
+				lastLive = last
+			}
+			fmt.Printf("  %s %5.1f%%  t=%8.0f", bar(last.Query, 32), 100*last.Query, last.Time)
+			for _, pp := range last.Pipelines {
+				if pp.Started && !pp.Done {
+					fmt.Printf("   p%d %s %4.1f%%", pp.Pipeline, pp.EstimatorName, 100*pp.Estimate)
+				}
+			}
+			fmt.Println()
+		}
+		if pr.Done {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	fmt.Println("\nquery done")
+	if lastLive != nil {
+		fmt.Printf("last in-flight estimate: %.1f%% at t=%.0f (of %.0f total — true %.1f%%)\n",
+			100*lastLive.Query, lastLive.Time, last.Time, 100*lastLive.Time/last.Time)
 	}
 }

@@ -1,0 +1,3 @@
+module progressest
+
+go 1.24

@@ -5,6 +5,12 @@
 // virtual clock, and emits periodic Snapshots of all counters. Disk spills
 // caused by memory contention in hash joins are modelled as additional
 // GetNext calls at the spilling node, as in the paper.
+//
+// Observation is streaming-first: every execution feeds an event stream
+// (pipeline starts, counter snapshots, thinning, pipeline ends) to an
+// Observer. The Trace returned by Run is built by one such observer — the
+// sink Run always installs — so batch replay and live monitoring see the
+// identical observation sequence.
 package exec
 
 import (
@@ -26,6 +32,9 @@ type Options struct {
 	// MaxObservations caps stored snapshots; when exceeded, the trace is
 	// thinned and the sampling interval doubled (default 1200).
 	MaxObservations int
+	// Observer, when non-nil, receives the execution event stream (pipeline
+	// starts/ends, snapshots, thinning, completion) while the query runs.
+	Observer Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -38,31 +47,17 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Run executes the plan to completion and returns its Trace.
+// Run executes the plan to completion and returns its Trace, feeding
+// opts.Observer (if any) along the way.
 func Run(db *storage.Database, p *plan.Plan, opts Options) *Trace {
 	opts = opts.withDefaults()
 	pipes := pipeline.Decompose(p)
-	n := p.NumNodes()
 
 	obsEvery := int64(p.TotalEstRows()) / int64(opts.TargetObservations)
 	if obsEvery < 1 {
 		obsEvery = 1
 	}
-
-	ctx := &context{
-		db:          db,
-		p:           p,
-		opts:        opts,
-		K:           make([]int64, n),
-		R:           make([]int64, n),
-		W:           make([]int64, n),
-		firstActive: make([]float64, n),
-		lastActive:  make([]float64, n),
-		obsEvery:    obsEvery,
-	}
-	for i := range ctx.firstActive {
-		ctx.firstActive[i] = -1
-	}
+	ctx := newContext(db, p, pipes, opts, obsEvery)
 
 	root := buildIter(ctx, p.Root)
 	root.open()
@@ -77,7 +72,7 @@ func Run(db *storage.Database, p *plan.Plan, opts Options) *Trace {
 	tr := &Trace{
 		Plan:      p,
 		Pipes:     pipes,
-		Snapshots: ctx.snapshots,
+		Snapshots: ctx.sink.snapshots,
 		N:         ctx.K,
 		FinalR:    ctx.R,
 		FinalW:    ctx.W,
@@ -99,30 +94,27 @@ func Run(db *storage.Database, p *plan.Plan, opts Options) *Trace {
 		}
 		tr.PipeSpans[i] = Span{Start: start, End: end}
 	}
-	tr.DriverTotalsKnown = make([]bool, len(pipes.Pipelines))
-	tr.DriverTotal = make([]int64, n)
-	for i, pl := range pipes.Pipelines {
-		known := len(pl.Drivers) > 0
-		for _, d := range pl.Drivers {
-			node := p.Node(d)
-			total, ok := driverTotal(db, node, ctx)
-			if !ok {
-				known = false
-				continue
+	// Driver totals as they were known at each pipeline's start (recorded
+	// by startPipeline); pipelines that never became active report unknown.
+	tr.DriverTotalsKnown = append([]bool(nil), ctx.pipeKnown...)
+	tr.DriverTotal = ctx.driverTotal
+	if ctx.observer != nil {
+		for pi := range pipes.Pipelines {
+			if ctx.pipeStarted[pi] {
+				ctx.observer.OnPipelineEnd(pi, tr.PipeSpans[pi].End)
 			}
-			tr.DriverTotal[d] = total
 		}
-		tr.DriverTotalsKnown[i] = known
+		ctx.observer.OnDone(tr)
 	}
 	return tr
 }
 
-// driverTotal returns the exact input size of a driver node when it is
-// knowable at pipeline start: base-table scans know their table size,
+// driverTotalAtStart returns the exact input size of a driver node when it
+// is knowable at pipeline start: base-table scans know their table size,
 // constant-range index seeks know the range size, and blocking operators
-// (Sort, HashAgg) know their output size once filled (which is before
-// their pipeline starts emitting). Returns ok=false otherwise.
-func driverTotal(db *storage.Database, n *plan.Node, ctx *context) (int64, bool) {
+// (Sort, HashAgg) know their buffered output size once filled (which is
+// before their pipeline starts emitting). Returns ok=false otherwise.
+func driverTotalAtStart(db *storage.Database, n *plan.Node, ctx *context) (int64, bool) {
 	switch n.Op {
 	case plan.TableScan, plan.IndexScan:
 		return int64(db.MustTable(n.TableName).NumRows()), true
@@ -137,18 +129,56 @@ func driverTotal(db *storage.Database, n *plan.Node, ctx *context) (int64, bool)
 		lo, hi := ix.SeekRange(n.SeekLo, n.SeekHi)
 		return int64(hi - lo), true
 	case plan.Sort, plan.HashAgg:
-		// Known at emission time: equals the node's true output count.
-		return ctx.K[n.ID], true
+		// Recorded by the iterator when it finished buffering its input.
+		if t := ctx.blockTotal[n.ID]; t >= 0 {
+			return t, true
+		}
+		return 0, false
 	default:
 		return 0, false
 	}
 }
 
+// newContext builds the execution state for one run.
+func newContext(db *storage.Database, p *plan.Plan, pipes *pipeline.Decomposition, opts Options, obsEvery int64) *context {
+	n := p.NumNodes()
+	ctx := &context{
+		db:          db,
+		p:           p,
+		pipes:       pipes,
+		opts:        opts,
+		observer:    opts.Observer,
+		K:           make([]int64, n),
+		R:           make([]int64, n),
+		W:           make([]int64, n),
+		firstActive: make([]float64, n),
+		lastActive:  make([]float64, n),
+		blockTotal:  make([]int64, n),
+		driverTotal: make([]int64, n),
+		pipeOf:      make([]int, n),
+		pipeStarted: make([]bool, len(pipes.Pipelines)),
+		pipeKnown:   make([]bool, len(pipes.Pipelines)),
+		obsEvery:    obsEvery,
+	}
+	for i := range ctx.firstActive {
+		ctx.firstActive[i] = -1
+		ctx.blockTotal[i] = -1
+	}
+	for pi, pl := range pipes.Pipelines {
+		for _, id := range pl.Nodes {
+			ctx.pipeOf[id] = pi
+		}
+	}
+	return ctx
+}
+
 // context carries the execution state shared by all iterators.
 type context struct {
-	db   *storage.Database
-	p    *plan.Plan
-	opts Options
+	db       *storage.Database
+	p        *plan.Plan
+	pipes    *pipeline.Decomposition
+	opts     Options
+	observer Observer
 
 	clock float64
 	K     []int64
@@ -158,9 +188,19 @@ type context struct {
 	firstActive []float64
 	lastActive  []float64
 
+	// blockTotal[n] is the buffered input size a blocking operator reported
+	// when it finished filling (-1 until then).
+	blockTotal []int64
+	// driverTotal[n] is the driver input size recorded at pipeline start.
+	driverTotal []int64
+
+	pipeOf      []int  // node ID -> pipeline index
+	pipeStarted []bool // pipeline became active
+	pipeKnown   []bool // all driver totals known at pipeline start
+
 	totalGN   int64
 	obsEvery  int64
-	snapshots []Snapshot
+	sink      traceSink
 	lastSnapT float64
 }
 
@@ -186,19 +226,63 @@ func (c *context) spillCall(n *plan.Node, bytes float64, markActive bool) {
 	c.maybeSnapshot()
 }
 
-// tickActive advances the clock and the node's activity span.
+// tickActive advances the clock and the node's activity span, starting the
+// node's pipeline on its first activity.
 func (c *context) tickActive(id int, cost float64) {
 	c.clock += cost
 	if c.firstActive[id] < 0 {
 		c.firstActive[id] = c.clock
 	}
 	c.lastActive[id] = c.clock
+	if pi := c.pipeOf[id]; !c.pipeStarted[pi] {
+		c.startPipeline(pi)
+	}
+}
+
+// startPipeline records the pipeline's start: the driver input sizes that
+// are exactly knowable at this moment. Blocking drivers (Sort, HashAgg)
+// have always finished buffering by now, because a pipeline's first
+// activity is a row emission that can only be fed by already-filled
+// drivers.
+func (c *context) startPipeline(pi int) {
+	c.pipeStarted[pi] = true
+	pl := c.pipes.Pipelines[pi]
+	known := len(pl.Drivers) > 0
+	var totals map[int]int64
+	for _, d := range pl.Drivers {
+		t, ok := driverTotalAtStart(c.db, c.p.Node(d), c)
+		if !ok {
+			known = false
+			continue
+		}
+		c.driverTotal[d] = t
+		if totals == nil {
+			totals = make(map[int]int64, len(pl.Drivers))
+		}
+		totals[d] = t
+	}
+	c.pipeKnown[pi] = known
+	if c.observer != nil {
+		c.observer.OnPipelineStart(PipelineStart{
+			Pipe:              pi,
+			Time:              c.clock,
+			DriverTotalsKnown: known,
+			DriverTotals:      totals,
+		})
+	}
 }
 
 // consumed charges the cost of a blocking consumer absorbing one input
 // row (no GetNext at the consumer, no activity marking).
 func (c *context) consumed(n *plan.Node) {
 	c.clock += consumeCost(n.Op)
+}
+
+// filled records the buffered input size of a blocking operator the moment
+// it finishes filling, making the size available as a driver total for the
+// pipeline the operator feeds.
+func (c *context) filled(n *plan.Node, rows int) {
+	c.blockTotal[n.ID] = int64(rows)
 }
 
 // read accounts logical bytes read at node n.
@@ -219,21 +303,18 @@ func (c *context) maybeSnapshot() {
 		return
 	}
 	c.snapshot()
-	if len(c.snapshots) > c.opts.MaxObservations {
+	if len(c.sink.snapshots) > c.opts.MaxObservations {
 		// Thin: keep every other snapshot and halve the sampling rate.
-		kept := c.snapshots[:0]
-		for i, s := range c.snapshots {
-			if i%2 == 1 {
-				kept = append(kept, s)
-			}
+		c.sink.OnThin()
+		if c.observer != nil {
+			c.observer.OnThin()
 		}
-		c.snapshots = kept
 		c.obsEvery *= 2
 	}
 }
 
 func (c *context) snapshot() {
-	if len(c.snapshots) > 0 && c.clock == c.lastSnapT {
+	if len(c.sink.snapshots) > 0 && c.clock == c.lastSnapT {
 		return
 	}
 	s := Snapshot{
@@ -242,7 +323,10 @@ func (c *context) snapshot() {
 		R:    append([]int64(nil), c.R...),
 		W:    append([]int64(nil), c.W...),
 	}
-	c.snapshots = append(c.snapshots, s)
+	c.sink.OnSnapshot(s)
+	if c.observer != nil {
+		c.observer.OnSnapshot(s)
+	}
 	c.lastSnapT = c.clock
 }
 

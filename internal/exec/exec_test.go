@@ -7,6 +7,7 @@ import (
 	"progressest/internal/datagen"
 	"progressest/internal/expr"
 	"progressest/internal/optimizer"
+	"progressest/internal/pipeline"
 	"progressest/internal/plan"
 	"progressest/internal/storage"
 )
@@ -263,20 +264,7 @@ func TestAggregationValuesCorrect(t *testing.T) {
 // collectRows runs a plan gathering the emitted rows (test helper that
 // bypasses Run's trace machinery).
 func collectRows(db *storage.Database, p *plan.Plan) []storage.Row {
-	ctx := &context{
-		db:          db,
-		p:           p,
-		opts:        Options{}.withDefaults(),
-		K:           make([]int64, p.NumNodes()),
-		R:           make([]int64, p.NumNodes()),
-		W:           make([]int64, p.NumNodes()),
-		firstActive: make([]float64, p.NumNodes()),
-		lastActive:  make([]float64, p.NumNodes()),
-		obsEvery:    1 << 30,
-	}
-	for i := range ctx.firstActive {
-		ctx.firstActive[i] = -1
-	}
+	ctx := newContext(db, p, pipeline.Decompose(p), Options{}.withDefaults(), 1<<30)
 	root := buildIter(ctx, p.Root)
 	root.open()
 	var rows []storage.Row

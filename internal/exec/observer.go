@@ -1,0 +1,93 @@
+package exec
+
+// PipelineStart describes a pipeline the moment it first becomes active:
+// the virtual start time and the driver-input totals that are exactly
+// knowable at that point (base-table scans know their table size,
+// constant-range index seeks know the range size, and blocking operators
+// know their buffered output size once filled — which happens before their
+// pipeline starts emitting).
+type PipelineStart struct {
+	// Pipe is the pipeline's index in the plan's decomposition.
+	Pipe int
+	// Time is the virtual clock at the pipeline's first activity; it equals
+	// the pipeline's Span.Start in the finished Trace.
+	Time float64
+	// DriverTotalsKnown reports whether the input size of every driver node
+	// was known exactly at this moment (the common case, as the paper
+	// notes).
+	DriverTotalsKnown bool
+	// DriverTotals maps driver node IDs to their exact input sizes, for the
+	// drivers whose size is knowable.
+	DriverTotals map[int]int64
+}
+
+// Observer receives execution events while a query runs. It is the
+// streaming counterpart of the batch Trace: estimators that consume these
+// events can maintain progress estimates while the query executes instead
+// of replaying a finished trace. All callbacks are invoked synchronously
+// on the executing goroutine, in execution order; implementations must not
+// retain or mutate the counter slices inside a Snapshot.
+//
+// The recorded Trace itself is one Observer implementation (the sink
+// exec.Run always installs), so the batch call sites observe exactly the
+// events a streaming observer does.
+type Observer interface {
+	// OnPipelineStart fires at the pipeline's first activity.
+	OnPipelineStart(st PipelineStart)
+	// OnPipelineEnd fires once the pipeline's activity span is final; end is
+	// the span's last active virtual time. The engine reports ends when it
+	// is certain no further activity can occur, which for nested plans may
+	// be at query completion.
+	OnPipelineEnd(pipe int, end float64)
+	// OnSnapshot fires for every recorded counter snapshot.
+	OnSnapshot(s Snapshot)
+	// OnThin fires when the snapshot history was thinned: every other
+	// previously delivered snapshot (the even 0-based ordinals of those
+	// retained so far) was dropped and the sampling interval doubled.
+	// Streaming consumers mirroring the history must drop the same
+	// ordinals.
+	OnThin()
+	// OnDone fires once with the completed trace.
+	OnDone(tr *Trace)
+}
+
+// BaseObserver is a no-op Observer for embedding, so implementations can
+// override only the events they care about.
+type BaseObserver struct{}
+
+// OnPipelineStart implements Observer.
+func (BaseObserver) OnPipelineStart(PipelineStart) {}
+
+// OnPipelineEnd implements Observer.
+func (BaseObserver) OnPipelineEnd(int, float64) {}
+
+// OnSnapshot implements Observer.
+func (BaseObserver) OnSnapshot(Snapshot) {}
+
+// OnThin implements Observer.
+func (BaseObserver) OnThin() {}
+
+// OnDone implements Observer.
+func (BaseObserver) OnDone(*Trace) {}
+
+// traceSink is the Observer that accumulates the snapshot history of the
+// Trace returned by Run. It receives exactly the same event stream as a
+// user-supplied Observer.
+type traceSink struct {
+	BaseObserver
+	snapshots []Snapshot
+}
+
+func (t *traceSink) OnSnapshot(s Snapshot) {
+	t.snapshots = append(t.snapshots, s)
+}
+
+func (t *traceSink) OnThin() {
+	kept := t.snapshots[:0]
+	for i, s := range t.snapshots {
+		if i%2 == 1 {
+			kept = append(kept, s)
+		}
+	}
+	t.snapshots = kept
+}

@@ -1,0 +1,150 @@
+package exec
+
+import (
+	"testing"
+
+	"progressest/internal/catalog"
+)
+
+// recordingObserver mirrors the trace sink through the Observer interface
+// and records the event ordering invariants.
+type recordingObserver struct {
+	BaseObserver
+	snapshots []Snapshot
+	starts    []PipelineStart
+	ends      map[int]float64
+	thins     int
+	done      *Trace
+}
+
+func (r *recordingObserver) OnPipelineStart(st PipelineStart) { r.starts = append(r.starts, st) }
+func (r *recordingObserver) OnPipelineEnd(p int, end float64) { r.ends[p] = end }
+func (r *recordingObserver) OnSnapshot(s Snapshot)            { r.snapshots = append(r.snapshots, s) }
+func (r *recordingObserver) OnDone(tr *Trace)                 { r.done = tr }
+
+func (r *recordingObserver) OnThin() {
+	r.thins++
+	kept := r.snapshots[:0]
+	for i, s := range r.snapshots {
+		if i%2 == 1 {
+			kept = append(kept, s)
+		}
+	}
+	r.snapshots = kept
+}
+
+// TestObserverMirrorsTrace checks that an Observer consuming the event
+// stream reconstructs exactly the snapshot history, spans and driver
+// totals of the returned Trace — the foundation the streaming estimator
+// path rests on.
+func TestObserverMirrorsTrace(t *testing.T) {
+	db := testDB(t, catalog.PartiallyTuned, 1)
+	spec := joinSpec()
+	pl := mustPlan(t, db, spec)
+	rec := &recordingObserver{ends: make(map[int]float64)}
+	tr := Run(db, pl, Options{Observer: rec})
+
+	if rec.done != tr {
+		t.Fatal("OnDone did not deliver the returned trace")
+	}
+	if len(rec.snapshots) != len(tr.Snapshots) {
+		t.Fatalf("observer retained %d snapshots, trace has %d",
+			len(rec.snapshots), len(tr.Snapshots))
+	}
+	for i := range tr.Snapshots {
+		if rec.snapshots[i].Time != tr.Snapshots[i].Time {
+			t.Fatalf("snapshot %d: observer time %v, trace %v",
+				i, rec.snapshots[i].Time, tr.Snapshots[i].Time)
+		}
+	}
+	started := make(map[int]bool)
+	for _, st := range rec.starts {
+		if started[st.Pipe] {
+			t.Fatalf("pipeline %d started twice", st.Pipe)
+		}
+		started[st.Pipe] = true
+		if got := tr.PipeSpans[st.Pipe].Start; got != st.Time {
+			t.Fatalf("pipeline %d: start event at %v, span start %v", st.Pipe, st.Time, got)
+		}
+		if st.DriverTotalsKnown != tr.DriverTotalsKnown[st.Pipe] {
+			t.Fatalf("pipeline %d: known flag diverges", st.Pipe)
+		}
+		for d, total := range st.DriverTotals {
+			if tr.DriverTotal[d] != total {
+				t.Fatalf("driver %d: start total %d, trace total %d", d, total, tr.DriverTotal[d])
+			}
+		}
+	}
+	for p, span := range tr.PipeSpans {
+		if span.Start >= 0 && !started[p] {
+			t.Fatalf("active pipeline %d never reported a start", p)
+		}
+		if span.Start >= 0 {
+			if end, ok := rec.ends[p]; !ok || end != span.End {
+				t.Fatalf("pipeline %d: end event %v (present %v), span end %v",
+					p, end, ok, span.End)
+			}
+		}
+	}
+}
+
+// TestTraceThinning exercises the MaxObservations halving path in
+// maybeSnapshot: the stored history stays bounded, remains strictly
+// time-ordered, still terminates at the final counters, and the observer
+// sees every thinning event.
+func TestTraceThinning(t *testing.T) {
+	db := testDB(t, catalog.PartiallyTuned, 1)
+	spec := joinSpec()
+	pl := mustPlan(t, db, spec)
+
+	// A generous snapshot budget first: how many observations does this
+	// query yield unconstrained?
+	full := Run(db, pl, Options{TargetObservations: 600})
+	if len(full.Snapshots) < 200 {
+		t.Fatalf("query too short to exercise thinning: %d observations", len(full.Snapshots))
+	}
+
+	const maxObs = 48
+	rec := &recordingObserver{ends: make(map[int]float64)}
+	tr := Run(db, pl, Options{TargetObservations: 600, MaxObservations: maxObs, Observer: rec})
+
+	if rec.thins == 0 {
+		t.Fatal("expected at least one thinning event")
+	}
+	if len(tr.Snapshots) > maxObs+1 {
+		t.Fatalf("thinning failed to bound the history: %d > %d", len(tr.Snapshots), maxObs)
+	}
+	if len(tr.Snapshots) < maxObs/4 {
+		t.Fatalf("thinning dropped too much: %d observations", len(tr.Snapshots))
+	}
+	for i := 1; i < len(tr.Snapshots); i++ {
+		if tr.Snapshots[i].Time <= tr.Snapshots[i-1].Time {
+			t.Fatalf("snapshot times not strictly increasing at %d", i)
+		}
+	}
+	// The final snapshot still carries the true totals.
+	last := tr.Snapshots[len(tr.Snapshots)-1]
+	if last.Time != tr.TotalTime {
+		t.Fatalf("last snapshot at %v, total time %v", last.Time, tr.TotalTime)
+	}
+	for id := range tr.N {
+		if last.K[id] != tr.N[id] {
+			t.Fatalf("node %d: final K %d, true total %d", id, last.K[id], tr.N[id])
+		}
+		if last.R[id] != tr.FinalR[id] || last.W[id] != tr.FinalW[id] {
+			t.Fatalf("node %d: final byte counters diverge", id)
+		}
+	}
+	// The thinned execution measures the same work as the unconstrained
+	// one (thinning only drops observations, never counters).
+	for id := range tr.N {
+		if tr.N[id] != full.N[id] {
+			t.Fatalf("node %d: thinned run N %d, full run N %d", id, tr.N[id], full.N[id])
+		}
+	}
+	// And the observer mirrored the retained history through the thins.
+	if len(rec.snapshots) != len(tr.Snapshots) {
+		t.Fatalf("observer retained %d snapshots after thinning, trace has %d",
+			len(rec.snapshots), len(tr.Snapshots))
+	}
+}

@@ -386,6 +386,7 @@ type mergeJoinIter struct {
 
 	lRow, rRow storage.Row
 	lOK, rOK   bool
+	primed     bool
 
 	group    []storage.Row // buffered right rows with the current key
 	groupKey int64
@@ -396,11 +397,18 @@ type mergeJoinIter struct {
 func (it *mergeJoinIter) open() {
 	it.left.open()
 	it.right.open()
-	it.lRow, it.lOK = it.left.next()
-	it.rRow, it.rOK = it.right.next()
+	// The first input rows are pulled lazily on the first next() call, so
+	// that every blocking operator in the plan finishes filling before this
+	// iterator's pipeline becomes active.
+	it.primed = false
 }
 
 func (it *mergeJoinIter) next() (storage.Row, bool) {
+	if !it.primed {
+		it.primed = true
+		it.lRow, it.lOK = it.left.next()
+		it.rRow, it.rOK = it.right.next()
+	}
 	lc, rc := it.n.JoinLeftCol, it.n.JoinRightCol
 	for {
 		if it.gidx < len(it.group) {
@@ -544,6 +552,7 @@ func (it *sortIter) open() {
 	if nr > 1 {
 		it.ctx.clock += nr * log2(nr) * 0.12
 	}
+	it.ctx.filled(it.n, len(it.rows))
 	it.pos = 0
 }
 
@@ -721,6 +730,7 @@ func (it *hashAggIter) open() {
 	for i, k := range order {
 		it.groups[i] = byKey[k]
 	}
+	it.ctx.filled(it.n, len(it.groups))
 	it.pos = 0
 }
 

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"sort"
+
 	"progressest/internal/pipeline"
 	"progressest/internal/plan"
 )
@@ -52,19 +54,36 @@ type Trace struct {
 	DriverTotal []int64
 }
 
-// PipelineObservations returns the indices of the snapshots that fall
-// within pipeline p's active span. The first and last indices bracket the
-// pipeline's execution.
-func (tr *Trace) PipelineObservations(p int) []int {
+// ObsRange returns the half-open snapshot index range [lo, hi) falling
+// within pipeline p's active span. Snapshot times are strictly increasing,
+// so the in-span observations form one contiguous run, located by binary
+// search.
+func (tr *Trace) ObsRange(p int) (lo, hi int) {
 	span := tr.PipeSpans[p]
 	if span.End <= span.Start {
+		return 0, 0
+	}
+	lo = sort.Search(len(tr.Snapshots), func(i int) bool {
+		return tr.Snapshots[i].Time >= span.Start
+	})
+	hi = lo + sort.Search(len(tr.Snapshots)-lo, func(i int) bool {
+		return tr.Snapshots[lo+i].Time > span.End
+	})
+	return lo, hi
+}
+
+// PipelineObservations returns the indices of the snapshots that fall
+// within pipeline p's active span. The first and last indices bracket the
+// pipeline's execution. Callers that only need the bounds should use
+// ObsRange, which avoids materialising the slice.
+func (tr *Trace) PipelineObservations(p int) []int {
+	lo, hi := tr.ObsRange(p)
+	if lo >= hi {
 		return nil
 	}
-	var out []int
-	for i, s := range tr.Snapshots {
-		if s.Time >= span.Start && s.Time <= span.End {
-			out = append(out, i)
-		}
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
 	}
 	return out
 }

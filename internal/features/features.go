@@ -88,9 +88,11 @@ var NumTotal = NumStatic + len(diffPairs)*len(Markers) + len(corKinds)*CorK*len(
 
 // Static computes the static features of a pipeline: per-operator counts
 // and cardinalities, the relative-cardinality encodings SelAt/SelAbove/
-// SelBelow, and the driver-node share SelAtDN.
-func Static(v *progress.PipelineView) []float64 {
-	p := v.Trace.Plan
+// SelBelow, and the driver-node share SelAtDN. The context is fully
+// determined at pipeline start, so in the streaming path this prefix is
+// computed once and cached (see OnlineStatic).
+func Static(v *progress.PipeContext) []float64 {
+	p := v.Plan
 	pipe := v.Pipe
 
 	inPipe := make(map[int]bool, len(pipe.Nodes))
@@ -193,29 +195,59 @@ func Static(v *progress.PipelineView) []float64 {
 	return out
 }
 
+// Source is the observation stream the dynamic features are computed
+// from. Both the offline replay view (progress.PipelineView) and the
+// streaming view (progress.OnlinePipeline) implement it; in the streaming
+// case the features evolve as observations arrive, and unreached markers
+// take their neutral defaults.
+type Source interface {
+	// NumObs is the number of observations recorded so far.
+	NumObs() int
+	// DriverFraction is the consumed driver-input fraction at ordinal i.
+	DriverFraction(i int) float64
+	// TimeSinceStart is the virtual time since the pipeline's span start
+	// at ordinal i. Only ratios of these enter the features, so any
+	// monotone affine rescaling (such as the offline span fraction)
+	// produces the same values.
+	TimeSinceStart(i int) float64
+	// EstimateAt is estimator kind's value at ordinal i.
+	EstimateAt(kind progress.Kind, i int) float64
+}
+
+// markerObservation returns the first ordinal where the driver fraction
+// reaches frac, or -1.
+func markerObservation(v Source, frac float64) int {
+	n := v.NumObs()
+	for i := 0; i < n; i++ {
+		if v.DriverFraction(i) >= frac {
+			return i
+		}
+	}
+	return -1
+}
+
 // Dynamic computes the dynamic features from the observation prefix up to
 // the 20% driver-input marker: pairwise estimator differences at each
 // marker, and time-correlation features quantifying how well each
 // estimator tracks elapsed time.
-func Dynamic(v *progress.PipelineView) []float64 {
+func Dynamic(v Source) []float64 {
 	out := make([]float64, 0, NumTotal-NumStatic)
 
 	// Marker observations: first ordinal where the driver fraction reaches
 	// x%.
 	markerObs := make([]int, len(Markers))
 	for mi, x := range Markers {
-		markerObs[mi] = v.MarkerObservation(float64(x) / 100)
+		markerObs[mi] = markerObservation(v, float64(x)/100)
 	}
 
 	for _, pr := range diffPairs {
-		a, b := v.Series(pr[0]), v.Series(pr[1])
 		for mi := range Markers {
 			o := markerObs[mi]
 			if o < 0 {
 				out = append(out, 0)
 				continue
 			}
-			d := a[o] - b[o]
+			d := v.EstimateAt(pr[0], o) - v.EstimateAt(pr[1], o)
 			if d < 0 {
 				d = -d
 			}
@@ -223,9 +255,7 @@ func Dynamic(v *progress.PipelineView) []float64 {
 		}
 	}
 
-	times := v.TimeFractionSeries()
 	for _, k := range corKinds {
-		s := v.Series(k)
 		for i := 1; i <= CorK; i++ {
 			for mi, x := range Markers {
 				o := markerObs[mi]
@@ -234,13 +264,14 @@ func Dynamic(v *progress.PipelineView) []float64 {
 					continue
 				}
 				// Sub-marker at fraction (i/k)*x of the driver input.
-				oSub := v.MarkerObservation(float64(x) / 100 * float64(i) / CorK)
-				if oSub < 0 || times[o] <= 0 || s[o] <= 0 {
+				oSub := markerObservation(v, float64(x)/100*float64(i)/CorK)
+				so := v.EstimateAt(k, o)
+				if oSub < 0 || v.TimeSinceStart(o) <= 0 || so <= 0 {
 					out = append(out, 1)
 					continue
 				}
-				timeRatio := times[oSub] / times[o]
-				estRatio := s[oSub] / s[o]
+				timeRatio := v.TimeSinceStart(oSub) / v.TimeSinceStart(o)
+				estRatio := v.EstimateAt(k, oSub) / so
 				if estRatio <= 0 {
 					out = append(out, 1)
 					continue
@@ -256,9 +287,31 @@ func Dynamic(v *progress.PipelineView) []float64 {
 	return out
 }
 
-// Full returns static ++ dynamic features.
+// Full returns static ++ dynamic features of a replayed pipeline.
 func Full(v *progress.PipelineView) []float64 {
-	return append(Static(v), Dynamic(v)...)
+	return append(Static(v.PipeContext), Dynamic(v)...)
+}
+
+// OnlineStatic returns the static feature prefix of a live pipeline,
+// computing it on first use and caching it on the view (the static
+// context never changes after pipeline start).
+func OnlineStatic(v *progress.OnlinePipeline) []float64 {
+	if v.StaticCache == nil {
+		v.StaticCache = Static(v.PipeContext)
+	}
+	return v.StaticCache
+}
+
+// OnlineFull returns the current full feature vector of a live pipeline:
+// the cached static prefix plus the dynamic suffix over the observations
+// seen so far. Markers not yet reached contribute their neutral defaults,
+// so the vector is well-formed from the very first observation onwards and
+// converges to the offline Full vector as the pipeline completes.
+func OnlineFull(v *progress.OnlinePipeline) []float64 {
+	st := OnlineStatic(v)
+	out := make([]float64, 0, NumTotal)
+	out = append(out, st...)
+	return append(out, Dynamic(v)...)
 }
 
 func logp1(x float64) float64 {

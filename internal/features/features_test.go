@@ -70,7 +70,7 @@ func TestNamesMatchVectorLengths(t *testing.T) {
 
 func TestVectorsHaveDeclaredLengths(t *testing.T) {
 	for _, v := range pipelineViews(t, catalog.FullyTuned) {
-		s := Static(v)
+		s := Static(v.PipeContext)
 		if len(s) != NumStatic {
 			t.Fatalf("Static length %d, want %d", len(s), NumStatic)
 		}
@@ -98,7 +98,7 @@ func TestStaticEncodesOperatorMix(t *testing.T) {
 	}
 	foundSeek := false
 	for _, v := range pipelineViews(t, catalog.FullyTuned) {
-		s := Static(v)
+		s := Static(v.PipeContext)
 		// Count features must equal actual node counts per op.
 		counts := map[plan.OpType]float64{}
 		for _, id := range v.Pipe.Nodes {
@@ -151,7 +151,7 @@ func TestSelBelowAboveRelationship(t *testing.T) {
 		if !hasFilter {
 			continue
 		}
-		s := Static(v)
+		s := Static(v.PipeContext)
 		if s[idx["SelBelow_Filter"]] <= 0 {
 			t.Error("SelBelow_Filter should be positive when a filter has inputs in the pipeline")
 		}
@@ -187,7 +187,7 @@ func TestSemiJoinFeaturesPresent(t *testing.T) {
 	found := false
 	for p := range tr.Pipes.Pipelines {
 		v := progress.NewPipelineView(tr, p)
-		s := Static(v)
+		s := Static(v.PipeContext)
 		if s[idx["Count_SemiJoin"]] > 0 {
 			found = true
 			if s[idx["SelAt_SemiJoin"]] <= 0 {

@@ -3,9 +3,136 @@ package progress
 import (
 	"math"
 
-	"progressest/internal/plan"
+	"progressest/internal/exec"
 	"progressest/internal/stats"
 )
+
+// The per-snapshot estimator primitives live on PipeContext so that the
+// offline replay path (PipelineView.Series) and the streaming path
+// (OnlineView) evaluate bit-identical arithmetic: an online consumer that
+// sees the same snapshot computes exactly the value a later replay would.
+
+// ratioAt computes sum(K)/sum(refined E) over a node set at one snapshot —
+// the shape shared by DNE (eq. 4), TGN (eq. 3), BATCHDNE (eq. 6) and
+// DNESEEK (eq. 7).
+func (c *PipeContext) ratioAt(ids []int, s *exec.Snapshot) float64 {
+	k, e := c.sums(ids, s)
+	if e <= 0 {
+		return 1
+	}
+	return clamp01(k / e)
+}
+
+// driverFractionAt is alpha_Pj (eq. 1) at one snapshot.
+func (c *PipeContext) driverFractionAt(s *exec.Snapshot) float64 {
+	k, e := c.sums(c.Pipe.Drivers, s)
+	if e <= 0 {
+		return 1
+	}
+	return clamp01(k / e)
+}
+
+// tgnintAt computes the cardinality-interpolation estimator (eq. 8) at one
+// snapshot:
+//
+//	TGNINT = sum(K) / (sum(K) + (1 - DNE) * sum(E))
+func (c *PipeContext) tgnintAt(s *exec.Snapshot) float64 {
+	k, e := c.sums(c.Pipe.Nodes, s)
+	dk, de := c.sums(c.Pipe.Drivers, s)
+	dne := 1.0
+	if de > 0 {
+		dne = clamp01(dk / de)
+	}
+	den := k + (1-dne)*e
+	if den <= 0 {
+		return 1
+	}
+	return clamp01(k / den)
+}
+
+// luoAt computes the bytes-processed estimator of Luo et al. at one
+// snapshot: bytes read at the driver nodes plus bytes written at the
+// pipeline's top node, over the estimated total, where the output total is
+// refined by interpolation between the optimizer estimate and the
+// scaled-up observed count (Section 3.3, eq. 2). Spill I/O inside the
+// pipeline counts as bytes processed.
+func (c *PipeContext) luoAt(s *exec.Snapshot) float64 {
+	done := c.luoDoneAt(s)
+	var total float64
+	alpha := c.driverFractionAt(s)
+	for _, d := range c.Pipe.Drivers {
+		total += c.refinedE(d, s) * c.Width[d]
+	}
+	// Interpolated output estimate (eq. 2).
+	eTop := c.refinedE(c.top, s)
+	if alpha > 0 {
+		scaled := float64(s.K[c.top]) / alpha
+		eTop = alpha*scaled + (1-alpha)*eTop
+	}
+	total += eTop * c.Width[c.top]
+	if total <= 0 {
+		return 1
+	}
+	return clamp01(done / total)
+}
+
+// luoDoneAt is the bytes-processed numerator at one snapshot.
+func (c *PipeContext) luoDoneAt(s *exec.Snapshot) float64 {
+	var done float64
+	for _, d := range c.Pipe.Drivers {
+		done += float64(s.K[d]) * c.Width[d]
+	}
+	done += float64(s.K[c.top]) * c.Width[c.top]
+	for _, id := range c.spill {
+		done += float64(s.R[id] + s.W[id])
+	}
+	return done
+}
+
+// worstState carries the running fan-out bound PMAX and SAFE maintain
+// across a pipeline's observations. The zero value is not valid; use
+// newWorstState.
+type worstState struct {
+	m            float64
+	prevK, prevD float64
+}
+
+func newWorstState() worstState { return worstState{m: 1} }
+
+// worstAt advances the worst-case estimators by one snapshot, returning
+// the PMAX and SAFE values. Both are built from bounds on the remaining
+// work: each remaining driver tuple triggers at least 1 and at most m
+// GetNext calls, where m is the largest per-tuple fan-out observed so far.
+func (c *PipeContext) worstAt(s *exec.Snapshot, st *worstState) (pmax, safe float64) {
+	k, _ := c.sums(c.Pipe.Nodes, s)
+	dk, de := c.sums(c.Pipe.Drivers, s)
+	return worstStep(st, k, dk, de)
+}
+
+// worstStep is the snapshot-independent core of worstAt, shared with the
+// online view's thinning rebuild (which replays it over stored sums).
+func worstStep(st *worstState, k, dk, de float64) (pmax, safe float64) {
+	if ddk := dk - st.prevD; ddk > 0 {
+		if fanout := (k - st.prevK) / ddk; fanout > st.m {
+			st.m = fanout
+		}
+	}
+	st.prevK, st.prevD = k, dk
+	remaining := de - dk
+	if remaining < 0 {
+		remaining = 0
+	}
+	loDen := k + remaining*st.m
+	hiDen := k + remaining
+	lo, hi := 1.0, 1.0
+	if loDen > 0 {
+		lo = clamp01(k / loDen)
+	}
+	if hiDen > 0 {
+		hi = clamp01(k / hiDen)
+	}
+	return lo, clamp01(math.Sqrt(lo * hi))
+}
 
 // Series returns the estimator's progress estimate at every observation of
 // the pipeline. Results are cached on the view, so replaying all
@@ -28,11 +155,11 @@ func (v *PipelineView) Series(kind Kind) []float64 {
 	case DNESEEK:
 		s = v.ratioSeries(v.seekDrivers)
 	case TGNINT:
-		s = v.tgnintSeries()
+		s = v.perSnapshotSeries(v.tgnintAt)
 	case LUO:
-		s = v.luoSeries(false)
+		s = v.perSnapshotSeries(v.luoAt)
 	case OracleBytes:
-		s = v.luoSeries(true)
+		s = v.oracleBytesSeries()
 	case PMAX:
 		s, _ = v.worstCaseSeries()
 	case SAFE:
@@ -49,139 +176,59 @@ func (v *PipelineView) Series(kind Kind) []float64 {
 // Estimate returns the estimator's value at observation ordinal i.
 func (v *PipelineView) Estimate(kind Kind, i int) float64 { return v.Series(kind)[i] }
 
-// ratioSeries computes sum(K)/sum(refined E) over a node set — the shape
-// shared by DNE (eq. 4), TGN (eq. 3), BATCHDNE (eq. 6) and DNESEEK (eq. 7).
+// EstimateAt is an alias for Estimate, satisfying the observation-source
+// interface shared with the streaming view (features.Source).
+func (v *PipelineView) EstimateAt(kind Kind, i int) float64 { return v.Series(kind)[i] }
+
+// perSnapshotSeries replays a per-snapshot estimator over the pipeline's
+// observations.
+func (v *PipelineView) perSnapshotSeries(f func(*exec.Snapshot) float64) []float64 {
+	out := make([]float64, v.NumObs())
+	for i := range out {
+		out[i] = f(v.snap(i))
+	}
+	return out
+}
+
 func (v *PipelineView) ratioSeries(ids []int) []float64 {
-	out := make([]float64, len(v.Obs))
-	for i := range v.Obs {
-		k, e := v.sums(ids, v.snap(i))
-		if e <= 0 {
-			out[i] = 1
-			continue
-		}
-		out[i] = clamp01(k / e)
+	out := make([]float64, v.NumObs())
+	for i := range out {
+		out[i] = v.ratioAt(ids, v.snap(i))
 	}
 	return out
 }
 
-// tgnintSeries computes the cardinality-interpolation estimator (eq. 8):
-//
-//	TGNINT = sum(K) / (sum(K) + (1 - DNE) * sum(E))
-func (v *PipelineView) tgnintSeries() []float64 {
-	out := make([]float64, len(v.Obs))
-	for i := range v.Obs {
-		s := v.snap(i)
-		k, e := v.sums(v.Pipe.Nodes, s)
-		dk, de := v.sums(v.Pipe.Drivers, s)
-		dne := 1.0
-		if de > 0 {
-			dne = clamp01(dk / de)
-		}
-		den := k + (1-dne)*e
-		if den <= 0 {
-			out[i] = 1
-			continue
-		}
-		out[i] = clamp01(k / den)
-	}
-	return out
-}
-
-// luoSeries computes the bytes-processed estimator of Luo et al.: bytes
-// read at the driver nodes plus bytes written at the pipeline's top node,
-// over the estimated total, where the output total is refined by
-// interpolation between the optimizer estimate and the scaled-up observed
-// count (Section 3.3, eq. 2). Spill I/O inside the pipeline counts as
-// bytes processed. With oracle=true, true totals replace all estimates
-// (the idealised bytes-processed model of Section 6.7).
-func (v *PipelineView) luoSeries(oracle bool) []float64 {
-	top := v.topNode()
-	out := make([]float64, len(v.Obs))
-	spillNodes := v.spillNodes()
-
-	// True totals for the oracle variant.
+// oracleBytesSeries is the idealised bytes-processed model: true totals
+// replace all estimates (Section 6.7). It needs the finished trace, so it
+// exists only on the offline view.
+func (v *PipelineView) oracleBytesSeries() []float64 {
 	var trueTotal float64
-	if oracle {
-		for _, d := range v.Pipe.Drivers {
-			trueTotal += float64(v.Trace.N[d]) * v.Width[d]
-		}
-		trueTotal += float64(v.Trace.N[top]) * v.Width[top]
-		for _, id := range spillNodes {
-			trueTotal += float64(v.Trace.FinalR[id] + v.Trace.FinalW[id])
-		}
+	for _, d := range v.Pipe.Drivers {
+		trueTotal += float64(v.Trace.N[d]) * v.Width[d]
 	}
-
-	for i := range v.Obs {
-		s := v.snap(i)
-		var done float64
-		for _, d := range v.Pipe.Drivers {
-			done += float64(s.K[d]) * v.Width[d]
-		}
-		done += float64(s.K[top]) * v.Width[top]
-		for _, id := range spillNodes {
-			done += float64(s.R[id] + s.W[id])
-		}
-
-		var total float64
-		if oracle {
-			total = trueTotal
-		} else {
-			alpha := v.DriverFraction(i)
-			for _, d := range v.Pipe.Drivers {
-				total += v.refinedE(d, s) * v.Width[d]
-			}
-			// Interpolated output estimate (eq. 2).
-			eTop := v.refinedE(top, s)
-			if alpha > 0 {
-				scaled := float64(s.K[top]) / alpha
-				eTop = alpha*scaled + (1-alpha)*eTop
-			}
-			total += eTop * v.Width[top]
-		}
-		if total <= 0 {
+	trueTotal += float64(v.Trace.N[v.top]) * v.Width[v.top]
+	for _, id := range v.spill {
+		trueTotal += float64(v.Trace.FinalR[id] + v.Trace.FinalW[id])
+	}
+	out := make([]float64, v.NumObs())
+	for i := range out {
+		if trueTotal <= 0 {
 			out[i] = 1
 			continue
 		}
-		out[i] = clamp01(done / total)
+		out[i] = clamp01(v.luoDoneAt(v.snap(i)) / trueTotal)
 	}
 	return out
 }
 
-// worstCaseSeries computes PMAX and SAFE together. Both are built from
-// bounds on the remaining work: each remaining driver tuple triggers at
-// least 1 and at most m GetNext calls, where m is the largest per-tuple
-// fan-out observed so far.
+// worstCaseSeries computes PMAX and SAFE together.
 func (v *PipelineView) worstCaseSeries() (pmax, safe []float64) {
-	n := len(v.Obs)
+	n := v.NumObs()
 	pmax = make([]float64, n)
 	safe = make([]float64, n)
-	m := 1.0
-	var prevK, prevDK float64
+	st := newWorstState()
 	for i := 0; i < n; i++ {
-		s := v.snap(i)
-		k, _ := v.sums(v.Pipe.Nodes, s)
-		dk, de := v.sums(v.Pipe.Drivers, s)
-		if ddk := dk - prevDK; ddk > 0 {
-			if fanout := (k - prevK) / ddk; fanout > m {
-				m = fanout
-			}
-		}
-		prevK, prevDK = k, dk
-		remaining := de - dk
-		if remaining < 0 {
-			remaining = 0
-		}
-		loDen := k + remaining*m
-		hiDen := k + remaining
-		lo, hi := 1.0, 1.0
-		if loDen > 0 {
-			lo = clamp01(k / loDen)
-		}
-		if hiDen > 0 {
-			hi = clamp01(k / hiDen)
-		}
-		pmax[i] = lo
-		safe[i] = clamp01(math.Sqrt(lo * hi))
+		pmax[i], safe[i] = v.worstAt(v.snap(i), &st)
 	}
 	return pmax, safe
 }
@@ -197,8 +244,8 @@ func (v *PipelineView) UnrefinedTGNSeries() []float64 {
 	for _, id := range v.Pipe.Nodes {
 		e0 += v.Trace.Plan.Node(id).EstRows
 	}
-	out := make([]float64, len(v.Obs))
-	for i := range v.Obs {
+	out := make([]float64, v.NumObs())
+	for i := range out {
 		s := v.snap(i)
 		var k float64
 		for _, id := range v.Pipe.Nodes {
@@ -232,8 +279,8 @@ func (v *PipelineView) oracleGetNextSeries() []float64 {
 	for _, id := range v.Pipe.Nodes {
 		total += float64(v.Trace.N[id])
 	}
-	out := make([]float64, len(v.Obs))
-	for i := range v.Obs {
+	out := make([]float64, v.NumObs())
+	for i := range out {
 		s := v.snap(i)
 		var k float64
 		for _, id := range v.Pipe.Nodes {
@@ -244,41 +291,6 @@ func (v *PipelineView) oracleGetNextSeries() []float64 {
 			continue
 		}
 		out[i] = clamp01(k / total)
-	}
-	return out
-}
-
-// topNode returns the pipeline's output node: the member whose parent is
-// outside the pipeline (or the plan root).
-func (v *PipelineView) topNode() int {
-	inPipe := make(map[int]bool, len(v.Pipe.Nodes))
-	for _, id := range v.Pipe.Nodes {
-		inPipe[id] = true
-	}
-	childOf := make(map[int]bool)
-	for _, id := range v.Pipe.Nodes {
-		for _, c := range v.Trace.Plan.Node(id).Children {
-			if inPipe[c.ID] {
-				childOf[c.ID] = true
-			}
-		}
-	}
-	for _, id := range v.Pipe.Nodes {
-		if !childOf[id] {
-			return id
-		}
-	}
-	return v.Pipe.Nodes[len(v.Pipe.Nodes)-1]
-}
-
-// spillNodes returns pipeline members that can incur spill I/O.
-func (v *PipelineView) spillNodes() []int {
-	var out []int
-	for _, id := range v.Pipe.Nodes {
-		op := v.Trace.Plan.Node(id).Op
-		if op == plan.HashJoin || op == plan.Sort {
-			out = append(out, id)
-		}
 	}
 	return out
 }

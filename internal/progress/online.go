@@ -1,0 +1,333 @@
+package progress
+
+import (
+	"progressest/internal/exec"
+	"progressest/internal/pipeline"
+	"progressest/internal/plan"
+)
+
+// OnlineView is the streaming counterpart of the per-pipeline replay
+// views: it implements exec.Observer, consumes counter snapshots one at a
+// time while the query runs, and maintains every candidate estimator's
+// current estimate incrementally — O(pipeline nodes + estimators) work per
+// snapshot instead of the O(snapshots·pipelines) span scans of a full
+// replay. After the run completes, each pipeline's accumulated series is
+// exactly the series an offline PipelineView would compute from the
+// finished trace (the estimator primitives are shared, so the arithmetic
+// is bit-identical).
+type OnlineView struct {
+	exec.BaseObserver
+
+	Plan      *plan.Plan
+	Pipes     *pipeline.Decomposition
+	Pipelines []*OnlinePipeline
+
+	// Trace is the finished trace, set by OnDone.
+	Trace *exec.Trace
+
+	snapCount int // retained snapshots seen so far (mirrors the trace sink)
+	done      bool
+}
+
+// NewOnlineView prepares a streaming view for one execution of the plan.
+// Pass it as exec.Options.Observer.
+func NewOnlineView(p *plan.Plan, pipes *pipeline.Decomposition) *OnlineView {
+	o := &OnlineView{Plan: p, Pipes: pipes}
+	for _, pl := range pipes.Pipelines {
+		o.Pipelines = append(o.Pipelines, &OnlinePipeline{pipe: pl, plan: p})
+	}
+	return o
+}
+
+// Done reports whether the observed execution has completed.
+func (o *OnlineView) Done() bool { return o.done }
+
+// OnPipelineStart implements exec.Observer: it freezes the pipeline's
+// static context from the driver totals known at start.
+func (o *OnlineView) OnPipelineStart(st exec.PipelineStart) {
+	p := o.Pipelines[st.Pipe]
+	p.PipeContext = NewPipeContext(o.Plan, p.pipe, st.DriverTotalsKnown,
+		func(node int) int64 { return st.DriverTotals[node] })
+	p.Started = true
+	p.StartTime = st.Time
+	p.worst = newWorstState()
+}
+
+// OnSnapshot implements exec.Observer: every started, still-active
+// pipeline appends its current estimates.
+func (o *OnlineView) OnSnapshot(s exec.Snapshot) {
+	g := o.snapCount
+	o.snapCount++
+	for _, p := range o.Pipelines {
+		if p.Started && !p.Ended {
+			p.feed(&s, g)
+		}
+	}
+}
+
+// OnThin implements exec.Observer: the engine dropped the even 0-based
+// ordinals of the retained snapshots, so every pipeline drops the same
+// ones and rebuilds the history-dependent estimator state.
+func (o *OnlineView) OnThin() {
+	o.snapCount /= 2
+	for _, p := range o.Pipelines {
+		if p.Started {
+			p.thin()
+		}
+	}
+}
+
+// OnPipelineEnd implements exec.Observer: estimates recorded after the
+// span's final activity are discarded, leaving exactly the observations an
+// offline replay attributes to the pipeline.
+func (o *OnlineView) OnPipelineEnd(pi int, end float64) {
+	p := o.Pipelines[pi]
+	p.Ended = true
+	p.EndTime = end
+	if end <= p.StartTime {
+		// Degenerate span (a single activity instant): the offline replay
+		// attributes no observations to it.
+		p.truncate(0)
+		return
+	}
+	n := len(p.times)
+	for n > 0 && p.times[n-1] > end {
+		n--
+	}
+	p.truncate(n)
+}
+
+// OnDone implements exec.Observer.
+func (o *OnlineView) OnDone(tr *exec.Trace) {
+	o.Trace = tr
+	o.done = true
+}
+
+// QueryEstimate combines the current per-pipeline estimates into a live
+// whole-query estimate in the spirit of eq. 5: each pipeline weighted by
+// its share of the estimated total work. Pipelines that have not started
+// contribute zero; their weights use plan-time estimates until their
+// driver totals become known at start. choose picks the estimator per
+// pipeline.
+func (o *OnlineView) QueryEstimate(choose func(p int) Kind) float64 {
+	var total, sum float64
+	weights := make([]float64, len(o.Pipelines))
+	for i, p := range o.Pipelines {
+		var w float64
+		for _, id := range p.pipe.Nodes {
+			if p.PipeContext != nil {
+				w += p.E0[id]
+			} else {
+				w += o.Plan.Node(id).EstRows
+			}
+		}
+		weights[i] = w
+		total += w
+	}
+	if total <= 0 {
+		return 0
+	}
+	for i, p := range o.Pipelines {
+		switch {
+		case p.Ended || (o.done && !p.Started):
+			// Completed — or degenerate (never active) in a finished run.
+			sum += weights[i] / total
+		case !p.Started || p.NumObs() == 0:
+			// Not started yet: contributes zero.
+		default:
+			sum += weights[i] / total * p.Estimate(choose(i))
+		}
+	}
+	return clamp01(sum)
+}
+
+// OnlinePipeline is the incremental estimator state of one pipeline: the
+// static PipeContext (frozen at pipeline start) plus the accumulated
+// per-observation estimates of every candidate estimator.
+type OnlinePipeline struct {
+	*PipeContext
+
+	Started bool
+	Ended   bool
+	// StartTime and EndTime bound the pipeline's activity span (EndTime is
+	// valid once Ended).
+	StartTime float64
+	EndTime   float64
+
+	// StaticCache holds the pipeline's static feature vector, computed
+	// once at pipeline start by the features package.
+	StaticCache []float64
+
+	pipe *pipeline.Pipeline
+	plan *plan.Plan
+
+	times []float64           // snapshot virtual times, one per observation
+	est   [NumKinds][]float64 // per-kind estimate series
+	fracs []float64           // driver fraction per observation
+	gidx  []int               // retained global snapshot index per observation
+
+	// Per-observation sums needed to rebuild the worst-case (PMAX/SAFE)
+	// state after thinning.
+	kNodes, kDrivers, eDrivers []float64
+
+	worst worstState
+
+	// lastSig caches the previous snapshot's K/R/W values over the
+	// pipeline's nodes; when unchanged, the previous estimates are reused
+	// verbatim (they are pure functions of these counters).
+	lastSig []int64
+	valid   bool // lastSig corresponds to the last appended observation
+}
+
+// NumObs returns the number of observations recorded for the pipeline.
+func (p *OnlinePipeline) NumObs() int { return len(p.times) }
+
+// Estimate returns estimator kind's current (latest) value, or 0 before
+// the first observation.
+func (p *OnlinePipeline) Estimate(kind Kind) float64 {
+	s := p.est[kind]
+	if len(s) == 0 {
+		return 0
+	}
+	return s[len(s)-1]
+}
+
+// EstimateAt returns estimator kind's value at observation ordinal i.
+func (p *OnlinePipeline) EstimateAt(kind Kind, i int) float64 { return p.est[kind][i] }
+
+// Series returns a copy of estimator kind's accumulated series.
+func (p *OnlinePipeline) Series(kind Kind) []float64 {
+	return append([]float64(nil), p.est[kind]...)
+}
+
+// DriverFraction returns the consumed driver-input fraction at observation
+// ordinal i.
+func (p *OnlinePipeline) DriverFraction(i int) float64 { return p.fracs[i] }
+
+// CurrentDriverFraction returns the latest driver fraction (0 before the
+// first observation).
+func (p *OnlinePipeline) CurrentDriverFraction() float64 {
+	if len(p.fracs) == 0 {
+		return 0
+	}
+	return p.fracs[len(p.fracs)-1]
+}
+
+// TimeSinceStart returns the virtual time elapsed since the pipeline's
+// start at observation ordinal i.
+func (p *OnlinePipeline) TimeSinceStart(i int) float64 { return p.times[i] - p.StartTime }
+
+// feed appends the estimates for one snapshot.
+func (p *OnlinePipeline) feed(s *exec.Snapshot, g int) {
+	if p.unchanged(s) {
+		// Counters identical to the previous observation: every estimator
+		// is a pure function of them (and of state that only moves when
+		// they move), so the previous values repeat exactly.
+		n := len(p.times) - 1
+		p.times = append(p.times, s.Time)
+		p.fracs = append(p.fracs, p.fracs[n])
+		p.kNodes = append(p.kNodes, p.kNodes[n])
+		p.kDrivers = append(p.kDrivers, p.kDrivers[n])
+		p.eDrivers = append(p.eDrivers, p.eDrivers[n])
+		for k := range p.est {
+			p.est[k] = append(p.est[k], p.est[k][n])
+		}
+		p.gidx = append(p.gidx, g)
+		return
+	}
+	p.times = append(p.times, s.Time)
+	p.fracs = append(p.fracs, p.driverFractionAt(s))
+	k, _ := p.sums(p.Pipe.Nodes, s)
+	dk, de := p.sums(p.Pipe.Drivers, s)
+	p.kNodes = append(p.kNodes, k)
+	p.kDrivers = append(p.kDrivers, dk)
+	p.eDrivers = append(p.eDrivers, de)
+	p.est[DNE] = append(p.est[DNE], p.ratioAt(p.Pipe.Drivers, s))
+	p.est[TGN] = append(p.est[TGN], p.ratioAt(p.Pipe.Nodes, s))
+	p.est[BATCHDNE] = append(p.est[BATCHDNE], p.ratioAt(p.batchDrivers, s))
+	p.est[DNESEEK] = append(p.est[DNESEEK], p.ratioAt(p.seekDrivers, s))
+	p.est[TGNINT] = append(p.est[TGNINT], p.tgnintAt(s))
+	p.est[LUO] = append(p.est[LUO], p.luoAt(s))
+	pmax, safe := worstStep(&p.worst, k, dk, de)
+	p.est[PMAX] = append(p.est[PMAX], pmax)
+	p.est[SAFE] = append(p.est[SAFE], safe)
+	p.gidx = append(p.gidx, g)
+	p.remember(s)
+}
+
+// unchanged reports whether the snapshot's counters over the pipeline's
+// nodes equal the previously remembered ones.
+func (p *OnlinePipeline) unchanged(s *exec.Snapshot) bool {
+	if !p.valid {
+		return false
+	}
+	for i, id := range p.Pipe.Nodes {
+		j := 3 * i
+		if p.lastSig[j] != s.K[id] || p.lastSig[j+1] != s.R[id] || p.lastSig[j+2] != s.W[id] {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *OnlinePipeline) remember(s *exec.Snapshot) {
+	if p.lastSig == nil {
+		p.lastSig = make([]int64, 3*len(p.Pipe.Nodes))
+	}
+	for i, id := range p.Pipe.Nodes {
+		j := 3 * i
+		p.lastSig[j], p.lastSig[j+1], p.lastSig[j+2] = s.K[id], s.R[id], s.W[id]
+	}
+	p.valid = true
+}
+
+// thin mirrors the engine's history thinning: observations whose retained
+// global index is even are dropped, remaining indices are remapped, and
+// the history-dependent worst-case series is rebuilt over what remains.
+func (p *OnlinePipeline) thin() {
+	w := 0
+	for r := 0; r < len(p.times); r++ {
+		if p.gidx[r]%2 != 1 {
+			continue
+		}
+		p.times[w] = p.times[r]
+		p.fracs[w] = p.fracs[r]
+		p.kNodes[w] = p.kNodes[r]
+		p.kDrivers[w] = p.kDrivers[r]
+		p.eDrivers[w] = p.eDrivers[r]
+		for k := range p.est {
+			p.est[k][w] = p.est[k][r]
+		}
+		p.gidx[w] = (p.gidx[r] - 1) / 2
+		w++
+	}
+	p.truncate(w)
+	p.rebuildWorst()
+	// The last retained observation may no longer be the last fed
+	// snapshot, so the pure-function shortcut must re-verify.
+	p.valid = false
+}
+
+// rebuildWorst recomputes the PMAX/SAFE series: after thinning, the
+// fan-out bound m derives from the deltas of the retained observations,
+// exactly as an offline replay over the thinned trace would compute it.
+func (p *OnlinePipeline) rebuildWorst() {
+	st := newWorstState()
+	for i := range p.times {
+		p.est[PMAX][i], p.est[SAFE][i] = worstStep(&st, p.kNodes[i], p.kDrivers[i], p.eDrivers[i])
+	}
+	p.worst = st
+}
+
+// truncate drops observations at ordinal n and beyond.
+func (p *OnlinePipeline) truncate(n int) {
+	p.times = p.times[:n]
+	p.fracs = p.fracs[:n]
+	p.kNodes = p.kNodes[:n]
+	p.kDrivers = p.kDrivers[:n]
+	p.eDrivers = p.eDrivers[:n]
+	for k := range p.est {
+		p.est[k] = p.est[k][:n]
+	}
+	p.gidx = p.gidx[:n]
+}

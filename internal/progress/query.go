@@ -103,17 +103,15 @@ func (q *QueryView) Errors(kind Kind) ErrorStats {
 }
 
 // ordinalAtOrBefore maps a global snapshot index to the pipeline-local
-// observation ordinal at or before it, or -1.
+// observation ordinal at or before it, or -1. The pipeline's observations
+// are the contiguous snapshot range [obsLo, obsHi), so the mapping is a
+// clamped subtraction.
 func (v *PipelineView) ordinalAtOrBefore(obs int) int {
-	// v.Obs is sorted ascending; binary search for the last <= obs.
-	lo, hi := 0, len(v.Obs)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if v.Obs[mid] <= obs {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
+	if obs >= v.obsHi {
+		obs = v.obsHi - 1
 	}
-	return lo - 1
+	if obs < v.obsLo {
+		return -1
+	}
+	return obs - v.obsLo
 }

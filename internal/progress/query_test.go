@@ -125,15 +125,15 @@ func TestOrdinalAtOrBefore(t *testing.T) {
 			t.Fatalf("ordinal out of range: %d", got)
 		}
 		// Before the first pipeline observation: -1.
-		if v.Obs[0] > 0 {
-			if got := v.ordinalAtOrBefore(v.Obs[0] - 1); got != -1 {
+		if v.ObsIndex(0) > 0 {
+			if got := v.ordinalAtOrBefore(v.ObsIndex(0) - 1); got != -1 {
 				t.Errorf("expected -1 before first obs, got %d", got)
 			}
 		}
 		// Exactly at each observation index: that ordinal.
-		for ord, oi := range v.Obs {
-			if got := v.ordinalAtOrBefore(oi); got != ord {
-				t.Fatalf("ordinalAtOrBefore(%d) = %d, want %d", oi, got, ord)
+		for ord := 0; ord < v.NumObs(); ord++ {
+			if got := v.ordinalAtOrBefore(v.ObsIndex(ord)); got != ord {
+				t.Fatalf("ordinalAtOrBefore(%d) = %d, want %d", v.ObsIndex(ord), got, ord)
 			}
 		}
 	}

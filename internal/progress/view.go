@@ -8,16 +8,14 @@ import (
 	"progressest/internal/plan"
 )
 
-// PipelineView is the per-pipeline evaluation context shared by all
-// estimators: the observation prefix belonging to the pipeline, the
-// driver-node set, exact driver totals where known, and structural upper
-// bounds used for online estimate refinement (Section 3.3).
-type PipelineView struct {
-	Trace *exec.Trace
-	Pipe  *pipeline.Pipeline
-
-	// Obs are the snapshot indices falling within the pipeline's span.
-	Obs []int
+// PipeContext is the static per-pipeline evaluation context shared by the
+// offline replay path (PipelineView) and the streaming path (OnlineView):
+// the driver-node sets, exact driver totals where known, and structural
+// upper bounds used for online estimate refinement (Section 3.3). It is
+// fully determined at pipeline start and never changes afterwards.
+type PipeContext struct {
+	Plan *plan.Plan
+	Pipe *pipeline.Pipeline
 
 	// E0 is the optimizer estimate per node (indexed by node ID), with
 	// exact totals substituted for driver nodes when known.
@@ -33,37 +31,35 @@ type PipelineView struct {
 
 	batchDrivers []int // drivers + BatchSort members (eq. 6)
 	seekDrivers  []int // drivers + IndexSeek members (eq. 7)
-
-	cache map[Kind][]float64
+	top          int   // the pipeline's output node
+	spill        []int // members that can incur spill I/O
 }
 
-// NewPipelineView prepares the evaluation context for pipeline p of the
-// trace.
-func NewPipelineView(tr *exec.Trace, p int) *PipelineView {
-	pipe := tr.Pipes.Pipelines[p]
-	nodes := tr.Plan.Nodes()
-	v := &PipelineView{
-		Trace: tr,
+// NewPipeContext prepares the static evaluation context of a pipeline.
+// driverTotal returns the exact input size of a driver node; it is only
+// consulted when known is true.
+func NewPipeContext(p *plan.Plan, pipe *pipeline.Pipeline, known bool, driverTotal func(node int) int64) *PipeContext {
+	nodes := p.Nodes()
+	c := &PipeContext{
+		Plan:  p,
 		Pipe:  pipe,
-		Obs:   tr.PipelineObservations(p),
 		E0:    make([]float64, len(nodes)),
 		UB:    make([]float64, len(nodes)),
 		Width: make([]float64, len(nodes)),
 	}
 	for _, n := range nodes {
-		v.E0[n.ID] = n.EstRows
-		v.UB[n.ID] = math.Inf(1)
-		v.Width[n.ID] = n.RowWidth
+		c.E0[n.ID] = n.EstRows
+		c.UB[n.ID] = math.Inf(1)
+		c.Width[n.ID] = n.RowWidth
 	}
-	v.DriverKnown = tr.DriverTotalsKnown[p]
+	c.DriverKnown = known
 	// Exact totals for driver nodes when known (the common case for scans
 	// and completed blocking operators).
-	for _, d := range pipe.Drivers {
-		if t := tr.DriverTotal[d]; t > 0 || v.DriverKnown {
-			if v.DriverKnown {
-				v.E0[d] = float64(tr.DriverTotal[d])
-				v.UB[d] = float64(tr.DriverTotal[d])
-			}
+	if known {
+		for _, d := range pipe.Drivers {
+			t := float64(driverTotal(d))
+			c.E0[d] = t
+			c.UB[d] = t
 		}
 	}
 	// Structural upper bounds: a streaming unary operator cannot emit more
@@ -76,90 +72,154 @@ func NewPipelineView(tr *exec.Trace, p int) *PipelineView {
 		switch n.Op {
 		case plan.Filter, plan.Project, plan.BatchSort, plan.StreamAgg:
 			b := bound(n.Children[0])
-			if b < v.UB[n.ID] {
-				v.UB[n.ID] = b
+			if b < c.UB[n.ID] {
+				c.UB[n.ID] = b
 			}
 		case plan.Top:
 			b := bound(n.Children[0])
 			if float64(n.TopN) < b {
 				b = float64(n.TopN)
 			}
-			if b < v.UB[n.ID] {
-				v.UB[n.ID] = b
+			if b < c.UB[n.ID] {
+				c.UB[n.ID] = b
 			}
 		default:
-			for _, c := range n.Children {
-				bound(c)
+			for _, ch := range n.Children {
+				bound(ch)
 			}
 		}
-		return v.UB[n.ID]
+		return c.UB[n.ID]
 	}
-	bound(tr.Plan.Root)
+	bound(p.Root)
 
 	// Extended driver sets for the batch/seek estimator variants.
-	v.batchDrivers = append([]int(nil), pipe.Drivers...)
-	v.seekDrivers = append([]int(nil), pipe.Drivers...)
+	c.batchDrivers = append([]int(nil), pipe.Drivers...)
+	c.seekDrivers = append([]int(nil), pipe.Drivers...)
 	for _, id := range pipe.Nodes {
-		switch tr.Plan.Node(id).Op {
+		switch p.Node(id).Op {
 		case plan.BatchSort:
 			if !pipe.IsDriver(id) {
-				v.batchDrivers = append(v.batchDrivers, id)
+				c.batchDrivers = append(c.batchDrivers, id)
 			}
 		case plan.IndexSeek:
 			if !pipe.IsDriver(id) {
-				v.seekDrivers = append(v.seekDrivers, id)
+				c.seekDrivers = append(c.seekDrivers, id)
 			}
 		}
 	}
-	return v
+	c.top = c.findTopNode()
+	for _, id := range pipe.Nodes {
+		op := p.Node(id).Op
+		if op == plan.HashJoin || op == plan.Sort {
+			c.spill = append(c.spill, id)
+		}
+	}
+	return c
 }
 
-// NumObs returns the number of observations within the pipeline.
-func (v *PipelineView) NumObs() int { return len(v.Obs) }
-
-// snap returns the snapshot of observation ordinal i.
-func (v *PipelineView) snap(i int) *exec.Snapshot {
-	return &v.Trace.Snapshots[v.Obs[i]]
+// findTopNode returns the pipeline's output node: the member whose parent
+// is outside the pipeline (or the plan root).
+func (c *PipeContext) findTopNode() int {
+	inPipe := make(map[int]bool, len(c.Pipe.Nodes))
+	for _, id := range c.Pipe.Nodes {
+		inPipe[id] = true
+	}
+	childOf := make(map[int]bool)
+	for _, id := range c.Pipe.Nodes {
+		for _, ch := range c.Plan.Node(id).Children {
+			if inPipe[ch.ID] {
+				childOf[ch.ID] = true
+			}
+		}
+	}
+	for _, id := range c.Pipe.Nodes {
+		if !childOf[id] {
+			return id
+		}
+	}
+	return c.Pipe.Nodes[len(c.Pipe.Nodes)-1]
 }
 
 // refinedE returns the bounds-refined estimate E_i(t) (Section 3.3,
 // following [6]): the initial estimate clamped to [K_i(t), UB_i].
-func (v *PipelineView) refinedE(id int, s *exec.Snapshot) float64 {
-	e := v.E0[id]
+func (c *PipeContext) refinedE(id int, s *exec.Snapshot) float64 {
+	e := c.E0[id]
 	if k := float64(s.K[id]); k > e {
 		e = k
 	}
-	if ub := v.UB[id]; e > ub {
+	if ub := c.UB[id]; e > ub {
 		e = ub
 	}
 	return e
 }
 
 // sums returns sum of K and of refined E over the given node set.
-func (v *PipelineView) sums(ids []int, s *exec.Snapshot) (k, e float64) {
+func (c *PipeContext) sums(ids []int, s *exec.Snapshot) (k, e float64) {
 	for _, id := range ids {
 		k += float64(s.K[id])
-		e += v.refinedE(id, s)
+		e += c.refinedE(id, s)
 	}
 	return k, e
+}
+
+// PipelineView is the per-pipeline offline evaluation context shared by
+// all estimators: the static PipeContext plus the observation prefix of a
+// finished trace belonging to the pipeline.
+type PipelineView struct {
+	*PipeContext
+	Trace *exec.Trace
+
+	// obsLo and obsHi bound the half-open global snapshot index range
+	// falling within the pipeline's span (the observations are one
+	// contiguous run because snapshot times are strictly increasing).
+	obsLo, obsHi int
+
+	cache map[Kind][]float64
+}
+
+// NewPipelineView prepares the evaluation context for pipeline p of the
+// trace.
+func NewPipelineView(tr *exec.Trace, p int) *PipelineView {
+	pipe := tr.Pipes.Pipelines[p]
+	v := &PipelineView{
+		Trace: tr,
+		PipeContext: NewPipeContext(tr.Plan, pipe, tr.DriverTotalsKnown[p],
+			func(node int) int64 { return tr.DriverTotal[node] }),
+	}
+	v.obsLo, v.obsHi = tr.ObsRange(p)
+	return v
+}
+
+// NumObs returns the number of observations within the pipeline.
+func (v *PipelineView) NumObs() int { return v.obsHi - v.obsLo }
+
+// ObsIndex maps an observation ordinal to its global snapshot index.
+func (v *PipelineView) ObsIndex(i int) int { return v.obsLo + i }
+
+// snap returns the snapshot of observation ordinal i.
+func (v *PipelineView) snap(i int) *exec.Snapshot {
+	return &v.Trace.Snapshots[v.obsLo+i]
 }
 
 // DriverFraction returns alpha_Pj (eq. 1): the consumed fraction of the
 // driver-node inputs at observation ordinal i.
 func (v *PipelineView) DriverFraction(i int) float64 {
-	k, e := v.sums(v.Pipe.Drivers, v.snap(i))
-	if e <= 0 {
-		return 1
-	}
-	return clamp01(k / e)
+	return v.driverFractionAt(v.snap(i))
+}
+
+// TimeSinceStart returns the virtual time elapsed since the pipeline's
+// span start at observation ordinal i (the online-observable part of true
+// pipeline progress).
+func (v *PipelineView) TimeSinceStart(i int) float64 {
+	return v.snap(i).Time - v.Trace.PipeSpans[v.Pipe.ID].Start
 }
 
 // TrueSeries returns the true pipeline progress at each observation.
 func (v *PipelineView) TrueSeries() []float64 {
-	out := make([]float64, len(v.Obs))
+	out := make([]float64, v.NumObs())
 	pid := v.Pipe.ID
-	for i, oi := range v.Obs {
-		out[i] = v.Trace.TruePipelineProgress(pid, oi)
+	for i := range out {
+		out[i] = v.Trace.TruePipelineProgress(pid, v.obsLo+i)
 	}
 	return out
 }
@@ -173,7 +233,7 @@ func (v *PipelineView) TimeFractionSeries() []float64 { return v.TrueSeries() }
 // the consumed driver-input fraction reaches frac (Section 4.4.2), or -1
 // if the pipeline never reaches it within the recorded observations.
 func (v *PipelineView) MarkerObservation(frac float64) int {
-	for i := range v.Obs {
+	for i := 0; i < v.NumObs(); i++ {
 		if v.DriverFraction(i) >= frac {
 			return i
 		}

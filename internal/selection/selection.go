@@ -131,6 +131,17 @@ func (s *Selector) PredictErrors(full []float64) map[progress.Kind]float64 {
 	return out
 }
 
+// PickOnline selects the estimator for a live pipeline from its current
+// online feature vector: the static prefix (cached at pipeline start) plus
+// the dynamic suffix over the observations seen so far. As execution
+// feedback accrues and markers are crossed, repeated calls let the dynamic
+// model revise the choice mid-flight (Section 4.4); before any dynamic
+// evidence exists the vector carries the neutral marker defaults, so the
+// pick degrades gracefully to a static-feature decision.
+func (s *Selector) PickOnline(v *progress.OnlinePipeline) progress.Kind {
+	return s.Select(features.OnlineFull(v))
+}
+
 // Select returns the estimator with the smallest predicted error.
 func (s *Selector) Select(full []float64) progress.Kind {
 	x := featureSlice(full, s.Dynamic)
@@ -177,6 +188,9 @@ func Load(path string) (*Selector, error) {
 	}
 	s := &Selector{Dynamic: p.Dynamic, Models: map[progress.Kind]*mart.Model{}}
 	for _, ki := range p.Kinds {
+		if ki < 0 || ki >= progress.TotalKinds {
+			return nil, fmt.Errorf("selection: invalid estimator kind %d in %s", ki, path)
+		}
 		k := progress.Kind(ki)
 		s.Kinds = append(s.Kinds, k)
 		m, ok := p.Models[k.String()]

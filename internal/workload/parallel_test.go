@@ -1,0 +1,48 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"progressest/internal/datagen"
+)
+
+// TestRunParallelMatchesSequential proves the parallel harvest is a pure
+// speedup: with the memory-contention budgets drawn up front in query
+// order, fanning the queries across workers yields exactly the examples —
+// same values, same order — the sequential runner produces.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	w, err := Build(Spec{
+		Name: "tpch", Kind: datagen.TPCHLike, Queries: 10, Scale: 0.08, Zipf: 1, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := RunOptions{Seed: 4}
+	seq, err := w.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := w.RunParallel(opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Examples) != len(seq.Examples) {
+		t.Fatalf("parallel %d examples, sequential %d", len(par.Examples), len(seq.Examples))
+	}
+	if len(seq.Examples) == 0 {
+		t.Fatal("no examples harvested")
+	}
+	for i := range seq.Examples {
+		if !reflect.DeepEqual(par.Examples[i], seq.Examples[i]) {
+			t.Fatalf("example %d diverges between parallel and sequential", i)
+		}
+	}
+	if par.NumQueries != seq.NumQueries || par.NumPipelines != seq.NumPipelines {
+		t.Fatalf("counts diverge: parallel %d/%d sequential %d/%d",
+			par.NumQueries, par.NumPipelines, seq.NumQueries, seq.NumPipelines)
+	}
+	if !reflect.DeepEqual(par.OpPipelineShare, seq.OpPipelineShare) {
+		t.Fatal("operator shares diverge")
+	}
+}

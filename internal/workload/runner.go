@@ -3,8 +3,10 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"progressest/internal/exec"
 	"progressest/internal/features"
@@ -46,20 +48,21 @@ type Result struct {
 	NumPipelines int
 }
 
-// Run executes every query of the workload and harvests per-pipeline
-// training examples: the full feature vector plus the measured L1/L2 error
-// of every candidate estimator (replayed over the shared counter trace).
-func (w *Workload) Run(opts RunOptions) (*Result, error) {
-	opts = opts.withDefaults()
-	res := &Result{OpPipelineShare: make(map[plan.OpType]float64)}
-	memRng := rand.New(rand.NewSource(opts.Seed ^ 0x0ddba11))
+// queryResult is the harvest of one executed query.
+type queryResult struct {
+	examples     []selection.Example
+	opCount      map[plan.OpType]int
+	numPipelines int
+}
 
-	opCount := make(map[plan.OpType]int)
-	for qi, spec := range w.Queries {
-		pl, err := w.Planner.Plan(spec)
-		if err != nil {
-			return nil, fmt.Errorf("workload %s query %d: %w", w.Spec.Name, qi, err)
-		}
+// perQueryExecOptions draws the engine options for every query up front,
+// consuming the memory-contention RNG in query order. Precomputing the
+// whole sequence makes the per-query work order-independent, so the
+// parallel runner produces bit-identical results to the sequential one.
+func (w *Workload) perQueryExecOptions(opts RunOptions) []exec.Options {
+	memRng := rand.New(rand.NewSource(opts.Seed ^ 0x0ddba11))
+	out := make([]exec.Options, len(w.Queries))
+	for qi := range w.Queries {
 		execOpts := opts.Exec
 		if execOpts.MemBudgetRows == 0 {
 			// Memory-contention policy: a third of queries run with ample
@@ -68,45 +71,72 @@ func (w *Workload) Run(opts RunOptions) (*Result, error) {
 				execOpts.MemBudgetRows = 300 + memRng.Intn(3700)
 			}
 		}
-		tr := exec.Run(w.DB, pl, execOpts)
+		out[qi] = execOpts
+	}
+	return out
+}
 
-		for p := range tr.Pipes.Pipelines {
-			res.NumPipelines++
-			pipe := tr.Pipes.Pipelines[p]
-			seen := make(map[plan.OpType]bool)
-			for _, id := range pipe.Nodes {
-				op := tr.Plan.Node(id).Op
-				if !seen[op] {
-					seen[op] = true
-					opCount[op]++
-				}
-			}
+// runQuery plans, executes and harvests one query. It only reads shared
+// workload state (database, statistics, planner thresholds), so distinct
+// queries can run concurrently.
+func (w *Workload) runQuery(qi int, execOpts exec.Options, minObs int) (*queryResult, error) {
+	pl, err := w.Planner.Plan(w.Queries[qi])
+	if err != nil {
+		return nil, fmt.Errorf("workload %s query %d: %w", w.Spec.Name, qi, err)
+	}
+	tr := exec.Run(w.DB, pl, execOpts)
 
-			v := progress.NewPipelineView(tr, p)
-			if v.NumObs() < opts.MinObservations {
-				continue
+	qr := &queryResult{opCount: make(map[plan.OpType]int)}
+	for p := range tr.Pipes.Pipelines {
+		qr.numPipelines++
+		pipe := tr.Pipes.Pipelines[p]
+		seen := make(map[plan.OpType]bool)
+		for _, id := range pipe.Nodes {
+			op := tr.Plan.Node(id).Op
+			if !seen[op] {
+				seen[op] = true
+				qr.opCount[op]++
 			}
-			ex := selection.Example{
-				Features:  features.Full(v),
-				Workload:  w.Spec.Name,
-				Signature: pipelineSignature(tr, p),
-				Meta: map[string]float64{
-					"query":    float64(qi),
-					"pipeline": float64(p),
-				},
-			}
-			var totalGN float64
-			for _, id := range pipe.Nodes {
-				totalGN += float64(tr.N[id])
-			}
-			ex.Meta["getnext_total"] = totalGN
-			for _, k := range progress.AllKinds() {
-				e := v.Errors(k)
-				ex.ErrL1[k] = e.L1
-				ex.ErrL2[k] = e.L2
-			}
-			res.Examples = append(res.Examples, ex)
 		}
+
+		v := progress.NewPipelineView(tr, p)
+		if v.NumObs() < minObs {
+			continue
+		}
+		ex := selection.Example{
+			Features:  features.Full(v),
+			Workload:  w.Spec.Name,
+			Signature: pipelineSignature(tr, p),
+			Meta: map[string]float64{
+				"query":    float64(qi),
+				"pipeline": float64(p),
+			},
+		}
+		var totalGN float64
+		for _, id := range pipe.Nodes {
+			totalGN += float64(tr.N[id])
+		}
+		ex.Meta["getnext_total"] = totalGN
+		for _, k := range progress.AllKinds() {
+			e := v.Errors(k)
+			ex.ErrL1[k] = e.L1
+			ex.ErrL2[k] = e.L2
+		}
+		qr.examples = append(qr.examples, ex)
+	}
+	return qr, nil
+}
+
+// merge folds per-query harvests (in query order) into one Result.
+func merge(results []*queryResult) *Result {
+	res := &Result{OpPipelineShare: make(map[plan.OpType]float64)}
+	opCount := make(map[plan.OpType]int)
+	for _, qr := range results {
+		res.Examples = append(res.Examples, qr.examples...)
+		for op, c := range qr.opCount {
+			opCount[op] += c
+		}
+		res.NumPipelines += qr.numPipelines
 		res.NumQueries++
 	}
 	if res.NumPipelines > 0 {
@@ -114,7 +144,64 @@ func (w *Workload) Run(opts RunOptions) (*Result, error) {
 			res.OpPipelineShare[op] = float64(c) / float64(res.NumPipelines)
 		}
 	}
-	return res, nil
+	return res
+}
+
+// Run executes every query of the workload and harvests per-pipeline
+// training examples: the full feature vector plus the measured L1/L2 error
+// of every candidate estimator (replayed over the shared counter trace).
+func (w *Workload) Run(opts RunOptions) (*Result, error) {
+	opts = opts.withDefaults()
+	execOpts := w.perQueryExecOptions(opts)
+	results := make([]*queryResult, len(w.Queries))
+	for qi := range w.Queries {
+		qr, err := w.runQuery(qi, execOpts[qi], opts.MinObservations)
+		if err != nil {
+			return nil, err
+		}
+		results[qi] = qr
+	}
+	return merge(results), nil
+}
+
+// RunParallel is Run with the queries fanned out across a worker pool.
+// Harvesting is the training hot path and embarrassingly parallel — each
+// query owns its plan, execution context and trace, while the database,
+// statistics and planner are only read — so the speedup is near-linear.
+// Results are merged in query order and are identical to Run's.
+// workers <= 0 uses GOMAXPROCS.
+func (w *Workload) RunParallel(opts RunOptions, workers int) (*Result, error) {
+	opts = opts.withDefaults()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	execOpts := w.perQueryExecOptions(opts)
+	results := make([]*queryResult, len(w.Queries))
+	errs := make([]error, len(w.Queries))
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for qi := range next {
+				results[qi], errs[qi] = w.runQuery(qi, execOpts[qi], opts.MinObservations)
+			}
+		}()
+	}
+	for qi := range w.Queries {
+		next <- qi
+	}
+	close(next)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return merge(results), nil
 }
 
 // pipelineSignature summarises a pipeline's operator shape: the sorted

@@ -1,0 +1,272 @@
+package progressest
+
+import (
+	"fmt"
+	"time"
+
+	"progressest/internal/exec"
+	"progressest/internal/features"
+	"progressest/internal/pipeline"
+	"progressest/internal/progress"
+	"progressest/internal/selection"
+)
+
+// MonitorOptions configures live monitoring of one query.
+type MonitorOptions struct {
+	// Selector, when non-nil, picks the estimator per pipeline and revises
+	// the choice as dynamic features accrue (re-selecting each time a
+	// driver-input marker is crossed, up to the paper's 20% cutoff).
+	Selector *Selector
+	// Estimator is the fixed estimator used when Selector is nil
+	// (default DNE).
+	Estimator Estimator
+	// UpdateEvery delivers a ProgressUpdate every n-th counter snapshot
+	// (default 8). The final update on completion is always delivered.
+	UpdateEvery int
+	// Pace, when positive, sleeps this long after each delivered update.
+	// The synthetic substrate executes in-memory queries in milliseconds;
+	// pacing slows a monitored query to the human-observable speed of the
+	// production queries progress estimation exists for (useful for demos
+	// and load tests; zero disables).
+	Pace time.Duration
+}
+
+func (o MonitorOptions) withDefaults() MonitorOptions {
+	if o.UpdateEvery <= 0 {
+		o.UpdateEvery = 8
+	}
+	return o
+}
+
+// PipelineProgress is the live state of one pipeline inside a
+// ProgressUpdate.
+type PipelineProgress struct {
+	// Pipeline is the pipeline index in the plan's decomposition.
+	Pipeline int `json:"pipeline"`
+	// Started and Done delimit the pipeline's activity.
+	Started bool `json:"started"`
+	Done    bool `json:"done"`
+	// Estimator is the estimator currently chosen for this pipeline.
+	Estimator Estimator `json:"-"`
+	// EstimatorName is Estimator's name (for the JSON wire format).
+	EstimatorName string `json:"estimator"`
+	// Estimate is that estimator's current progress estimate in [0,1].
+	Estimate float64 `json:"estimate"`
+	// DriverFraction is the consumed fraction of the driver inputs.
+	DriverFraction float64 `json:"driver_fraction"`
+}
+
+// ProgressUpdate is one live observation of a running query.
+type ProgressUpdate struct {
+	// Seq increases with every delivered update.
+	Seq int `json:"seq"`
+	// Time is the virtual clock of the underlying counter snapshot.
+	Time float64 `json:"time"`
+	// Query is the whole-query progress estimate: the eq. 5 weighted
+	// combination of the per-pipeline estimates.
+	Query float64 `json:"query"`
+	// Pipelines is the per-pipeline state, indexed by pipeline.
+	Pipelines []PipelineProgress `json:"pipelines"`
+	// Done is true exactly once, on the final update.
+	Done bool `json:"done"`
+	// TrueProgress is the true (virtual-time) progress of the query: -1
+	// while the query runs (the truth is unknowable before termination)
+	// and 1 on the final update. Replay the returned QueryRun for the full
+	// true series.
+	TrueProgress float64 `json:"true_progress"`
+}
+
+// Monitor is a handle on a query executing on its own goroutine. Updates
+// delivers live ProgressUpdates while the query runs; it is conflated (a
+// slow consumer sees the freshest update, not a backlog) and closed after
+// the final Done update. Wait blocks until execution finishes and returns
+// the completed QueryRun for offline replay.
+type Monitor struct {
+	// Updates delivers live progress. The channel is closed when the query
+	// completes; the last value delivered has Done == true.
+	Updates <-chan ProgressUpdate
+
+	done chan struct{}
+	run  *QueryRun
+	err  error
+}
+
+// Wait blocks until the query completes and returns its QueryRun.
+func (m *Monitor) Wait() (*QueryRun, error) {
+	<-m.done
+	return m.run, m.err
+}
+
+// reselectMarkers are the driver-input fractions at which the selector
+// revises its choice — derived from the dynamic-feature markers so that
+// re-selection always coincides with the crossings the feature vector
+// encodes (selection stops refining after the last marker, 20%).
+var reselectMarkers = func() []float64 {
+	out := make([]float64, len(features.Markers))
+	for i, x := range features.Markers {
+		out[i] = float64(x) / 100
+	}
+	return out
+}()
+
+// monitorObserver adapts the exec event stream into conflated
+// ProgressUpdates: it maintains the streaming OnlineView, re-selects
+// estimators at marker crossings, and emits an update every n-th snapshot.
+type monitorObserver struct {
+	view  *progress.OnlineView
+	sel   *selection.Selector
+	every int
+	pace  time.Duration
+
+	choice    []progress.Kind
+	nextMark  []int
+	seq       int
+	sinceSend int
+	lastTime  float64
+	ch        chan ProgressUpdate
+}
+
+func (m *monitorObserver) OnPipelineStart(st exec.PipelineStart) {
+	m.view.OnPipelineStart(st)
+	if m.sel != nil {
+		// Initial pick from the static prefix (the dynamic suffix still
+		// holds its neutral defaults).
+		m.choice[st.Pipe] = m.sel.PickOnline(m.view.Pipelines[st.Pipe])
+	}
+}
+
+func (m *monitorObserver) OnPipelineEnd(pipe int, end float64) { m.view.OnPipelineEnd(pipe, end) }
+func (m *monitorObserver) OnThin()                             { m.view.OnThin() }
+func (m *monitorObserver) OnDone(tr *exec.Trace)               { m.view.OnDone(tr) }
+
+func (m *monitorObserver) OnSnapshot(s exec.Snapshot) {
+	m.view.OnSnapshot(s)
+	m.lastTime = s.Time
+	if m.sel != nil {
+		for pi, p := range m.view.Pipelines {
+			if !p.Started || p.Ended {
+				continue
+			}
+			crossed := false
+			for m.nextMark[pi] < len(reselectMarkers) &&
+				p.CurrentDriverFraction() >= reselectMarkers[m.nextMark[pi]] {
+				m.nextMark[pi]++
+				crossed = true
+			}
+			if crossed {
+				m.choice[pi] = m.sel.PickOnline(p)
+			}
+		}
+	}
+	m.sinceSend++
+	if m.sinceSend >= m.every {
+		m.sinceSend = 0
+		m.send(m.update(false))
+		if m.pace > 0 {
+			time.Sleep(m.pace)
+		}
+	}
+}
+
+// update assembles the current ProgressUpdate.
+func (m *monitorObserver) update(done bool) ProgressUpdate {
+	u := ProgressUpdate{
+		Seq:          m.seq,
+		Time:         m.lastTime,
+		Done:         done,
+		TrueProgress: -1,
+	}
+	m.seq++
+	if done {
+		// Every pipeline has completed; the weighted combination only
+		// misses 1.0 by floating-point dust.
+		u.Query = 1
+	} else {
+		u.Query = m.view.QueryEstimate(func(p int) progress.Kind { return m.choice[p] })
+	}
+	for pi, p := range m.view.Pipelines {
+		pp := PipelineProgress{
+			Pipeline:      pi,
+			Started:       p.Started,
+			Done:          p.Ended || (done && !p.Started),
+			Estimator:     m.choice[pi],
+			EstimatorName: m.choice[pi].String(),
+		}
+		if p.Started && p.NumObs() > 0 {
+			pp.Estimate = p.Estimate(m.choice[pi])
+			pp.DriverFraction = p.CurrentDriverFraction()
+		}
+		if pp.Done {
+			pp.Estimate = 1
+		}
+		u.Pipelines = append(u.Pipelines, pp)
+	}
+	if done {
+		u.TrueProgress = 1
+	}
+	return u
+}
+
+// send delivers conflated: if the consumer has not drained the previous
+// update, it is replaced by the fresh one. This goroutine is the only
+// sender, so after the drain the buffered send always succeeds.
+func (m *monitorObserver) send(u ProgressUpdate) {
+	select {
+	case <-m.ch:
+	default:
+	}
+	m.ch <- u
+}
+
+// Start plans query i and executes it on its own goroutine, streaming
+// live ProgressUpdates through the returned Monitor while the query runs.
+func (w *Workload) Start(i int, opts MonitorOptions) (*Monitor, error) {
+	if i < 0 || i >= len(w.inner.Queries) {
+		return nil, fmt.Errorf("progressest: query index %d out of range [0,%d)", i, len(w.inner.Queries))
+	}
+	if opts.Estimator < 0 || int(opts.Estimator) >= int(progress.NumKinds) {
+		// Oracle models need the finished trace; they cannot run online.
+		return nil, fmt.Errorf("progressest: estimator %v is not computable online", opts.Estimator)
+	}
+	if opts.Selector != nil {
+		for _, k := range opts.Selector.inner.Kinds {
+			if k < 0 || int(k) >= int(progress.NumKinds) {
+				return nil, fmt.Errorf("progressest: selector candidate %v is not computable online", k)
+			}
+		}
+	}
+	opts = opts.withDefaults()
+	pl, err := w.inner.Planner.Plan(w.inner.Queries[i])
+	if err != nil {
+		return nil, err
+	}
+	pipes := pipeline.Decompose(pl)
+	obs := &monitorObserver{
+		view:     progress.NewOnlineView(pl, pipes),
+		every:    opts.UpdateEvery,
+		pace:     opts.Pace,
+		choice:   make([]progress.Kind, len(pipes.Pipelines)),
+		nextMark: make([]int, len(pipes.Pipelines)),
+		ch:       make(chan ProgressUpdate, 1),
+	}
+	if opts.Selector != nil {
+		obs.sel = opts.Selector.inner
+	}
+	for pi := range obs.choice {
+		obs.choice[pi] = opts.Estimator
+	}
+	m := &Monitor{Updates: obs.ch, done: make(chan struct{})}
+	go func() {
+		defer close(m.done)
+		tr := exec.Run(w.inner.DB, pl, exec.Options{Observer: obs})
+		run := &QueryRun{trace: tr}
+		for p := range tr.Pipes.Pipelines {
+			run.views = append(run.views, progress.NewPipelineView(tr, p))
+		}
+		m.run = run
+		// The final update replaces any stale value, then the stream ends.
+		obs.send(obs.update(true))
+		close(obs.ch)
+	}()
+	return m, nil
+}

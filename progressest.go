@@ -172,6 +172,19 @@ func (w *Workload) Harvest() ([]Example, error) {
 	return res.Examples, nil
 }
 
+// HarvestParallel is Harvest with the workload's queries fanned out across
+// a worker pool. Each query owns its plan, execution context and trace,
+// so harvesting parallelises embarrassingly; the returned examples are
+// identical to Harvest's, in the same deterministic order. workers <= 0
+// uses all available CPUs.
+func (w *Workload) HarvestParallel(workers int) ([]Example, error) {
+	res, err := w.inner.RunParallel(workload.RunOptions{Seed: w.inner.Spec.Seed}, workers)
+	if err != nil {
+		return nil, err
+	}
+	return res.Examples, nil
+}
+
 // QueryRun is one executed query with its full observation trace.
 type QueryRun struct {
 	trace *exec.Trace

@@ -1,0 +1,214 @@
+package progressest
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// Server exposes live query monitoring over HTTP — the daemon core of
+// cmd/progressd. It owns one Workload and runs submitted queries on their
+// own goroutines, recording the freshest ProgressUpdate of each:
+//
+//	POST /queries                {"query": i}  -> {"id": "q1", ...}
+//	GET  /queries                              -> list of submitted queries
+//	GET  /queries/{id}/progress                -> live progress JSON
+//	GET  /healthz                              -> {"status": "ok"}
+type Server struct {
+	w    *Workload
+	opts MonitorOptions
+	mux  *http.ServeMux
+
+	mu      sync.Mutex
+	queries map[string]*serverQuery
+	order   []*serverQuery // submission order, for stable listings
+	live    int            // queries admitted and not yet finished
+	nextID  int
+}
+
+// Server resource bounds: at most maxLive queries execute concurrently
+// (further submissions get 429), and finished queries beyond maxKept are
+// evicted oldest-first so a long-running daemon's memory stays bounded.
+const (
+	maxLive = 64
+	maxKept = 1024
+)
+
+// serverQuery tracks one submitted query.
+type serverQuery struct {
+	id    string
+	query int
+
+	mu     sync.Mutex
+	latest ProgressUpdate
+	seen   bool
+	done   bool
+}
+
+func (q *serverQuery) snapshot() (ProgressUpdate, bool, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.latest, q.seen, q.done
+}
+
+// NewServer wraps the workload in an HTTP monitoring server. The monitor
+// options apply to every submitted query.
+func NewServer(w *Workload, opts MonitorOptions) *Server {
+	s := &Server{
+		w:       w,
+		opts:    opts.withDefaults(),
+		mux:     http.NewServeMux(),
+		queries: make(map[string]*serverQuery),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /queries", s.handleSubmit)
+	s.mux.HandleFunc("GET /queries", s.handleList)
+	s.mux.HandleFunc("GET /queries/{id}/progress", s.handleProgress)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"queries": s.w.NumQueries(),
+	})
+}
+
+// submitRequest is the POST /queries body.
+type submitRequest struct {
+	// Query is the workload query index to execute.
+	Query int `json:"query"`
+}
+
+// queryInfo is the wire form of a submitted query's identity.
+type queryInfo struct {
+	ID    string `json:"id"`
+	Query int    `json:"query"`
+	Text  string `json:"text,omitempty"`
+	Done  bool   `json:"done"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid body: %v", err)
+		return
+	}
+	if req.Query < 0 || req.Query >= s.w.NumQueries() {
+		writeError(w, http.StatusBadRequest, "query index %d out of range [0,%d)",
+			req.Query, s.w.NumQueries())
+		return
+	}
+	// Admission is atomic: the slot is claimed under the lock before the
+	// query starts, so concurrent submissions cannot overshoot the cap.
+	s.mu.Lock()
+	if s.live >= maxLive {
+		live := s.live
+		s.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests, "%d queries already executing", live)
+		return
+	}
+	s.live++
+	s.mu.Unlock()
+
+	m, err := s.w.Start(req.Query, s.opts)
+	if err != nil {
+		s.mu.Lock()
+		s.live--
+		s.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, "start: %v", err)
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	q := &serverQuery{id: fmt.Sprintf("q%d", s.nextID), query: req.Query}
+	s.queries[q.id] = q
+	s.order = append(s.order, q)
+	// Evict the oldest finished queries beyond the retention bound.
+	if len(s.order) > maxKept {
+		kept := s.order[:0]
+		excess := len(s.order) - maxKept
+		for _, old := range s.order {
+			_, _, done := old.snapshot()
+			if excess > 0 && done {
+				delete(s.queries, old.id)
+				excess--
+				continue
+			}
+			kept = append(kept, old)
+		}
+		s.order = kept
+	}
+	s.mu.Unlock()
+
+	go func() {
+		for u := range m.Updates {
+			q.mu.Lock()
+			q.latest = u
+			q.seen = true
+			q.done = q.done || u.Done
+			q.mu.Unlock()
+		}
+		q.mu.Lock()
+		q.done = true
+		q.mu.Unlock()
+		s.mu.Lock()
+		s.live--
+		s.mu.Unlock()
+	}()
+
+	writeJSON(w, http.StatusAccepted, queryInfo{
+		ID: q.id, Query: req.Query, Text: s.w.QueryText(req.Query),
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	queries := append([]*serverQuery(nil), s.order...)
+	s.mu.Unlock()
+	infos := make([]queryInfo, 0, len(queries))
+	for _, q := range queries {
+		_, _, done := q.snapshot()
+		infos = append(infos, queryInfo{ID: q.id, Query: q.query, Done: done})
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+// progressResponse is the GET /queries/{id}/progress wire form.
+type progressResponse struct {
+	ID     string          `json:"id"`
+	Query  int             `json:"query"`
+	Done   bool            `json:"done"`
+	Update *ProgressUpdate `json:"update,omitempty"`
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	q, ok := s.queries[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown query %q", id)
+		return
+	}
+	latest, seen, done := q.snapshot()
+	resp := progressResponse{ID: q.id, Query: q.query, Done: done}
+	if seen {
+		resp.Update = &latest
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
