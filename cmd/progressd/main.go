@@ -5,26 +5,45 @@
 // estimates — per pipeline and combined per eq. 5 of the paper — are
 // polled as JSON.
 //
+// With -learn the daemon closes the paper's training loop on its own
+// traffic: every finished query is harvested into an on-disk corpus, a
+// background retrainer periodically fits a fresh selection model on it,
+// and new versions are hot-swapped into serving without dropping a
+// progress request. -model (or an earlier corpus) seeds the loop.
+//
 // Endpoints:
 //
 //	POST /queries                {"query": i}  start workload query i
 //	GET  /queries                              list submitted queries
 //	GET  /queries/{id}/progress                freshest progress update
 //	GET  /healthz                              liveness probe
+//	GET  /models                               corpus + model versions (-learn)
+//	POST /models/retrain                       train + hot-swap now (-learn)
+//	POST /models/rollback                      revert to previous (-learn)
 //
 // Usage:
 //
 //	progressd [-addr :8080] [-workload tpch|tpcds|real1|real2]
 //	          [-design 0|1|2] [-queries N] [-scale F] [-zipf F] [-seed N]
 //	          [-every N] [-pace D] [-model selector.json]
+//	          [-learn corpus/] [-retrain-after N] [-retrain-every D]
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: it stops accepting
+// connections, drains in-flight queries (bounded by -drain-timeout) so
+// their traces still land in the corpus, then stops the retrainer and
+// syncs the corpus to disk.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"progressest"
 )
@@ -40,6 +59,11 @@ func main() {
 	every := flag.Int("every", 8, "record a progress update every N counter snapshots")
 	pace := flag.Duration("pace", 0, "pace execution: sleep per progress update (0 = full speed)")
 	model := flag.String("model", "", "optional trained selector (see cmd/trainsel)")
+	learn := flag.String("learn", "", "corpus directory: harvest finished queries and retrain continuously")
+	retrainAfter := flag.Int("retrain-after", 256, "retrain once the corpus grew by this many examples")
+	retrainEvery := flag.Duration("retrain-every", time.Minute, "minimum interval between automatic retrains")
+	trees := flag.Int("trees", 200, "MART boosting iterations for retrained models")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown deadline for in-flight queries")
 	flag.Parse()
 
 	datasets := map[string]progressest.Dataset{
@@ -67,15 +91,74 @@ func main() {
 	}
 
 	opts := progressest.MonitorOptions{UpdateEvery: *every, Pace: *pace}
+	var sel *progressest.Selector
 	if *model != "" {
-		sel, err := progressest.LoadSelector(*model)
+		sel, err = progressest.LoadSelector(*model)
 		if err != nil {
 			log.Fatal(err)
 		}
-		opts.Selector = sel
 		log.Printf("loaded selection model from %s", *model)
 	}
 
-	log.Printf("progressd listening on %s (%d queries ready)", *addr, w.NumQueries())
-	log.Fatal(http.ListenAndServe(*addr, progressest.NewServer(w, opts)))
+	var learning *progressest.Learning
+	if *learn != "" {
+		learning, err = progressest.OpenLearning(progressest.LearningConfig{
+			Dir:            *learn,
+			Selector:       progressest.SelectorConfig{Trees: *trees, Seed: *seed},
+			MinNewExamples: *retrainAfter,
+			MinInterval:    *retrainEvery,
+			SeedSelector:   sel,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Learning = learning
+		log.Printf("continuous learning on: corpus %s (%d examples), retrain after %d new examples / %s",
+			*learn, learning.CorpusSize(), *retrainAfter, *retrainEvery)
+	} else {
+		// Without learning the explicit model (if any) serves statically.
+		opts.Selector = sel
+	}
+
+	server := progressest.NewServer(w, opts)
+	httpSrv := &http.Server{Addr: *addr, Handler: server}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("progressd listening on %s (%d queries ready)", *addr, w.NumQueries())
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("received %v; shutting down...", sig)
+	case err := <-errCh:
+		if learning != nil {
+			learning.Close()
+		}
+		log.Fatal(err)
+	}
+
+	// Graceful shutdown: stop accepting, finish in-flight HTTP exchanges,
+	// drain executing queries so their traces still reach the corpus, then
+	// stop the retrainer and sync the corpus.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := server.Drain(ctx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	if learning != nil {
+		// Shutdown honors the remaining deadline: an in-flight training
+		// run past it is abandoned rather than stalling the exit.
+		if err := learning.Shutdown(ctx); err != nil {
+			log.Printf("learning shutdown: %v", err)
+		}
+		log.Printf("corpus synced (%d examples)", learning.CorpusSize())
+	}
+	log.Printf("progressd stopped")
 }

@@ -1,0 +1,89 @@
+package feedback
+
+import (
+	"sync"
+
+	"progressest/internal/exec"
+	"progressest/internal/workload"
+)
+
+// HarvestStats counts the harvester's lifetime activity.
+type HarvestStats struct {
+	// Queries is the number of finished queries harvested.
+	Queries int `json:"queries"`
+	// Examples is the number of labelled examples appended to the store.
+	Examples int `json:"examples"`
+	// Skipped counts pipelines filtered out (too few observations).
+	Skipped int `json:"skipped"`
+	// Errors counts failed store appends (e.g. harvesting after Close).
+	Errors int `json:"errors"`
+}
+
+// Harvester turns finished query executions into corpus examples. It
+// reuses workload.HarvestTrace — the exact conversion the batch training
+// path applies — so an online-harvested corpus is bit-identical to a
+// batch harvest of the same traces.
+type Harvester struct {
+	store *ExampleStore
+	// minObs filters pipelines with too few counter snapshots (<= 0 uses
+	// the batch default, 8).
+	minObs int
+
+	mu      sync.Mutex
+	stats   HarvestStats
+	lastErr error
+}
+
+// NewHarvester wires a harvester to its corpus store.
+func NewHarvester(store *ExampleStore, minObs int) *Harvester {
+	return &Harvester{store: store, minObs: minObs}
+}
+
+// HarvestTrace labels one finished trace and appends its examples to the
+// store. It returns the number of examples durably appended — on a
+// partial failure the prefix written before the error is still counted,
+// so the stats stay consistent with the corpus.
+func (h *Harvester) HarvestTrace(tr *exec.Trace, workloadName string, queryIndex int) (int, error) {
+	exs := workload.HarvestTrace(tr, workloadName, queryIndex, h.minObs)
+	n, err := h.store.AppendAll(exs)
+	h.mu.Lock()
+	h.stats.Queries++
+	h.stats.Skipped += len(tr.Pipes.Pipelines) - len(exs)
+	h.stats.Examples += n
+	if err != nil {
+		h.stats.Errors++
+		h.lastErr = err
+	}
+	h.mu.Unlock()
+	return n, err
+}
+
+// Stats returns a snapshot of the lifetime counters.
+func (h *Harvester) Stats() HarvestStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+// Observer returns an exec.Observer that harvests the query's trace on
+// its completion event. Install it (or chain it after other observers) in
+// exec.Options to subscribe a live execution to the corpus; the OnDone
+// callback runs synchronously on the executing goroutine, after the
+// query's last snapshot.
+func (h *Harvester) Observer(workloadName string, queryIndex int) exec.Observer {
+	return &harvestObserver{h: h, workload: workloadName, query: queryIndex}
+}
+
+// harvestObserver subscribes to the completion event of one execution.
+type harvestObserver struct {
+	exec.BaseObserver
+	h        *Harvester
+	workload string
+	query    int
+}
+
+func (o *harvestObserver) OnDone(tr *exec.Trace) {
+	// Append errors are recorded in the harvester's stats; the executing
+	// query must not fail because the corpus is unavailable.
+	_, _ = o.h.HarvestTrace(tr, o.workload, o.query)
+}

@@ -1,0 +1,124 @@
+package feedback
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"progressest/internal/selection"
+)
+
+// VersionMeta describes how a selector version came to be.
+type VersionMeta struct {
+	// TrainedAt is the wall-clock publication time.
+	TrainedAt time.Time
+	// CorpusSize is the number of harvested examples in the store when the
+	// version was trained (seed examples excluded).
+	CorpusSize int
+	// HoldoutL1 is the selector's mean L1 error on the held-out slice of
+	// the corpus (in-sample when the corpus was too small to split), and
+	// HoldoutN the number of examples it was measured on.
+	HoldoutL1 float64
+	HoldoutN  int
+	// Source tags provenance: "seed", "auto", "manual", ...
+	Source string
+}
+
+// Version is one published selector with its metadata. Versions are
+// immutable after publication.
+type Version struct {
+	ID       int
+	Selector *selection.Selector
+	Meta     VersionMeta
+}
+
+// Registry holds the published selector versions and the one currently
+// serving. The current pointer is swapped atomically, so readers on the
+// progress hot path never block — not even mid-publish or mid-rollback.
+type Registry struct {
+	current atomic.Pointer[Version]
+
+	mu       sync.Mutex
+	versions []*Version
+	// rolledBack marks versions an operator moved off of; further
+	// rollbacks skip them, so walking back never re-serves a model that
+	// was already judged bad.
+	rolledBack map[int]bool
+	nextID     int
+}
+
+// NewRegistry returns an empty registry; Current is nil until the first
+// Publish.
+func NewRegistry() *Registry {
+	return &Registry{nextID: 1, rolledBack: make(map[int]bool)}
+}
+
+// maxVersions bounds the retained publication history: a daemon
+// retraining every minute for weeks must not pin thousands of multi-MB
+// selectors. The oldest non-current versions are pruned; the serving
+// version always survives.
+const maxVersions = 32
+
+// Publish appends a new version and atomically makes it current. It
+// returns the published version.
+func (r *Registry) Publish(sel *selection.Selector, meta VersionMeta) *Version {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := &Version{ID: r.nextID, Selector: sel, Meta: meta}
+	r.nextID++
+	r.versions = append(r.versions, v)
+	r.current.Store(v)
+	for len(r.versions) > maxVersions {
+		// v was just made current, so the head can never be it here; its
+		// rollback mark goes with it.
+		old := r.versions[0]
+		delete(r.rolledBack, old.ID)
+		r.versions = r.versions[1:]
+	}
+	return v
+}
+
+// Current returns the serving version, or nil if none was published yet.
+// It never blocks.
+func (r *Registry) Current() *Version { return r.current.Load() }
+
+// ErrNoRollback is returned when no earlier version exists to roll back
+// to.
+var ErrNoRollback = errors.New("feedback: no earlier selector version to roll back to")
+
+// Rollback atomically moves the current pointer to the newest earlier
+// version that was never itself rolled back. The serving version is
+// marked bad, so after "publish v2 (bad) → rollback to v1 → auto-publish
+// v3 (bad) → rollback" the registry serves v1 again, not the already
+// rejected v2. Publishing again moves forward with a fresh ID.
+func (r *Registry) Rollback() (*Version, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.current.Load()
+	if cur == nil {
+		return nil, ErrNoRollback
+	}
+	for i, v := range r.versions {
+		if v == cur {
+			for j := i - 1; j >= 0; j-- {
+				if r.rolledBack[r.versions[j].ID] {
+					continue
+				}
+				r.rolledBack[cur.ID] = true
+				prev := r.versions[j]
+				r.current.Store(prev)
+				return prev, nil
+			}
+			return nil, ErrNoRollback
+		}
+	}
+	return nil, ErrNoRollback
+}
+
+// Versions returns the publication history, oldest first.
+func (r *Registry) Versions() []*Version {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Version(nil), r.versions...)
+}

@@ -1,0 +1,237 @@
+package feedback
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"progressest/internal/selection"
+)
+
+// RetrainPolicy decides when the background retrainer wakes up. A retrain
+// fires once BOTH thresholds are met: the corpus grew by at least
+// MinNewExamples since the last training run AND at least MinInterval has
+// elapsed since it.
+type RetrainPolicy struct {
+	// MinNewExamples is the corpus-growth trigger (default 256).
+	MinNewExamples int
+	// MinInterval is the age trigger (default 1 minute).
+	MinInterval time.Duration
+	// Poll is how often the policy is evaluated (default 5 seconds).
+	Poll time.Duration
+}
+
+func (p RetrainPolicy) withDefaults() RetrainPolicy {
+	if p.MinNewExamples <= 0 {
+		p.MinNewExamples = 256
+	}
+	if p.MinInterval <= 0 {
+		p.MinInterval = time.Minute
+	}
+	if p.Poll <= 0 {
+		p.Poll = 5 * time.Second
+	}
+	return p
+}
+
+// RetrainerConfig wires a Retrainer.
+type RetrainerConfig struct {
+	// Selection are the training hyperparameters (candidate set, dynamic
+	// features, MART options).
+	Selection selection.Config
+	// Seed, when non-empty, is a synthetic corpus mixed into every
+	// training set (never into the holdout), so early versions trained on
+	// a thin observed corpus do not forget the offline baseline.
+	Seed []selection.Example
+	// Policy drives the background loop.
+	Policy RetrainPolicy
+}
+
+// ErrEmptyCorpus is returned by Retrain when there is nothing to train
+// on.
+var ErrEmptyCorpus = errors.New("feedback: corpus has no examples to train on")
+
+// holdoutStride holds out every holdoutStride-th observed example for
+// version metadata once the corpus is large enough to afford it.
+const (
+	holdoutStride     = 5
+	minHoldoutExample = 10
+)
+
+// Retrainer trains fresh selector versions from the accumulated corpus
+// and publishes them to a Registry — either on demand (Retrain) or from a
+// background goroutine driven by a size/age policy (Start/Stop). Only one
+// training runs at a time; serving is never blocked because publication
+// is an atomic pointer swap.
+type Retrainer struct {
+	store *ExampleStore
+	reg   *Registry
+	cfg   RetrainerConfig
+
+	trainMu sync.Mutex // serialises training runs
+	mu      sync.Mutex // guards the policy state below
+	// lastAppended is the store's lifetime append counter at the last
+	// SUCCESSFUL training run. Measuring growth against appends (not net
+	// corpus size) keeps the policy firing once retention pins Len() at
+	// its cap; resetting it only on success means a failed run does not
+	// consume the growth budget.
+	lastAppended int
+	lastAt       time.Time
+	lastErr      error
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewRetrainer wires a retrainer to its corpus and registry. The growth
+// budget starts at zero, so a store reopened with a recovered corpus of
+// at least MinNewExamples examples triggers a first training run on the
+// next poll — a restarted daemon rebuilds its model from the corpus
+// instead of serving the fixed-estimator fallback until fresh traffic
+// accrues.
+func NewRetrainer(store *ExampleStore, reg *Registry, cfg RetrainerConfig) *Retrainer {
+	cfg.Policy = cfg.Policy.withDefaults()
+	return &Retrainer{
+		store: store,
+		reg:   reg,
+		cfg:   cfg,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Retrain synchronously trains a selector on the current corpus (plus the
+// optional synthetic seed) and publishes it as a new version tagged with
+// source. It returns the published version.
+func (r *Retrainer) Retrain(source string) (*Version, error) {
+	r.trainMu.Lock()
+	defer r.trainMu.Unlock()
+	return r.retrainLocked(source)
+}
+
+// retrainIfDue is the background path: it re-checks the policy AFTER
+// winning trainMu, so an auto tick queued behind a concurrent manual
+// retrain does not immediately train again on the same corpus.
+func (r *Retrainer) retrainIfDue() {
+	r.trainMu.Lock()
+	defer r.trainMu.Unlock()
+	if !r.due() {
+		return
+	}
+	// A failure rearms the age gate (see retrainLocked), so it is
+	// retried once MinInterval passes and surfaced via LastError.
+	_, _ = r.retrainLocked("auto")
+}
+
+// retrainLocked does the actual training run; trainMu must be held.
+func (r *Retrainer) retrainLocked(source string) (*Version, error) {
+	// Capture the append counter BEFORE the snapshot: examples landing in
+	// between are then trained on without being charged to the budget (a
+	// harmless slightly-early next retrain) instead of charged without
+	// being trained on (which would starve low-traffic retraining).
+	appended := r.store.Appended()
+	observed, err := r.store.Snapshot()
+	if err != nil {
+		r.mu.Lock()
+		r.lastAt = time.Now()
+		r.lastErr = err
+		r.mu.Unlock()
+		return nil, err
+	}
+	if len(observed)+len(r.cfg.Seed) == 0 {
+		return nil, ErrEmptyCorpus
+	}
+
+	// Hold out a deterministic slice of the observed corpus for the
+	// version's quality metadata; with a thin corpus, evaluate in-sample.
+	train := make([]selection.Example, 0, len(observed)+len(r.cfg.Seed))
+	train = append(train, r.cfg.Seed...)
+	var holdout []selection.Example
+	if len(observed) >= minHoldoutExample {
+		for i := range observed {
+			if i%holdoutStride == holdoutStride-1 {
+				holdout = append(holdout, observed[i])
+			} else {
+				train = append(train, observed[i])
+			}
+		}
+	} else {
+		train = append(train, observed...)
+		holdout = observed
+	}
+
+	sel, err := selection.Train(train, r.cfg.Selection)
+	now := time.Now()
+	r.mu.Lock()
+	// A failed run only rearms the age gate (retry after MinInterval, so
+	// a persistent failure cannot spin training every poll tick); the
+	// growth budget is spent on success alone.
+	r.lastAt = now
+	r.lastErr = err
+	if err == nil {
+		r.lastAppended = appended
+	}
+	r.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	ev := selection.Evaluate(sel, holdout)
+	v := r.reg.Publish(sel, VersionMeta{
+		TrainedAt:  now,
+		CorpusSize: len(observed),
+		HoldoutL1:  ev.AvgL1,
+		HoldoutN:   ev.N,
+		Source:     source,
+	})
+	return v, nil
+}
+
+// LastError returns the most recent training failure (nil after a
+// successful run).
+func (r *Retrainer) LastError() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastErr
+}
+
+// due reports whether the policy triggers a retrain now.
+func (r *Retrainer) due() bool {
+	r.mu.Lock()
+	lastAppended, lastAt := r.lastAppended, r.lastAt
+	r.mu.Unlock()
+	if r.store.Appended()-lastAppended < r.cfg.Policy.MinNewExamples {
+		return false
+	}
+	return time.Since(lastAt) >= r.cfg.Policy.MinInterval
+}
+
+// Start launches the background policy loop. It is idempotent.
+func (r *Retrainer) Start() {
+	r.startOnce.Do(func() {
+		go func() {
+			defer close(r.done)
+			ticker := time.NewTicker(r.cfg.Policy.Poll)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-r.stop:
+					return
+				case <-ticker.C:
+					if r.due() {
+						r.retrainIfDue()
+					}
+				}
+			}
+		}()
+	})
+}
+
+// Stop drains the background loop and waits for it to exit. A retrain in
+// flight completes first. Stop is idempotent and safe without Start.
+func (r *Retrainer) Stop() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.startOnce.Do(func() { close(r.done) }) // never started: nothing to drain
+	<-r.done
+}

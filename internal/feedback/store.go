@@ -1,0 +1,625 @@
+// Package feedback closes the paper's training loop at serving time: it
+// persists the labelled examples harvested from queries the daemon
+// actually executes (the ExampleStore), converts finished execution
+// traces into those examples as they complete (the Harvester), retrains
+// the Section 4 estimator-selection models in the background once enough
+// fresh evidence accrues (the Retrainer), and hot-swaps the resulting
+// selector versions into the serving path without blocking a single
+// progress request (the Registry). The corpus substrate is deliberately
+// separate from the serving path — progressd keeps answering from the
+// current selector while a new one trains.
+package feedback
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"progressest/internal/progress"
+	"progressest/internal/selection"
+)
+
+// Segment file layout:
+//
+//	header:  magic "PESTCORP" | uint32 format version
+//	record:  uint32 payload length | uint32 CRC-32 (IEEE) of payload | payload
+//
+// All integers are little-endian. The payload is the compact binary
+// encoding of one selection.Example (see encodeExample). Appends only ever
+// extend the tail segment, so a crash can at worst leave one torn record
+// at the end of the newest file; the recovery scan keeps every record up
+// to the first corruption and truncates the torn tail.
+const (
+	segMagic      = "PESTCORP"
+	storeFormat   = 1
+	segHeaderSize = len(segMagic) + 4
+	recHeaderSize = 8
+)
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("feedback: store closed")
+
+// StoreOptions bound the on-disk corpus.
+type StoreOptions struct {
+	// MaxSegmentBytes rotates the active segment once it exceeds this many
+	// bytes (default 4 MiB).
+	MaxSegmentBytes int64
+	// MaxExamples bounds retention: once the corpus exceeds this many
+	// examples, the oldest whole segments are deleted (default 100000; the
+	// active segment is never deleted). Negative disables retention
+	// entirely — required when appending to a corpus someone else bounds,
+	// so an "append" can never delete another owner's history.
+	MaxExamples int
+}
+
+func (o StoreOptions) withDefaults() StoreOptions {
+	if o.MaxSegmentBytes <= 0 {
+		o.MaxSegmentBytes = 4 << 20
+	}
+	if o.MaxExamples == 0 {
+		o.MaxExamples = 100000
+	}
+	return o
+}
+
+// segment is one corpus file's bookkeeping. Examples live on disk only —
+// the store never mirrors the corpus in memory; Snapshot decodes it on
+// demand (retrains are rare, serving-path memory is precious).
+type segment struct {
+	index int
+	path  string
+	count int
+	bytes int64
+}
+
+// ExampleStore is an append-only, segmented, crash-safe on-disk corpus of
+// labelled selection examples. Appends go to the tail segment; rotation
+// caps segment size; retention drops the oldest segments. All methods are
+// safe for concurrent use.
+type ExampleStore struct {
+	dir  string
+	opts StoreOptions
+
+	mu       sync.Mutex
+	segments []*segment
+	active   *os.File // open handle on the tail segment
+	total    int
+	appended int // lifetime appends, monotonic: retention never lowers it
+	closed   bool
+}
+
+// OpenStore opens (or creates) the corpus directory, recovering from any
+// torn tail record left by a crash: the scan keeps every intact record
+// and truncates the tail segment to the last good offset.
+func OpenStore(dir string, opts StoreOptions) (*ExampleStore, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("feedback: open store: %w", err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil {
+		return nil, fmt.Errorf("feedback: scan store: %w", err)
+	}
+	sort.Strings(names)
+	// Identify real segment files first: the tail (crash-recovery
+	// semantics, reopened for append) must be the last PARSED segment,
+	// not whatever foreign seg-*.log file happens to sort last.
+	type segFile struct {
+		name string
+		idx  int
+	}
+	var files []segFile
+	for _, name := range names {
+		var idx int
+		if _, err := fmt.Sscanf(filepath.Base(name), "seg-%08d.log", &idx); err != nil {
+			continue // foreign file; leave it alone
+		}
+		files = append(files, segFile{name, idx})
+	}
+	s := &ExampleStore{dir: dir, opts: opts}
+	for i, f := range files {
+		seg, err := readSegment(f.name, f.idx, i == len(files)-1)
+		if err != nil {
+			return nil, err
+		}
+		s.segments = append(s.segments, seg)
+		s.total += seg.count
+	}
+	s.appended = s.total
+	if len(s.segments) == 0 {
+		if err := s.newSegmentLocked(1); err != nil {
+			return nil, err
+		}
+	} else {
+		tail := s.segments[len(s.segments)-1]
+		f, err := os.OpenFile(tail.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("feedback: reopen tail segment: %w", err)
+		}
+		s.active = f
+	}
+	s.enforceRetentionLocked()
+	return s, nil
+}
+
+// ReadCorpus reads every example retained in a corpus directory without
+// opening it for writing: nothing is created, truncated or appended, so
+// it is safe on a corpus a live daemon owns, and a mistyped path errors
+// instead of conjuring an empty store there. A torn tail record is
+// skipped (not repaired).
+func ReadCorpus(dir string) ([]selection.Example, error) {
+	info, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("feedback: read corpus: %w", err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("feedback: read corpus: %s is not a directory", dir)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil {
+		return nil, fmt.Errorf("feedback: read corpus: %w", err)
+	}
+	sort.Strings(names)
+	var out []selection.Example
+	found := false
+	for _, name := range names {
+		var idx int
+		if _, err := fmt.Sscanf(filepath.Base(name), "seg-%08d.log", &idx); err != nil {
+			continue
+		}
+		found = true
+		data, err := os.ReadFile(name)
+		if os.IsNotExist(err) {
+			continue // a live owner's retention deleted it after the glob
+		}
+		if err != nil {
+			return nil, fmt.Errorf("feedback: read corpus: %w", err)
+		}
+		exs, _, _, err := scanRecords(data, name, true) // read-only: never truncates
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, exs...)
+	}
+	if !found {
+		return nil, fmt.Errorf("feedback: %s contains no corpus segments", dir)
+	}
+	return out, nil
+}
+
+// readSegment validates one segment file and returns its bookkeeping
+// (record count, good-byte watermark) WITHOUT materialising the examples
+// — a restart over a capped corpus would otherwise decode and discard
+// the whole thing. tail selects crash-recovery semantics: a torn or
+// corrupt record at the end is truncated away so the segment can keep
+// growing; in a sealed segment corruption keeps the intact prefix and
+// ignores the remainder.
+func readSegment(path string, index int, tail bool) (*segment, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("feedback: read segment: %w", err)
+	}
+	seg := &segment{index: index, path: path}
+	if tail && len(data) < segHeaderSize {
+		// A crash between create and header write; rewrite from scratch.
+		if err := os.WriteFile(path, segmentHeader(), 0o644); err != nil {
+			return nil, fmt.Errorf("feedback: reset torn segment: %w", err)
+		}
+		seg.bytes = int64(segHeaderSize)
+		return seg, nil
+	}
+	_, count, good, err := scanRecords(data, path, false)
+	if err != nil {
+		return nil, err
+	}
+	seg.count = count
+	seg.bytes = int64(good)
+	if tail && good < len(data) {
+		if err := os.Truncate(path, int64(good)); err != nil {
+			return nil, fmt.Errorf("feedback: truncate torn tail: %w", err)
+		}
+	}
+	return seg, nil
+}
+
+// scanRecords validates a segment image's header and walks its records,
+// returning the record count and the byte offset of the end of the last
+// intact record. With decode set it also materialises the examples; with
+// it clear only the FIRST record is decoded — a cheap sanity check that
+// catches estimator-set/version skew at open time — and the rest are
+// verified by CRC alone. Torn or corrupt trailing records are ignored
+// (never an error): the caller decides whether to truncate them away.
+func scanRecords(data []byte, path string, decode bool) ([]selection.Example, int, int, error) {
+	if len(data) < segHeaderSize || string(data[:len(segMagic)]) != segMagic {
+		return nil, 0, 0, fmt.Errorf("feedback: %s is not a corpus segment (bad magic)", path)
+	}
+	if v := binary.LittleEndian.Uint32(data[len(segMagic):segHeaderSize]); v != storeFormat {
+		return nil, 0, 0, fmt.Errorf("feedback: %s uses corpus format %d; this build understands format %d — retrain or migrate the corpus",
+			path, v, storeFormat)
+	}
+	var examples []selection.Example
+	count := 0
+	off := segHeaderSize
+	good := off
+	for off < len(data) {
+		if off+recHeaderSize > len(data) {
+			break // torn record header
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if off+recHeaderSize+n > len(data) {
+			break // torn payload
+		}
+		payload := data[off+recHeaderSize : off+recHeaderSize+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // corrupt record; everything after it is suspect
+		}
+		if decode || count == 0 {
+			ex, err := decodeExample(payload)
+			if err != nil {
+				return nil, 0, 0, fmt.Errorf("feedback: %s: %w", path, err)
+			}
+			if decode {
+				examples = append(examples, ex)
+			}
+		}
+		count++
+		off += recHeaderSize + n
+		good = off
+	}
+	return examples, count, good, nil
+}
+
+func segmentHeader() []byte {
+	h := make([]byte, segHeaderSize)
+	copy(h, segMagic)
+	binary.LittleEndian.PutUint32(h[len(segMagic):], storeFormat)
+	return h
+}
+
+// newSegmentLocked creates and activates segment #index. O_EXCL makes a
+// concurrent writer on the same directory an explicit error instead of a
+// silent truncation of its segment — the store is single-writer.
+func (s *ExampleStore) newSegmentLocked(index int) error {
+	path := filepath.Join(s.dir, fmt.Sprintf("seg-%08d.log", index))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("feedback: create segment: %w", err)
+	}
+	if _, err := f.Write(segmentHeader()); err != nil {
+		f.Close()
+		// Remove the orphan: leaving it would make every rotation retry
+		// fail on O_EXCL (EEXIST) until the process restarts.
+		os.Remove(path)
+		return fmt.Errorf("feedback: write segment header: %w", err)
+	}
+	if s.active != nil {
+		s.active.Sync()
+		s.active.Close()
+	}
+	s.active = f
+	s.segments = append(s.segments, &segment{index: index, path: path, bytes: int64(segHeaderSize)})
+	return nil
+}
+
+// enforceRetentionLocked deletes the oldest whole segments while the
+// corpus exceeds the example bound. The active segment always survives;
+// a negative bound disables retention.
+func (s *ExampleStore) enforceRetentionLocked() {
+	if s.opts.MaxExamples < 0 {
+		return
+	}
+	for s.total > s.opts.MaxExamples && len(s.segments) > 1 {
+		old := s.segments[0]
+		os.Remove(old.path)
+		s.total -= old.count
+		s.segments = s.segments[1:]
+	}
+}
+
+// Append encodes and durably appends one example to the tail segment,
+// rotating and enforcing retention as needed.
+func (s *ExampleStore) Append(ex selection.Example) error {
+	_, err := s.AppendAll([]selection.Example{ex})
+	return err
+}
+
+// AppendAll appends a batch of examples under one lock acquisition. It
+// returns the number of examples durably appended, which on error can be
+// smaller than the batch — the prefix written before the failure IS in
+// the corpus, so counters fed from the return value stay truthful.
+func (s *ExampleStore) AppendAll(exs []selection.Example) (int, error) {
+	if len(exs) == 0 {
+		return 0, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	for i := range exs {
+		payload, err := encodeExample(&exs[i])
+		if err != nil {
+			return i, err
+		}
+		rec := make([]byte, recHeaderSize+len(payload))
+		binary.LittleEndian.PutUint32(rec, uint32(len(payload)))
+		binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(payload))
+		copy(rec[recHeaderSize:], payload)
+		tail := s.segments[len(s.segments)-1]
+		if _, err := s.active.Write(rec); err != nil {
+			// A short write leaves a torn record mid-segment; anything
+			// appended after it would be silently discarded by the next
+			// recovery scan. Roll the file back to the last good offset;
+			// if even that fails, seal the segment and move on so future
+			// appends land in a clean file.
+			if terr := s.active.Truncate(tail.bytes); terr != nil {
+				_ = s.newSegmentLocked(tail.index + 1)
+			}
+			return i, fmt.Errorf("feedback: append: %w", err)
+		}
+		tail.bytes += int64(len(rec))
+		tail.count++
+		s.total++
+		s.appended++
+		if tail.bytes >= s.opts.MaxSegmentBytes {
+			if err := s.newSegmentLocked(tail.index + 1); err != nil {
+				return i + 1, err
+			}
+		}
+	}
+	s.enforceRetentionLocked()
+	return len(exs), nil
+}
+
+// Len returns the number of examples currently retained.
+func (s *ExampleStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Appended returns the number of examples appended since the store was
+// opened (plus those recovered at open). Unlike Len it is monotonic —
+// retention dropping old segments never lowers it — so growth policies
+// keep firing even once the corpus is pinned at its retention cap.
+func (s *ExampleStore) Appended() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appended
+}
+
+// Segments returns the number of on-disk segment files.
+func (s *ExampleStore) Segments() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.segments)
+}
+
+// Snapshot decodes the retained corpus from disk in append order. The
+// store keeps no in-memory mirror — a daemon at the retention cap would
+// otherwise pin tens of MB of heap for data read only at rare retrain
+// time — so this costs one sequential read of the corpus. Only the
+// segment list and byte watermarks are captured under the lock; the
+// files are read and decoded outside it, so a large snapshot never
+// stalls query-completion appends or the health probes. The returned
+// examples share no state with the store.
+func (s *ExampleStore) Snapshot() ([]selection.Example, error) {
+	type segRead struct {
+		path  string
+		limit int64 // good bytes at capture time; later appends are excluded
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	total := s.total
+	reads := make([]segRead, len(s.segments))
+	for i, seg := range s.segments {
+		reads[i] = segRead{path: seg.path, limit: seg.bytes}
+	}
+	s.mu.Unlock()
+
+	out := make([]selection.Example, 0, total)
+	for _, r := range reads {
+		// Writes go straight to the file (no userspace buffering), so a
+		// plain read sees every record appended so far; the watermark
+		// bounds the view to the capture instant.
+		data, err := os.ReadFile(r.path)
+		if os.IsNotExist(err) {
+			continue // retention dropped this segment after the capture
+		}
+		if err != nil {
+			return nil, fmt.Errorf("feedback: snapshot: %w", err)
+		}
+		if int64(len(data)) > r.limit {
+			data = data[:r.limit]
+		}
+		exs, _, _, err := scanRecords(data, r.path, true)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, exs...)
+	}
+	return out, nil
+}
+
+// Sync flushes the active segment to stable storage.
+func (s *ExampleStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.active.Sync()
+}
+
+// Dir returns the corpus directory.
+func (s *ExampleStore) Dir() string { return s.dir }
+
+// Close syncs and closes the active segment. Further appends fail with
+// ErrClosed.
+func (s *ExampleStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.active.Sync()
+	return s.active.Close()
+}
+
+// encodeExample serialises one example:
+//
+//	uint32 nFeatures | nFeatures × float64
+//	uint32 nKinds    | nKinds × float64 (ErrL1) | nKinds × float64 (ErrL2)
+//	uint32 len | workload bytes
+//	uint32 len | signature bytes
+//	uint32 nMeta | per entry: uint32 len | key bytes | float64 value
+//
+// Meta keys are written sorted so equal examples encode to equal bytes.
+func encodeExample(e *selection.Example) ([]byte, error) {
+	size := 4 + 8*len(e.Features) +
+		4 + 16*progress.TotalKinds +
+		4 + len(e.Workload) +
+		4 + len(e.Signature) +
+		4
+	metaKeys := make([]string, 0, len(e.Meta))
+	for k := range e.Meta {
+		metaKeys = append(metaKeys, k)
+		size += 4 + len(k) + 8
+	}
+	sort.Strings(metaKeys)
+	buf := make([]byte, 0, size)
+	buf = putUint32(buf, uint32(len(e.Features)))
+	for _, f := range e.Features {
+		buf = putFloat64(buf, f)
+	}
+	buf = putUint32(buf, uint32(progress.TotalKinds))
+	for k := 0; k < progress.TotalKinds; k++ {
+		buf = putFloat64(buf, e.ErrL1[k])
+	}
+	for k := 0; k < progress.TotalKinds; k++ {
+		buf = putFloat64(buf, e.ErrL2[k])
+	}
+	buf = putString(buf, e.Workload)
+	buf = putString(buf, e.Signature)
+	buf = putUint32(buf, uint32(len(metaKeys)))
+	for _, k := range metaKeys {
+		buf = putString(buf, k)
+		buf = putFloat64(buf, e.Meta[k])
+	}
+	return buf, nil
+}
+
+// decodeExample is the inverse of encodeExample.
+func decodeExample(b []byte) (selection.Example, error) {
+	var e selection.Example
+	r := reader{b: b}
+	nf := r.uint32()
+	if nf > uint32(len(b)) {
+		return e, errors.New("corrupt example: feature count")
+	}
+	e.Features = make([]float64, nf)
+	for i := range e.Features {
+		e.Features[i] = r.float64()
+	}
+	nk := r.uint32()
+	if r.err == nil && nk != uint32(progress.TotalKinds) {
+		return e, fmt.Errorf("corpus written with %d estimator kinds; this build has %d — the corpus must be re-harvested", nk, progress.TotalKinds)
+	}
+	for i := 0; i < progress.TotalKinds; i++ {
+		e.ErrL1[i] = r.float64()
+	}
+	for i := 0; i < progress.TotalKinds; i++ {
+		e.ErrL2[i] = r.float64()
+	}
+	e.Workload = r.string()
+	e.Signature = r.string()
+	nm := r.uint32()
+	if nm > uint32(len(b)) {
+		return e, errors.New("corrupt example: meta count")
+	}
+	if nm > 0 {
+		e.Meta = make(map[string]float64, nm)
+		for i := uint32(0); i < nm; i++ {
+			k := r.string()
+			e.Meta[k] = r.float64()
+		}
+	}
+	if r.err != nil {
+		return e, fmt.Errorf("corrupt example: %w", r.err)
+	}
+	if len(r.b) != 0 {
+		return e, errors.New("corrupt example: trailing bytes")
+	}
+	return e, nil
+}
+
+func putUint32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func putFloat64(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+func putString(b []byte, s string) []byte {
+	b = putUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// reader is a cursor over a record payload that latches the first error.
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) uint32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 4 {
+		r.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *reader) float64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 8 {
+		r.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b))
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *reader) string() string {
+	n := r.uint32()
+	if r.err != nil {
+		return ""
+	}
+	if uint32(len(r.b)) < n {
+		r.err = io.ErrUnexpectedEOF
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}

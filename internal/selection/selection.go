@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"progressest/internal/features"
 	"progressest/internal/mart"
@@ -155,16 +156,24 @@ func (s *Selector) Select(full []float64) progress.Kind {
 	return best
 }
 
+// SaveFormat is the current on-disk format version of Save. Format 0
+// denotes legacy files written before versioning; they load fine.
+const SaveFormat = 1
+
 // persisted is the JSON form of a Selector.
 type persisted struct {
+	Format  int                    `json:"format"`
 	Kinds   []int                  `json:"kinds"`
 	Dynamic bool                   `json:"dynamic"`
 	Models  map[string]*mart.Model `json:"models"`
 }
 
-// Save writes the selector to path as JSON.
+// Save writes the selector to path as JSON. The write is atomic under
+// crashes: the bytes go to a temp file in the same directory which is
+// fsynced and renamed over path, so a reader (or a restart) only ever
+// sees the old complete file or the new complete file, never a torn one.
 func (s *Selector) Save(path string) error {
-	p := persisted{Dynamic: s.Dynamic, Models: map[string]*mart.Model{}}
+	p := persisted{Format: SaveFormat, Dynamic: s.Dynamic, Models: map[string]*mart.Model{}}
 	for _, k := range s.Kinds {
 		p.Kinds = append(p.Kinds, int(k))
 		p.Models[k.String()] = s.Models[k]
@@ -173,7 +182,30 @@ func (s *Selector) Save(path string) error {
 	if err != nil {
 		return fmt.Errorf("selection: marshal: %w", err)
 	}
-	return os.WriteFile(path, data, 0o644)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("selection: save: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("selection: save: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("selection: save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("selection: save: %w", err)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return fmt.Errorf("selection: save: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("selection: save: %w", err)
+	}
+	return nil
 }
 
 // Load reads a selector saved by Save.
@@ -185,6 +217,10 @@ func Load(path string) (*Selector, error) {
 	var p persisted
 	if err := json.Unmarshal(data, &p); err != nil {
 		return nil, fmt.Errorf("selection: unmarshal: %w", err)
+	}
+	if p.Format > SaveFormat {
+		return nil, fmt.Errorf("selection: %s uses selector format %d, but this build only understands formats <= %d — upgrade progressest or retrain the model with this version",
+			path, p.Format, SaveFormat)
 	}
 	s := &Selector{Dynamic: p.Dynamic, Models: map[progress.Kind]*mart.Model{}}
 	for _, ki := range p.Kinds {

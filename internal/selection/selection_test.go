@@ -1,8 +1,12 @@
 package selection_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"math/rand"
+	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -156,6 +160,69 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		if s.Select(ex[i].Features) != loaded.Select(ex[i].Features) {
 			t.Fatal("loaded selector selects differently")
 		}
+	}
+}
+
+// TestSaveIsAtomicAndVersioned: Save leaves no temp droppings, embeds the
+// format version, refuses files from a future format with a friendly
+// message, and still accepts legacy (unversioned) files.
+func TestSaveIsAtomicAndVersioned(t *testing.T) {
+	ex := pool(t)
+	s, err := selection.Train(ex, selection.Config{Kinds: progress.CoreKinds(), Mart: fastOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "selector.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite in place (the hot-swap pattern): must succeed and leave
+	// exactly one file behind.
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("save left temp files behind: %d entries", len(entries))
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var head struct {
+		Format int `json:"format"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		t.Fatal(err)
+	}
+	if head.Format != selection.SaveFormat {
+		t.Fatalf("saved format %d, want %d", head.Format, selection.SaveFormat)
+	}
+
+	// A future format must be rejected with a friendly error.
+	future := bytes.Replace(data,
+		[]byte(`"format":1`), []byte(`"format":99`), 1)
+	futurePath := filepath.Join(dir, "future.json")
+	if err := os.WriteFile(futurePath, future, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := selection.Load(futurePath); err == nil || !strings.Contains(err.Error(), "format 99") {
+		t.Fatalf("future format: err = %v, want friendly mismatch error", err)
+	}
+
+	// A legacy file without the field (format 0) still loads.
+	legacy := bytes.Replace(data, []byte(`"format":1,`), nil, 1)
+	legacyPath := filepath.Join(dir, "legacy.json")
+	if err := os.WriteFile(legacyPath, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := selection.Load(legacyPath); err != nil {
+		t.Fatalf("legacy file rejected: %v", err)
 	}
 }
 

@@ -76,6 +76,49 @@ func (w *Workload) perQueryExecOptions(opts RunOptions) []exec.Options {
 	return out
 }
 
+// HarvestTrace converts one finished execution trace into labelled
+// training examples: for every pipeline with at least minObs counter
+// snapshots it builds the full feature vector and replays the trace to
+// measure every candidate estimator's true L1/L2 error post-hoc. This is
+// the single harvest implementation — the batch runner and the streaming
+// feedback harvester both call it, so online-collected examples are
+// bit-identical to a batch harvest of the same traces. minObs <= 0 uses
+// the default (8).
+func HarvestTrace(tr *exec.Trace, workloadName string, queryIndex int, minObs int) []selection.Example {
+	if minObs <= 0 {
+		minObs = RunOptions{}.withDefaults().MinObservations
+	}
+	var out []selection.Example
+	for p := range tr.Pipes.Pipelines {
+		pipe := tr.Pipes.Pipelines[p]
+		v := progress.NewPipelineView(tr, p)
+		if v.NumObs() < minObs {
+			continue
+		}
+		ex := selection.Example{
+			Features:  features.Full(v),
+			Workload:  workloadName,
+			Signature: pipelineSignature(tr, p),
+			Meta: map[string]float64{
+				"query":    float64(queryIndex),
+				"pipeline": float64(p),
+			},
+		}
+		var totalGN float64
+		for _, id := range pipe.Nodes {
+			totalGN += float64(tr.N[id])
+		}
+		ex.Meta["getnext_total"] = totalGN
+		for _, k := range progress.AllKinds() {
+			e := v.Errors(k)
+			ex.ErrL1[k] = e.L1
+			ex.ErrL2[k] = e.L2
+		}
+		out = append(out, ex)
+	}
+	return out
+}
+
 // runQuery plans, executes and harvests one query. It only reads shared
 // workload state (database, statistics, planner thresholds), so distinct
 // queries can run concurrently.
@@ -98,32 +141,8 @@ func (w *Workload) runQuery(qi int, execOpts exec.Options, minObs int) (*queryRe
 				qr.opCount[op]++
 			}
 		}
-
-		v := progress.NewPipelineView(tr, p)
-		if v.NumObs() < minObs {
-			continue
-		}
-		ex := selection.Example{
-			Features:  features.Full(v),
-			Workload:  w.Spec.Name,
-			Signature: pipelineSignature(tr, p),
-			Meta: map[string]float64{
-				"query":    float64(qi),
-				"pipeline": float64(p),
-			},
-		}
-		var totalGN float64
-		for _, id := range pipe.Nodes {
-			totalGN += float64(tr.N[id])
-		}
-		ex.Meta["getnext_total"] = totalGN
-		for _, k := range progress.AllKinds() {
-			e := v.Errors(k)
-			ex.ErrL1[k] = e.L1
-			ex.ErrL2[k] = e.L2
-		}
-		qr.examples = append(qr.examples, ex)
 	}
+	qr.examples = HarvestTrace(tr, w.Spec.Name, qi, minObs)
 	return qr, nil
 }
 

@@ -1,0 +1,310 @@
+package progressest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"progressest/internal/feedback"
+	"progressest/internal/mart"
+	"progressest/internal/selection"
+)
+
+// LearningConfig configures the continuous-learning loop: where the
+// harvested corpus lives on disk, when the background retrainer fires,
+// and what it trains.
+type LearningConfig struct {
+	// Dir is the corpus directory (created if missing). Required.
+	Dir string
+	// Selector are the training hyperparameters for retrained versions.
+	Selector SelectorConfig
+	// MinNewExamples and MinInterval gate automatic retraining: a retrain
+	// fires once the corpus grew by MinNewExamples since the last training
+	// run AND MinInterval elapsed (defaults 256 examples / 1 minute).
+	MinNewExamples int
+	MinInterval    time.Duration
+	// Poll is how often the retrain policy is evaluated. It defaults to
+	// 5s, capped at MinInterval when that is shorter — a sub-5s
+	// -retrain-every must not silently wait for a 5s tick.
+	// DisableBackground turns the background retrainer off entirely;
+	// Retrain can still be called manually (e.g. via POST /models/retrain).
+	Poll              time.Duration
+	DisableBackground bool
+	// SeedExamples, when non-empty, is a synthetic corpus (e.g. a batch
+	// Harvest) mixed into every training set so early versions trained on
+	// thin live traffic keep the offline baseline.
+	SeedExamples []Example
+	// SeedSelector, when non-nil, is published as the first version
+	// (source "seed") so queries are served by a model before the first
+	// retrain completes.
+	SeedSelector *Selector
+	// MinObservations filters harvested pipelines with fewer counter
+	// snapshots, exactly like the batch harvest (default 8).
+	MinObservations int
+	// MaxSegmentBytes and MaxExamples bound the on-disk corpus (defaults
+	// 4 MiB per segment, 100000 examples; oldest segments are dropped).
+	MaxSegmentBytes int64
+	MaxExamples     int
+}
+
+// ModelVersion is the wire-friendly description of one published selector
+// version.
+type ModelVersion struct {
+	ID         int       `json:"id"`
+	TrainedAt  time.Time `json:"trained_at"`
+	CorpusSize int       `json:"corpus_size"`
+	HoldoutL1  float64   `json:"holdout_l1"`
+	HoldoutN   int       `json:"holdout_n"`
+	Source     string    `json:"source"`
+	Current    bool      `json:"current"`
+}
+
+// HarvestStats counts the learning loop's harvesting activity.
+type HarvestStats struct {
+	// Queries is the number of finished queries harvested.
+	Queries int `json:"queries"`
+	// Examples is the number of labelled examples appended to the corpus.
+	Examples int `json:"examples"`
+	// Skipped counts pipelines filtered out (too few observations).
+	Skipped int `json:"skipped"`
+	// Errors counts failed corpus appends.
+	Errors int `json:"errors"`
+}
+
+// Learning is the continuous-learning subsystem: an on-disk corpus of
+// examples harvested from finished queries, a background retrainer, and a
+// versioned selector registry with atomic hot-swap. Attach it to queries
+// via MonitorOptions.Learning (which both feeds the harvester and serves
+// from the current version) and to the HTTP daemon via NewServer, which
+// then exposes /models, /models/retrain and /models/rollback.
+type Learning struct {
+	store *feedback.ExampleStore
+	harv  *feedback.Harvester
+	reg   *feedback.Registry
+	ret   *feedback.Retrainer
+}
+
+// OpenLearning opens (or creates) the corpus directory and starts the
+// background retrainer (unless disabled). Close releases both.
+func OpenLearning(cfg LearningConfig) (*Learning, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("progressest: LearningConfig.Dir is required")
+	}
+	store, err := feedback.OpenStore(cfg.Dir, feedback.StoreOptions{
+		MaxSegmentBytes: cfg.MaxSegmentBytes,
+		MaxExamples:     cfg.MaxExamples,
+	})
+	if err != nil {
+		return nil, err
+	}
+	reg := feedback.NewRegistry()
+	if cfg.SeedSelector != nil {
+		reg.Publish(cfg.SeedSelector.inner, feedback.VersionMeta{
+			TrainedAt: time.Now(),
+			Source:    "seed",
+		})
+	}
+	var seed []selection.Example
+	if len(cfg.SeedExamples) > 0 {
+		seed = append(seed, cfg.SeedExamples...)
+	}
+	poll := cfg.Poll
+	if poll <= 0 && cfg.MinInterval > 0 && cfg.MinInterval < 5*time.Second {
+		poll = cfg.MinInterval
+	}
+	ret := feedback.NewRetrainer(store, reg, feedback.RetrainerConfig{
+		Selection: selectionConfig(cfg.Selector),
+		Seed:      seed,
+		Policy: feedback.RetrainPolicy{
+			MinNewExamples: cfg.MinNewExamples,
+			MinInterval:    cfg.MinInterval,
+			Poll:           poll,
+		},
+	})
+	if !cfg.DisableBackground {
+		ret.Start()
+	}
+	return &Learning{
+		store: store,
+		harv:  feedback.NewHarvester(store, cfg.MinObservations),
+		reg:   reg,
+		ret:   ret,
+	}, nil
+}
+
+// CorpusSize returns the number of examples currently retained on disk.
+func (l *Learning) CorpusSize() int { return l.store.Len() }
+
+// HarvestStats returns the harvesting counters.
+func (l *Learning) HarvestStats() HarvestStats {
+	return HarvestStats(l.harv.Stats())
+}
+
+// Retrain synchronously trains a new selector version on the accumulated
+// corpus and hot-swaps it in. Serving is never blocked: queries keep
+// using the previous version until the atomic swap.
+func (l *Learning) Retrain() (ModelVersion, error) {
+	v, err := l.ret.Retrain("manual")
+	if err != nil {
+		return ModelVersion{}, err
+	}
+	return l.modelVersion(v), nil
+}
+
+// Rollback atomically reverts serving to the previously published
+// version.
+func (l *Learning) Rollback() (ModelVersion, error) {
+	v, err := l.reg.Rollback()
+	if err != nil {
+		return ModelVersion{}, err
+	}
+	return l.modelVersion(v), nil
+}
+
+// Current returns the serving version; ok is false before any version
+// exists.
+func (l *Learning) Current() (v ModelVersion, ok bool) {
+	cur := l.reg.Current()
+	if cur == nil {
+		return ModelVersion{}, false
+	}
+	return l.modelVersion(cur), true
+}
+
+// Versions returns the publication history, oldest first, with the
+// serving version flagged.
+func (l *Learning) Versions() []ModelVersion {
+	vs := l.reg.Versions()
+	out := make([]ModelVersion, len(vs))
+	for i, v := range vs {
+		out[i] = l.modelVersion(v)
+	}
+	return out
+}
+
+// LastTrainingError returns the most recent background training failure,
+// or nil.
+func (l *Learning) LastTrainingError() error { return l.ret.LastError() }
+
+// Close drains the retrainer goroutine (waiting out a training run in
+// flight, however long it takes) and closes the corpus store. Queries
+// still executing afterwards keep running; only their harvest appends
+// are dropped (and counted in HarvestStats.Errors). Daemons with a
+// shutdown deadline should prefer Shutdown.
+func (l *Learning) Close() error {
+	l.ret.Stop()
+	return l.store.Close()
+}
+
+// Shutdown is Close bounded by ctx: the corpus is synced to disk
+// immediately, then the retrainer gets until the deadline to drain. A
+// training run that exceeds it is abandoned — its would-be version dies
+// with the process anyway, and the store tolerates being closed under it
+// (Snapshot/Append return ErrClosed) — so a SIGTERM supervisor's kill
+// grace period is honored even mid-training.
+func (l *Learning) Shutdown(ctx context.Context) error {
+	if err := l.store.Sync(); err != nil && !errors.Is(err, feedback.ErrClosed) {
+		return err
+	}
+	done := make(chan struct{})
+	go func() {
+		l.ret.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+	return l.store.Close()
+}
+
+func (l *Learning) modelVersion(v *feedback.Version) ModelVersion {
+	return ModelVersion{
+		ID:         v.ID,
+		TrainedAt:  v.Meta.TrainedAt,
+		CorpusSize: v.Meta.CorpusSize,
+		HoldoutL1:  v.Meta.HoldoutL1,
+		HoldoutN:   v.Meta.HoldoutN,
+		Source:     v.Meta.Source,
+		Current:    l.reg.Current() == v,
+	}
+}
+
+// currentSelector resolves the serving selector for a new query; it
+// returns nil before the first published version.
+func (l *Learning) currentSelector() (*selection.Selector, int) {
+	v := l.reg.Current()
+	if v == nil {
+		return nil, 0
+	}
+	return v.Selector, v.ID
+}
+
+// IsEmptyCorpus reports whether err means there was nothing to train on.
+func IsEmptyCorpus(err error) bool { return errors.Is(err, feedback.ErrEmptyCorpus) }
+
+// IsNoRollback reports whether err means no earlier version exists.
+func IsNoRollback(err error) bool { return errors.Is(err, feedback.ErrNoRollback) }
+
+// selectionConfig translates the public SelectorConfig into the internal
+// training configuration, applying the paper defaults.
+func selectionConfig(cfg SelectorConfig) selection.Config {
+	if len(cfg.Candidates) == 0 {
+		cfg.Candidates = AllEstimators()
+	}
+	if cfg.Trees <= 0 {
+		cfg.Trees = 200
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return selection.Config{
+		Kinds:   cfg.Candidates,
+		Dynamic: !cfg.StaticOnly,
+		Mart:    mart.Options{Trees: cfg.Trees, Seed: cfg.Seed},
+	}
+}
+
+// ExportExamples appends a batch of labelled examples (e.g. a synthetic
+// batch Harvest) to an on-disk corpus directory in the store's segmented
+// format — the same artifact cmd/trainsel and the live harvester share.
+// Retention is disabled for the append: exporting to a corpus a daemon
+// keeps at its retention cap must never delete the daemon's history (the
+// owner re-applies its own bounds on its next open). The store is
+// single-writer — do not export into a directory a RUNNING daemon is
+// appending to (a concurrent rotation fails explicitly rather than
+// clobbering, but the export will error); stop the daemon or export to a
+// fresh directory instead. Read-only access (ImportExamples) is always
+// safe.
+func ExportExamples(dir string, examples []Example) error {
+	store, err := feedback.OpenStore(dir, feedback.StoreOptions{MaxExamples: -1})
+	if err != nil {
+		return err
+	}
+	if _, err := store.AppendAll(examples); err != nil {
+		store.Close()
+		return err
+	}
+	return store.Close()
+}
+
+// ErrCorpusEmpty reports a well-formed corpus directory that holds zero
+// examples (e.g. a daemon started with -learn that never finished a
+// query). Callers with another example source can treat it as benign.
+var ErrCorpusEmpty = errors.New("corpus holds no examples")
+
+// ImportExamples reads every example retained in an on-disk corpus
+// directory written by ExportExamples or a live Learning harvester. The
+// read is strictly read-only — it neither creates the directory nor
+// touches its segments, so it is safe on a corpus a running daemon owns.
+func ImportExamples(dir string) ([]Example, error) {
+	exs, err := feedback.ReadCorpus(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(exs) == 0 {
+		return nil, fmt.Errorf("progressest: %w: %s", ErrCorpusEmpty, dir)
+	}
+	return exs, nil
+}

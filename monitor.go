@@ -29,6 +29,11 @@ type MonitorOptions struct {
 	// production queries progress estimation exists for (useful for demos
 	// and load tests; zero disables).
 	Pace time.Duration
+	// Learning, when non-nil, closes the training loop around the query:
+	// its finished trace is harvested into the on-disk corpus, and — when
+	// Selector is nil — the pipeline estimators are picked by the current
+	// hot-swapped selector version (Monitor.ModelVersion reports which).
+	Learning *Learning
 }
 
 func (o MonitorOptions) withDefaults() MonitorOptions {
@@ -86,9 +91,10 @@ type Monitor struct {
 	// completes; the last value delivered has Done == true.
 	Updates <-chan ProgressUpdate
 
-	done chan struct{}
-	run  *QueryRun
-	err  error
+	version int
+	done    chan struct{}
+	run     *QueryRun
+	err     error
 }
 
 // Wait blocks until the query completes and returns its QueryRun.
@@ -96,6 +102,13 @@ func (m *Monitor) Wait() (*QueryRun, error) {
 	<-m.done
 	return m.run, m.err
 }
+
+// ModelVersion returns the id of the hot-swapped selector version that
+// serves this query, or 0 when no Learning registry version applied (no
+// learning configured, an explicit Selector, or no version published
+// yet). The version is pinned at Start, so a swap mid-query never mixes
+// models within one execution.
+func (m *Monitor) ModelVersion() int { return m.version }
 
 // reselectMarkers are the driver-input fractions at which the selector
 // revises its choice — derived from the dynamic-feature markers so that
@@ -117,6 +130,10 @@ type monitorObserver struct {
 	sel   *selection.Selector
 	every int
 	pace  time.Duration
+	// harvest, when non-nil, subscribes the learning harvester to the
+	// completion event: the finished trace is labelled and appended to
+	// the corpus before the final update goes out.
+	harvest exec.Observer
 
 	choice    []progress.Kind
 	nextMark  []int
@@ -137,7 +154,13 @@ func (m *monitorObserver) OnPipelineStart(st exec.PipelineStart) {
 
 func (m *monitorObserver) OnPipelineEnd(pipe int, end float64) { m.view.OnPipelineEnd(pipe, end) }
 func (m *monitorObserver) OnThin()                             { m.view.OnThin() }
-func (m *monitorObserver) OnDone(tr *exec.Trace)               { m.view.OnDone(tr) }
+
+func (m *monitorObserver) OnDone(tr *exec.Trace) {
+	m.view.OnDone(tr)
+	if m.harvest != nil {
+		m.harvest.OnDone(tr)
+	}
+}
 
 func (m *monitorObserver) OnSnapshot(s exec.Snapshot) {
 	m.view.OnSnapshot(s)
@@ -228,8 +251,17 @@ func (w *Workload) Start(i int, opts MonitorOptions) (*Monitor, error) {
 		// Oracle models need the finished trace; they cannot run online.
 		return nil, fmt.Errorf("progressest: estimator %v is not computable online", opts.Estimator)
 	}
+	// Resolve the selector: an explicit one wins; otherwise the query is
+	// pinned to the learning registry's current version for its lifetime.
+	var sel *selection.Selector
+	version := 0
 	if opts.Selector != nil {
-		for _, k := range opts.Selector.inner.Kinds {
+		sel = opts.Selector.inner
+	} else if opts.Learning != nil {
+		sel, version = opts.Learning.currentSelector()
+	}
+	if sel != nil {
+		for _, k := range sel.Kinds {
 			if k < 0 || int(k) >= int(progress.NumKinds) {
 				return nil, fmt.Errorf("progressest: selector candidate %v is not computable online", k)
 			}
@@ -249,13 +281,14 @@ func (w *Workload) Start(i int, opts MonitorOptions) (*Monitor, error) {
 		nextMark: make([]int, len(pipes.Pipelines)),
 		ch:       make(chan ProgressUpdate, 1),
 	}
-	if opts.Selector != nil {
-		obs.sel = opts.Selector.inner
+	obs.sel = sel
+	if opts.Learning != nil {
+		obs.harvest = opts.Learning.harv.Observer(w.inner.Spec.Name, i)
 	}
 	for pi := range obs.choice {
 		obs.choice[pi] = opts.Estimator
 	}
-	m := &Monitor{Updates: obs.ch, done: make(chan struct{})}
+	m := &Monitor{Updates: obs.ch, version: version, done: make(chan struct{})}
 	go func() {
 		defer close(m.done)
 		tr := exec.Run(w.inner.DB, pl, exec.Options{Observer: obs})

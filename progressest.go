@@ -28,7 +28,6 @@ import (
 	"progressest/internal/datagen"
 	"progressest/internal/exec"
 	"progressest/internal/features"
-	"progressest/internal/mart"
 	"progressest/internal/progress"
 	"progressest/internal/selection"
 	"progressest/internal/workload"
@@ -326,20 +325,7 @@ type Selector struct {
 // TrainSelector fits one MART error-regression model per candidate
 // estimator (the paper's Section 4 framework).
 func TrainSelector(examples []Example, cfg SelectorConfig) (*Selector, error) {
-	if len(cfg.Candidates) == 0 {
-		cfg.Candidates = AllEstimators()
-	}
-	if cfg.Trees <= 0 {
-		cfg.Trees = 200
-	}
-	if cfg.Seed == 0 {
-		cfg.Seed = 1
-	}
-	s, err := selection.Train(examples, selection.Config{
-		Kinds:   cfg.Candidates,
-		Dynamic: !cfg.StaticOnly,
-		Mart:    mart.Options{Trees: cfg.Trees, Seed: cfg.Seed},
-	})
+	s, err := selection.Train(examples, selectionConfig(cfg))
 	if err != nil {
 		return nil, err
 	}

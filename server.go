@@ -1,10 +1,12 @@
 package progressest
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 )
 
 // Server exposes live query monitoring over HTTP — the daemon core of
@@ -15,10 +17,25 @@ import (
 //	GET  /queries                              -> list of submitted queries
 //	GET  /queries/{id}/progress                -> live progress JSON
 //	GET  /healthz                              -> {"status": "ok"}
+//
+// When MonitorOptions.Learning is set, the model-lifecycle routes come
+// alive too (404 otherwise):
+//
+//	GET  /models                               -> corpus + version history
+//	POST /models/retrain                       -> train + hot-swap a version
+//	POST /models/rollback                      -> revert to the previous one
+//
+// Every submitted query records which selector version served it
+// ("model" in the submit, list and progress responses).
 type Server struct {
 	w    *Workload
 	opts MonitorOptions
 	mux  *http.ServeMux
+
+	// maxLive and maxKept are the admission/retention bounds, settable
+	// before the server starts handling requests (tests shrink them).
+	maxLive int
+	maxKept int
 
 	mu      sync.Mutex
 	queries map[string]*serverQuery
@@ -27,18 +44,20 @@ type Server struct {
 	nextID  int
 }
 
-// Server resource bounds: at most maxLive queries execute concurrently
-// (further submissions get 429), and finished queries beyond maxKept are
-// evicted oldest-first so a long-running daemon's memory stays bounded.
+// Server resource bounds: at most defaultMaxLive queries execute
+// concurrently (further submissions get 429), and finished queries beyond
+// defaultMaxKept are evicted oldest-first so a long-running daemon's
+// memory stays bounded.
 const (
-	maxLive = 64
-	maxKept = 1024
+	defaultMaxLive = 64
+	defaultMaxKept = 1024
 )
 
 // serverQuery tracks one submitted query.
 type serverQuery struct {
 	id    string
 	query int
+	model int // selector version that serves it (0 = none)
 
 	mu     sync.Mutex
 	latest ProgressUpdate
@@ -59,13 +78,38 @@ func NewServer(w *Workload, opts MonitorOptions) *Server {
 		w:       w,
 		opts:    opts.withDefaults(),
 		mux:     http.NewServeMux(),
+		maxLive: defaultMaxLive,
+		maxKept: defaultMaxKept,
 		queries: make(map[string]*serverQuery),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("POST /queries", s.handleSubmit)
 	s.mux.HandleFunc("GET /queries", s.handleList)
 	s.mux.HandleFunc("GET /queries/{id}/progress", s.handleProgress)
+	s.mux.HandleFunc("GET /models", s.handleModels)
+	s.mux.HandleFunc("POST /models/retrain", s.handleRetrain)
+	s.mux.HandleFunc("POST /models/rollback", s.handleRollback)
 	return s
+}
+
+// Drain blocks until every admitted query has finished or the context
+// expires — the graceful-shutdown hook cmd/progressd uses between
+// http.Server.Shutdown and Learning.Close, so in-flight queries still
+// land in the corpus.
+func (s *Server) Drain(ctx context.Context) error {
+	for {
+		s.mu.Lock()
+		live := s.live
+		s.mu.Unlock()
+		if live == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("progressest: drain: %d queries still live: %w", live, ctx.Err())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -82,10 +126,17 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":  "ok",
 		"queries": s.w.NumQueries(),
-	})
+	}
+	if l := s.opts.Learning; l != nil {
+		if cur, ok := l.Current(); ok {
+			resp["model"] = cur.ID
+		}
+		resp["corpus_size"] = l.CorpusSize()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // submitRequest is the POST /queries body.
@@ -100,6 +151,9 @@ type queryInfo struct {
 	Query int    `json:"query"`
 	Text  string `json:"text,omitempty"`
 	Done  bool   `json:"done"`
+	// Model is the selector version that serves the query (0 = fixed
+	// estimator or explicitly configured selector).
+	Model int `json:"model,omitempty"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -116,7 +170,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Admission is atomic: the slot is claimed under the lock before the
 	// query starts, so concurrent submissions cannot overshoot the cap.
 	s.mu.Lock()
-	if s.live >= maxLive {
+	if s.live >= s.maxLive {
 		live := s.live
 		s.mu.Unlock()
 		writeError(w, http.StatusTooManyRequests, "%d queries already executing", live)
@@ -135,13 +189,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	s.nextID++
-	q := &serverQuery{id: fmt.Sprintf("q%d", s.nextID), query: req.Query}
+	q := &serverQuery{id: fmt.Sprintf("q%d", s.nextID), query: req.Query, model: m.ModelVersion()}
 	s.queries[q.id] = q
 	s.order = append(s.order, q)
 	// Evict the oldest finished queries beyond the retention bound.
-	if len(s.order) > maxKept {
+	if len(s.order) > s.maxKept {
 		kept := s.order[:0]
-		excess := len(s.order) - maxKept
+		excess := len(s.order) - s.maxKept
 		for _, old := range s.order {
 			_, _, done := old.snapshot()
 			if excess > 0 && done {
@@ -172,7 +226,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}()
 
 	writeJSON(w, http.StatusAccepted, queryInfo{
-		ID: q.id, Query: req.Query, Text: s.w.QueryText(req.Query),
+		ID: q.id, Query: req.Query, Text: s.w.QueryText(req.Query), Model: q.model,
 	})
 }
 
@@ -183,7 +237,7 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	infos := make([]queryInfo, 0, len(queries))
 	for _, q := range queries {
 		_, _, done := q.snapshot()
-		infos = append(infos, queryInfo{ID: q.id, Query: q.query, Done: done})
+		infos = append(infos, queryInfo{ID: q.id, Query: q.query, Done: done, Model: q.model})
 	}
 	writeJSON(w, http.StatusOK, infos)
 }
@@ -193,6 +247,7 @@ type progressResponse struct {
 	ID     string          `json:"id"`
 	Query  int             `json:"query"`
 	Done   bool            `json:"done"`
+	Model  int             `json:"model,omitempty"`
 	Update *ProgressUpdate `json:"update,omitempty"`
 }
 
@@ -206,9 +261,83 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	latest, seen, done := q.snapshot()
-	resp := progressResponse{ID: q.id, Query: q.query, Done: done}
+	resp := progressResponse{ID: q.id, Query: q.query, Done: done, Model: q.model}
 	if seen {
 		resp.Update = &latest
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// modelsResponse is the GET /models wire form.
+type modelsResponse struct {
+	// Current is the id of the serving version (0 before the first
+	// publication).
+	Current int `json:"current"`
+	// CorpusSize is the number of harvested examples retained on disk.
+	CorpusSize int `json:"corpus_size"`
+	// Harvest are the lifetime harvesting counters.
+	Harvest HarvestStats `json:"harvest"`
+	// Versions is the publication history, oldest first.
+	Versions []ModelVersion `json:"versions"`
+}
+
+// learning returns the attached learning loop, or writes a 404 and
+// returns nil when continuous learning is not enabled.
+func (s *Server) learning(w http.ResponseWriter) *Learning {
+	if s.opts.Learning == nil {
+		writeError(w, http.StatusNotFound, "continuous learning not enabled (start with a learning corpus)")
+		return nil
+	}
+	return s.opts.Learning
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	l := s.learning(w)
+	if l == nil {
+		return
+	}
+	resp := modelsResponse{
+		CorpusSize: l.CorpusSize(),
+		Harvest:    l.HarvestStats(),
+		Versions:   l.Versions(),
+	}
+	if cur, ok := l.Current(); ok {
+		resp.Current = cur.ID
+	}
+	if resp.Versions == nil {
+		resp.Versions = []ModelVersion{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRetrain(w http.ResponseWriter, _ *http.Request) {
+	l := s.learning(w)
+	if l == nil {
+		return
+	}
+	v, err := l.Retrain()
+	switch {
+	case IsEmptyCorpus(err):
+		writeError(w, http.StatusConflict, "retrain: %v", err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "retrain: %v", err)
+	default:
+		writeJSON(w, http.StatusOK, v)
+	}
+}
+
+func (s *Server) handleRollback(w http.ResponseWriter, _ *http.Request) {
+	l := s.learning(w)
+	if l == nil {
+		return
+	}
+	v, err := l.Rollback()
+	switch {
+	case IsNoRollback(err):
+		writeError(w, http.StatusConflict, "rollback: %v", err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "rollback: %v", err)
+	default:
+		writeJSON(w, http.StatusOK, v)
+	}
 }
