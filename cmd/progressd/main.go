@@ -1,37 +1,51 @@
 // Command progressd is the progress-estimation daemon: it builds a
 // workload (database + parameterised queries), optionally loads a trained
-// selection model, and serves live query monitoring over HTTP. Submitted
-// queries execute on their own goroutines while their streaming progress
-// estimates — per pipeline and combined per eq. 5 of the paper — are
-// polled as JSON.
+// selection model, and serves live query monitoring over HTTP. The
+// serving core is a sharded engine — a pool of workload replicas behind
+// one admission gate with a bounded queue and least-loaded dispatch — so
+// submitted queries execute concurrently across replicas while their
+// streaming progress estimates (per pipeline and combined per eq. 5 of
+// the paper) are polled as JSON.
 //
 // With -learn the daemon closes the paper's training loop on its own
-// traffic: every finished query is harvested into an on-disk corpus, a
-// background retrainer periodically fits a fresh selection model on it,
-// and new versions are hot-swapped into serving without dropping a
-// progress request. -model (or an earlier corpus) seeds the loop.
+// traffic: every finished query is harvested into an on-disk corpus
+// (tagged with its workload family), a background retrainer periodically
+// fits fresh selection models on it — one global model, plus one per
+// sufficiently represented family with -route-by-family — and versions
+// that pass the retrain-quality gate are hot-swapped into serving without
+// dropping a progress request. Accepted versions are persisted next to
+// the corpus, so a restarted daemon resumes from its last trained models.
+// -model (or an earlier corpus) seeds the loop.
 //
 // Endpoints:
 //
 //	POST /queries                {"query": i}  start workload query i
 //	GET  /queries                              list submitted queries
 //	GET  /queries/{id}/progress                freshest progress update
+//	GET  /engine/stats                         per-shard live/queued counts
 //	GET  /healthz                              liveness probe
 //	GET  /models                               corpus + model versions (-learn)
-//	POST /models/retrain                       train + hot-swap now (-learn)
-//	POST /models/rollback                      revert to previous (-learn)
+//	POST /models/retrain                       train + gate + hot-swap (-learn)
+//	POST /models/rollback      [{"family":f}]  revert to previous (-learn)
 //
 // Usage:
 //
 //	progressd [-addr :8080] [-workload tpch|tpcds|real1|real2]
 //	          [-design 0|1|2] [-queries N] [-scale F] [-zipf F] [-seed N]
+//	          [-shards N] [-queue-depth N] [-max-live N] [-route-by-family]
 //	          [-every N] [-pace D] [-model selector.json]
 //	          [-learn corpus/] [-retrain-after N] [-retrain-every D]
+//	          [-gate-tolerance F] [-no-gate]
+//
+// -gate-tolerance is the quality gate's accepted relative holdout-L1
+// regression (0 means strict: a candidate must not be worse than the
+// serving model beyond a 0.01 absolute slack); -no-gate hot-swaps every
+// retrain unconditionally.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops accepting
-// connections, drains in-flight queries (bounded by -drain-timeout) so
-// their traces still land in the corpus, then stops the retrainer and
-// syncs the corpus to disk.
+// connections, fails queued admissions instead of stranding them, drains
+// in-flight queries (bounded by -drain-timeout) so their traces still
+// land in the corpus, then stops the retrainer and syncs the corpus.
 package main
 
 import (
@@ -56,12 +70,18 @@ func main() {
 	scale := flag.Float64("scale", 0.15, "database scale")
 	zipf := flag.Float64("zipf", 1, "data skew factor z")
 	seed := flag.Int64("seed", 1, "random seed")
+	shards := flag.Int("shards", 1, "workload replicas behind the admission gate")
+	queueDepth := flag.Int("queue-depth", 64, "admissions queued once all shards are at capacity (0 = reject immediately)")
+	maxLive := flag.Int("max-live", 64, "concurrent queries per shard")
+	routeByFamily := flag.Bool("route-by-family", false, "train and serve per-workload-family selection models (needs -learn)")
 	every := flag.Int("every", 8, "record a progress update every N counter snapshots")
 	pace := flag.Duration("pace", 0, "pace execution: sleep per progress update (0 = full speed)")
 	model := flag.String("model", "", "optional trained selector (see cmd/trainsel)")
 	learn := flag.String("learn", "", "corpus directory: harvest finished queries and retrain continuously")
 	retrainAfter := flag.Int("retrain-after", 256, "retrain once the corpus grew by this many examples")
 	retrainEvery := flag.Duration("retrain-every", time.Minute, "minimum interval between automatic retrains")
+	gateTolerance := flag.Float64("gate-tolerance", 0.25, "retrain-quality gate: accepted relative holdout-L1 regression (0 = strict)")
+	noGate := flag.Bool("no-gate", false, "disable the retrain-quality gate (every retrain hot-swaps)")
 	trees := flag.Int("trees", 200, "MART boosting iterations for retrained models")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown deadline for in-flight queries")
 	flag.Parse()
@@ -102,12 +122,21 @@ func main() {
 
 	var learning *progressest.Learning
 	if *learn != "" {
+		// An explicit -gate-tolerance 0 means STRICT, which the config
+		// encodes as negative (its zero value selects the default).
+		gt := *gateTolerance
+		if gt == 0 {
+			gt = -1
+		}
 		learning, err = progressest.OpenLearning(progressest.LearningConfig{
 			Dir:            *learn,
 			Selector:       progressest.SelectorConfig{Trees: *trees, Seed: *seed},
 			MinNewExamples: *retrainAfter,
 			MinInterval:    *retrainEvery,
 			SeedSelector:   sel,
+			FamilyModels:   *routeByFamily,
+			GateTolerance:  gt,
+			DisableGate:    *noGate,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -115,17 +144,33 @@ func main() {
 		opts.Learning = learning
 		log.Printf("continuous learning on: corpus %s (%d examples), retrain after %d new examples / %s",
 			*learn, learning.CorpusSize(), *retrainAfter, *retrainEvery)
+		if cur, ok := learning.Current(); ok {
+			log.Printf("serving model v%d (source %s)", cur.ID, cur.Source)
+		}
+		if fams := learning.FamilyVersions(); len(fams) > 0 {
+			log.Printf("restored %d family model(s)", len(fams))
+		}
 	} else {
 		// Without learning the explicit model (if any) serves statically.
 		opts.Selector = sel
+		if *routeByFamily {
+			log.Printf("warning: -route-by-family needs -learn; serving the global model only")
+		}
 	}
 
-	server := progressest.NewServer(w, opts)
+	eng := progressest.NewEngine(w, progressest.EngineConfig{
+		Shards:          *shards,
+		MaxLivePerShard: *maxLive,
+		QueueDepth:      *queueDepth,
+		RouteByFamily:   *routeByFamily,
+	}, opts)
+	server := progressest.NewEngineServer(eng)
 	httpSrv := &http.Server{Addr: *addr, Handler: server}
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("progressd listening on %s (%d queries ready)", *addr, w.NumQueries())
+		log.Printf("progressd listening on %s (%d queries ready, %d shard(s) × %d live, queue %d)",
+			*addr, w.NumQueries(), *shards, *maxLive, *queueDepth)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -141,15 +186,22 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Graceful shutdown: stop accepting, finish in-flight HTTP exchanges,
-	// drain executing queries so their traces still reach the corpus, then
-	// stop the retrainer and sync the corpus.
+	// Graceful shutdown: drain the engine CONCURRENTLY with the HTTP
+	// shutdown — Drain's first act is failing every queued admission, and
+	// those waiters are blocked HTTP handlers http.Server.Shutdown would
+	// otherwise wait out for the whole deadline, leaving no budget for
+	// the in-flight queries. With both running, queued submissions 503
+	// immediately, Shutdown finishes the unblocked exchanges, executing
+	// queries drain so their traces still reach the corpus, and only then
+	// the retrainer stops and the corpus syncs.
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	drained := make(chan error, 1)
+	go func() { drained <- server.Drain(ctx) }()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}
-	if err := server.Drain(ctx); err != nil {
+	if err := <-drained; err != nil {
 		log.Printf("drain: %v", err)
 	}
 	if learning != nil {

@@ -1,0 +1,167 @@
+package progressest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"progressest/internal/engine"
+)
+
+// EngineConfig sizes the sharded execution engine.
+type EngineConfig struct {
+	// Shards is the number of Workload replicas in the pool (default 1).
+	// Replicas share the immutable database and query set, so extra
+	// shards cost planner state, not a database copy.
+	Shards int
+	// MaxLivePerShard bounds the queries executing concurrently on one
+	// replica (default 64); the engine-wide live bound is
+	// Shards × MaxLivePerShard.
+	MaxLivePerShard int
+	// QueueDepth bounds the admissions waiting for a slot once every
+	// replica is at capacity; 0 disables queueing, so a saturated engine
+	// rejects immediately (IsSaturated).
+	QueueDepth int
+	// RouteByFamily serves each query with the selector version trained
+	// for its workload family (falling back to the global model) when the
+	// monitor options carry a Learning loop.
+	RouteByFamily bool
+}
+
+// Engine is the sharded execution engine: a pool of Workload replicas
+// behind one admission gate (bounded queue, per-replica live bound,
+// least-loaded dispatch), sharing one Learning loop — every replica
+// harvests into the same corpus and serves from the same hot-swapped
+// model registry, optionally routed per workload family. It is the
+// serving core progressd wraps in HTTP.
+type Engine struct {
+	opts     MonitorOptions
+	replicas []*Workload
+	gate     *engine.Gate
+}
+
+// NewEngine builds an engine of cfg.Shards replicas of w. The monitor
+// options apply to every query the engine starts; cfg.RouteByFamily
+// switches them to per-family model routing. Defaulting of the gate
+// bounds (shards, per-shard live limit, queue depth) is owned by the
+// internal gate.
+func NewEngine(w *Workload, cfg EngineConfig, opts MonitorOptions) *Engine {
+	opts = opts.withDefaults()
+	// Family routing needs a model registry to route over; without a
+	// Learning loop the flag would only make Stats report a capability
+	// that cannot act.
+	opts.RouteByFamily = (opts.RouteByFamily || cfg.RouteByFamily) && opts.Learning != nil
+	gate := engine.NewGate(engine.Config{
+		Shards:          cfg.Shards,
+		MaxLivePerShard: cfg.MaxLivePerShard,
+		QueueDepth:      cfg.QueueDepth,
+	})
+	shards := gate.NumShards() // cfg.Shards after the gate's defaulting
+	replicas := make([]*Workload, shards)
+	replicas[0] = w
+	for i := 1; i < shards; i++ {
+		replicas[i] = w.replica()
+	}
+	return &Engine{opts: opts, replicas: replicas, gate: gate}
+}
+
+// Workload returns the engine's primary replica (shard 0) — the handle
+// for query metadata like NumQueries and QueryText.
+func (e *Engine) Workload() *Workload { return e.replicas[0] }
+
+// NumShards returns the replica count.
+func (e *Engine) NumShards() int { return len(e.replicas) }
+
+// learning returns the shared learning loop, or nil.
+func (e *Engine) learning() *Learning { return e.opts.Learning }
+
+// Start admits query i through the gate — waiting in the bounded
+// admission queue when every replica is at capacity — then plans and
+// executes it on the least-loaded replica, streaming progress through the
+// returned Monitor (whose Shard reports the placement). It fails with an
+// IsSaturated error when the queue is full, an IsDraining error after
+// Drain began, or ctx's error if it expires while queued.
+func (e *Engine) Start(ctx context.Context, i int) (*Monitor, error) {
+	if i < 0 || i >= e.replicas[0].NumQueries() {
+		return nil, fmt.Errorf("progressest: query index %d out of range [0,%d)", i, e.replicas[0].NumQueries())
+	}
+	slot, err := e.gate.Admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	m, err := e.replicas[slot.Shard].Start(i, e.opts)
+	if err != nil {
+		slot.Release()
+		return nil, err
+	}
+	m.shard = slot.Shard
+	go func() {
+		<-m.done
+		slot.Release()
+	}()
+	return m, nil
+}
+
+// Drain stops admission — queued submissions fail immediately with an
+// IsDraining error instead of stranding — and waits until every in-flight
+// query finishes or ctx expires. New Start calls fail for the rest of the
+// engine's life.
+func (e *Engine) Drain(ctx context.Context) error { return e.gate.Drain(ctx) }
+
+// ShardStats is one replica's live/lifetime admission counters.
+type ShardStats struct {
+	// Shard is the replica index.
+	Shard int `json:"shard"`
+	// Live is the number of queries executing on the replica right now.
+	Live int `json:"live"`
+	// Admitted counts the queries ever dispatched to the replica.
+	Admitted int64 `json:"admitted"`
+}
+
+// EngineStats is a point-in-time snapshot of the engine (the GET
+// /engine/stats wire form).
+type EngineStats struct {
+	// Shards holds the per-replica counters.
+	Shards []ShardStats `json:"shards"`
+	// Queued is the number of admissions waiting for a slot; QueueDepth
+	// is the queue's bound.
+	Queued     int `json:"queued"`
+	QueueDepth int `json:"queue_depth"`
+	// MaxLivePerShard is the per-replica live bound.
+	MaxLivePerShard int `json:"max_live_per_shard"`
+	// Admitted and Rejected are lifetime engine-wide counters.
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+	// Draining is true once Drain began.
+	Draining bool `json:"draining"`
+	// RouteByFamily reports whether per-family model routing is on.
+	RouteByFamily bool `json:"route_by_family"`
+}
+
+// Stats snapshots the engine's admission counters.
+func (e *Engine) Stats() EngineStats {
+	gs := e.gate.Stats()
+	st := EngineStats{
+		Shards:          make([]ShardStats, len(gs.Shards)),
+		Queued:          gs.Queued,
+		QueueDepth:      gs.QueueDepth,
+		MaxLivePerShard: gs.MaxLivePerShard,
+		Admitted:        gs.Admitted,
+		Rejected:        gs.Rejected,
+		Draining:        gs.Draining,
+		RouteByFamily:   e.opts.RouteByFamily,
+	}
+	for i, sh := range gs.Shards {
+		st.Shards[i] = ShardStats(sh)
+	}
+	return st
+}
+
+// IsSaturated reports whether err means the engine rejected a query
+// because every replica is at capacity and the admission queue is full —
+// the HTTP layer's 429.
+func IsSaturated(err error) bool { return errors.Is(err, engine.ErrSaturated) }
+
+// IsDraining reports whether err means the engine is shutting down and no
+// longer admits queries — the HTTP layer's 503.
+func IsDraining(err error) bool { return errors.Is(err, engine.ErrDraining) }

@@ -1,0 +1,267 @@
+// Package engine is the sharded execution core of progressd: a fixed pool
+// of workload replicas ("shards") behind one admission gate with a
+// bounded wait queue, least-loaded dispatch and a draining shutdown path.
+// The gate is execution-agnostic — it hands out shard slots and the
+// caller runs whatever work the slot admits, releasing it on completion —
+// so the admission logic is unit-testable without a database, a trained
+// model or an HTTP layer.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Config sizes the gate.
+type Config struct {
+	// Shards is the number of workload replicas behind the gate
+	// (default 1).
+	Shards int
+	// MaxLivePerShard bounds the queries executing concurrently on one
+	// shard (default 64).
+	MaxLivePerShard int
+	// QueueDepth bounds the admissions waiting for a slot once every
+	// shard is at capacity; 0 disables queueing, so a saturated gate
+	// rejects immediately.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.MaxLivePerShard <= 0 {
+		c.MaxLivePerShard = 64
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	return c
+}
+
+// ErrSaturated is returned by Admit when every shard is at capacity and
+// the wait queue is full.
+var ErrSaturated = errors.New("engine: all shards at capacity and the admission queue is full")
+
+// ErrDraining is returned by Admit once Drain has begun: the gate admits
+// nothing new, and already queued admissions fail rather than strand.
+var ErrDraining = errors.New("engine: draining, not accepting new queries")
+
+// Slot is one admitted unit of work, pinned to a shard. Release it
+// exactly when the work finishes; Release is idempotent.
+type Slot struct {
+	// Shard is the replica index the admission was dispatched to.
+	Shard int
+
+	g    *Gate
+	once sync.Once
+}
+
+// Release frees the slot, dispatching the oldest queued admission if one
+// waits.
+func (s *Slot) Release() {
+	s.once.Do(func() { s.g.release(s.Shard) })
+}
+
+// waiter is one queued admission; the dispatcher sends the granted shard
+// on ch (buffered, so dispatch never blocks), and Drain closes it.
+type waiter struct {
+	ch chan int
+}
+
+// Gate is the admission gate in front of the shard pool. Admissions are
+// dispatched to the least-loaded shard; when every shard is at its
+// per-shard live bound they wait in a bounded FIFO queue.
+type Gate struct {
+	cfg Config
+
+	mu            sync.Mutex
+	live          []int
+	shardAdmitted []int64
+	waiters       []*waiter
+	admitted      int64
+	rejected      int64
+	draining      bool
+}
+
+// NewGate builds a gate for cfg.
+func NewGate(cfg Config) *Gate {
+	cfg = cfg.withDefaults()
+	return &Gate{
+		cfg:           cfg,
+		live:          make([]int, cfg.Shards),
+		shardAdmitted: make([]int64, cfg.Shards),
+	}
+}
+
+// NumShards returns the defaulted shard count the gate dispatches over.
+func (g *Gate) NumShards() int { return len(g.live) }
+
+// leastLoadedLocked returns the shard with the fewest live queries that
+// still has capacity, or -1 when all are full. Ties break to the lowest
+// index, which keeps dispatch deterministic (and spreads a burst round-
+// robin across idle shards).
+func (g *Gate) leastLoadedLocked() int {
+	best := -1
+	for s, n := range g.live {
+		if n >= g.cfg.MaxLivePerShard {
+			continue
+		}
+		if best < 0 || n < g.live[best] {
+			best = s
+		}
+	}
+	return best
+}
+
+func (g *Gate) grantLocked(shard int) {
+	g.live[shard]++
+	g.shardAdmitted[shard]++
+	g.admitted++
+}
+
+// Admit claims a slot on the least-loaded shard. When every shard is at
+// capacity it waits in the bounded FIFO queue until a slot frees, the
+// queue overflows (ErrSaturated), the gate starts draining (ErrDraining)
+// or ctx expires. A nil ctx never expires.
+func (g *Gate) Admit(ctx context.Context) (*Slot, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	g.mu.Lock()
+	if g.draining {
+		g.rejected++
+		g.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if s := g.leastLoadedLocked(); s >= 0 {
+		g.grantLocked(s)
+		g.mu.Unlock()
+		return &Slot{Shard: s, g: g}, nil
+	}
+	if len(g.waiters) >= g.cfg.QueueDepth {
+		g.rejected++
+		g.mu.Unlock()
+		return nil, ErrSaturated
+	}
+	w := &waiter{ch: make(chan int, 1)}
+	g.waiters = append(g.waiters, w)
+	g.mu.Unlock()
+
+	select {
+	case s, ok := <-w.ch:
+		if !ok {
+			return nil, ErrDraining
+		}
+		return &Slot{Shard: s, g: g}, nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		for i, q := range g.waiters {
+			if q == w {
+				g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+				g.rejected++
+				g.mu.Unlock()
+				return nil, ctx.Err()
+			}
+		}
+		g.mu.Unlock()
+		// The waiter was granted (or drained) concurrently with the
+		// cancellation; the channel op below never blocks, because the
+		// dispatcher sends before releasing the lock and the drain path
+		// closes the channel. A granted slot is released so the abandoned
+		// admission cannot leak capacity.
+		if s, ok := <-w.ch; ok {
+			(&Slot{Shard: s, g: g}).Release()
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// release frees one slot and dispatches queued admissions while capacity
+// remains.
+func (g *Gate) release(shard int) {
+	g.mu.Lock()
+	g.live[shard]--
+	for len(g.waiters) > 0 {
+		s := g.leastLoadedLocked()
+		if s < 0 {
+			break
+		}
+		w := g.waiters[0]
+		g.waiters = g.waiters[1:]
+		g.grantLocked(s)
+		w.ch <- s
+	}
+	g.mu.Unlock()
+}
+
+// Drain stops admission: new Admit calls and every already queued waiter
+// fail with ErrDraining immediately — a shutdown under load cannot strand
+// queued requests — then Drain waits until every live slot releases or
+// ctx expires.
+func (g *Gate) Drain(ctx context.Context) error {
+	g.mu.Lock()
+	g.draining = true
+	for _, w := range g.waiters {
+		close(w.ch)
+		g.rejected++
+	}
+	g.waiters = nil
+	g.mu.Unlock()
+	for {
+		g.mu.Lock()
+		live := 0
+		for _, n := range g.live {
+			live += n
+		}
+		g.mu.Unlock()
+		if live == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("engine: drain: %d queries still live: %w", live, ctx.Err())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// ShardStats is one shard's live/lifetime counters.
+type ShardStats struct {
+	Shard    int   `json:"shard"`
+	Live     int   `json:"live"`
+	Admitted int64 `json:"admitted"`
+}
+
+// Stats is a point-in-time snapshot of the gate.
+type Stats struct {
+	Shards          []ShardStats `json:"shards"`
+	Queued          int          `json:"queued"`
+	QueueDepth      int          `json:"queue_depth"`
+	MaxLivePerShard int          `json:"max_live_per_shard"`
+	Admitted        int64        `json:"admitted"`
+	Rejected        int64        `json:"rejected"`
+	Draining        bool         `json:"draining"`
+}
+
+// Stats snapshots the gate's counters.
+func (g *Gate) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := Stats{
+		Shards:          make([]ShardStats, len(g.live)),
+		Queued:          len(g.waiters),
+		QueueDepth:      g.cfg.QueueDepth,
+		MaxLivePerShard: g.cfg.MaxLivePerShard,
+		Admitted:        g.admitted,
+		Rejected:        g.rejected,
+		Draining:        g.draining,
+	}
+	for s := range g.live {
+		st.Shards[s] = ShardStats{Shard: s, Live: g.live[s], Admitted: g.shardAdmitted[s]}
+	}
+	return st
+}

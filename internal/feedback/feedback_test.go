@@ -45,7 +45,7 @@ func TestRegistryPublishCurrentRollback(t *testing.T) {
 	if r.Current() != nil {
 		t.Fatal("fresh registry should have no current version")
 	}
-	if _, err := r.Rollback(); err == nil {
+	if _, err := r.Rollback(""); err == nil {
 		t.Fatal("rollback on empty registry should fail")
 	}
 	s1 := &selection.Selector{}
@@ -58,11 +58,11 @@ func TestRegistryPublishCurrentRollback(t *testing.T) {
 	if r.Current() != v2 {
 		t.Fatal("current should be the latest publication")
 	}
-	back, err := r.Rollback()
+	back, err := r.Rollback("")
 	if err != nil || back != v1 || r.Current() != v1 {
 		t.Fatalf("rollback: %v %v", back, err)
 	}
-	if _, err := r.Rollback(); err == nil {
+	if _, err := r.Rollback(""); err == nil {
 		t.Fatal("rollback past the first version should fail")
 	}
 	// Publishing after a rollback moves forward with a fresh ID.
@@ -82,11 +82,11 @@ func TestRegistryRollbackSkipsRejectedVersions(t *testing.T) {
 	r := NewRegistry()
 	v1 := r.Publish(&selection.Selector{}, VersionMeta{Source: "seed"})
 	r.Publish(&selection.Selector{}, VersionMeta{Source: "auto"}) // v2, bad
-	if back, err := r.Rollback(); err != nil || back != v1 {
+	if back, err := r.Rollback(""); err != nil || back != v1 {
 		t.Fatalf("first rollback: %v %v", back, err)
 	}
 	r.Publish(&selection.Selector{}, VersionMeta{Source: "auto"}) // v3, also bad
-	back, err := r.Rollback()
+	back, err := r.Rollback("")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestRegistryRollbackSkipsRejectedVersions(t *testing.T) {
 		t.Fatalf("second rollback re-served the rejected v%d instead of v%d", back.ID, v1.ID)
 	}
 	// Nothing good remains before v1.
-	if _, err := r.Rollback(); err == nil {
+	if _, err := r.Rollback(""); err == nil {
 		t.Fatal("rollback past the last good version should fail")
 	}
 }
@@ -127,7 +127,7 @@ func TestRegistryHotSwapNeverBlocksReaders(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		r.Publish(&selection.Selector{}, VersionMeta{Source: "auto"})
 		if i%3 == 0 {
-			if _, err := r.Rollback(); err != nil {
+			if _, err := r.Rollback(""); err != nil {
 				t.Fatal(err)
 			}
 		}

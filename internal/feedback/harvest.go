@@ -40,11 +40,12 @@ func NewHarvester(store *ExampleStore, minObs int) *Harvester {
 }
 
 // HarvestTrace labels one finished trace and appends its examples to the
-// store. It returns the number of examples durably appended — on a
-// partial failure the prefix written before the error is still counted,
-// so the stats stay consistent with the corpus.
-func (h *Harvester) HarvestTrace(tr *exec.Trace, workloadName string, queryIndex int) (int, error) {
-	exs := workload.HarvestTrace(tr, workloadName, queryIndex, h.minObs)
+// store, each tagged with the query's workload family (the per-family
+// retrain grouping key). It returns the number of examples durably
+// appended — on a partial failure the prefix written before the error is
+// still counted, so the stats stay consistent with the corpus.
+func (h *Harvester) HarvestTrace(tr *exec.Trace, workloadName, family string, queryIndex int) (int, error) {
+	exs := workload.HarvestTrace(tr, workloadName, family, queryIndex, h.minObs)
 	n, err := h.store.AppendAll(exs)
 	h.mu.Lock()
 	h.stats.Queries++
@@ -70,8 +71,8 @@ func (h *Harvester) Stats() HarvestStats {
 // exec.Options to subscribe a live execution to the corpus; the OnDone
 // callback runs synchronously on the executing goroutine, after the
 // query's last snapshot.
-func (h *Harvester) Observer(workloadName string, queryIndex int) exec.Observer {
-	return &harvestObserver{h: h, workload: workloadName, query: queryIndex}
+func (h *Harvester) Observer(workloadName, family string, queryIndex int) exec.Observer {
+	return &harvestObserver{h: h, workload: workloadName, family: family, query: queryIndex}
 }
 
 // harvestObserver subscribes to the completion event of one execution.
@@ -79,11 +80,12 @@ type harvestObserver struct {
 	exec.BaseObserver
 	h        *Harvester
 	workload string
+	family   string
 	query    int
 }
 
 func (o *harvestObserver) OnDone(tr *exec.Trace) {
 	// Append errors are recorded in the harvester's stats; the executing
 	// query must not fail because the corpus is unavailable.
-	_, _ = o.h.HarvestTrace(tr, o.workload, o.query)
+	_, _ = o.h.HarvestTrace(tr, o.workload, o.family, o.query)
 }

@@ -1,0 +1,267 @@
+package feedback
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"progressest/internal/atomicio"
+	"progressest/internal/selection"
+)
+
+// manifestFormat versions manifest.json; manifestName is its file name
+// inside the model directory.
+const (
+	manifestFormat = 1
+	manifestName   = "manifest.json"
+)
+
+// manifest is the durable routing table: one entry per routing target
+// (global + families) pointing at its selector file, with the version
+// metadata a restart needs to rebuild the registry.
+type manifest struct {
+	Format  int              `json:"format"`
+	SavedAt time.Time        `json:"saved_at"`
+	Targets []manifestTarget `json:"targets"`
+	// Pinned lists families an operator rolled back to the global model;
+	// the pin must survive a restart, or the background retrainer would
+	// quietly re-publish the model they rejected.
+	Pinned []string `json:"pinned_families,omitempty"`
+}
+
+type manifestTarget struct {
+	Family     string    `json:"family"`
+	File       string    `json:"file"`
+	ID         int       `json:"id"`
+	TrainedAt  time.Time `json:"trained_at"`
+	CorpusSize int       `json:"corpus_size"`
+	HoldoutL1  float64   `json:"holdout_l1"`
+	HoldoutN   int       `json:"holdout_n"`
+	Source     string    `json:"source"`
+}
+
+// ModelDir persists the serving selector versions next to the corpus so
+// a restarted daemon resumes from its last trained models instead of the
+// fixed-estimator fallback. Each routing target's selector goes to its
+// own per-version JSON file (global-v12.json, family-lineitem-v3.json)
+// via selection.Selector.Save (temp-file + fsync + rename, so a crash
+// never leaves a torn model), and the atomically renamed manifest.json is
+// the commit point for the whole file SET: selector files are only ever
+// written under fresh names, so a crash — or a later target's write
+// failure — between selector saves and the manifest rename leaves the old
+// manifest pointing at the old, untouched files, never at a file whose
+// contents changed underneath it. Files no longer referenced are
+// garbage-collected after a successful manifest write. Only the CURRENT
+// version per target is persisted; the in-memory history (and rollback
+// depth) restarts fresh.
+type ModelDir struct {
+	dir string
+
+	mu sync.Mutex
+	// saved maps family → the version ID and file name on disk, so a Sync
+	// after a rollback (or an unchanged family) skips the multi-MB
+	// selector rewrite and only refreshes the manifest — and so a synced
+	// restored version keeps pointing at the file it was loaded from.
+	saved map[string]savedModel
+	// lastSync is the most recent Sync outcome (nil on success); while
+	// non-nil, the on-disk manifest may trail the live routing table.
+	lastSync error
+}
+
+type savedModel struct {
+	id   int
+	file string
+}
+
+// OpenModelDir opens (or creates) the model directory.
+func OpenModelDir(dir string) (*ModelDir, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("feedback: open model dir: %w", err)
+	}
+	return &ModelDir{dir: dir, saved: make(map[string]savedModel)}, nil
+}
+
+// Dir returns the model directory path.
+func (d *ModelDir) Dir() string { return d.dir }
+
+// Sync persists the registry's current routing table: every routed
+// version's selector file (skipped when already on disk) plus the
+// manifest. Selector files of targets no longer routed are left behind
+// harmlessly — the manifest alone decides what Restore loads.
+func (d *ModelDir) Sync(reg *Registry) (err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	defer func() { d.lastSync = err }()
+	// Snapshot the routing state under d.mu: concurrent Sync callers
+	// (retrainer publish vs. operator rollback) then serialise in
+	// registry-mutation order, so the last manifest written always
+	// reflects the registry's latest state, never a stale preempted
+	// snapshot. RoutingState couples the table and the pins atomically —
+	// they must describe the same instant.
+	routed, pins := reg.RoutingState()
+	families := make([]string, 0, len(routed))
+	for f := range routed {
+		families = append(families, f)
+	}
+	sort.Strings(families)
+	m := manifest{Format: manifestFormat, SavedAt: time.Now(), Pinned: pins}
+	for _, f := range families {
+		v := routed[f]
+		sm, ok := d.saved[f]
+		if !ok || sm.id != v.ID {
+			sm = savedModel{id: v.ID, file: targetFile(f, v.ID)}
+			if err := v.Selector.Save(filepath.Join(d.dir, sm.file)); err != nil {
+				return fmt.Errorf("feedback: persist model for %q: %w", f, err)
+			}
+			d.saved[f] = sm
+		}
+		m.Targets = append(m.Targets, manifestTarget{
+			Family:     f,
+			File:       sm.file,
+			ID:         v.ID,
+			TrainedAt:  v.Meta.TrainedAt,
+			CorpusSize: v.Meta.CorpusSize,
+			HoldoutL1:  v.Meta.HoldoutL1,
+			HoldoutN:   v.Meta.HoldoutN,
+			Source:     v.Meta.Source,
+		})
+	}
+	if err := d.writeManifestLocked(&m); err != nil {
+		return err
+	}
+	d.collectGarbageLocked(&m)
+	return nil
+}
+
+// collectGarbageLocked removes selector files the committed manifest no
+// longer references — leftovers of superseded versions or of writes whose
+// manifest commit never happened. Only files matching this package's
+// naming scheme are touched; removal failures are ignored (an orphan
+// costs disk, not correctness, and the next Sync retries).
+func (d *ModelDir) collectGarbageLocked(m *manifest) {
+	referenced := make(map[string]bool, len(m.Targets))
+	for _, t := range m.Targets {
+		referenced[t.File] = true
+	}
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || referenced[name] || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		if !strings.HasPrefix(name, "global-v") && !strings.HasPrefix(name, "family-") {
+			continue // not ours (e.g. the manifest, or an operator's file)
+		}
+		os.Remove(filepath.Join(d.dir, name))
+	}
+}
+
+// writeManifestLocked writes manifest.json atomically — the commit point
+// for the whole persisted model set.
+func (d *ModelDir) writeManifestLocked(m *manifest) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("feedback: marshal manifest: %w", err)
+	}
+	if err := atomicio.WriteFile(filepath.Join(d.dir, manifestName), data); err != nil {
+		return fmt.Errorf("feedback: write manifest: %w", err)
+	}
+	return nil
+}
+
+// LastSyncError returns the most recent Sync outcome (nil on success).
+// Every Sync rewrites the whole manifest, so a later success clears an
+// earlier failure's staleness.
+func (d *ModelDir) LastSyncError() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lastSync
+}
+
+// Restore loads the persisted routing table into the registry: each
+// manifest target's selector is loaded and published for its family with
+// source "restored", preserving the original training metadata for
+// inspection in GET /models (the quality gate itself re-evaluates the
+// serving selector on each candidate's fresh holdout; it never reads
+// these stored numbers). It returns the number of targets restored; a
+// missing manifest restores nothing and is not an error.
+func (d *ModelDir) Restore(reg *Registry) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	data, err := os.ReadFile(filepath.Join(d.dir, manifestName))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("feedback: read manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return 0, fmt.Errorf("feedback: parse manifest: %w", err)
+	}
+	if m.Format > manifestFormat {
+		return 0, fmt.Errorf("feedback: manifest format %d is newer than this build understands (%d)",
+			m.Format, manifestFormat)
+	}
+	// Global first, then families sorted — so the IDs a restored daemon
+	// reports are deterministic.
+	targets := append([]manifestTarget(nil), m.Targets...)
+	sort.Slice(targets, func(i, j int) bool { return targets[i].Family < targets[j].Family })
+	restored := 0
+	for _, t := range targets {
+		sel, err := selection.Load(filepath.Join(d.dir, t.File))
+		if err != nil {
+			return restored, fmt.Errorf("feedback: restore model for %q: %w", t.Family, err)
+		}
+		v := reg.Publish(sel, VersionMeta{
+			TrainedAt:  t.TrainedAt,
+			CorpusSize: t.CorpusSize,
+			HoldoutL1:  t.HoldoutL1,
+			HoldoutN:   t.HoldoutN,
+			Source:     "restored",
+			Family:     t.Family,
+		})
+		// Remember the file the version came from: the registry assigned
+		// it a fresh ID, and a later Sync must keep the manifest pointing
+		// at this existing file rather than inventing a name that was
+		// never written.
+		d.saved[t.Family] = savedModel{id: v.ID, file: t.File}
+		restored++
+	}
+	for _, f := range m.Pinned {
+		reg.RestoreFallbackPin(f)
+	}
+	return restored, nil
+}
+
+// targetFile maps a routing target and version to its selector file
+// name. The version id in the name is what makes the manifest rename an
+// atomic commit of the whole file set — a new version never overwrites a
+// file an older manifest references. Family names are sanitised so any
+// byte sequence stays a safe single path element.
+func targetFile(family string, id int) string {
+	if family == "" {
+		return fmt.Sprintf("global-v%d.json", id)
+	}
+	var b strings.Builder
+	b.WriteString("family-")
+	for i := 0; i < len(family); i++ {
+		c := family[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+			b.WriteByte(c)
+		default:
+			fmt.Fprintf(&b, "%%%02x", c)
+		}
+	}
+	fmt.Fprintf(&b, "-v%d.json", id)
+	return b.String()
+}

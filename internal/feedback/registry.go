@@ -2,11 +2,21 @@ package feedback
 
 import (
 	"errors"
+	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"progressest/internal/selection"
+)
+
+// Publication decisions recorded in VersionMeta.Decision.
+const (
+	// DecisionAccepted marks a version that passed the retrain-quality
+	// gate (or predates it) and was hot-swapped into serving.
+	DecisionAccepted = "accepted"
+	// DecisionRejected marks a trained version the quality gate refused to
+	// serve; it stays in the history for operator inspection only.
+	DecisionRejected = "rejected"
 )
 
 // VersionMeta describes how a selector version came to be.
@@ -18,11 +28,23 @@ type VersionMeta struct {
 	CorpusSize int
 	// HoldoutL1 is the selector's mean L1 error on the held-out slice of
 	// the corpus (in-sample when the corpus was too small to split), and
-	// HoldoutN the number of examples it was measured on.
+	// HoldoutN the number of held-out examples it was measured on —
+	// 0 when the evaluation was in-sample or the version was never
+	// holdout-evaluated at all (seed models); only versions with
+	// HoldoutN > 0 serve as quality-gate baselines.
 	HoldoutL1 float64
 	HoldoutN  int
-	// Source tags provenance: "seed", "auto", "manual", ...
+	// Source tags provenance: "seed", "auto", "manual", "restored", ...
 	Source string
+	// Family is the routing target the version serves: "" for the global
+	// model, otherwise one workload family (see workload.QueryFamily).
+	Family string
+	// Decision records the quality-gate outcome (DecisionAccepted or
+	// DecisionRejected).
+	Decision string
+	// BaselineL1 is the serving version's holdout L1 the gate compared
+	// against (0 when there was no baseline to compare).
+	BaselineL1 float64
 }
 
 // Version is one published selector with its metadata. Versions are
@@ -33,11 +55,14 @@ type Version struct {
 	Meta     VersionMeta
 }
 
-// Registry holds the published selector versions and the one currently
-// serving. The current pointer is swapped atomically, so readers on the
-// progress hot path never block — not even mid-publish or mid-rollback.
+// Registry holds the published selector versions and, per routing target
+// (the global model under family "", plus one entry per workload family
+// with its own trained model), the one currently serving. The routing
+// table is a copy-on-write selection.Router, so readers on the
+// query-admission hot path never block — not even mid-publish or
+// mid-rollback.
 type Registry struct {
-	current atomic.Pointer[Version]
+	router *selection.Router[*Version]
 
 	mu       sync.Mutex
 	versions []*Version
@@ -45,75 +70,240 @@ type Registry struct {
 	// rollbacks skip them, so walking back never re-serves a model that
 	// was already judged bad.
 	rolledBack map[int]bool
-	nextID     int
+	// pinnedToGlobal marks families an operator rolled back PAST their
+	// last version, deleting the route: the background retrainer must not
+	// quietly re-publish a model for them (it would be trained on largely
+	// the same corpus the operator just rejected). A Publish for the
+	// family — e.g. from a manual retrain — clears the pin.
+	pinnedToGlobal map[string]bool
+	nextID         int
 }
 
 // NewRegistry returns an empty registry; Current is nil until the first
 // Publish.
 func NewRegistry() *Registry {
-	return &Registry{nextID: 1, rolledBack: make(map[int]bool)}
+	return &Registry{
+		router:         selection.NewRouter[*Version](),
+		nextID:         1,
+		rolledBack:     make(map[int]bool),
+		pinnedToGlobal: make(map[string]bool),
+	}
 }
 
 // maxVersions bounds the retained publication history: a daemon
 // retraining every minute for weeks must not pin thousands of multi-MB
-// selectors. The oldest non-current versions are pruned; the serving
-// version always survives.
+// selectors. The budget scales with the routing-table size (every target
+// appends a version per retrain cycle, so a fixed bound would erode to a
+// fraction of a cycle with many families). Pruning drops gate-rejected
+// versions first — they never served and exist only for inspection —
+// then the oldest versions that are neither serving a target nor its
+// next rollback candidate, so POST /models/rollback always has somewhere
+// to go while any earlier accepted version survives.
 const maxVersions = 32
 
-// Publish appends a new version and atomically makes it current. It
-// returns the published version.
+// Publish appends a new version and atomically makes it current for its
+// family (meta.Family; "" = the global model). It returns the published
+// version.
 func (r *Registry) Publish(sel *selection.Selector, meta VersionMeta) *Version {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if meta.Decision == "" {
+		meta.Decision = DecisionAccepted
+	}
+	v := r.appendLocked(sel, meta)
+	r.router.Set(meta.Family, v)
+	delete(r.pinnedToGlobal, meta.Family)
+	r.pruneLocked()
+	return v
+}
+
+// Record appends a version to the history WITHOUT making it serve — the
+// quality gate's reject path. The decision defaults to DecisionRejected.
+func (r *Registry) Record(sel *selection.Selector, meta VersionMeta) *Version {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if meta.Decision == "" {
+		meta.Decision = DecisionRejected
+	}
+	v := r.appendLocked(sel, meta)
+	r.pruneLocked()
+	return v
+}
+
+func (r *Registry) appendLocked(sel *selection.Selector, meta VersionMeta) *Version {
 	v := &Version{ID: r.nextID, Selector: sel, Meta: meta}
 	r.nextID++
 	r.versions = append(r.versions, v)
-	r.current.Store(v)
-	for len(r.versions) > maxVersions {
-		// v was just made current, so the head can never be it here; its
-		// rollback mark goes with it.
-		old := r.versions[0]
-		delete(r.rolledBack, old.ID)
-		r.versions = r.versions[1:]
+	return v
+}
+
+// pruneLocked drops the oldest versions beyond the history budget (see
+// maxVersions); their rollback marks go with them. Serving versions and
+// each target's rollback candidate are never pruned.
+func (r *Registry) pruneLocked() {
+	routed := r.router.Snapshot()
+	budget := maxVersions
+	if scaled := 3 * len(routed); scaled > budget {
+		budget = scaled
+	}
+	if len(r.versions) <= budget {
+		return
+	}
+	protected := make(map[int]bool, 2*len(routed))
+	for _, v := range routed {
+		protected[v.ID] = true
+	}
+	// Protect each target's rollback candidate — the exact version
+	// Rollback would move to.
+	for family, cur := range routed {
+		if v := r.rollbackCandidateLocked(family, cur); v != nil {
+			protected[v.ID] = true
+		}
+	}
+	// Two passes: gate-rejected versions go first, then the oldest
+	// unprotected accepted ones.
+	for pass := 0; pass < 2 && len(r.versions) > budget; pass++ {
+		for len(r.versions) > budget {
+			drop := -1
+			for i, v := range r.versions {
+				if protected[v.ID] || (pass == 0 && v.Meta.Decision != DecisionRejected) {
+					continue
+				}
+				drop = i
+				break
+			}
+			if drop < 0 {
+				break
+			}
+			delete(r.rolledBack, r.versions[drop].ID)
+			r.versions = append(r.versions[:drop], r.versions[drop+1:]...)
+		}
+	}
+}
+
+// Current returns the serving global version, or nil if none was
+// published yet. It never blocks.
+func (r *Registry) Current() *Version {
+	v, _ := r.router.Get("")
+	return v
+}
+
+// CurrentFor resolves the serving version for a workload family: the
+// family's own model when one is published, else the global fallback, else
+// nil. It never blocks.
+func (r *Registry) CurrentFor(family string) *Version {
+	v, _, ok := r.router.Route(family)
+	if !ok {
+		return nil
 	}
 	return v
 }
 
-// Current returns the serving version, or nil if none was published yet.
-// It never blocks.
-func (r *Registry) Current() *Version { return r.current.Load() }
+// Routed returns the exact routing table: family key ("" = global) →
+// serving version. Families currently falling back to the global model do
+// not appear.
+func (r *Registry) Routed() map[string]*Version {
+	return r.router.Snapshot()
+}
+
+// IsCurrent reports whether v is the serving version of its routing
+// target.
+func (r *Registry) IsCurrent(v *Version) bool {
+	cur, ok := r.router.Get(v.Meta.Family)
+	return ok && cur == v
+}
 
 // ErrNoRollback is returned when no earlier version exists to roll back
 // to.
 var ErrNoRollback = errors.New("feedback: no earlier selector version to roll back to")
 
-// Rollback atomically moves the current pointer to the newest earlier
-// version that was never itself rolled back. The serving version is
-// marked bad, so after "publish v2 (bad) → rollback to v1 → auto-publish
-// v3 (bad) → rollback" the registry serves v1 again, not the already
-// rejected v2. Publishing again moves forward with a fresh ID.
-func (r *Registry) Rollback() (*Version, error) {
+// Rollback atomically moves family's current pointer ("" = the global
+// model) to the newest earlier accepted version of the same family that
+// was never itself rolled back. The serving version is marked bad, so
+// after "publish v2 (bad) → rollback to v1 → auto-publish v3 (bad) →
+// rollback" the registry serves v1 again, not the already rejected v2.
+// Publishing again moves forward with a fresh ID.
+//
+// Rolling a family back past its only version removes the family's route
+// entirely, so its queries fall back to the serving global model (which
+// is returned) — the escape hatch for a bad first family model, which by
+// design publishes ungated.
+func (r *Registry) Rollback(family string) (*Version, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	cur := r.current.Load()
-	if cur == nil {
+	cur, ok := r.router.Get(family)
+	if !ok {
 		return nil, ErrNoRollback
 	}
-	for i, v := range r.versions {
-		if v == cur {
-			for j := i - 1; j >= 0; j-- {
-				if r.rolledBack[r.versions[j].ID] {
-					continue
-				}
-				r.rolledBack[cur.ID] = true
-				prev := r.versions[j]
-				r.current.Store(prev)
-				return prev, nil
-			}
-			return nil, ErrNoRollback
+	if v := r.rollbackCandidateLocked(family, cur); v != nil {
+		r.rolledBack[cur.ID] = true
+		r.router.Set(family, v)
+		return v, nil
+	}
+	if family != "" {
+		if global, ok := r.router.Get(""); ok {
+			r.rolledBack[cur.ID] = true
+			r.router.Delete(family)
+			r.pinnedToGlobal[family] = true
+			return global, nil
 		}
 	}
 	return nil, ErrNoRollback
+}
+
+// rollbackCandidateLocked returns the version Rollback would move
+// family's current pointer cur to: the newest earlier accepted,
+// never-rolled-back version of the same family — or nil when none
+// exists. Rollback and pruneLocked share this scan so pruning can never
+// evict the exact version a rollback would need.
+func (r *Registry) rollbackCandidateLocked(family string, cur *Version) *Version {
+	at := -1
+	for i, v := range r.versions {
+		if v == cur {
+			at = i
+			break
+		}
+	}
+	for j := at - 1; j >= 0; j-- {
+		v := r.versions[j]
+		if v.Meta.Family != family || v.Meta.Decision == DecisionRejected || r.rolledBack[v.ID] {
+			continue
+		}
+		return v
+	}
+	return nil
+}
+
+// FallbackPinned reports whether an operator rolled family back past its
+// last version, pinning it to the global model until the next Publish for
+// the family (e.g. a manual retrain).
+func (r *Registry) FallbackPinned(family string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pinnedToGlobal[family]
+}
+
+// RoutingState returns the exact routing table and the sorted fallback
+// pins as ONE snapshot under the registry lock — a persist must never
+// combine a pre-rollback routing table with post-rollback pins (the
+// restored family would end up both served by the rolled-back model and
+// pinned against retraining).
+func (r *Registry) RoutingState() (map[string]*Version, []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	pins := make([]string, 0, len(r.pinnedToGlobal))
+	for f := range r.pinnedToGlobal {
+		pins = append(pins, f)
+	}
+	sort.Strings(pins)
+	return r.router.Snapshot(), pins
+}
+
+// RestoreFallbackPin re-applies a persisted fallback pin on restart.
+func (r *Registry) RestoreFallbackPin(family string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pinnedToGlobal[family] = true
 }
 
 // Versions returns the publication history, oldest first.

@@ -1,7 +1,11 @@
 package feedback
 
 import (
+	"encoding/binary"
 	"errors"
+	"hash/fnv"
+	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -34,6 +38,40 @@ func (p RetrainPolicy) withDefaults() RetrainPolicy {
 	return p
 }
 
+// QualityGate guards hot-swapping: a freshly trained version only
+// replaces the serving one when its holdout L1 is within tolerance of (or
+// beats) the serving version's error ON THE SAME HOLDOUT — both selectors
+// are evaluated on the candidate's holdout slice, so the comparison never
+// mixes metrics measured on different corpora. Rejected versions are
+// recorded in the history (surfaced in GET /models) but never serve.
+type QualityGate struct {
+	// Disabled turns the gate off: every trained version is published.
+	Disabled bool
+	// Tolerance is the accepted relative regression: the candidate passes
+	// when candL1 <= servingL1*(1+Tolerance) + gateAbsSlack. Zero means
+	// the default 0.25 — generous, so only clear regressions (e.g. a
+	// corpus poisoned by an anomalous traffic burst) are refused; a
+	// negative value means STRICT (tolerance 0: the candidate must not be
+	// worse than the serving model beyond the absolute slack).
+	Tolerance float64
+}
+
+// gateAbsSlack is the gate's absolute slack, mirroring the paper's
+// near-optimal tolerance (Section 6.6): near a tiny baseline error a
+// purely relative bound would reject candidates within measurement noise
+// of the serving model.
+const gateAbsSlack = 0.01
+
+func (g QualityGate) withDefaults() QualityGate {
+	switch {
+	case g.Tolerance < 0:
+		g.Tolerance = 0
+	case g.Tolerance == 0:
+		g.Tolerance = 0.25
+	}
+	return g
+}
+
 // RetrainerConfig wires a Retrainer.
 type RetrainerConfig struct {
 	// Selection are the training hyperparameters (candidate set, dynamic
@@ -41,35 +79,80 @@ type RetrainerConfig struct {
 	Selection selection.Config
 	// Seed, when non-empty, is a synthetic corpus mixed into every
 	// training set (never into the holdout), so early versions trained on
-	// a thin observed corpus do not forget the offline baseline.
+	// a thin observed corpus do not forget the offline baseline. Family
+	// training runs mix in only the seed examples of that family.
 	Seed []selection.Example
 	// Policy drives the background loop.
 	Policy RetrainPolicy
+	// Gate guards hot-swaps (see QualityGate).
+	Gate QualityGate
+	// FamilyModels additionally trains one selector per workload family
+	// with at least MinFamilyExamples observed examples, published under
+	// that family as a routing target (queries of the family are then
+	// served by it instead of the global model).
+	FamilyModels bool
+	// MinFamilyExamples is the per-family training threshold (default 40).
+	MinFamilyExamples int
+	// Persist, when non-nil, saves the serving versions (selector files +
+	// manifest) after every run that published, so a restarted daemon
+	// resumes from its last trained models.
+	Persist *ModelDir
 }
 
 // ErrEmptyCorpus is returned by Retrain when there is nothing to train
 // on.
 var ErrEmptyCorpus = errors.New("feedback: corpus has no examples to train on")
 
-// holdoutStride holds out every holdoutStride-th observed example for
+// holdoutStride holds out ~1/holdoutStride of the observed examples for
 // version metadata once the corpus is large enough to afford it.
 const (
 	holdoutStride     = 5
 	minHoldoutExample = 10
+	defaultMinFamily  = 40
 )
+
+// isHoldout assigns an example to the holdout by a content hash of its
+// feature vector rather than by corpus position: positions shift whenever
+// retention drops an old segment, and a positional stride would then move
+// rows the serving model TRAINED on into the holdout its successor is
+// gated on — an in-sample-optimistic baseline that systematically rejects
+// good candidates. Hash membership is a permanent property of the
+// example, so every version trained under this rule has seen exactly the
+// non-holdout side, and the gate's two evaluations stay out-of-sample for
+// both selectors no matter how the corpus window slides.
+func isHoldout(e *selection.Example) bool {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, f := range e.Features {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+		h.Write(buf[:])
+	}
+	return h.Sum64()%holdoutStride == holdoutStride-1
+}
 
 // Retrainer trains fresh selector versions from the accumulated corpus
 // and publishes them to a Registry — either on demand (Retrain) or from a
 // background goroutine driven by a size/age policy (Start/Stop). Only one
 // training runs at a time; serving is never blocked because publication
-// is an atomic pointer swap.
+// is an atomic routing-table swap.
 type Retrainer struct {
 	store *ExampleStore
 	reg   *Registry
 	cfg   RetrainerConfig
 
 	trainMu sync.Mutex // serialises training runs
-	mu      sync.Mutex // guards the policy state below
+	// lastFamObserved maps family → observed-example count at its last
+	// successful training run, so a retrain cycle skips families that
+	// received no new examples — with many families and localized
+	// traffic, retraining (and re-persisting) every family's identical
+	// model every cycle would dominate the daemon's background cost.
+	// Count equality is a heuristic: retention dropping exactly as many
+	// old family examples as fresh ones arrived slips through one cycle
+	// unnoticed, which the next growth-triggered cycle corrects. Guarded
+	// by trainMu (only touched while it is held).
+	lastFamObserved map[string]int
+
+	mu sync.Mutex // guards the policy state below
 	// lastAppended is the store's lifetime append counter at the last
 	// SUCCESSFUL training run. Measuring growth against appends (not net
 	// corpus size) keeps the policy firing once retention pins Len() at
@@ -93,18 +176,25 @@ type Retrainer struct {
 // accrues.
 func NewRetrainer(store *ExampleStore, reg *Registry, cfg RetrainerConfig) *Retrainer {
 	cfg.Policy = cfg.Policy.withDefaults()
+	cfg.Gate = cfg.Gate.withDefaults()
+	if cfg.MinFamilyExamples <= 0 {
+		cfg.MinFamilyExamples = defaultMinFamily
+	}
 	return &Retrainer{
-		store: store,
-		reg:   reg,
-		cfg:   cfg,
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+		store:           store,
+		reg:             reg,
+		cfg:             cfg,
+		lastFamObserved: make(map[string]int),
+		stop:            make(chan struct{}),
+		done:            make(chan struct{}),
 	}
 }
 
-// Retrain synchronously trains a selector on the current corpus (plus the
-// optional synthetic seed) and publishes it as a new version tagged with
-// source. It returns the published version.
+// Retrain synchronously trains on the current corpus (plus the optional
+// synthetic seed) and publishes the results as new versions tagged with
+// source: one global version, plus — with FamilyModels — one per
+// sufficiently represented workload family. It returns the global
+// version; per-family versions are visible in the registry history.
 func (r *Retrainer) Retrain(source string) (*Version, error) {
 	r.trainMu.Lock()
 	defer r.trainMu.Unlock()
@@ -144,31 +234,12 @@ func (r *Retrainer) retrainLocked(source string) (*Version, error) {
 		return nil, ErrEmptyCorpus
 	}
 
-	// Hold out a deterministic slice of the observed corpus for the
-	// version's quality metadata; with a thin corpus, evaluate in-sample.
-	train := make([]selection.Example, 0, len(observed)+len(r.cfg.Seed))
-	train = append(train, r.cfg.Seed...)
-	var holdout []selection.Example
-	if len(observed) >= minHoldoutExample {
-		for i := range observed {
-			if i%holdoutStride == holdoutStride-1 {
-				holdout = append(holdout, observed[i])
-			} else {
-				train = append(train, observed[i])
-			}
-		}
-	} else {
-		train = append(train, observed...)
-		holdout = observed
-	}
-
-	sel, err := selection.Train(train, r.cfg.Selection)
-	now := time.Now()
+	global, err := r.trainTarget("", observed, r.cfg.Seed, source, len(observed))
 	r.mu.Lock()
 	// A failed run only rearms the age gate (retry after MinInterval, so
 	// a persistent failure cannot spin training every poll tick); the
 	// growth budget is spent on success alone.
-	r.lastAt = now
+	r.lastAt = time.Now()
 	r.lastErr = err
 	if err == nil {
 		r.lastAppended = appended
@@ -177,18 +248,151 @@ func (r *Retrainer) retrainLocked(source string) (*Version, error) {
 	if err != nil {
 		return nil, err
 	}
-	ev := selection.Evaluate(sel, holdout)
-	v := r.reg.Publish(sel, VersionMeta{
-		TrainedAt:  now,
-		CorpusSize: len(observed),
-		HoldoutL1:  ev.AvgL1,
-		HoldoutN:   ev.N,
-		Source:     source,
-	})
-	return v, nil
+
+	// The global model published fine; family-training and persistence
+	// failures are surfaced via LastError without failing the run —
+	// joined, so neither masks the other.
+	var bgErr error
+	if r.cfg.FamilyModels {
+		bgErr = errors.Join(bgErr, r.retrainFamiliesLocked(observed, source))
+	}
+	if r.cfg.Persist != nil {
+		bgErr = errors.Join(bgErr, r.cfg.Persist.Sync(r.reg))
+	}
+	if bgErr != nil {
+		r.mu.Lock()
+		r.lastErr = bgErr
+		r.mu.Unlock()
+	}
+	return global, nil
 }
 
-// LastError returns the most recent training failure (nil after a
+// retrainFamiliesLocked trains one selector per sufficiently represented
+// family, in deterministic family order; errors are joined and returned
+// while the remaining families still train.
+func (r *Retrainer) retrainFamiliesLocked(observed []selection.Example, source string) error {
+	byFamily := make(map[string][]selection.Example)
+	for _, ex := range observed {
+		if ex.Family != "" {
+			byFamily[ex.Family] = append(byFamily[ex.Family], ex)
+		}
+	}
+	seedByFamily := make(map[string][]selection.Example)
+	for _, ex := range r.cfg.Seed {
+		if ex.Family != "" {
+			seedByFamily[ex.Family] = append(seedByFamily[ex.Family], ex)
+		}
+	}
+	families := make([]string, 0, len(byFamily))
+	for f, exs := range byFamily {
+		if len(exs) >= r.cfg.MinFamilyExamples {
+			families = append(families, f)
+		}
+	}
+	sort.Strings(families)
+	var errs error
+	for _, f := range families {
+		if pinned := r.reg.FallbackPinned(f); pinned {
+			// An operator rolled this family back to the global model;
+			// the background loop honors the pin (a fresh auto model
+			// would train on largely the corpus they just rejected). A
+			// manual retrain re-publishes and clears it.
+			if source != "manual" {
+				continue
+			}
+		} else if len(byFamily[f]) == r.lastFamObserved[f] {
+			continue // no new evidence: retraining would reproduce the same model
+		}
+		if _, err := r.trainTarget(f, byFamily[f], seedByFamily[f], source, len(byFamily[f])); err != nil {
+			errs = errors.Join(errs, err)
+			continue
+		}
+		r.lastFamObserved[f] = len(byFamily[f])
+	}
+	return errs
+}
+
+// splitHoldout holds out a deterministic, position-independent slice of
+// the observed examples for quality metadata (see isHoldout); with a thin
+// corpus — or a hash split that degenerates to one side — evaluation is
+// in-sample, which inSample reports so the version is never mistaken for
+// a fairly holdout-evaluated gate baseline later.
+func splitHoldout(observed []selection.Example) (train, holdout []selection.Example, inSample bool) {
+	if len(observed) < minHoldoutExample {
+		return observed, observed, true
+	}
+	train = make([]selection.Example, 0, len(observed))
+	for i := range observed {
+		if isHoldout(&observed[i]) {
+			holdout = append(holdout, observed[i])
+		} else {
+			train = append(train, observed[i])
+		}
+	}
+	if len(holdout) == 0 || len(train) == 0 {
+		return observed, observed, true
+	}
+	return train, holdout, false
+}
+
+// trainTarget trains one routing target (family "" = global) and runs the
+// quality gate: the candidate is published (hot-swapped) when it beats or
+// stays within tolerance of the version currently serving the target,
+// evaluated on the same holdout; otherwise it is recorded as rejected.
+// The baseline must be a version of the SAME target: a family whose
+// queries are currently answered by the global fallback gets its first
+// family model ungated — the global model was trained on most of the
+// family's holdout (the strides don't align), so its holdout L1 there is
+// in-sample-optimistic and would starve family routing of a first model
+// that is genuinely better on fresh data. A bad first family model is
+// recoverable: rolling the family back past it falls back to the global
+// model.
+func (r *Retrainer) trainTarget(family string, observed, seed []selection.Example, source string, corpusSize int) (*Version, error) {
+	trainSet, holdout, inSample := splitHoldout(observed)
+	full := make([]selection.Example, 0, len(seed)+len(trainSet))
+	full = append(full, seed...)
+	full = append(full, trainSet...)
+	sel, err := selection.Train(full, r.cfg.Selection)
+	if err != nil {
+		return nil, err
+	}
+	candEv := selection.Evaluate(sel, holdout)
+	meta := VersionMeta{
+		TrainedAt:  time.Now(),
+		CorpusSize: corpusSize,
+		HoldoutL1:  candEv.AvgL1,
+		Source:     source,
+		Family:     family,
+	}
+	if !inSample {
+		// In-sample evaluations record HoldoutN 0: the L1 stays visible
+		// in /models, but the version must never pass as a fair
+		// (out-of-sample) gate baseline once the corpus grows.
+		meta.HoldoutN = candEv.N
+	}
+	// The gate only fires on a fair comparison, which needs BOTH sides
+	// out-of-sample on the holdout. A baseline qualifies when it was
+	// itself holdout-evaluated under this trainer's protocol
+	// (Meta.HoldoutN > 0): seed selectors — and versions restored from
+	// them — were trained on the FULL corpus, hash-holdout rows
+	// included, so their error on the candidate's holdout is
+	// in-sample-optimistic and would systematically reject good first
+	// retrains. Symmetrically, an in-sample candidate (degenerate split)
+	// carries an optimistically biased L1 of its own and must not use it
+	// to displace an honestly measured serving model.
+	if serving := r.reg.CurrentFor(family); serving != nil && serving.Meta.Family == family &&
+		serving.Meta.HoldoutN > 0 && !inSample &&
+		!r.cfg.Gate.Disabled && candEv.N > 0 && serving.Selector != nil && len(serving.Selector.Kinds) > 0 {
+		servEv := selection.Evaluate(serving.Selector, holdout)
+		meta.BaselineL1 = servEv.AvgL1
+		if servEv.N > 0 && candEv.AvgL1 > servEv.AvgL1*(1+r.cfg.Gate.Tolerance)+gateAbsSlack {
+			return r.reg.Record(sel, meta), nil
+		}
+	}
+	return r.reg.Publish(sel, meta), nil
+}
+
+// LastError returns the most recent training failure (nil after a fully
 // successful run).
 func (r *Retrainer) LastError() error {
 	r.mu.Lock()

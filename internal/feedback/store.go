@@ -36,9 +36,14 @@ import (
 // extend the tail segment, so a crash can at worst leave one torn record
 // at the end of the newest file; the recovery scan keeps every record up
 // to the first corruption and truncates the torn tail.
+// Format history: v1 had no family tag; v2 appends the example's workload
+// family after the signature. Both decode; new segments are written at
+// storeFormat, and a reopened store seals an old-format tail segment so a
+// single segment never mixes formats.
 const (
 	segMagic      = "PESTCORP"
-	storeFormat   = 1
+	storeFormat   = 2
+	minFormat     = 1
 	segHeaderSize = len(segMagic) + 4
 	recHeaderSize = 8
 )
@@ -73,10 +78,11 @@ func (o StoreOptions) withDefaults() StoreOptions {
 // the store never mirrors the corpus in memory; Snapshot decodes it on
 // demand (retrains are rare, serving-path memory is precious).
 type segment struct {
-	index int
-	path  string
-	count int
-	bytes int64
+	index  int
+	path   string
+	count  int
+	bytes  int64
+	format int
 }
 
 // ExampleStore is an append-only, segmented, crash-safe on-disk corpus of
@@ -133,12 +139,18 @@ func OpenStore(dir string, opts StoreOptions) (*ExampleStore, error) {
 		s.total += seg.count
 	}
 	s.appended = s.total
-	if len(s.segments) == 0 {
+	switch tail := s.tail(); {
+	case tail == nil:
 		if err := s.newSegmentLocked(1); err != nil {
 			return nil, err
 		}
-	} else {
-		tail := s.segments[len(s.segments)-1]
+	case tail.format != storeFormat:
+		// Seal the old-format tail: a segment must never mix record
+		// formats, so fresh appends go to a new current-format segment.
+		if err := s.newSegmentLocked(tail.index + 1); err != nil {
+			return nil, err
+		}
+	default:
 		f, err := os.OpenFile(tail.path, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, fmt.Errorf("feedback: reopen tail segment: %w", err)
@@ -182,7 +194,7 @@ func ReadCorpus(dir string) ([]selection.Example, error) {
 		if err != nil {
 			return nil, fmt.Errorf("feedback: read corpus: %w", err)
 		}
-		exs, _, _, err := scanRecords(data, name, true) // read-only: never truncates
+		exs, _, _, _, err := scanRecords(data, name, true) // read-only: never truncates
 		if err != nil {
 			return nil, err
 		}
@@ -206,7 +218,7 @@ func readSegment(path string, index int, tail bool) (*segment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("feedback: read segment: %w", err)
 	}
-	seg := &segment{index: index, path: path}
+	seg := &segment{index: index, path: path, format: storeFormat}
 	if tail && len(data) < segHeaderSize {
 		// A crash between create and header write; rewrite from scratch.
 		if err := os.WriteFile(path, segmentHeader(), 0o644); err != nil {
@@ -215,12 +227,13 @@ func readSegment(path string, index int, tail bool) (*segment, error) {
 		seg.bytes = int64(segHeaderSize)
 		return seg, nil
 	}
-	_, count, good, err := scanRecords(data, path, false)
+	_, count, good, format, err := scanRecords(data, path, false)
 	if err != nil {
 		return nil, err
 	}
 	seg.count = count
 	seg.bytes = int64(good)
+	seg.format = format
 	if tail && good < len(data) {
 		if err := os.Truncate(path, int64(good)); err != nil {
 			return nil, fmt.Errorf("feedback: truncate torn tail: %w", err)
@@ -230,19 +243,21 @@ func readSegment(path string, index int, tail bool) (*segment, error) {
 }
 
 // scanRecords validates a segment image's header and walks its records,
-// returning the record count and the byte offset of the end of the last
-// intact record. With decode set it also materialises the examples; with
-// it clear only the FIRST record is decoded — a cheap sanity check that
-// catches estimator-set/version skew at open time — and the rest are
-// verified by CRC alone. Torn or corrupt trailing records are ignored
-// (never an error): the caller decides whether to truncate them away.
-func scanRecords(data []byte, path string, decode bool) ([]selection.Example, int, int, error) {
+// returning the record count, the byte offset of the end of the last
+// intact record and the segment's format version. With decode set it also
+// materialises the examples; with it clear only the FIRST record is
+// decoded — a cheap sanity check that catches estimator-set/version skew
+// at open time — and the rest are verified by CRC alone. Torn or corrupt
+// trailing records are ignored (never an error): the caller decides
+// whether to truncate them away.
+func scanRecords(data []byte, path string, decode bool) ([]selection.Example, int, int, int, error) {
 	if len(data) < segHeaderSize || string(data[:len(segMagic)]) != segMagic {
-		return nil, 0, 0, fmt.Errorf("feedback: %s is not a corpus segment (bad magic)", path)
+		return nil, 0, 0, 0, fmt.Errorf("feedback: %s is not a corpus segment (bad magic)", path)
 	}
-	if v := binary.LittleEndian.Uint32(data[len(segMagic):segHeaderSize]); v != storeFormat {
-		return nil, 0, 0, fmt.Errorf("feedback: %s uses corpus format %d; this build understands format %d — retrain or migrate the corpus",
-			path, v, storeFormat)
+	format := int(binary.LittleEndian.Uint32(data[len(segMagic):segHeaderSize]))
+	if format < minFormat || format > storeFormat {
+		return nil, 0, 0, 0, fmt.Errorf("feedback: %s uses corpus format %d; this build understands formats %d..%d — retrain or migrate the corpus",
+			path, format, minFormat, storeFormat)
 	}
 	var examples []selection.Example
 	count := 0
@@ -262,9 +277,9 @@ func scanRecords(data []byte, path string, decode bool) ([]selection.Example, in
 			break // corrupt record; everything after it is suspect
 		}
 		if decode || count == 0 {
-			ex, err := decodeExample(payload)
+			ex, err := decodeExample(payload, format)
 			if err != nil {
-				return nil, 0, 0, fmt.Errorf("feedback: %s: %w", path, err)
+				return nil, 0, 0, 0, fmt.Errorf("feedback: %s: %w", path, err)
 			}
 			if decode {
 				examples = append(examples, ex)
@@ -274,7 +289,7 @@ func scanRecords(data []byte, path string, decode bool) ([]selection.Example, in
 		off += recHeaderSize + n
 		good = off
 	}
-	return examples, count, good, nil
+	return examples, count, good, format, nil
 }
 
 func segmentHeader() []byte {
@@ -305,8 +320,16 @@ func (s *ExampleStore) newSegmentLocked(index int) error {
 		s.active.Close()
 	}
 	s.active = f
-	s.segments = append(s.segments, &segment{index: index, path: path, bytes: int64(segHeaderSize)})
+	s.segments = append(s.segments, &segment{index: index, path: path, bytes: int64(segHeaderSize), format: storeFormat})
 	return nil
+}
+
+// tail returns the newest segment, or nil when none exists.
+func (s *ExampleStore) tail() *segment {
+	if len(s.segments) == 0 {
+		return nil
+	}
+	return s.segments[len(s.segments)-1]
 }
 
 // enforceRetentionLocked deletes the oldest whole segments while the
@@ -443,7 +466,7 @@ func (s *ExampleStore) Snapshot() ([]selection.Example, error) {
 		if int64(len(data)) > r.limit {
 			data = data[:r.limit]
 		}
-		exs, _, _, err := scanRecords(data, r.path, true)
+		exs, _, _, _, err := scanRecords(data, r.path, true)
 		if err != nil {
 			return nil, err
 		}
@@ -484,6 +507,7 @@ func (s *ExampleStore) Close() error {
 //	uint32 nKinds    | nKinds × float64 (ErrL1) | nKinds × float64 (ErrL2)
 //	uint32 len | workload bytes
 //	uint32 len | signature bytes
+//	uint32 len | family bytes          (format >= 2)
 //	uint32 nMeta | per entry: uint32 len | key bytes | float64 value
 //
 // Meta keys are written sorted so equal examples encode to equal bytes.
@@ -492,6 +516,7 @@ func encodeExample(e *selection.Example) ([]byte, error) {
 		4 + 16*progress.TotalKinds +
 		4 + len(e.Workload) +
 		4 + len(e.Signature) +
+		4 + len(e.Family) +
 		4
 	metaKeys := make([]string, 0, len(e.Meta))
 	for k := range e.Meta {
@@ -513,6 +538,7 @@ func encodeExample(e *selection.Example) ([]byte, error) {
 	}
 	buf = putString(buf, e.Workload)
 	buf = putString(buf, e.Signature)
+	buf = putString(buf, e.Family)
 	buf = putUint32(buf, uint32(len(metaKeys)))
 	for _, k := range metaKeys {
 		buf = putString(buf, k)
@@ -521,8 +547,9 @@ func encodeExample(e *selection.Example) ([]byte, error) {
 	return buf, nil
 }
 
-// decodeExample is the inverse of encodeExample.
-func decodeExample(b []byte) (selection.Example, error) {
+// decodeExample is the inverse of encodeExample. format selects the
+// record layout; v1 records carry no family tag (Family stays "").
+func decodeExample(b []byte, format int) (selection.Example, error) {
 	var e selection.Example
 	r := reader{b: b}
 	nf := r.uint32()
@@ -545,6 +572,9 @@ func decodeExample(b []byte) (selection.Example, error) {
 	}
 	e.Workload = r.string()
 	e.Signature = r.string()
+	if format >= 2 {
+		e.Family = r.string()
+	}
 	nm := r.uint32()
 	if nm > uint32(len(b)) {
 		return e, errors.New("corrupt example: meta count")

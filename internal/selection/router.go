@@ -1,0 +1,86 @@
+package selection
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Router is the serving-side routing table of the per-family model layer:
+// it keys values (selector versions, in the registry's case) by workload
+// family, with the empty family "" acting as the global fallback. Reads
+// are lock-free — one atomic load plus a map lookup — so routing sits on
+// the query-admission hot path without contending with publishes; writes
+// copy the table (they are rare: a publish or rollback per retrain).
+type Router[T any] struct {
+	mu    sync.Mutex // serialises writers
+	table atomic.Pointer[map[string]T]
+}
+
+// NewRouter returns an empty router: every Route falls through to the
+// global entry, and fails until one is set.
+func NewRouter[T any]() *Router[T] {
+	r := &Router[T]{}
+	empty := map[string]T{}
+	r.table.Store(&empty)
+	return r
+}
+
+// Set publishes v as the serving value for family ("" sets the global
+// fallback), replacing any previous entry.
+func (r *Router[T]) Set(family string, v T) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := *r.table.Load()
+	next := make(map[string]T, len(old)+1)
+	for k, val := range old {
+		next[k] = val
+	}
+	next[family] = v
+	r.table.Store(&next)
+}
+
+// Delete removes family's own entry, so the family falls back to the
+// global value again. Deleting "" removes the global fallback.
+func (r *Router[T]) Delete(family string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := *r.table.Load()
+	if _, ok := old[family]; !ok {
+		return
+	}
+	next := make(map[string]T, len(old))
+	for k, val := range old {
+		if k != family {
+			next[k] = val
+		}
+	}
+	r.table.Store(&next)
+}
+
+// Get returns family's own entry, without falling back.
+func (r *Router[T]) Get(family string) (T, bool) {
+	v, ok := (*r.table.Load())[family]
+	return v, ok
+}
+
+// Route resolves the serving value for family: the family's own entry
+// when one exists, else the global fallback. servedBy reports which key
+// answered ("" = global); ok is false when neither exists.
+func (r *Router[T]) Route(family string) (v T, servedBy string, ok bool) {
+	t := *r.table.Load()
+	if v, ok := t[family]; ok {
+		return v, family, true
+	}
+	v, ok = t[""]
+	return v, "", ok
+}
+
+// Snapshot returns a copy of the exact routing table (global under "").
+func (r *Router[T]) Snapshot() map[string]T {
+	t := *r.table.Load()
+	out := make(map[string]T, len(t))
+	for k, v := range t {
+		out[k] = v
+	}
+	return out
+}

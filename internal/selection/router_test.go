@@ -1,0 +1,80 @@
+package selection
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestRouterFallback(t *testing.T) {
+	r := NewRouter[int]()
+	if _, _, ok := r.Route("lineitem"); ok {
+		t.Fatal("empty router routed something")
+	}
+	r.Set("", 1)
+	v, servedBy, ok := r.Route("lineitem")
+	if !ok || v != 1 || servedBy != "" {
+		t.Fatalf("fallback route: v=%d servedBy=%q ok=%v", v, servedBy, ok)
+	}
+	r.Set("lineitem", 2)
+	if v, servedBy, _ := r.Route("lineitem"); v != 2 || servedBy != "lineitem" {
+		t.Fatalf("family route: v=%d servedBy=%q", v, servedBy)
+	}
+	// Other families still fall back.
+	if v, servedBy, _ := r.Route("orders"); v != 1 || servedBy != "" {
+		t.Fatalf("unrelated family route: v=%d servedBy=%q", v, servedBy)
+	}
+	// Exact lookup does not fall back.
+	if _, ok := r.Get("orders"); ok {
+		t.Fatal("Get fell back to global")
+	}
+	r.Set("customer", 3)
+	r.Delete("lineitem")
+	if v, servedBy, _ := r.Route("lineitem"); v != 1 || servedBy != "" {
+		t.Fatalf("route after delete: v=%d servedBy=%q", v, servedBy)
+	}
+	snap := r.Snapshot()
+	if !reflect.DeepEqual(snap, map[string]int{"": 1, "customer": 3}) {
+		t.Fatalf("snapshot %v", snap)
+	}
+	// Deleting a missing family is a no-op.
+	r.Delete("nope")
+}
+
+// TestRouterConcurrentReads hammers Route from many goroutines while
+// entries churn; under -race this proves the copy-on-write swap is
+// data-race-free and readers never observe a torn table.
+func TestRouterConcurrentReads(t *testing.T) {
+	r := NewRouter[int]()
+	r.Set("", -1)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, _, ok := r.Route("f1"); !ok {
+					t.Error("route lost the global fallback mid-swap")
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		r.Set("f1", i)
+		if i%3 == 0 {
+			r.Delete("f1")
+		}
+		if i%7 == 0 {
+			r.Set("f2", i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -13,8 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
 
+	"progressest/internal/atomicio"
 	"progressest/internal/features"
 	"progressest/internal/mart"
 	"progressest/internal/progress"
@@ -36,6 +36,10 @@ type Example struct {
 	// Signature identifies the pipeline's operator shape; the selectivity
 	// sensitivity experiment groups recurring pipelines by it.
 	Signature string
+	// Family tags the query's workload family (the routing key of
+	// per-family model selection); "" on examples harvested before family
+	// tagging existed.
+	Family string
 	// Meta carries free-form provenance (query/pipeline ids, GetNext
 	// totals) for the sensitivity experiments.
 	Meta map[string]float64
@@ -169,8 +173,7 @@ type persisted struct {
 }
 
 // Save writes the selector to path as JSON. The write is atomic under
-// crashes: the bytes go to a temp file in the same directory which is
-// fsynced and renamed over path, so a reader (or a restart) only ever
+// crashes (see atomicio.WriteFile), so a reader (or a restart) only ever
 // sees the old complete file or the new complete file, never a torn one.
 func (s *Selector) Save(path string) error {
 	p := persisted{Format: SaveFormat, Dynamic: s.Dynamic, Models: map[string]*mart.Model{}}
@@ -182,27 +185,7 @@ func (s *Selector) Save(path string) error {
 	if err != nil {
 		return fmt.Errorf("selection: marshal: %w", err)
 	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("selection: save: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return fmt.Errorf("selection: save: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("selection: save: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("selection: save: %w", err)
-	}
-	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
-		return fmt.Errorf("selection: save: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := atomicio.WriteFile(path, data); err != nil {
 		return fmt.Errorf("selection: save: %w", err)
 	}
 	return nil

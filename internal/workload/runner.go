@@ -82,9 +82,10 @@ func (w *Workload) perQueryExecOptions(opts RunOptions) []exec.Options {
 // measure every candidate estimator's true L1/L2 error post-hoc. This is
 // the single harvest implementation — the batch runner and the streaming
 // feedback harvester both call it, so online-collected examples are
-// bit-identical to a batch harvest of the same traces. minObs <= 0 uses
-// the default (8).
-func HarvestTrace(tr *exec.Trace, workloadName string, queryIndex int, minObs int) []selection.Example {
+// bit-identical to a batch harvest of the same traces. family tags each
+// example with the query's workload family (the per-family model routing
+// key; see Workload.QueryFamily). minObs <= 0 uses the default (8).
+func HarvestTrace(tr *exec.Trace, workloadName, family string, queryIndex int, minObs int) []selection.Example {
 	if minObs <= 0 {
 		minObs = RunOptions{}.withDefaults().MinObservations
 	}
@@ -99,6 +100,7 @@ func HarvestTrace(tr *exec.Trace, workloadName string, queryIndex int, minObs in
 			Features:  features.Full(v),
 			Workload:  workloadName,
 			Signature: pipelineSignature(tr, p),
+			Family:    family,
 			Meta: map[string]float64{
 				"query":    float64(queryIndex),
 				"pipeline": float64(p),
@@ -142,7 +144,7 @@ func (w *Workload) runQuery(qi int, execOpts exec.Options, minObs int) (*queryRe
 			}
 		}
 	}
-	qr.examples = HarvestTrace(tr, w.Spec.Name, qi, minObs)
+	qr.examples = HarvestTrace(tr, w.Spec.Name, w.QueryFamily(qi), qi, minObs)
 	return qr, nil
 }
 

@@ -76,6 +76,27 @@ func Build(spec Spec) (*Workload, error) {
 	return w, nil
 }
 
+// QueryFamily returns the routing family of query i: queries driven by
+// the same base table form one family. The driver table dominates a
+// query's pipeline shapes and counter profile (which estimators it favors
+// — see the template commentary in templates_*.go), so it is the natural
+// granularity for per-family selection models; examples harvested from a
+// query carry its family, and the serving layer routes queries to their
+// family's model.
+func (w *Workload) QueryFamily(i int) string {
+	return w.Queries[i].First.Table
+}
+
+// Replica returns a lightweight execution replica of the workload for the
+// sharded engine: it shares the immutable database, statistics and bound
+// query specs with the original, but owns its planner instance, so
+// per-replica planner tuning never bleeds across shards.
+func (w *Workload) Replica() *Workload {
+	cp := *w
+	cp.Planner = optimizer.NewPlanner(cp.DB, cp.Stats)
+	return &cp
+}
+
 // queryGen binds one random query spec.
 type queryGen func(rng *rand.Rand, db *storage.Database) *optimizer.QuerySpec
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"progressest/internal/feedback"
@@ -46,6 +47,30 @@ type LearningConfig struct {
 	// 4 MiB per segment, 100000 examples; oldest segments are dropped).
 	MaxSegmentBytes int64
 	MaxExamples     int
+	// FamilyModels additionally trains one selector per workload family
+	// with at least MinFamilyExamples harvested examples (default 40).
+	// Queries routed by family (MonitorOptions.RouteByFamily, which
+	// EngineConfig.RouteByFamily sets engine-wide) are then served by
+	// their family's version, falling back to the global model for
+	// families without one.
+	FamilyModels      bool
+	MinFamilyExamples int
+	// GateTolerance is the retrain-quality gate's accepted relative
+	// regression (zero means the default, 0.25; negative means strict —
+	// no relative regression allowed): a freshly trained version only
+	// hot-swaps in when its holdout L1 is at most (1+GateTolerance)× the
+	// serving version's error on the same holdout, plus a 0.01 absolute
+	// slack; otherwise it is recorded as rejected (visible in GET
+	// /models) and the old version keeps serving. DisableGate publishes
+	// every trained version unconditionally.
+	GateTolerance float64
+	DisableGate   bool
+	// DisablePersist keeps trained versions in memory only. By default
+	// every accepted version is serialized under Dir/models (atomic
+	// temp+rename writes), and a restarted daemon restores the serving
+	// global and family models from there instead of falling back to
+	// fixed estimators.
+	DisablePersist bool
 }
 
 // ModelVersion is the wire-friendly description of one published selector
@@ -57,7 +82,17 @@ type ModelVersion struct {
 	HoldoutL1  float64   `json:"holdout_l1"`
 	HoldoutN   int       `json:"holdout_n"`
 	Source     string    `json:"source"`
-	Current    bool      `json:"current"`
+	// Family is the routing target the version was trained for ("" = the
+	// global model).
+	Family string `json:"family,omitempty"`
+	// Decision is the retrain-quality gate's verdict: "accepted" versions
+	// were hot-swapped into serving, "rejected" ones stay history-only.
+	Decision string `json:"decision,omitempty"`
+	// BaselineL1 is the serving version's L1 on the candidate's holdout
+	// that the gate compared against (0 when there was no baseline).
+	BaselineL1 float64 `json:"baseline_l1,omitempty"`
+	// Current marks the version serving its routing target right now.
+	Current bool `json:"current"`
 }
 
 // HarvestStats counts the learning loop's harvesting activity.
@@ -79,10 +114,11 @@ type HarvestStats struct {
 // from the current version) and to the HTTP daemon via NewServer, which
 // then exposes /models, /models/retrain and /models/rollback.
 type Learning struct {
-	store *feedback.ExampleStore
-	harv  *feedback.Harvester
-	reg   *feedback.Registry
-	ret   *feedback.Retrainer
+	store  *feedback.ExampleStore
+	harv   *feedback.Harvester
+	reg    *feedback.Registry
+	ret    *feedback.Retrainer
+	models *feedback.ModelDir // nil when persistence is disabled
 }
 
 // OpenLearning opens (or creates) the corpus directory and starts the
@@ -105,6 +141,20 @@ func OpenLearning(cfg LearningConfig) (*Learning, error) {
 			Source:    "seed",
 		})
 	}
+	// Restore AFTER the seed publication: persisted versions are newer
+	// evidence than a seed model, so they win the routing table.
+	var models *feedback.ModelDir
+	if !cfg.DisablePersist {
+		models, err = feedback.OpenModelDir(filepath.Join(cfg.Dir, "models"))
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+		if _, err := models.Restore(reg); err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
 	var seed []selection.Example
 	if len(cfg.SeedExamples) > 0 {
 		seed = append(seed, cfg.SeedExamples...)
@@ -121,15 +171,23 @@ func OpenLearning(cfg LearningConfig) (*Learning, error) {
 			MinInterval:    cfg.MinInterval,
 			Poll:           poll,
 		},
+		Gate: feedback.QualityGate{
+			Disabled:  cfg.DisableGate,
+			Tolerance: cfg.GateTolerance,
+		},
+		FamilyModels:      cfg.FamilyModels,
+		MinFamilyExamples: cfg.MinFamilyExamples,
+		Persist:           models,
 	})
 	if !cfg.DisableBackground {
 		ret.Start()
 	}
 	return &Learning{
-		store: store,
-		harv:  feedback.NewHarvester(store, cfg.MinObservations),
-		reg:   reg,
-		ret:   ret,
+		store:  store,
+		harv:   feedback.NewHarvester(store, cfg.MinObservations),
+		reg:    reg,
+		ret:    ret,
+		models: models,
 	}, nil
 }
 
@@ -141,9 +199,13 @@ func (l *Learning) HarvestStats() HarvestStats {
 	return HarvestStats(l.harv.Stats())
 }
 
-// Retrain synchronously trains a new selector version on the accumulated
-// corpus and hot-swaps it in. Serving is never blocked: queries keep
-// using the previous version until the atomic swap.
+// Retrain synchronously trains new selector versions on the accumulated
+// corpus — the global model, plus one per sufficiently represented family
+// when FamilyModels is on — and hot-swaps in every version that passes
+// the quality gate. Serving is never blocked: queries keep using the
+// previous versions until the atomic swap. The returned version is the
+// global one; check its Decision — a rejected version did NOT replace the
+// serving model.
 func (l *Learning) Retrain() (ModelVersion, error) {
 	v, err := l.ret.Retrain("manual")
 	if err != nil {
@@ -152,24 +214,68 @@ func (l *Learning) Retrain() (ModelVersion, error) {
 	return l.modelVersion(v), nil
 }
 
-// Rollback atomically reverts serving to the previously published
-// version.
-func (l *Learning) Rollback() (ModelVersion, error) {
-	v, err := l.reg.Rollback()
+// Rollback atomically reverts the global model to the previously
+// published version.
+func (l *Learning) Rollback() (ModelVersion, error) { return l.rollback("") }
+
+// RollbackFamily atomically reverts one family's model to its previously
+// published version. A family serving from the global fallback (or with
+// only one version) has nothing to roll back to.
+func (l *Learning) RollbackFamily(family string) (ModelVersion, error) {
+	return l.rollback(family)
+}
+
+func (l *Learning) rollback(family string) (ModelVersion, error) {
+	v, err := l.reg.Rollback(family)
 	if err != nil {
 		return ModelVersion{}, err
+	}
+	if l.models != nil {
+		// The routing table changed; refresh the persisted manifest so a
+		// restart resumes from the rolled-back-to version. The write is
+		// best-effort: the rollback IS applied, and returning an error
+		// here would read as "rollback failed" and bait a retry that
+		// walks back one version further than intended. A failure is
+		// surfaced via PersistError (GET /models) instead, and any later
+		// successful Sync — the next retrain's, or another rollback's —
+		// rewrites the manifest and repairs the staleness.
+		_ = l.models.Sync(l.reg)
 	}
 	return l.modelVersion(v), nil
 }
 
-// Current returns the serving version; ok is false before any version
-// exists.
+// PersistError returns the most recent failure to persist the serving
+// routing table (nil once a later persist succeeds, which rewrites the
+// whole manifest). While non-nil, a daemon restart would resume from the
+// last successfully persisted models rather than the serving ones.
+func (l *Learning) PersistError() error {
+	if l.models == nil {
+		return nil
+	}
+	return l.models.LastSyncError()
+}
+
+// Current returns the serving global version; ok is false before any
+// version exists.
 func (l *Learning) Current() (v ModelVersion, ok bool) {
 	cur := l.reg.Current()
 	if cur == nil {
 		return ModelVersion{}, false
 	}
 	return l.modelVersion(cur), true
+}
+
+// FamilyVersions returns the per-family routing table: workload family →
+// id of the family-trained version currently serving it. Families falling
+// back to the global model do not appear.
+func (l *Learning) FamilyVersions() map[string]int {
+	out := make(map[string]int)
+	for f, v := range l.reg.Routed() {
+		if f != "" {
+			out[f] = v.ID
+		}
+	}
+	return out
 }
 
 // Versions returns the publication history, oldest first, with the
@@ -227,18 +333,25 @@ func (l *Learning) modelVersion(v *feedback.Version) ModelVersion {
 		HoldoutL1:  v.Meta.HoldoutL1,
 		HoldoutN:   v.Meta.HoldoutN,
 		Source:     v.Meta.Source,
-		Current:    l.reg.Current() == v,
+		Family:     v.Meta.Family,
+		Decision:   v.Meta.Decision,
+		BaselineL1: v.Meta.BaselineL1,
+		Current:    l.reg.IsCurrent(v),
 	}
 }
 
-// currentSelector resolves the serving selector for a new query; it
-// returns nil before the first published version.
-func (l *Learning) currentSelector() (*selection.Selector, int) {
-	v := l.reg.Current()
+// routeFor resolves the serving selector for a new query of the given
+// routing target ("" = the global model; a family name falls back to the
+// global model when the family has no trained version). It returns the
+// selector, its version id, and the family the version was trained for
+// ("" when the global model answered). All nil/0 before the first
+// published version.
+func (l *Learning) routeFor(family string) (*selection.Selector, int, string) {
+	v := l.reg.CurrentFor(family)
 	if v == nil {
-		return nil, 0
+		return nil, 0, ""
 	}
-	return v.Selector, v.ID
+	return v.Selector, v.ID, v.Meta.Family
 }
 
 // IsEmptyCorpus reports whether err means there was nothing to train on.

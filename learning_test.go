@@ -36,6 +36,9 @@ func TestContinuousLearningLoopEndToEnd(t *testing.T) {
 		Dir:               t.TempDir(),
 		Selector:          SelectorConfig{Trees: 10},
 		DisableBackground: true,
+		// This test proves the swap mechanics; gate decisions get their
+		// own coverage.
+		DisableGate: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -59,7 +62,7 @@ func TestContinuousLearningLoopEndToEnd(t *testing.T) {
 			t.Fatal(err)
 		}
 		// Batch-harvest the very same trace with the shared converter.
-		expected = append(expected, workload.HarvestTrace(run.trace, w.inner.Spec.Name, i, 0)...)
+		expected = append(expected, workload.HarvestTrace(run.trace, w.inner.Spec.Name, w.QueryFamily(i), i, 0)...)
 	}
 
 	// Phase 2: the corpus holds exactly the batch-harvest examples,

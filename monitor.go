@@ -34,6 +34,12 @@ type MonitorOptions struct {
 	// Selector is nil — the pipeline estimators are picked by the current
 	// hot-swapped selector version (Monitor.ModelVersion reports which).
 	Learning *Learning
+	// RouteByFamily routes the query to the selector version trained for
+	// its workload family (Workload.QueryFamily) when Learning has
+	// published one, falling back to the global model otherwise.
+	// Monitor.ModelFamily reports which target served. Without Learning
+	// the flag has no effect.
+	RouteByFamily bool
 }
 
 func (o MonitorOptions) withDefaults() MonitorOptions {
@@ -91,10 +97,13 @@ type Monitor struct {
 	// completes; the last value delivered has Done == true.
 	Updates <-chan ProgressUpdate
 
-	version int
-	done    chan struct{}
-	run     *QueryRun
-	err     error
+	version     int
+	family      string
+	modelFamily string
+	shard       int
+	done        chan struct{}
+	run         *QueryRun
+	err         error
 }
 
 // Wait blocks until the query completes and returns its QueryRun.
@@ -109,6 +118,19 @@ func (m *Monitor) Wait() (*QueryRun, error) {
 // yet). The version is pinned at Start, so a swap mid-query never mixes
 // models within one execution.
 func (m *Monitor) ModelVersion() int { return m.version }
+
+// Family returns the workload family of the monitored query (see
+// Workload.QueryFamily) — the key per-family model routing dispatches on.
+func (m *Monitor) Family() string { return m.family }
+
+// ModelFamily returns the routing target of the selector version serving
+// this query: the query's own family when a family-trained model serves
+// it, "" when the global model (or no model at all) does.
+func (m *Monitor) ModelFamily() string { return m.modelFamily }
+
+// Shard returns the engine replica executing the query, or -1 when the
+// query was started directly on a Workload rather than through an Engine.
+func (m *Monitor) Shard() int { return m.shard }
 
 // reselectMarkers are the driver-input fractions at which the selector
 // revises its choice — derived from the dynamic-feature markers so that
@@ -252,13 +274,21 @@ func (w *Workload) Start(i int, opts MonitorOptions) (*Monitor, error) {
 		return nil, fmt.Errorf("progressest: estimator %v is not computable online", opts.Estimator)
 	}
 	// Resolve the selector: an explicit one wins; otherwise the query is
-	// pinned to the learning registry's current version for its lifetime.
+	// pinned to the learning registry's current version for its lifetime —
+	// the version routed for the query's family when RouteByFamily is on,
+	// else the global one.
+	family := w.inner.QueryFamily(i)
 	var sel *selection.Selector
 	version := 0
+	modelFamily := ""
 	if opts.Selector != nil {
 		sel = opts.Selector.inner
 	} else if opts.Learning != nil {
-		sel, version = opts.Learning.currentSelector()
+		target := ""
+		if opts.RouteByFamily {
+			target = family
+		}
+		sel, version, modelFamily = opts.Learning.routeFor(target)
 	}
 	if sel != nil {
 		for _, k := range sel.Kinds {
@@ -283,12 +313,19 @@ func (w *Workload) Start(i int, opts MonitorOptions) (*Monitor, error) {
 	}
 	obs.sel = sel
 	if opts.Learning != nil {
-		obs.harvest = opts.Learning.harv.Observer(w.inner.Spec.Name, i)
+		obs.harvest = opts.Learning.harv.Observer(w.inner.Spec.Name, family, i)
 	}
 	for pi := range obs.choice {
 		obs.choice[pi] = opts.Estimator
 	}
-	m := &Monitor{Updates: obs.ch, version: version, done: make(chan struct{})}
+	m := &Monitor{
+		Updates:     obs.ch,
+		version:     version,
+		family:      family,
+		modelFamily: modelFamily,
+		shard:       -1,
+		done:        make(chan struct{}),
+	}
 	go func() {
 		defer close(m.done)
 		tr := exec.Run(w.inner.DB, pl, exec.Options{Observer: obs})

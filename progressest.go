@@ -139,6 +139,26 @@ func (w *Workload) NumQueries() int { return len(w.inner.Queries) }
 // QueryText returns a pseudo-SQL rendering of query i.
 func (w *Workload) QueryText(i int) string { return w.inner.Queries[i].String() }
 
+// QueryFamily returns the workload family of query i — queries driven by
+// the same base table form one family. Families are the routing key of
+// per-family model selection (EngineConfig.RouteByFamily,
+// LearningConfig.FamilyModels): harvested examples carry their query's
+// family, the retrainer fits one selector per sufficiently represented
+// family, and the engine routes queries to their family's model.
+func (w *Workload) QueryFamily(i int) string {
+	if i < 0 || i >= len(w.inner.Queries) {
+		return ""
+	}
+	return w.inner.QueryFamily(i)
+}
+
+// replica returns a lightweight execution replica for the sharded engine:
+// it shares the immutable database, statistics and bound queries with w
+// but owns its planner instance.
+func (w *Workload) replica() *Workload {
+	return &Workload{inner: w.inner.Replica()}
+}
+
 // Run plans and executes query i, capturing the counter trace.
 func (w *Workload) Run(i int) (*QueryRun, error) {
 	if i < 0 || i >= len(w.inner.Queries) {

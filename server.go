@@ -3,61 +3,62 @@ package progressest
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
-	"time"
 )
 
 // Server exposes live query monitoring over HTTP — the daemon core of
-// cmd/progressd. It owns one Workload and runs submitted queries on their
-// own goroutines, recording the freshest ProgressUpdate of each:
+// cmd/progressd. It fronts a sharded Engine: submitted queries pass the
+// admission gate (waiting in its bounded queue when every replica is at
+// capacity), execute on the least-loaded Workload replica, and record the
+// freshest ProgressUpdate of each:
 //
-//	POST /queries                {"query": i}  -> {"id": "q1", ...}
+//	POST /queries                {"query": i}  -> {"id": "q1", "shard": s, ...}
 //	GET  /queries                              -> list of submitted queries
 //	GET  /queries/{id}/progress                -> live progress JSON
+//	GET  /engine/stats                         -> per-shard live/queued counts
 //	GET  /healthz                              -> {"status": "ok"}
 //
 // When MonitorOptions.Learning is set, the model-lifecycle routes come
 // alive too (404 otherwise):
 //
 //	GET  /models                               -> corpus + version history
-//	POST /models/retrain                       -> train + hot-swap a version
-//	POST /models/rollback                      -> revert to the previous one
+//	POST /models/retrain                       -> train + gate + hot-swap
+//	POST /models/rollback     [{"family": f}]  -> revert to the previous one
 //
-// Every submitted query records which selector version served it
-// ("model" in the submit, list and progress responses).
+// Every submitted query records its placement (shard), its workload
+// family, and which selector version served it ("model"/"model_family" in
+// the submit, list and progress responses).
 type Server struct {
-	w    *Workload
-	opts MonitorOptions
-	mux  *http.ServeMux
+	eng *Engine
+	mux *http.ServeMux
 
-	// maxLive and maxKept are the admission/retention bounds, settable
-	// before the server starts handling requests (tests shrink them).
-	maxLive int
+	// maxKept is the retention bound for finished queries, settable before
+	// the server starts handling requests (tests shrink it).
 	maxKept int
 
 	mu      sync.Mutex
 	queries map[string]*serverQuery
 	order   []*serverQuery // submission order, for stable listings
-	live    int            // queries admitted and not yet finished
 	nextID  int
 }
 
-// Server resource bounds: at most defaultMaxLive queries execute
-// concurrently (further submissions get 429), and finished queries beyond
-// defaultMaxKept are evicted oldest-first so a long-running daemon's
-// memory stays bounded.
-const (
-	defaultMaxLive = 64
-	defaultMaxKept = 1024
-)
+// defaultMaxKept bounds retention: finished queries beyond it are evicted
+// oldest-first so a long-running daemon's memory stays bounded. (The
+// concurrent-execution bound lives in EngineConfig.MaxLivePerShard.)
+const defaultMaxKept = 1024
 
 // serverQuery tracks one submitted query.
 type serverQuery struct {
-	id    string
-	query int
-	model int // selector version that serves it (0 = none)
+	id          string
+	query       int
+	shard       int    // engine replica executing it
+	family      string // the query's workload family
+	model       int    // selector version that serves it (0 = none)
+	modelFamily string // routing target of that version ("" = global)
 
 	mu     sync.Mutex
 	latest ProgressUpdate
@@ -71,14 +72,18 @@ func (q *serverQuery) snapshot() (ProgressUpdate, bool, bool) {
 	return q.latest, q.seen, q.done
 }
 
-// NewServer wraps the workload in an HTTP monitoring server. The monitor
-// options apply to every submitted query.
+// NewServer wraps the workload in an HTTP monitoring server backed by a
+// single-shard engine. The monitor options apply to every submitted
+// query. Use NewEngineServer for a sharded pool.
 func NewServer(w *Workload, opts MonitorOptions) *Server {
+	return NewEngineServer(NewEngine(w, EngineConfig{}, opts))
+}
+
+// NewEngineServer wraps a sharded engine in the HTTP monitoring server.
+func NewEngineServer(e *Engine) *Server {
 	s := &Server{
-		w:       w,
-		opts:    opts.withDefaults(),
+		eng:     e,
 		mux:     http.NewServeMux(),
-		maxLive: defaultMaxLive,
 		maxKept: defaultMaxKept,
 		queries: make(map[string]*serverQuery),
 	}
@@ -86,31 +91,19 @@ func NewServer(w *Workload, opts MonitorOptions) *Server {
 	s.mux.HandleFunc("POST /queries", s.handleSubmit)
 	s.mux.HandleFunc("GET /queries", s.handleList)
 	s.mux.HandleFunc("GET /queries/{id}/progress", s.handleProgress)
+	s.mux.HandleFunc("GET /engine/stats", s.handleEngineStats)
 	s.mux.HandleFunc("GET /models", s.handleModels)
 	s.mux.HandleFunc("POST /models/retrain", s.handleRetrain)
 	s.mux.HandleFunc("POST /models/rollback", s.handleRollback)
 	return s
 }
 
-// Drain blocks until every admitted query has finished or the context
-// expires — the graceful-shutdown hook cmd/progressd uses between
-// http.Server.Shutdown and Learning.Close, so in-flight queries still
-// land in the corpus.
-func (s *Server) Drain(ctx context.Context) error {
-	for {
-		s.mu.Lock()
-		live := s.live
-		s.mu.Unlock()
-		if live == 0 {
-			return nil
-		}
-		select {
-		case <-ctx.Done():
-			return fmt.Errorf("progressest: drain: %d queries still live: %w", live, ctx.Err())
-		case <-time.After(5 * time.Millisecond):
-		}
-	}
-}
+// Drain stops admission — queued submissions get 503 immediately instead
+// of stranding — and blocks until every admitted query has finished or
+// the context expires. It is the graceful-shutdown hook cmd/progressd
+// uses between http.Server.Shutdown and Learning.Close, so in-flight
+// queries still land in the corpus.
+func (s *Server) Drain(ctx context.Context) error { return s.eng.Drain(ctx) }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -128,15 +121,20 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	resp := map[string]any{
 		"status":  "ok",
-		"queries": s.w.NumQueries(),
+		"queries": s.eng.Workload().NumQueries(),
+		"shards":  s.eng.NumShards(),
 	}
-	if l := s.opts.Learning; l != nil {
+	if l := s.eng.learning(); l != nil {
 		if cur, ok := l.Current(); ok {
 			resp["model"] = cur.ID
 		}
 		resp["corpus_size"] = l.CorpusSize()
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleEngineStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng.Stats())
 }
 
 // submitRequest is the POST /queries body.
@@ -151,9 +149,22 @@ type queryInfo struct {
 	Query int    `json:"query"`
 	Text  string `json:"text,omitempty"`
 	Done  bool   `json:"done"`
+	// Shard is the engine replica the query executes on.
+	Shard int `json:"shard"`
+	// Family is the query's workload family (the model-routing key).
+	Family string `json:"family,omitempty"`
 	// Model is the selector version that serves the query (0 = fixed
-	// estimator or explicitly configured selector).
-	Model int `json:"model,omitempty"`
+	// estimator or explicitly configured selector); ModelFamily is that
+	// version's routing target ("" = the global model).
+	Model       int    `json:"model,omitempty"`
+	ModelFamily string `json:"model_family,omitempty"`
+}
+
+func (q *serverQuery) info(text string, done bool) queryInfo {
+	return queryInfo{
+		ID: q.id, Query: q.query, Text: text, Done: done,
+		Shard: q.shard, Family: q.family, Model: q.model, ModelFamily: q.modelFamily,
+	}
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -162,34 +173,41 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid body: %v", err)
 		return
 	}
-	if req.Query < 0 || req.Query >= s.w.NumQueries() {
+	if req.Query < 0 || req.Query >= s.eng.Workload().NumQueries() {
 		writeError(w, http.StatusBadRequest, "query index %d out of range [0,%d)",
-			req.Query, s.w.NumQueries())
+			req.Query, s.eng.Workload().NumQueries())
 		return
 	}
-	// Admission is atomic: the slot is claimed under the lock before the
-	// query starts, so concurrent submissions cannot overshoot the cap.
-	s.mu.Lock()
-	if s.live >= s.maxLive {
-		live := s.live
-		s.mu.Unlock()
-		writeError(w, http.StatusTooManyRequests, "%d queries already executing", live)
+	// The engine owns admission: the submission waits in the bounded
+	// queue when every shard is at capacity, and the request context
+	// frees the queue slot if the client gives up.
+	m, err := s.eng.Start(r.Context(), req.Query)
+	switch {
+	case IsSaturated(err):
+		writeError(w, http.StatusTooManyRequests, "submit: %v", err)
 		return
-	}
-	s.live++
-	s.mu.Unlock()
-
-	m, err := s.w.Start(req.Query, s.opts)
-	if err != nil {
-		s.mu.Lock()
-		s.live--
-		s.mu.Unlock()
+	case IsDraining(err):
+		writeError(w, http.StatusServiceUnavailable, "submit: %v", err)
+		return
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client abandoned the queued submission; nothing to answer.
+		writeError(w, http.StatusServiceUnavailable, "submit: %v", err)
+		return
+	case err != nil:
 		writeError(w, http.StatusInternalServerError, "start: %v", err)
 		return
 	}
+
 	s.mu.Lock()
 	s.nextID++
-	q := &serverQuery{id: fmt.Sprintf("q%d", s.nextID), query: req.Query, model: m.ModelVersion()}
+	q := &serverQuery{
+		id:          fmt.Sprintf("q%d", s.nextID),
+		query:       req.Query,
+		shard:       m.Shard(),
+		family:      m.Family(),
+		model:       m.ModelVersion(),
+		modelFamily: m.ModelFamily(),
+	}
 	s.queries[q.id] = q
 	s.order = append(s.order, q)
 	// Evict the oldest finished queries beyond the retention bound.
@@ -220,14 +238,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		q.mu.Lock()
 		q.done = true
 		q.mu.Unlock()
-		s.mu.Lock()
-		s.live--
-		s.mu.Unlock()
 	}()
 
-	writeJSON(w, http.StatusAccepted, queryInfo{
-		ID: q.id, Query: req.Query, Text: s.w.QueryText(req.Query), Model: q.model,
-	})
+	info := q.info(s.eng.Workload().QueryText(req.Query), false)
+	writeJSON(w, http.StatusAccepted, info)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -237,18 +251,21 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	infos := make([]queryInfo, 0, len(queries))
 	for _, q := range queries {
 		_, _, done := q.snapshot()
-		infos = append(infos, queryInfo{ID: q.id, Query: q.query, Done: done, Model: q.model})
+		infos = append(infos, q.info("", done))
 	}
 	writeJSON(w, http.StatusOK, infos)
 }
 
 // progressResponse is the GET /queries/{id}/progress wire form.
 type progressResponse struct {
-	ID     string          `json:"id"`
-	Query  int             `json:"query"`
-	Done   bool            `json:"done"`
-	Model  int             `json:"model,omitempty"`
-	Update *ProgressUpdate `json:"update,omitempty"`
+	ID          string          `json:"id"`
+	Query       int             `json:"query"`
+	Done        bool            `json:"done"`
+	Shard       int             `json:"shard"`
+	Family      string          `json:"family,omitempty"`
+	Model       int             `json:"model,omitempty"`
+	ModelFamily string          `json:"model_family,omitempty"`
+	Update      *ProgressUpdate `json:"update,omitempty"`
 }
 
 func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
@@ -261,7 +278,10 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	latest, seen, done := q.snapshot()
-	resp := progressResponse{ID: q.id, Query: q.query, Done: done, Model: q.model}
+	resp := progressResponse{
+		ID: q.id, Query: q.query, Done: done,
+		Shard: q.shard, Family: q.family, Model: q.model, ModelFamily: q.modelFamily,
+	}
 	if seen {
 		resp.Update = &latest
 	}
@@ -270,25 +290,40 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 
 // modelsResponse is the GET /models wire form.
 type modelsResponse struct {
-	// Current is the id of the serving version (0 before the first
+	// Current is the id of the serving global version (0 before the first
 	// publication).
 	Current int `json:"current"`
+	// Families maps each workload family with its own trained model to
+	// the version id serving it; families absent here fall back to the
+	// global model.
+	Families map[string]int `json:"families"`
 	// CorpusSize is the number of harvested examples retained on disk.
 	CorpusSize int `json:"corpus_size"`
 	// Harvest are the lifetime harvesting counters.
 	Harvest HarvestStats `json:"harvest"`
-	// Versions is the publication history, oldest first.
+	// Versions is the publication history, oldest first, including
+	// quality-gate-rejected versions (decision "rejected") that never
+	// served.
 	Versions []ModelVersion `json:"versions"`
+	// PersistError, when set, means the on-disk model manifest trails the
+	// live routing table (a restart would resume from the last
+	// successfully persisted models); the next successful persist clears
+	// it.
+	PersistError string `json:"persist_error,omitempty"`
+	// TrainingError, when set, is the most recent background-training
+	// failure (e.g. a family whose model could not be fit); a fully
+	// successful retrain clears it.
+	TrainingError string `json:"training_error,omitempty"`
 }
 
 // learning returns the attached learning loop, or writes a 404 and
 // returns nil when continuous learning is not enabled.
 func (s *Server) learning(w http.ResponseWriter) *Learning {
-	if s.opts.Learning == nil {
-		writeError(w, http.StatusNotFound, "continuous learning not enabled (start with a learning corpus)")
-		return nil
+	if l := s.eng.learning(); l != nil {
+		return l
 	}
-	return s.opts.Learning
+	writeError(w, http.StatusNotFound, "continuous learning not enabled (start with a learning corpus)")
+	return nil
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
@@ -297,9 +332,16 @@ func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	resp := modelsResponse{
+		Families:   l.FamilyVersions(),
 		CorpusSize: l.CorpusSize(),
 		Harvest:    l.HarvestStats(),
 		Versions:   l.Versions(),
+	}
+	if perr := l.PersistError(); perr != nil {
+		resp.PersistError = perr.Error()
+	}
+	if terr := l.LastTrainingError(); terr != nil {
+		resp.TrainingError = terr.Error()
 	}
 	if cur, ok := l.Current(); ok {
 		resp.Current = cur.ID
@@ -326,12 +368,24 @@ func (s *Server) handleRetrain(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-func (s *Server) handleRollback(w http.ResponseWriter, _ *http.Request) {
+// rollbackRequest is the optional POST /models/rollback body.
+type rollbackRequest struct {
+	// Family selects the routing target to roll back ("" = the global
+	// model).
+	Family string `json:"family"`
+}
+
+func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
 	l := s.learning(w)
 	if l == nil {
 		return
 	}
-	v, err := l.Rollback()
+	var req rollbackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "invalid body: %v", err)
+		return
+	}
+	v, err := l.rollback(req.Family)
 	switch {
 	case IsNoRollback(err):
 		writeError(w, http.StatusConflict, "rollback: %v", err)

@@ -112,9 +112,10 @@ func TestServerSubmitValidation(t *testing.T) {
 // runs, then admitted once the slot frees up.
 func TestServerAdmissionBound(t *testing.T) {
 	w := serverWorkload(t)
-	// Pacing keeps the first query alive long enough to observe the 429.
-	s := NewServer(w, MonitorOptions{UpdateEvery: 4, Pace: 20 * time.Millisecond})
-	s.maxLive = 1
+	// Pacing keeps the first query alive long enough to observe the 429;
+	// no queue, so a saturated engine rejects immediately.
+	s := NewEngineServer(NewEngine(w, EngineConfig{Shards: 1, MaxLivePerShard: 1},
+		MonitorOptions{UpdateEvery: 4, Pace: 20 * time.Millisecond}))
 	srv := httptest.NewServer(s)
 	defer srv.Close()
 
@@ -130,7 +131,7 @@ func TestServerAdmissionBound(t *testing.T) {
 	if code := doJSON(t, http.MethodPost, srv.URL+"/queries", `{"query": 1}`, &errResp); code != http.StatusTooManyRequests {
 		t.Fatalf("second submit while full: status %d, want 429", code)
 	}
-	if !strings.Contains(errResp.Error, "already executing") {
+	if !strings.Contains(errResp.Error, "capacity") {
 		t.Fatalf("429 body: %q", errResp.Error)
 	}
 	waitDone(t, srv.URL, first.ID)
@@ -201,6 +202,8 @@ func TestServerModelRoutes(t *testing.T) {
 		Dir:               t.TempDir(),
 		Selector:          SelectorConfig{Trees: 10},
 		DisableBackground: true,
+		// The route assertions below rely on every retrain swapping in.
+		DisableGate: true,
 	})
 	if err != nil {
 		t.Fatal(err)
