@@ -7,11 +7,13 @@
 package progressest_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"progressest"
 	"progressest/internal/experiments"
+	"progressest/internal/feedback"
 	"progressest/internal/mart"
 	"progressest/internal/progress"
 	"progressest/internal/selection"
@@ -351,6 +353,45 @@ func BenchmarkEstimatorReplay(b *testing.B) {
 			if l1, _ := run.Errors(pipe, e); l1 < 0 {
 				b.Fatal("negative error")
 			}
+		}
+	}
+}
+
+// BenchmarkDriftRecord measures the drift tracker's harvest-path cost:
+// one windowed Record of a finished query's per-pipeline observed errors
+// against the serving version's baseline. This runs synchronously on
+// every query completion, so its ns/op (and 0 allocs/op in steady state)
+// is tracked by the CI bench-smoke artifact from day one.
+func BenchmarkDriftRecord(b *testing.B) {
+	tr := feedback.NewDriftTracker(feedback.DriftConfig{})
+	served := feedback.ServedModel{Target: "fam", Version: 1, BaselineL1: 0.05, BaselineN: 50}
+	errs := []float64{0.04, 0.07, 0.05, 0.06}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Record(served, errs)
+	}
+}
+
+// BenchmarkRouterLookup measures the per-query cost of resolving the
+// serving model version for a family — the lock-free routing-table read
+// on the admission hot path, with the drift monitor's per-target
+// accounting hanging off its answer.
+func BenchmarkRouterLookup(b *testing.B) {
+	r := selection.NewRouter[int]()
+	r.Set("", 0)
+	families := make([]string, 16)
+	for i := range families {
+		families[i] = fmt.Sprintf("fam%02d", i)
+		if i%2 == 0 {
+			r.Set(families[i], i+1) // odd families fall back to the global entry
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := r.Route(families[i%len(families)]); !ok {
+			b.Fatal("route missed")
 		}
 	}
 }

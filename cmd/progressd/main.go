@@ -24,7 +24,8 @@
 //	GET  /queries/{id}/progress                freshest progress update
 //	GET  /engine/stats                         per-shard live/queued counts
 //	GET  /healthz                              liveness probe
-//	GET  /models                               corpus + model versions (-learn)
+//	GET  /models                               corpus + model versions + drift (-learn)
+//	GET  /models/drift                         observed-vs-predicted per target (-learn)
 //	POST /models/retrain                       train + gate + hot-swap (-learn)
 //	POST /models/rollback      [{"family":f}]  revert to previous (-learn)
 //
@@ -36,11 +37,21 @@
 //	          [-every N] [-pace D] [-model selector.json]
 //	          [-learn corpus/] [-retrain-after N] [-retrain-every D]
 //	          [-gate-tolerance F] [-no-gate]
+//	          [-drift-ratio F] [-drift-window N] [-no-drift-retrain]
 //
 // -gate-tolerance is the quality gate's accepted relative holdout-L1
 // regression (0 means strict: a candidate must not be worse than the
 // serving model beyond a 0.01 absolute slack); -no-gate hot-swaps every
 // retrain unconditionally.
+//
+// With -learn the daemon also monitors model drift: per routing target it
+// joins each served query's pinned model version with the estimator
+// errors later harvested for that query, and once the windowed observed
+// error exceeds the version's holdout baseline by -drift-ratio (plus a
+// 0.01 absolute slack), exactly that target is retrained with trigger
+// "drift" — unless -no-drift-retrain leaves the decision to the operator.
+// GET /models/drift exposes the per-target standing and the retrainer's
+// decision history.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops accepting
 // connections, fails queued admissions instead of stranding them, drains
@@ -82,6 +93,9 @@ func main() {
 	retrainEvery := flag.Duration("retrain-every", time.Minute, "minimum interval between automatic retrains")
 	gateTolerance := flag.Float64("gate-tolerance", 0.25, "retrain-quality gate: accepted relative holdout-L1 regression (0 = strict)")
 	noGate := flag.Bool("no-gate", false, "disable the retrain-quality gate (every retrain hot-swaps)")
+	driftRatio := flag.Float64("drift-ratio", 1.5, "drift monitor: a target drifts once its observed serving L1 exceeds baseline*ratio + 0.01")
+	driftWindow := flag.Int("drift-window", 256, "drift monitor: observed errors kept per routing target")
+	noDriftRetrain := flag.Bool("no-drift-retrain", false, "track drift but never auto-retrain on it (operator decides)")
 	trees := flag.Int("trees", 200, "MART boosting iterations for retrained models")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown deadline for in-flight queries")
 	flag.Parse()
@@ -129,14 +143,17 @@ func main() {
 			gt = -1
 		}
 		learning, err = progressest.OpenLearning(progressest.LearningConfig{
-			Dir:            *learn,
-			Selector:       progressest.SelectorConfig{Trees: *trees, Seed: *seed},
-			MinNewExamples: *retrainAfter,
-			MinInterval:    *retrainEvery,
-			SeedSelector:   sel,
-			FamilyModels:   *routeByFamily,
-			GateTolerance:  gt,
-			DisableGate:    *noGate,
+			Dir:                 *learn,
+			Selector:            progressest.SelectorConfig{Trees: *trees, Seed: *seed},
+			MinNewExamples:      *retrainAfter,
+			MinInterval:         *retrainEvery,
+			SeedSelector:        sel,
+			FamilyModels:        *routeByFamily,
+			GateTolerance:       gt,
+			DisableGate:         *noGate,
+			DriftRatio:          *driftRatio,
+			DriftWindow:         *driftWindow,
+			DisableDriftRetrain: *noDriftRetrain,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -1,0 +1,368 @@
+package feedback
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"progressest/internal/selection"
+)
+
+// DriftConfig tunes the observed-vs-predicted drift monitor.
+type DriftConfig struct {
+	// Window is the number of most recent observed per-pipeline errors the
+	// tracker keeps per routing target (default 256). Older observations
+	// roll off, so the verdict reflects current traffic, not the version's
+	// lifetime average.
+	Window int
+	// MinSamples is the minimum number of windowed observations before a
+	// drift verdict can fire (default 32): a fresh version — or a freshly
+	// reset window — must accrue evidence first.
+	MinSamples int
+	// Ratio is the accepted observed/predicted error inflation: target is
+	// drifted once meanObserved > baseline*Ratio + AbsSlack (default 1.5).
+	Ratio float64
+	// AbsSlack is the absolute slack added to the ratio bound (default
+	// 0.01, mirroring the paper's Section 6.6 near-optimal tolerance):
+	// near a tiny baseline a purely relative bound would flag measurement
+	// noise as drift. Negative means zero slack.
+	AbsSlack float64
+}
+
+const (
+	defaultDriftWindow     = 256
+	defaultDriftMinSamples = 32
+	defaultDriftRatio      = 1.5
+)
+
+func (c DriftConfig) withDefaults() DriftConfig {
+	if c.Window <= 0 {
+		c.Window = defaultDriftWindow
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = defaultDriftMinSamples
+	}
+	if c.MinSamples > c.Window {
+		// The ring can never hold MinSamples observations; an unclamped
+		// config would silently disable every verdict (e.g.
+		// -drift-window 16 with the default 32 minimum).
+		c.MinSamples = c.Window
+	}
+	if c.Ratio <= 0 {
+		c.Ratio = defaultDriftRatio
+	}
+	switch {
+	case c.AbsSlack < 0:
+		c.AbsSlack = 0
+	case c.AbsSlack == 0:
+		c.AbsSlack = gateAbsSlack
+	}
+	return c
+}
+
+// ServedModel pins, at query start, everything the drift join needs to
+// know about the selector version serving that query: the routing target
+// it was published under, its id, the selector itself (to replay its
+// choices on the harvested examples), and the holdout baseline recorded
+// at training time. BaselineN 0 means the version was never fairly
+// holdout-evaluated (seed or restored models) — its errors are still
+// tracked, but no drift verdict fires against an in-sample baseline.
+type ServedModel struct {
+	// Target is the routing target the version serves ("" = the global
+	// model). Observed errors are accounted per target, not per query
+	// family: a family falling back to the global model contributes
+	// evidence to the global window.
+	Target string
+	// Version is the registry id of the pinned version.
+	Version int
+	// Selector replays the version's estimator choices on harvested
+	// examples.
+	Selector *selection.Selector
+	// BaselineL1/BaselineN are the version's recorded holdout error and
+	// the holdout size it was measured on (VersionMeta.HoldoutL1/N).
+	BaselineL1 float64
+	BaselineN  int
+}
+
+// DriftState is one routing target's observed-vs-predicted standing.
+type DriftState struct {
+	// Target is the routing target ("" = the global model).
+	Target string
+	// Version is the serving version the window is accounting against.
+	Version int
+	// BaselineL1/BaselineN are that version's holdout baseline (predicted
+	// error); BaselineN 0 means no fair baseline exists and Drifted stays
+	// false no matter the observations.
+	BaselineL1 float64
+	BaselineN  int
+	// ObservedL1 is the mean L1 error of the version's own estimator
+	// choices over the windowed observations; ObservedP90 the 90th
+	// percentile of the same window.
+	ObservedL1  float64
+	ObservedP90 float64
+	// Samples is the number of observations currently in the window (at
+	// most Window); Total counts every observation recorded for this
+	// version since the window was last reset, including rolled-off ones.
+	Samples int
+	Total   int
+	// Drifted reports the verdict: a fair baseline exists, the window has
+	// at least MinSamples observations, and ObservedL1 exceeds
+	// BaselineL1*Ratio + AbsSlack.
+	Drifted bool
+	// Since is when the verdict first became true for this version's
+	// window (zero while not drifted); it resets when the window does.
+	Since time.Time
+}
+
+// driftWindow is one routing target's mutable accounting.
+type driftWindow struct {
+	version    int
+	baselineL1 float64
+	baselineN  int
+	ring       []float64
+	next       int // ring write cursor
+	filled     int // observations in the ring (≤ len(ring))
+	sum        float64
+	total      int // lifetime observations for this version/window epoch
+	since      time.Time
+	// maxSeen is the highest version id ever bound to this target.
+	// Registry ids are monotonic, so any id above it must be a NEW
+	// publish (re-key the window), while an id at or below it that is
+	// not the bound version is a late harvest for a replaced — or
+	// rolled-back-from — version (drop it). Rebind preserves maxSeen
+	// across a rollback precisely so the rolled-back-from version's
+	// stragglers stay dropped even though the bound version moved
+	// backwards.
+	maxSeen int
+}
+
+// DriftTracker joins each served query's pinned model version with the
+// estimator errors later harvested for that same query, per routing
+// target, and compares the windowed observed error against the version's
+// recorded holdout baseline — König et al.'s serving-time signal that a
+// selection model has gone stale. All methods are safe for concurrent
+// use; Record sits on the harvest path (one append per finished
+// pipeline), so the window keeps a running sum and defers anything
+// O(window) to Status.
+type DriftTracker struct {
+	cfg DriftConfig
+
+	mu      sync.Mutex
+	targets map[string]*driftWindow
+}
+
+// NewDriftTracker returns an empty tracker.
+func NewDriftTracker(cfg DriftConfig) *DriftTracker {
+	return &DriftTracker{cfg: cfg.withDefaults(), targets: make(map[string]*driftWindow)}
+}
+
+// Config returns the tracker's effective (defaulted) configuration.
+func (t *DriftTracker) Config() DriftConfig { return t.cfg }
+
+// newWindowLocked binds a fresh, empty window for served, carrying the
+// highest version id the target has ever seen forward.
+func (t *DriftTracker) newWindowLocked(served ServedModel, prev *driftWindow) *driftWindow {
+	w := &driftWindow{
+		version:    served.Version,
+		baselineL1: served.BaselineL1,
+		baselineN:  served.BaselineN,
+		ring:       make([]float64, t.cfg.Window),
+		maxSeen:    served.Version,
+	}
+	if prev != nil && prev.maxSeen > w.maxSeen {
+		w.maxSeen = prev.maxSeen
+	}
+	return w
+}
+
+// Record accounts the observed per-pipeline L1 errors of one finished
+// query against the version that served it. Version transitions are
+// resolved by registry id: a version NEWER than anything the target has
+// seen is a fresh publish and re-keys the window (its baseline changed,
+// old observations are evidence about the old model); a version other
+// than the bound one that is NOT newer is a late harvest for a replaced
+// (or rolled-back-from) version and is dropped — a query pinned
+// pre-transition must not poison the current window. Rollbacks move the
+// bound version backwards via Rebind, which is why "newer" is judged
+// against the high-water mark, not the bound version.
+func (t *DriftTracker) Record(served ServedModel, errs []float64) {
+	if len(errs) == 0 || served.Version == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w := t.targets[served.Target]
+	switch {
+	case w == nil:
+		w = t.newWindowLocked(served, nil)
+		t.targets[served.Target] = w
+	case served.Version == w.version:
+		// The bound version: record below.
+	case served.Version > w.maxSeen:
+		w = t.newWindowLocked(served, w)
+		t.targets[served.Target] = w
+	default:
+		return // late harvest for a replaced or rolled-back-from version
+	}
+	for _, e := range errs {
+		if w.filled == len(w.ring) {
+			w.sum -= w.ring[w.next]
+		} else {
+			w.filled++
+		}
+		w.ring[w.next] = e
+		w.sum += e
+		w.next = (w.next + 1) % len(w.ring)
+		w.total++
+	}
+	if t.driftedLocked(w) {
+		if w.since.IsZero() {
+			w.since = time.Now()
+		}
+	} else {
+		w.since = time.Time{}
+	}
+}
+
+// driftedLocked evaluates the verdict for one window.
+func (t *DriftTracker) driftedLocked(w *driftWindow) bool {
+	if w.baselineN <= 0 || w.filled < t.cfg.MinSamples {
+		return false
+	}
+	mean := w.sum / float64(w.filled)
+	return mean > w.baselineL1*t.cfg.Ratio+t.cfg.AbsSlack
+}
+
+// Rebind re-keys target's existing window to the version the registry
+// now serves it with — the reconciliation hook for transitions Record
+// cannot infer from harvests alone. A rollback moves the bound version
+// BACKWARDS (observations clear, the high-water mark survives so the
+// rolled-back-from version's late harvests stay dropped); a
+// served.Version of 0 tombstones the window (the target lost its own
+// serving version entirely, e.g. a family rolled back past its last
+// model onto the global fallback): it stops appearing in Statuses and
+// never produces a verdict, yet keeps dropping stragglers until a fresh
+// publish re-keys it. A target with no window is left without one.
+//
+// superseded is the id of the version just moved OFF the target (0 if
+// unknown). The window's own high-water mark only tracks versions whose
+// harvests it has seen; a rolled-back-from version that never finished
+// a query is above it, and without this floor its first straggler would
+// look like a fresh publish and hijack the window away from the version
+// actually serving. For the same reason a target with no window yet
+// GETS one here: a rollback can precede the target's first harvest, and
+// dropping the floor on that path would let the straggler create the
+// window keyed to the dead version.
+func (t *DriftTracker) Rebind(target string, served ServedModel, superseded int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	nw := t.newWindowLocked(served, t.targets[target])
+	if superseded > nw.maxSeen {
+		nw.maxSeen = superseded
+	}
+	t.targets[target] = nw
+}
+
+// Reset clears target's window, keeping the version/baseline binding: a
+// drift-triggered retrain whose candidate the gate rejected (the old
+// version keeps serving) must re-accrue MinSamples fresh observations
+// before the verdict can fire again, instead of re-firing every poll
+// tick on the same stale window.
+func (t *DriftTracker) Reset(target string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w := t.targets[target]
+	if w == nil {
+		return
+	}
+	w.filled = 0
+	w.next = 0
+	w.sum = 0
+	w.total = 0
+	w.since = time.Time{}
+}
+
+// stateLocked snapshots one window into its public form.
+func (t *DriftTracker) stateLocked(target string, w *driftWindow) DriftState {
+	st := DriftState{
+		Target:     target,
+		Version:    w.version,
+		BaselineL1: w.baselineL1,
+		BaselineN:  w.baselineN,
+		Samples:    w.filled,
+		Total:      w.total,
+		Drifted:    t.driftedLocked(w),
+		Since:      w.since,
+	}
+	if w.filled > 0 {
+		st.ObservedL1 = w.sum / float64(w.filled)
+		obs := make([]float64, w.filled)
+		copy(obs, w.ring[:w.filled])
+		sort.Float64s(obs)
+		// Nearest-rank p90 over the window (small by construction).
+		idx := (len(obs)*9 + 9) / 10
+		if idx > len(obs) {
+			idx = len(obs)
+		}
+		st.ObservedP90 = obs[idx-1]
+	}
+	return st
+}
+
+// Status returns target's current standing; ok is false before any
+// observation was recorded for it, and after a tombstone Rebind (the
+// target has no serving version of its own to account against).
+func (t *DriftTracker) Status(target string) (DriftState, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w := t.targets[target]
+	if w == nil || w.version == 0 {
+		return DriftState{}, false
+	}
+	return t.stateLocked(target, w), true
+}
+
+// Statuses returns every tracked target's standing, sorted by target
+// (the global "" first). Tombstoned targets are omitted.
+func (t *DriftTracker) Statuses() []DriftState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]DriftState, 0, len(t.targets))
+	for target, w := range t.targets {
+		if w.version == 0 {
+			continue
+		}
+		out = append(out, t.stateLocked(target, w))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Target < out[j].Target })
+	return out
+}
+
+// Drifted returns the targets whose verdict is currently true, sorted —
+// the retrainer's drift trigger. It runs every poll tick, so unlike
+// Statuses it stays O(1) per target (no window copy/sort): the returned
+// states carry everything the trigger consumes but leave ObservedP90
+// zero.
+func (t *DriftTracker) Drifted() []DriftState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []DriftState
+	for target, w := range t.targets {
+		if w.version == 0 || !t.driftedLocked(w) {
+			continue
+		}
+		out = append(out, DriftState{
+			Target:     target,
+			Version:    w.version,
+			BaselineL1: w.baselineL1,
+			BaselineN:  w.baselineN,
+			ObservedL1: w.sum / float64(w.filled),
+			Samples:    w.filled,
+			Total:      w.total,
+			Drifted:    true,
+			Since:      w.since,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Target < out[j].Target })
+	return out
+}

@@ -22,21 +22,29 @@ type HarvestStats struct {
 // Harvester turns finished query executions into corpus examples. It
 // reuses workload.HarvestTrace — the exact conversion the batch training
 // path applies — so an online-harvested corpus is bit-identical to a
-// batch harvest of the same traces.
+// batch harvest of the same traces. When wired with a DriftTracker it
+// additionally closes the observed-vs-predicted loop: each harvested
+// example's errors are replayed through the selector version that served
+// the query, and the served estimator's error is recorded against that
+// version's routing target.
 type Harvester struct {
 	store *ExampleStore
 	// minObs filters pipelines with too few counter snapshots (<= 0 uses
 	// the batch default, 8).
 	minObs int
+	// drift, when non-nil, receives the observed serving errors of every
+	// harvested query that was served by a pinned model version.
+	drift *DriftTracker
 
 	mu      sync.Mutex
 	stats   HarvestStats
 	lastErr error
 }
 
-// NewHarvester wires a harvester to its corpus store.
-func NewHarvester(store *ExampleStore, minObs int) *Harvester {
-	return &Harvester{store: store, minObs: minObs}
+// NewHarvester wires a harvester to its corpus store. drift may be nil
+// (no observed-error tracking).
+func NewHarvester(store *ExampleStore, minObs int, drift *DriftTracker) *Harvester {
+	return &Harvester{store: store, minObs: minObs, drift: drift}
 }
 
 // HarvestTrace labels one finished trace and appends its examples to the
@@ -45,6 +53,16 @@ func NewHarvester(store *ExampleStore, minObs int) *Harvester {
 // appended — on a partial failure the prefix written before the error is
 // still counted, so the stats stay consistent with the corpus.
 func (h *Harvester) HarvestTrace(tr *exec.Trace, workloadName, family string, queryIndex int) (int, error) {
+	return h.harvestServed(tr, workloadName, family, queryIndex, nil)
+}
+
+// harvestServed is HarvestTrace plus the drift join: with a non-nil
+// served model, the errors the serving selector's choices incur on the
+// freshly harvested examples are recorded into the drift tracker under
+// the version's routing target. The join uses exactly the examples that
+// land in the corpus — the drift verdict and the retrainer's training
+// set always agree on what was observed.
+func (h *Harvester) harvestServed(tr *exec.Trace, workloadName, family string, queryIndex int, served *ServedModel) (int, error) {
 	exs := workload.HarvestTrace(tr, workloadName, family, queryIndex, h.minObs)
 	n, err := h.store.AppendAll(exs)
 	h.mu.Lock()
@@ -56,6 +74,17 @@ func (h *Harvester) HarvestTrace(tr *exec.Trace, workloadName, family string, qu
 		h.lastErr = err
 	}
 	h.mu.Unlock()
+	// Only the examples DURABLY appended feed the drift window (on a
+	// partial failure that is the prefix): a verdict built from evidence
+	// the corpus never stored would trigger retrains on a corpus that
+	// lacks the very traffic that drifted.
+	if h.drift != nil && served != nil && served.Selector != nil && n > 0 {
+		obs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			obs[i] = exs[i].ErrL1[served.Selector.Select(exs[i].Features)]
+		}
+		h.drift.Record(*served, obs)
+	}
 	return n, err
 }
 
@@ -70,9 +99,11 @@ func (h *Harvester) Stats() HarvestStats {
 // its completion event. Install it (or chain it after other observers) in
 // exec.Options to subscribe a live execution to the corpus; the OnDone
 // callback runs synchronously on the executing goroutine, after the
-// query's last snapshot.
-func (h *Harvester) Observer(workloadName, family string, queryIndex int) exec.Observer {
-	return &harvestObserver{h: h, workload: workloadName, family: family, query: queryIndex}
+// query's last snapshot. served, when non-nil, is the model version
+// pinned to the query at start — its observed errors feed the drift
+// tracker.
+func (h *Harvester) Observer(workloadName, family string, queryIndex int, served *ServedModel) exec.Observer {
+	return &harvestObserver{h: h, workload: workloadName, family: family, query: queryIndex, served: served}
 }
 
 // harvestObserver subscribes to the completion event of one execution.
@@ -82,10 +113,11 @@ type harvestObserver struct {
 	workload string
 	family   string
 	query    int
+	served   *ServedModel
 }
 
 func (o *harvestObserver) OnDone(tr *exec.Trace) {
 	// Append errors are recorded in the harvester's stats; the executing
 	// query must not fail because the corpus is unavailable.
-	_, _ = o.h.HarvestTrace(tr, o.workload, o.family, o.query)
+	_, _ = o.h.harvestServed(tr, o.workload, o.family, o.query, o.served)
 }

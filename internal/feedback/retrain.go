@@ -97,7 +97,44 @@ type RetrainerConfig struct {
 	// manifest) after every run that published, so a restarted daemon
 	// resumes from its last trained models.
 	Persist *ModelDir
+	// Drift, when non-nil together with DriftRetrain, adds the third
+	// trigger next to size and age: a routing target whose windowed
+	// observed serving error exceeds its version's holdout baseline (see
+	// DriftTracker) is retrained on its own — only the drifted target, not
+	// the whole model set — with source "drift". The tracker can be wired
+	// without DriftRetrain to monitor drift while leaving retraining to
+	// the operator.
+	Drift        *DriftTracker
+	DriftRetrain bool
 }
+
+// TrainDecision is one bounded-history entry of the retrainer's
+// publication decisions, so trigger provenance (size/age vs. drift vs.
+// manual) outlives the registry's version pruning.
+type TrainDecision struct {
+	// At is the decision time.
+	At time.Time
+	// Trigger is what caused the run: "manual", "auto" (size/age policy)
+	// or "drift" (observed-vs-predicted monitor).
+	Trigger string
+	// Family is the routing target trained ("" = the global model).
+	Family string
+	// Version is the id of the trained version (accepted or rejected).
+	Version int
+	// Decision is the quality-gate verdict (DecisionAccepted/Rejected).
+	Decision string
+	// HoldoutL1 is the candidate's holdout error; BaselineL1 the serving
+	// version's error on the same holdout the gate compared against (0
+	// when ungated).
+	HoldoutL1  float64
+	BaselineL1 float64
+	// ObservedL1 is the drift-window mean serving error that fired the
+	// trigger (0 for non-drift triggers).
+	ObservedL1 float64
+}
+
+// maxDecisions bounds the retained decision history.
+const maxDecisions = 64
 
 // ErrEmptyCorpus is returned by Retrain when there is nothing to train
 // on.
@@ -151,6 +188,13 @@ type Retrainer struct {
 	// unnoticed, which the next growth-triggered cycle corrects. Guarded
 	// by trainMu (only touched while it is held).
 	lastFamObserved map[string]int
+	// lastDriftAt maps target → when its last drift-triggered training
+	// run started (success or failure), rate-limiting the drift trigger
+	// to one run per Policy.MinInterval per target — without it a
+	// persistently drifting target (gate keeps rejecting, or traffic
+	// genuinely outruns the corpus) would re-arm within a few queries
+	// and spin a full training run every poll tick. Guarded by trainMu.
+	lastDriftAt map[string]time.Time
 
 	mu sync.Mutex // guards the policy state below
 	// lastAppended is the store's lifetime append counter at the last
@@ -161,6 +205,9 @@ type Retrainer struct {
 	lastAppended int
 	lastAt       time.Time
 	lastErr      error
+	// decisions is the bounded ring of recent publication decisions,
+	// newest last (see TrainDecision).
+	decisions []TrainDecision
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -185,6 +232,7 @@ func NewRetrainer(store *ExampleStore, reg *Registry, cfg RetrainerConfig) *Retr
 		reg:             reg,
 		cfg:             cfg,
 		lastFamObserved: make(map[string]int),
+		lastDriftAt:     make(map[string]time.Time),
 		stop:            make(chan struct{}),
 		done:            make(chan struct{}),
 	}
@@ -234,7 +282,7 @@ func (r *Retrainer) retrainLocked(source string) (*Version, error) {
 		return nil, ErrEmptyCorpus
 	}
 
-	global, err := r.trainTarget("", observed, r.cfg.Seed, source, len(observed))
+	global, err := r.trainTarget("", observed, r.cfg.Seed, source, len(observed), 0)
 	r.mu.Lock()
 	// A failed run only rearms the age gate (retry after MinInterval, so
 	// a persistent failure cannot spin training every poll tick); the
@@ -303,7 +351,7 @@ func (r *Retrainer) retrainFamiliesLocked(observed []selection.Example, source s
 		} else if len(byFamily[f]) == r.lastFamObserved[f] {
 			continue // no new evidence: retraining would reproduce the same model
 		}
-		if _, err := r.trainTarget(f, byFamily[f], seedByFamily[f], source, len(byFamily[f])); err != nil {
+		if _, err := r.trainTarget(f, byFamily[f], seedByFamily[f], source, len(byFamily[f]), 0); err != nil {
 			errs = errors.Join(errs, err)
 			continue
 		}
@@ -347,7 +395,7 @@ func splitHoldout(observed []selection.Example) (train, holdout []selection.Exam
 // that is genuinely better on fresh data. A bad first family model is
 // recoverable: rolling the family back past it falls back to the global
 // model.
-func (r *Retrainer) trainTarget(family string, observed, seed []selection.Example, source string, corpusSize int) (*Version, error) {
+func (r *Retrainer) trainTarget(family string, observed, seed []selection.Example, source string, corpusSize int, observedL1 float64) (*Version, error) {
 	trainSet, holdout, inSample := splitHoldout(observed)
 	full := make([]selection.Example, 0, len(seed)+len(trainSet))
 	full = append(full, seed...)
@@ -386,10 +434,174 @@ func (r *Retrainer) trainTarget(family string, observed, seed []selection.Exampl
 		servEv := selection.Evaluate(serving.Selector, holdout)
 		meta.BaselineL1 = servEv.AvgL1
 		if servEv.N > 0 && candEv.AvgL1 > servEv.AvgL1*(1+r.cfg.Gate.Tolerance)+gateAbsSlack {
-			return r.reg.Record(sel, meta), nil
+			v := r.reg.Record(sel, meta)
+			r.recordDecision(v, source, observedL1)
+			return v, nil
 		}
 	}
-	return r.reg.Publish(sel, meta), nil
+	v := r.reg.Publish(sel, meta)
+	r.recordDecision(v, source, observedL1)
+	return v, nil
+}
+
+// recordDecision appends one entry to the bounded decision ring.
+func (r *Retrainer) recordDecision(v *Version, trigger string, observedL1 float64) {
+	d := TrainDecision{
+		At:         v.Meta.TrainedAt,
+		Trigger:    trigger,
+		Family:     v.Meta.Family,
+		Version:    v.ID,
+		Decision:   v.Meta.Decision,
+		HoldoutL1:  v.Meta.HoldoutL1,
+		BaselineL1: v.Meta.BaselineL1,
+		ObservedL1: observedL1,
+	}
+	r.mu.Lock()
+	r.decisions = append(r.decisions, d)
+	if len(r.decisions) > maxDecisions {
+		r.decisions = append(r.decisions[:0], r.decisions[len(r.decisions)-maxDecisions:]...)
+	}
+	r.mu.Unlock()
+}
+
+// Decisions returns the retained publication decisions, oldest first.
+func (r *Retrainer) Decisions() []TrainDecision {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]TrainDecision(nil), r.decisions...)
+}
+
+// driftDue returns the currently drifted targets when drift-triggered
+// retraining is enabled.
+func (r *Retrainer) driftDue() []DriftState {
+	if r.cfg.Drift == nil || !r.cfg.DriftRetrain {
+		return nil
+	}
+	return r.cfg.Drift.Drifted()
+}
+
+// retrainDrifted trains exactly the drifted routing targets (source
+// "drift"), leaving every healthy target's model untouched. Each handled
+// target's drift window is reset afterwards — on acceptance the swap
+// re-keys the window to the new version anyway; on a gate rejection the
+// reset forces MinSamples fresh observations before the verdict can fire
+// again, so a model that cannot be improved does not spin a retrain per
+// poll tick. The size/age growth budget is untouched: drift is an
+// independent trigger.
+func (r *Retrainer) retrainDrifted() {
+	r.trainMu.Lock()
+	defer r.trainMu.Unlock()
+	// Re-check after winning trainMu: a concurrent manual retrain may
+	// have just replaced the drifted version.
+	drifted := r.driftDue()
+	if len(drifted) == 0 {
+		return
+	}
+	// Cheap reconciliation pass first, so a tick where nothing is
+	// actionable (every verdict stale, pinned or cooling down) costs no
+	// corpus snapshot. A verdict is only actionable while the version it
+	// judged is still the one serving the target: an operator pin or a
+	// rollback past the target's last version means they moved OFF this
+	// model family deliberately — honor it exactly like the size/age
+	// path does (an ungated drift publish would override the pin) and
+	// tombstone the window so it stops re-firing. A different serving
+	// version (concurrent manual retrain or rollback) means the
+	// verdict's evidence is about a replaced model: re-key the window to
+	// the current version instead of training against stale
+	// observations. Finally the per-target cooldown mirrors the
+	// size/age path's age gate — the window is left alone, so a held
+	// verdict simply re-fires on the first tick past MinInterval.
+	actionable := drifted[:0]
+	for _, st := range drifted {
+		cur := r.reg.CurrentFor(st.Target)
+		if cur == nil || cur.Meta.Family != st.Target ||
+			(st.Target != "" && r.reg.FallbackPinned(st.Target)) {
+			r.cfg.Drift.Rebind(st.Target, ServedModel{Target: st.Target}, st.Version)
+			continue
+		}
+		if cur.ID != st.Version {
+			r.cfg.Drift.Rebind(st.Target, ServedModel{
+				Target: st.Target, Version: cur.ID, Selector: cur.Selector,
+				BaselineL1: cur.Meta.HoldoutL1, BaselineN: cur.Meta.HoldoutN,
+			}, st.Version)
+			continue
+		}
+		if time.Since(r.lastDriftAt[st.Target]) < r.cfg.Policy.MinInterval {
+			continue
+		}
+		actionable = append(actionable, st)
+	}
+	if len(actionable) == 0 {
+		return
+	}
+	observed, err := r.store.Snapshot()
+	if err != nil {
+		r.mu.Lock()
+		r.lastErr = err
+		r.mu.Unlock()
+		return
+	}
+	var errs error
+	published := false
+	for _, st := range actionable {
+		obs := observed
+		seed := r.cfg.Seed
+		if st.Target != "" {
+			obs = nil
+			seed = nil
+			for _, ex := range observed {
+				if ex.Family == st.Target {
+					obs = append(obs, ex)
+				}
+			}
+			for _, ex := range r.cfg.Seed {
+				if ex.Family == st.Target {
+					seed = append(seed, ex)
+				}
+			}
+			if len(obs) < r.cfg.MinFamilyExamples {
+				// Retention shrank the family below the same training
+				// floor the size/age path enforces: a model fit on a
+				// handful of examples would publish ungated garbage.
+				// Reset so the verdict waits for fresh evidence.
+				r.cfg.Drift.Reset(st.Target)
+				continue
+			}
+		}
+		if len(obs)+len(seed) == 0 {
+			// Retention dropped every example of the target; nothing to
+			// retrain on. Reset so the stale window does not re-fire.
+			r.cfg.Drift.Reset(st.Target)
+			continue
+		}
+		// Charged whether the run succeeds or fails: a persistent
+		// training failure must not spin either.
+		r.lastDriftAt[st.Target] = time.Now()
+		v, err := r.trainTarget(st.Target, obs, seed, "drift", len(obs), st.ObservedL1)
+		if err != nil {
+			errs = errors.Join(errs, err)
+			continue
+		}
+		if st.Target != "" {
+			r.lastFamObserved[st.Target] = len(obs)
+		}
+		if v.Meta.Decision == DecisionAccepted {
+			published = true
+		}
+		r.cfg.Drift.Reset(st.Target)
+	}
+	if published && r.cfg.Persist != nil {
+		errs = errors.Join(errs, r.cfg.Persist.Sync(r.reg))
+	}
+	// Only RECORD failures: a size/age run may have failed in this very
+	// poll tick, and a clean drift pass overwriting lastErr with nil
+	// would hide that from LastError/GET /models. The next successful
+	// size/age run clears it, exactly as before drift existed.
+	if errs != nil {
+		r.mu.Lock()
+		r.lastErr = errs
+		r.mu.Unlock()
+	}
 }
 
 // LastError returns the most recent training failure (nil after a fully
@@ -425,6 +637,9 @@ func (r *Retrainer) Start() {
 				case <-ticker.C:
 					if r.due() {
 						r.retrainIfDue()
+					}
+					if len(r.driftDue()) > 0 {
+						r.retrainDrifted()
 					}
 				}
 			}

@@ -71,6 +71,23 @@ type LearningConfig struct {
 	// global and family models from there instead of falling back to
 	// fixed estimators.
 	DisablePersist bool
+	// DriftWindow, DriftMinSamples, DriftRatio and DriftAbsSlack tune the
+	// observed-vs-predicted drift monitor: per routing target, the mean L1
+	// error the serving version's estimator choices incur on the last
+	// DriftWindow harvested pipelines (default 256) is compared against
+	// the version's recorded holdout baseline once at least
+	// DriftMinSamples observations accrued (default 32); the target counts
+	// as drifted when observed > baseline*DriftRatio + DriftAbsSlack
+	// (defaults 1.5 and 0.01; a negative slack means zero).
+	DriftWindow     int
+	DriftMinSamples int
+	DriftRatio      float64
+	DriftAbsSlack   float64
+	// DisableDriftRetrain keeps drift tracking on (GET /models/drift,
+	// DriftStatus) but never auto-retrains on a drift verdict — the
+	// operator decides. By default a drifted target is retrained on its
+	// own, with trigger "drift", leaving healthy targets' models alone.
+	DisableDriftRetrain bool
 }
 
 // ModelVersion is the wire-friendly description of one published selector
@@ -93,6 +110,64 @@ type ModelVersion struct {
 	BaselineL1 float64 `json:"baseline_l1,omitempty"`
 	// Current marks the version serving its routing target right now.
 	Current bool `json:"current"`
+}
+
+// DriftStatus is one routing target's observed-vs-predicted standing:
+// the windowed mean L1 error the serving version's estimator choices
+// incur on live traffic, against the holdout error predicted for the
+// version at training time.
+type DriftStatus struct {
+	// Family is the routing target ("" = the global model).
+	Family string `json:"family"`
+	// Version is the serving version the observations are accounted
+	// against.
+	Version int `json:"version"`
+	// BaselineL1 is the version's holdout L1 (the predicted error);
+	// BaselineN the holdout size it was measured on. BaselineN 0 means no
+	// fair baseline exists (seed/restored models) and Drifted stays false.
+	BaselineL1 float64 `json:"baseline_l1"`
+	BaselineN  int     `json:"baseline_n"`
+	// ObservedL1 and ObservedP90 are the mean and 90th percentile L1
+	// error over the current window of harvested pipelines served by the
+	// version.
+	ObservedL1  float64 `json:"observed_l1"`
+	ObservedP90 float64 `json:"observed_p90"`
+	// Samples is the number of observations in the window (at most
+	// Window); a verdict needs at least MinSamples of them.
+	Samples    int `json:"samples"`
+	Window     int `json:"window"`
+	MinSamples int `json:"min_samples"`
+	// Ratio is the configured observed/predicted inflation bound.
+	Ratio float64 `json:"ratio"`
+	// Drifted is the verdict: observed > baseline*Ratio + slack with a
+	// fair baseline and enough samples.
+	Drifted bool `json:"drifted"`
+	// Since is when the current verdict first became true (zero while not
+	// drifted).
+	Since time.Time `json:"since"`
+	// LastTrigger and LastDecision are the most recent retrain
+	// provenance for this target from the decision history ("" before any
+	// decision): what fired the last training run ("manual", "auto",
+	// "drift") and how the quality gate ruled.
+	LastTrigger  string `json:"last_trigger,omitempty"`
+	LastDecision string `json:"last_decision,omitempty"`
+}
+
+// RetrainDecision is one entry of the retrainer's bounded decision
+// history: which trigger trained which routing target, and how the
+// quality gate ruled.
+type RetrainDecision struct {
+	At       time.Time `json:"at"`
+	Trigger  string    `json:"trigger"`
+	Family   string    `json:"family,omitempty"`
+	Version  int       `json:"version"`
+	Decision string    `json:"decision"`
+	// HoldoutL1 is the trained candidate's holdout error; BaselineL1 the
+	// serving version's error on the same holdout (0 when ungated);
+	// ObservedL1 the drift-window mean that fired a "drift" trigger.
+	HoldoutL1  float64 `json:"holdout_l1"`
+	BaselineL1 float64 `json:"baseline_l1,omitempty"`
+	ObservedL1 float64 `json:"observed_l1,omitempty"`
 }
 
 // HarvestStats counts the learning loop's harvesting activity.
@@ -118,6 +193,7 @@ type Learning struct {
 	harv   *feedback.Harvester
 	reg    *feedback.Registry
 	ret    *feedback.Retrainer
+	drift  *feedback.DriftTracker
 	models *feedback.ModelDir // nil when persistence is disabled
 }
 
@@ -163,6 +239,12 @@ func OpenLearning(cfg LearningConfig) (*Learning, error) {
 	if poll <= 0 && cfg.MinInterval > 0 && cfg.MinInterval < 5*time.Second {
 		poll = cfg.MinInterval
 	}
+	drift := feedback.NewDriftTracker(feedback.DriftConfig{
+		Window:     cfg.DriftWindow,
+		MinSamples: cfg.DriftMinSamples,
+		Ratio:      cfg.DriftRatio,
+		AbsSlack:   cfg.DriftAbsSlack,
+	})
 	ret := feedback.NewRetrainer(store, reg, feedback.RetrainerConfig{
 		Selection: selectionConfig(cfg.Selector),
 		Seed:      seed,
@@ -178,15 +260,18 @@ func OpenLearning(cfg LearningConfig) (*Learning, error) {
 		FamilyModels:      cfg.FamilyModels,
 		MinFamilyExamples: cfg.MinFamilyExamples,
 		Persist:           models,
+		Drift:             drift,
+		DriftRetrain:      !cfg.DisableDriftRetrain,
 	})
 	if !cfg.DisableBackground {
 		ret.Start()
 	}
 	return &Learning{
 		store:  store,
-		harv:   feedback.NewHarvester(store, cfg.MinObservations),
+		harv:   feedback.NewHarvester(store, cfg.MinObservations, drift),
 		reg:    reg,
 		ret:    ret,
+		drift:  drift,
 		models: models,
 	}, nil
 }
@@ -226,9 +311,29 @@ func (l *Learning) RollbackFamily(family string) (ModelVersion, error) {
 }
 
 func (l *Learning) rollback(family string) (ModelVersion, error) {
+	// The version about to be rolled off: the drift tracker needs its id
+	// as a drop floor — if it never finished a query, the tracker's own
+	// high-water mark has not seen it, and its first straggler harvest
+	// would otherwise masquerade as a fresh publish.
+	rolledFrom := 0
+	if from := l.reg.CurrentFor(family); from != nil && from.Meta.Family == family {
+		rolledFrom = from.ID
+	}
 	v, err := l.reg.Rollback(family)
 	if err != nil {
 		return ModelVersion{}, err
+	}
+	// Re-key the target's drift window to what now serves it. The bound
+	// version moved BACKWARDS, which harvest-driven re-keying alone
+	// cannot express (a lower id normally means a late harvest to drop);
+	// without this the window would silently discard every observation
+	// about the rolled-back-to model. Rolling a family back past its last
+	// version tombstones its window instead — its queries route to the
+	// global target now.
+	if sm := l.servedFor(family); sm != nil && sm.Target == family {
+		l.drift.Rebind(family, *sm, rolledFrom)
+	} else {
+		l.drift.Rebind(family, feedback.ServedModel{Target: family}, rolledFrom)
 	}
 	if l.models != nil {
 		// The routing table changed; refresh the persisted manifest so a
@@ -293,6 +398,62 @@ func (l *Learning) Versions() []ModelVersion {
 // or nil.
 func (l *Learning) LastTrainingError() error { return l.ret.LastError() }
 
+// DriftStatus returns the observed-vs-predicted standing of every routing
+// target that served at least one harvested query, sorted by target
+// (global first), with the latest retrain provenance for each attached.
+func (l *Learning) DriftStatus() []DriftStatus {
+	states := l.drift.Statuses()
+	decisions := l.ret.Decisions()
+	cfg := l.drift.Config()
+	out := make([]DriftStatus, len(states))
+	for i, st := range states {
+		out[i] = DriftStatus{
+			Family:      st.Target,
+			Version:     st.Version,
+			BaselineL1:  st.BaselineL1,
+			BaselineN:   st.BaselineN,
+			ObservedL1:  st.ObservedL1,
+			ObservedP90: st.ObservedP90,
+			Samples:     st.Samples,
+			Window:      cfg.Window,
+			MinSamples:  cfg.MinSamples,
+			Ratio:       cfg.Ratio,
+			Drifted:     st.Drifted,
+			Since:       st.Since,
+		}
+		// The ring is oldest-first; the last match is the target's most
+		// recent decision.
+		for _, d := range decisions {
+			if d.Family == st.Target {
+				out[i].LastTrigger = d.Trigger
+				out[i].LastDecision = d.Decision
+			}
+		}
+	}
+	return out
+}
+
+// Decisions returns the retrainer's bounded decision history, oldest
+// first — trigger provenance (size/age, drift, manual) per trained
+// routing target, surviving the registry's version pruning.
+func (l *Learning) Decisions() []RetrainDecision {
+	ds := l.ret.Decisions()
+	out := make([]RetrainDecision, len(ds))
+	for i, d := range ds {
+		out[i] = RetrainDecision{
+			At:         d.At,
+			Trigger:    d.Trigger,
+			Family:     d.Family,
+			Version:    d.Version,
+			Decision:   d.Decision,
+			HoldoutL1:  d.HoldoutL1,
+			BaselineL1: d.BaselineL1,
+			ObservedL1: d.ObservedL1,
+		}
+	}
+	return out
+}
+
 // Close drains the retrainer goroutine (waiting out a training run in
 // flight, however long it takes) and closes the corpus store. Queries
 // still executing afterwards keep running; only their harvest appends
@@ -340,18 +501,25 @@ func (l *Learning) modelVersion(v *feedback.Version) ModelVersion {
 	}
 }
 
-// routeFor resolves the serving selector for a new query of the given
+// servedFor resolves the serving version for a new query of the given
 // routing target ("" = the global model; a family name falls back to the
-// global model when the family has no trained version). It returns the
-// selector, its version id, and the family the version was trained for
-// ("" when the global model answered). All nil/0 before the first
-// published version.
-func (l *Learning) routeFor(family string) (*selection.Selector, int, string) {
+// global model when the family has no trained version), pinned into the
+// ServedModel form the drift join consumes: selector, version id, the
+// family the version was trained for ("" when the global model
+// answered), and its holdout baseline. Nil before the first published
+// version.
+func (l *Learning) servedFor(family string) *feedback.ServedModel {
 	v := l.reg.CurrentFor(family)
 	if v == nil {
-		return nil, 0, ""
+		return nil
 	}
-	return v.Selector, v.ID, v.Meta.Family
+	return &feedback.ServedModel{
+		Target:     v.Meta.Family,
+		Version:    v.ID,
+		Selector:   v.Selector,
+		BaselineL1: v.Meta.HoldoutL1,
+		BaselineN:  v.Meta.HoldoutN,
+	}
 }
 
 // IsEmptyCorpus reports whether err means there was nothing to train on.

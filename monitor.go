@@ -6,6 +6,7 @@ import (
 
 	"progressest/internal/exec"
 	"progressest/internal/features"
+	"progressest/internal/feedback"
 	"progressest/internal/pipeline"
 	"progressest/internal/progress"
 	"progressest/internal/selection"
@@ -279,6 +280,7 @@ func (w *Workload) Start(i int, opts MonitorOptions) (*Monitor, error) {
 	// else the global one.
 	family := w.inner.QueryFamily(i)
 	var sel *selection.Selector
+	var served *feedback.ServedModel
 	version := 0
 	modelFamily := ""
 	if opts.Selector != nil {
@@ -288,7 +290,11 @@ func (w *Workload) Start(i int, opts MonitorOptions) (*Monitor, error) {
 		if opts.RouteByFamily {
 			target = family
 		}
-		sel, version, modelFamily = opts.Learning.routeFor(target)
+		if served = opts.Learning.servedFor(target); served != nil {
+			sel = served.Selector
+			version = served.Version
+			modelFamily = served.Target
+		}
 	}
 	if sel != nil {
 		for _, k := range sel.Kinds {
@@ -313,7 +319,10 @@ func (w *Workload) Start(i int, opts MonitorOptions) (*Monitor, error) {
 	}
 	obs.sel = sel
 	if opts.Learning != nil {
-		obs.harvest = opts.Learning.harv.Observer(w.inner.Spec.Name, family, i)
+		// The pinned served model rides along so the harvester can join
+		// the query's eventual estimator errors back to the version (and
+		// routing target) that served it — the drift monitor's signal.
+		obs.harvest = opts.Learning.harv.Observer(w.inner.Spec.Name, family, i, served)
 	}
 	for pi := range obs.choice {
 		obs.choice[pi] = opts.Estimator

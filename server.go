@@ -25,7 +25,8 @@ import (
 // When MonitorOptions.Learning is set, the model-lifecycle routes come
 // alive too (404 otherwise):
 //
-//	GET  /models                               -> corpus + version history
+//	GET  /models                               -> corpus + version history + drift
+//	GET  /models/drift                         -> observed-vs-predicted per target
 //	POST /models/retrain                       -> train + gate + hot-swap
 //	POST /models/rollback     [{"family": f}]  -> revert to the previous one
 //
@@ -93,6 +94,7 @@ func NewEngineServer(e *Engine) *Server {
 	s.mux.HandleFunc("GET /queries/{id}/progress", s.handleProgress)
 	s.mux.HandleFunc("GET /engine/stats", s.handleEngineStats)
 	s.mux.HandleFunc("GET /models", s.handleModels)
+	s.mux.HandleFunc("GET /models/drift", s.handleDrift)
 	s.mux.HandleFunc("POST /models/retrain", s.handleRetrain)
 	s.mux.HandleFunc("POST /models/rollback", s.handleRollback)
 	return s
@@ -305,6 +307,14 @@ type modelsResponse struct {
 	// quality-gate-rejected versions (decision "rejected") that never
 	// served.
 	Versions []ModelVersion `json:"versions"`
+	// Drift is the observed-vs-predicted standing per routing target —
+	// the serving version's windowed live error against its holdout
+	// baseline, the drift flag, and the target's last retrain trigger.
+	Drift []DriftStatus `json:"drift"`
+	// Decisions is the retrainer's bounded decision history, oldest
+	// first: which trigger (manual, auto, drift) trained which target and
+	// how the quality gate ruled.
+	Decisions []RetrainDecision `json:"decisions"`
 	// PersistError, when set, means the on-disk model manifest trails the
 	// live routing table (a restart would resume from the last
 	// successfully persisted models); the next successful persist clears
@@ -336,6 +346,8 @@ func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 		CorpusSize: l.CorpusSize(),
 		Harvest:    l.HarvestStats(),
 		Versions:   l.Versions(),
+		Drift:      l.DriftStatus(),
+		Decisions:  l.Decisions(),
 	}
 	if perr := l.PersistError(); perr != nil {
 		resp.PersistError = perr.Error()
@@ -348,6 +360,39 @@ func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 	}
 	if resp.Versions == nil {
 		resp.Versions = []ModelVersion{}
+	}
+	if resp.Drift == nil {
+		resp.Drift = []DriftStatus{}
+	}
+	if resp.Decisions == nil {
+		resp.Decisions = []RetrainDecision{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// driftResponse is the GET /models/drift wire form.
+type driftResponse struct {
+	// Targets is the observed-vs-predicted standing per routing target
+	// that served at least one harvested query (global target under
+	// family "").
+	Targets []DriftStatus `json:"targets"`
+	// Decisions is the retrainer's decision history, oldest first —
+	// "drift"-triggered entries record which verdicts turned into
+	// retrains.
+	Decisions []RetrainDecision `json:"decisions"`
+}
+
+func (s *Server) handleDrift(w http.ResponseWriter, _ *http.Request) {
+	l := s.learning(w)
+	if l == nil {
+		return
+	}
+	resp := driftResponse{Targets: l.DriftStatus(), Decisions: l.Decisions()}
+	if resp.Targets == nil {
+		resp.Targets = []DriftStatus{}
+	}
+	if resp.Decisions == nil {
+		resp.Decisions = []RetrainDecision{}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
