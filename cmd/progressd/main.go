@@ -7,6 +7,18 @@
 // streaming progress estimates (per pipeline and combined per eq. 5 of
 // the paper) are polled as JSON.
 //
+// The pool is elastic: with -max-shards above -min-shards a background
+// controller polls the gate every -autoscale-interval and grows the pool
+// by one replica after sustained saturation (admission queue more than
+// half full, or rejections, across consecutive polls) up to -max-shards,
+// and drains one replica back after sustained idleness down to
+// -min-shards — with a cooldown between resizes so a single bursty poll
+// never flaps the pool. A shrunk replica finishes its live queries,
+// receives nothing new, and is reaped once empty; its lifetime counters
+// survive in GET /engine/stats, which also reports the resize history
+// and the controller's last decision. POST /engine/resize is the
+// operator override; -no-autoscale keeps the pool fixed.
+//
 // With -learn the daemon closes the paper's training loop on its own
 // traffic: every finished query is harvested into an on-disk corpus
 // (tagged with its workload family), a background retrainer periodically
@@ -22,7 +34,8 @@
 //	POST /queries                {"query": i}  start workload query i
 //	GET  /queries                              list submitted queries
 //	GET  /queries/{id}/progress                freshest progress update
-//	GET  /engine/stats                         per-shard live/queued counts
+//	GET  /engine/stats                         shard pool, queue + resize state
+//	POST /engine/resize          {"shards": n} operator pool resize
 //	GET  /healthz                              liveness probe
 //	GET  /models                               corpus + model versions + drift (-learn)
 //	GET  /models/drift                         observed-vs-predicted per target (-learn)
@@ -34,6 +47,8 @@
 //	progressd [-addr :8080] [-workload tpch|tpcds|real1|real2]
 //	          [-design 0|1|2] [-queries N] [-scale F] [-zipf F] [-seed N]
 //	          [-shards N] [-queue-depth N] [-max-live N] [-route-by-family]
+//	          [-min-shards N] [-max-shards N] [-autoscale-interval D]
+//	          [-no-autoscale]
 //	          [-every N] [-pace D] [-model selector.json]
 //	          [-learn corpus/] [-retrain-after N] [-retrain-every D]
 //	          [-gate-tolerance F] [-no-gate]
@@ -81,9 +96,13 @@ func main() {
 	scale := flag.Float64("scale", 0.15, "database scale")
 	zipf := flag.Float64("zipf", 1, "data skew factor z")
 	seed := flag.Int64("seed", 1, "random seed")
-	shards := flag.Int("shards", 1, "workload replicas behind the admission gate")
+	shards := flag.Int("shards", 1, "workload replicas the pool starts with")
 	queueDepth := flag.Int("queue-depth", 64, "admissions queued once all shards are at capacity (0 = reject immediately)")
 	maxLive := flag.Int("max-live", 64, "concurrent queries per shard")
+	minShards := flag.Int("min-shards", 0, "lower autoscale bound for the replica pool (default: -shards)")
+	maxShards := flag.Int("max-shards", 0, "upper autoscale bound; above -min-shards it enables load-driven grow/shrink (default: -shards, fixed pool)")
+	autoscaleInterval := flag.Duration("autoscale-interval", 2*time.Second, "how often the autoscaler polls the admission gate")
+	noAutoscale := flag.Bool("no-autoscale", false, "never resize the pool automatically (POST /engine/resize still works)")
 	routeByFamily := flag.Bool("route-by-family", false, "train and serve per-workload-family selection models (needs -learn)")
 	every := flag.Int("every", 8, "record a progress update every N counter snapshots")
 	pace := flag.Duration("pace", 0, "pace execution: sleep per progress update (0 = full speed)")
@@ -176,18 +195,28 @@ func main() {
 	}
 
 	eng := progressest.NewEngine(w, progressest.EngineConfig{
-		Shards:          *shards,
-		MaxLivePerShard: *maxLive,
-		QueueDepth:      *queueDepth,
-		RouteByFamily:   *routeByFamily,
+		Shards:            *shards,
+		MaxLivePerShard:   *maxLive,
+		QueueDepth:        *queueDepth,
+		RouteByFamily:     *routeByFamily,
+		MinShards:         *minShards,
+		MaxShards:         *maxShards,
+		DisableAutoscale:  *noAutoscale,
+		AutoscaleInterval: *autoscaleInterval,
 	}, opts)
 	server := progressest.NewEngineServer(eng)
 	httpSrv := &http.Server{Addr: *addr, Handler: server}
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("progressd listening on %s (%d queries ready, %d shard(s) × %d live, queue %d)",
-			*addr, w.NumQueries(), *shards, *maxLive, *queueDepth)
+		st := eng.Stats()
+		pool := fmt.Sprintf("%d shard(s)", st.CurrentShards)
+		if st.Autoscale {
+			pool = fmt.Sprintf("%d shard(s), autoscaling %d..%d every %s",
+				st.CurrentShards, st.MinShards, st.MaxShards, *autoscaleInterval)
+		}
+		log.Printf("progressd listening on %s (%d queries ready, %s × %d live, queue %d)",
+			*addr, w.NumQueries(), pool, *maxLive, *queueDepth)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 

@@ -4,19 +4,23 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"progressest/internal/engine"
 )
 
 // EngineConfig sizes the sharded execution engine.
 type EngineConfig struct {
-	// Shards is the number of Workload replicas in the pool (default 1).
-	// Replicas share the immutable database and query set, so extra
-	// shards cost planner state, not a database copy.
+	// Shards is the number of Workload replicas the pool starts with
+	// (default 1, clamped into [MinShards, MaxShards]). Replicas share
+	// the immutable database and query set, so extra shards cost planner
+	// state, not a database copy.
 	Shards int
 	// MaxLivePerShard bounds the queries executing concurrently on one
 	// replica (default 64); the engine-wide live bound is
-	// Shards × MaxLivePerShard.
+	// active shards × MaxLivePerShard.
 	MaxLivePerShard int
 	// QueueDepth bounds the admissions waiting for a slot once every
 	// replica is at capacity; 0 disables queueing, so a saturated engine
@@ -26,54 +30,285 @@ type EngineConfig struct {
 	// for its workload family (falling back to the global model) when the
 	// monitor options carry a Learning loop.
 	RouteByFamily bool
+
+	// MinShards and MaxShards bound runtime resizing (both default to the
+	// initial pool size, i.e. a fixed pool; MinShards wins when they
+	// conflict). When MaxShards > MinShards and autoscaling is not
+	// disabled, a background controller grows the pool while the
+	// admission queue runs hot and shrinks it back while replicas idle —
+	// see the Autoscale* knobs. Resize is available either way.
+	MinShards int
+	MaxShards int
+	// DisableAutoscale keeps the pool at its initial size unless Resize
+	// (or POST /engine/resize) moves it.
+	DisableAutoscale bool
+	// AutoscaleInterval is the controller's poll period (default 2s).
+	AutoscaleInterval time.Duration
+	// AutoscaleGrowPolls is the number of consecutive polls the admission
+	// queue must be more than half full (or rejecting) before one shard
+	// is added (default 3); AutoscaleShrinkPolls the consecutive polls
+	// with an empty queue and an idle replica before one is drained
+	// (default 10). AutoscaleCooldown is the minimum gap between two
+	// resizes (default 3× the interval). The hysteresis exists so one
+	// bursty poll never flaps the pool.
+	AutoscaleGrowPolls   int
+	AutoscaleShrinkPolls int
+	AutoscaleCooldown    time.Duration
 }
 
 // Engine is the sharded execution engine: a pool of Workload replicas
 // behind one admission gate (bounded queue, per-replica live bound,
 // least-loaded dispatch), sharing one Learning loop — every replica
 // harvests into the same corpus and serves from the same hot-swapped
-// model registry, optionally routed per workload family. It is the
-// serving core progressd wraps in HTTP.
+// model registry, optionally routed per workload family. The pool is
+// elastic: Resize grows and shrinks it at runtime, and an optional
+// autoscaler drives Resize from the gate's own queue-depth and rejection
+// signals. It is the serving core progressd wraps in HTTP.
 type Engine struct {
-	opts     MonitorOptions
-	replicas []*Workload
-	gate     *engine.Gate
+	opts MonitorOptions
+	gate *engine.Gate
+	// replicas is the slot-indexed replica pool, published atomically so
+	// the Start hot path never takes the resize lock. The slice only ever
+	// grows (shrink marks gate slots draining, it never compacts), and a
+	// slot becomes dispatchable only AFTER its replica is published, so
+	// indexing the freshest slice with a granted Slot.Shard is always in
+	// bounds.
+	replicas atomic.Pointer[[]*Workload]
+	// resizeMu serialises resizes: replica growth and the gate resize
+	// must be one atomic step from other resizers' point of view.
+	resizeMu sync.Mutex
+
+	minShards, maxShards int
+	scaler               *engine.Autoscaler // nil with autoscaling off
 }
 
 // NewEngine builds an engine of cfg.Shards replicas of w. The monitor
 // options apply to every query the engine starts; cfg.RouteByFamily
 // switches them to per-family model routing. Defaulting of the gate
-// bounds (shards, per-shard live limit, queue depth) is owned by the
-// internal gate.
+// bounds (per-shard live limit, queue depth) is owned by the internal
+// gate; the initial pool size is clamped into [MinShards, MaxShards].
 func NewEngine(w *Workload, cfg EngineConfig, opts MonitorOptions) *Engine {
 	opts = opts.withDefaults()
 	// Family routing needs a model registry to route over; without a
 	// Learning loop the flag would only make Stats report a capability
 	// that cannot act.
 	opts.RouteByFamily = (opts.RouteByFamily || cfg.RouteByFamily) && opts.Learning != nil
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	minShards := cfg.MinShards
+	if minShards < 1 {
+		minShards = shards
+	}
+	maxShards := cfg.MaxShards
+	if maxShards < 1 {
+		// Unset defaults to the requested pool size, NOT to MinShards —
+		// `Shards: 10, MinShards: 2` means "start at 10, allowed to shrink
+		// to 2", not a 2-shard pool.
+		maxShards = shards
+	}
+	if maxShards < minShards {
+		maxShards = minShards
+	}
+	if shards < minShards {
+		shards = minShards
+	}
+	if shards > maxShards {
+		shards = maxShards
+	}
 	gate := engine.NewGate(engine.Config{
-		Shards:          cfg.Shards,
+		Shards:          shards,
 		MaxLivePerShard: cfg.MaxLivePerShard,
 		QueueDepth:      cfg.QueueDepth,
 	})
-	shards := gate.NumShards() // cfg.Shards after the gate's defaulting
 	replicas := make([]*Workload, shards)
 	replicas[0] = w
 	for i := 1; i < shards; i++ {
 		replicas[i] = w.replica()
 	}
-	return &Engine{opts: opts, replicas: replicas, gate: gate}
+	e := &Engine{
+		opts:      opts,
+		gate:      gate,
+		minShards: minShards,
+		maxShards: maxShards,
+	}
+	e.replicas.Store(&replicas)
+	if !cfg.DisableAutoscale && maxShards > minShards {
+		e.scaler = engine.NewAutoscaler(engine.AutoscalerConfig{
+			Min:         minShards,
+			Max:         maxShards,
+			Interval:    cfg.AutoscaleInterval,
+			GrowAfter:   cfg.AutoscaleGrowPolls,
+			ShrinkAfter: cfg.AutoscaleShrinkPolls,
+			Cooldown:    cfg.AutoscaleCooldown,
+		}, gate.Stats, func(from, to int, reason string) error {
+			return e.resize(from, to, "autoscale", reason)
+		})
+		e.scaler.Start()
+	}
+	return e
 }
 
-// Workload returns the engine's primary replica (shard 0) — the handle
-// for query metadata like NumQueries and QueryText.
-func (e *Engine) Workload() *Workload { return e.replicas[0] }
+// Workload returns the engine's primary replica (slot 0) — the handle
+// for query metadata like NumQueries and QueryText. Slot 0 can be
+// drained out of dispatch by a shrink, but its workload handle stays
+// valid for the engine's life.
+func (e *Engine) Workload() *Workload { return (*e.replicas.Load())[0] }
 
-// NumShards returns the replica count.
-func (e *Engine) NumShards() int { return len(e.replicas) }
+// NumShards returns the number of active (dispatchable) replicas right
+// now; a resize changes it.
+func (e *Engine) NumShards() int { return e.gate.NumShards() }
 
 // learning returns the shared learning loop, or nil.
 func (e *Engine) learning() *Learning { return e.opts.Learning }
+
+// maxResizePool bounds any requested pool size: a replica costs real
+// memory (planner state), so an absurd operator request must fail fast
+// instead of allocating its way to an OOM. A configured MaxShards above
+// it raises the bound.
+const maxResizePool = 256
+
+// errResizeInvalid marks a resize request refused by validation (the
+// HTTP layer's 400, vs. IsDraining's 409).
+var errResizeInvalid = errors.New("invalid resize")
+
+// Resize sets the active replica count to n (operator override of the
+// autoscaler; POST /engine/resize in the daemon). Grow publishes fresh
+// replicas and then widens the gate, admitting queued work immediately;
+// shrink marks the emptiest replicas draining — they finish their live
+// queries, receive nothing new, and are reaped once empty, keeping their
+// lifetime counters in Stats. n may land outside [MinShards, MaxShards]
+// (the bounds steer the autoscaler, not the operator, whose override
+// also restarts the controller's hysteresis) but never above
+// max(256, MaxShards) — each replica costs planner state. Resizing fails
+// with an IsDraining error once Drain began.
+func (e *Engine) Resize(n int) error {
+	return e.resize(-1, n, "operator", "operator resize request")
+}
+
+// resizeCap is the largest acceptable pool size.
+func (e *Engine) resizeCap() int {
+	if e.maxShards > maxResizePool {
+		return e.maxShards
+	}
+	return maxResizePool
+}
+
+// resize applies one pool resize. expectFrom >= 0 makes it conditional
+// on the active count still being expectFrom (the autoscaler's
+// compare-and-swap against concurrent operator overrides); -1 applies
+// unconditionally.
+func (e *Engine) resize(expectFrom, n int, source, reason string) error {
+	if n < 1 {
+		return fmt.Errorf("progressest: %w: %d shards, need at least 1", errResizeInvalid, n)
+	}
+	if bound := e.resizeCap(); n > bound {
+		return fmt.Errorf("progressest: %w: %d shards exceeds the pool cap %d", errResizeInvalid, n, bound)
+	}
+	e.resizeMu.Lock()
+	defer e.resizeMu.Unlock()
+	gs := e.gate.Stats()
+	// Fail fast BEFORE allocating replicas — a refusal the gate would
+	// issue anyway (draining, stale CAS) must not cost a pool's worth of
+	// planner state. The gate re-checks both authoritatively under its
+	// own lock; losing that race just means the rollback below fires.
+	if gs.Draining {
+		return engine.ErrDraining
+	}
+	if expectFrom >= 0 && gs.ActiveShards != expectFrom {
+		return engine.ErrResizeConflict
+	}
+	// Publish replicas for every slot the gate could make dispatchable
+	// BEFORE widening it, because queued waiters are granted inside
+	// Resize itself. The gate grows by reactivating draining slots
+	// (replica still present — pruning only touches slots observed
+	// reaped, under this same mutex), then resurrecting reaped slots
+	// lowest-index first (replica was reclaimed on reap, rebuild it),
+	// then appending. A draining slot can reap between this snapshot
+	// and the gate's commit, shifting which reaped slots the gate picks,
+	// so provision the reachable SUPERSET — the first `need` reaped
+	// slots with no draining discount (any commit-time pick is provably
+	// within it) — rather than mirroring the gate's exact selection; the
+	// prune after a successful resize reclaims whatever went unused. A
+	// deep-shrunk pool growing by one still rebuilds one replica, not
+	// every reclaimed slot.
+	old := *e.replicas.Load()
+	grew := false
+	if need := n - gs.ActiveShards; need > 0 {
+		size := len(old)
+		if n > size {
+			size = n
+		}
+		grown := make([]*Workload, size)
+		copy(grown, old)
+		left := need
+		for i, sh := range gs.Shards {
+			if left == 0 {
+				break
+			}
+			if sh.State == engine.ShardReaped {
+				if grown[i] == nil {
+					grown[i] = old[0].replica()
+					grew = true
+				}
+				left--
+			}
+		}
+		for i := len(gs.Shards); left > 0 && i < len(grown); i++ {
+			grown[i] = old[0].replica()
+			grew = true
+			left--
+		}
+		if grew {
+			e.replicas.Store(&grown)
+		}
+	}
+	var err error
+	if expectFrom >= 0 {
+		err = e.gate.ResizeFrom(expectFrom, n, source, reason)
+	} else {
+		err = e.gate.Resize(n, source, reason)
+	}
+	if err != nil {
+		// None of the fresh slots became dispatchable; drop them again.
+		if grew {
+			e.replicas.Store(&old)
+		}
+		return err
+	}
+	e.pruneReapedLocked()
+	return nil
+}
+
+// pruneReapedLocked reclaims the planner state of reaped slots — the
+// point of shrinking an idle pool — by dropping their replicas from the
+// published slice, and returns the gate snapshot it judged against so
+// the caller need not take a second one. resizeMu must be held: it
+// excludes the resize path that resurrects reaped slots, and a slot
+// observed reaped here cannot be granted work (the gate only grants to
+// active slots, and a granted slot has live > 0 until released, so it
+// can never read as reaped). Slot 0 is never pruned: it is the engine's
+// primary Workload handle and the template future replicas are cloned
+// from.
+func (e *Engine) pruneReapedLocked() engine.Stats {
+	gs := e.gate.Stats()
+	old := *e.replicas.Load()
+	var pruned []*Workload
+	for i, sh := range gs.Shards {
+		if i == 0 || i >= len(old) || old[i] == nil || sh.State != engine.ShardReaped {
+			continue
+		}
+		if pruned == nil {
+			pruned = append([]*Workload(nil), old...)
+		}
+		pruned[i] = nil
+	}
+	if pruned != nil {
+		e.replicas.Store(&pruned)
+	}
+	return gs
+}
 
 // Start admits query i through the gate — waiting in the bounded
 // admission queue when every replica is at capacity — then plans and
@@ -82,14 +317,14 @@ func (e *Engine) learning() *Learning { return e.opts.Learning }
 // IsSaturated error when the queue is full, an IsDraining error after
 // Drain began, or ctx's error if it expires while queued.
 func (e *Engine) Start(ctx context.Context, i int) (*Monitor, error) {
-	if i < 0 || i >= e.replicas[0].NumQueries() {
-		return nil, fmt.Errorf("progressest: query index %d out of range [0,%d)", i, e.replicas[0].NumQueries())
+	if n := e.Workload().NumQueries(); i < 0 || i >= n {
+		return nil, fmt.Errorf("progressest: query index %d out of range [0,%d)", i, n)
 	}
 	slot, err := e.gate.Admit(ctx)
 	if err != nil {
 		return nil, err
 	}
-	m, err := e.replicas[slot.Shard].Start(i, e.opts)
+	m, err := (*e.replicas.Load())[slot.Shard].Start(i, e.opts)
 	if err != nil {
 		slot.Release()
 		return nil, err
@@ -102,11 +337,16 @@ func (e *Engine) Start(ctx context.Context, i int) (*Monitor, error) {
 	return m, nil
 }
 
-// Drain stops admission — queued submissions fail immediately with an
-// IsDraining error instead of stranding — and waits until every in-flight
-// query finishes or ctx expires. New Start calls fail for the rest of the
-// engine's life.
-func (e *Engine) Drain(ctx context.Context) error { return e.gate.Drain(ctx) }
+// Drain stops the autoscaler and admission — queued submissions fail
+// immediately with an IsDraining error instead of stranding — and waits
+// until every in-flight query finishes or ctx expires. New Start calls
+// fail for the rest of the engine's life.
+func (e *Engine) Drain(ctx context.Context) error {
+	if e.scaler != nil {
+		e.scaler.Stop()
+	}
+	return e.gate.Drain(ctx)
+}
 
 // ShardStats is one replica's live/lifetime admission counters.
 type ShardStats struct {
@@ -114,15 +354,51 @@ type ShardStats struct {
 	Shard int `json:"shard"`
 	// Live is the number of queries executing on the replica right now.
 	Live int `json:"live"`
-	// Admitted counts the queries ever dispatched to the replica.
+	// Admitted counts the queries ever dispatched to the replica; a
+	// reaped replica keeps its count.
 	Admitted int64 `json:"admitted"`
+	// State is the replica's pool state: "active" (dispatchable),
+	// "draining" (shrink-marked: finishing live queries, receiving
+	// nothing new) or "reaped" (out of the pool; counters retained).
+	State string `json:"state"`
+}
+
+// ResizeEvent is one applied pool resize (the GET /engine/stats
+// "resize_events" entries, newest last, bounded history).
+type ResizeEvent struct {
+	// At is when the resize was applied.
+	At time.Time `json:"at"`
+	// From and To are the active shard counts before and after.
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Source is who asked: "autoscale" or "operator".
+	Source string `json:"source"`
+	// Reason is the requester's rationale.
+	Reason string `json:"reason,omitempty"`
+}
+
+// AutoscaleDecision is the controller's most recent poll verdict.
+type AutoscaleDecision struct {
+	At     time.Time `json:"at"`
+	Action string    `json:"action"` // "grow", "shrink" or "hold"
+	From   int       `json:"from"`
+	To     int       `json:"to"`
+	Reason string    `json:"reason,omitempty"`
 }
 
 // EngineStats is a point-in-time snapshot of the engine (the GET
 // /engine/stats wire form).
 type EngineStats struct {
-	// Shards holds the per-replica counters.
+	// Shards holds the per-replica counters, including draining and
+	// reaped replicas (whose lifetime counters survive a shrink).
 	Shards []ShardStats `json:"shards"`
+	// CurrentShards is the active (dispatchable) replica count;
+	// MinShards and MaxShards are the autoscaler's bounds.
+	CurrentShards int `json:"current_shards"`
+	MinShards     int `json:"min_shards"`
+	MaxShards     int `json:"max_shards"`
+	// Autoscale reports whether the load-driven controller is running.
+	Autoscale bool `json:"autoscale"`
 	// Queued is the number of admissions waiting for a slot; QueueDepth
 	// is the queue's bound.
 	Queued     int `json:"queued"`
@@ -132,6 +408,13 @@ type EngineStats struct {
 	// Admitted and Rejected are lifetime engine-wide counters.
 	Admitted int64 `json:"admitted"`
 	Rejected int64 `json:"rejected"`
+	// Resizes counts applied pool resizes; ResizeEvents is the bounded
+	// event history, oldest first.
+	Resizes      int64         `json:"resizes"`
+	ResizeEvents []ResizeEvent `json:"resize_events,omitempty"`
+	// LastDecision is the autoscaler's most recent poll verdict (absent
+	// before its first poll or with autoscaling off).
+	LastDecision *AutoscaleDecision `json:"last_decision,omitempty"`
 	// Draining is true once Drain began.
 	Draining bool `json:"draining"`
 	// RouteByFamily reports whether per-family model routing is on.
@@ -140,19 +423,44 @@ type EngineStats struct {
 
 // Stats snapshots the engine's admission counters.
 func (e *Engine) Stats() EngineStats {
-	gs := e.gate.Stats()
+	// Opportunistically reclaim the replicas of shards reaped since the
+	// last resize — a loaded shard drains first and reaps on its final
+	// release, outside any resize call — reusing the prune's own gate
+	// snapshot for the report. TryLock: a stats poll must never wait
+	// behind a resize building replicas.
+	var gs engine.Stats
+	if e.resizeMu.TryLock() {
+		gs = e.pruneReapedLocked()
+		e.resizeMu.Unlock()
+	} else {
+		gs = e.gate.Stats()
+	}
 	st := EngineStats{
 		Shards:          make([]ShardStats, len(gs.Shards)),
+		CurrentShards:   gs.ActiveShards,
+		MinShards:       e.minShards,
+		MaxShards:       e.maxShards,
+		Autoscale:       e.scaler != nil,
 		Queued:          gs.Queued,
 		QueueDepth:      gs.QueueDepth,
 		MaxLivePerShard: gs.MaxLivePerShard,
 		Admitted:        gs.Admitted,
 		Rejected:        gs.Rejected,
+		Resizes:         gs.Resizes,
 		Draining:        gs.Draining,
 		RouteByFamily:   e.opts.RouteByFamily,
 	}
 	for i, sh := range gs.Shards {
 		st.Shards[i] = ShardStats(sh)
+	}
+	for _, ev := range gs.ResizeEvents {
+		st.ResizeEvents = append(st.ResizeEvents, ResizeEvent(ev))
+	}
+	if e.scaler != nil {
+		if d, ok := e.scaler.Last(); ok {
+			dec := AutoscaleDecision(d)
+			st.LastDecision = &dec
+		}
 	}
 	return st
 }
@@ -163,5 +471,6 @@ func (e *Engine) Stats() EngineStats {
 func IsSaturated(err error) bool { return errors.Is(err, engine.ErrSaturated) }
 
 // IsDraining reports whether err means the engine is shutting down and no
-// longer admits queries — the HTTP layer's 503.
+// longer admits queries (nor resizes) — the HTTP layer's 503 (and the
+// resize endpoint's 409).
 func IsDraining(err error) bool { return errors.Is(err, engine.ErrDraining) }

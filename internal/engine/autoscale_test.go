@@ -1,0 +1,344 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scalerHarness drives an Autoscaler deterministically: a fake clock, a
+// mutable fabricated Stats snapshot, and a resize recorder that mirrors
+// the applied size back into the snapshot (like the real gate would).
+type scalerHarness struct {
+	mu      sync.Mutex
+	now     time.Time
+	st      Stats
+	applied []int
+	fail    error
+}
+
+func newScalerHarness(active int) *scalerHarness {
+	h := &scalerHarness{now: time.Unix(1000, 0)}
+	h.setLoad(active, 0, 8, 0)
+	return h
+}
+
+// setLoad fabricates a snapshot: active shards each carrying `livePer`
+// live queries, a queue of `queued` over `depth`, and a lifetime
+// rejection counter.
+func (h *scalerHarness) setLoad(active, queued, depth int, rejected int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.st = Stats{
+		ActiveShards: active,
+		Queued:       queued,
+		QueueDepth:   depth,
+		Rejected:     rejected,
+	}
+	for i := 0; i < active; i++ {
+		h.st.Shards = append(h.st.Shards, ShardStats{Shard: i, Live: 1, State: ShardActive})
+	}
+}
+
+// idleShard zeroes one active shard's live count, making the pool idle.
+func (h *scalerHarness) idleShard() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.st.Shards[0].Live = 0
+}
+
+func (h *scalerHarness) stats() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.st
+}
+
+func (h *scalerHarness) resize(from, n int, reason string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.fail != nil {
+		return h.fail
+	}
+	// Mirror Gate.ResizeFrom: a decision computed against a stale active
+	// count must not apply.
+	if from != h.st.ActiveShards {
+		return ErrResizeConflict
+	}
+	h.applied = append(h.applied, n)
+	h.st.ActiveShards = n
+	h.st.Shards = h.st.Shards[:0]
+	for i := 0; i < n; i++ {
+		h.st.Shards = append(h.st.Shards, ShardStats{Shard: i, Live: 1, State: ShardActive})
+	}
+	return nil
+}
+
+func (h *scalerHarness) clockNow() time.Time {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.now
+}
+
+func (h *scalerHarness) advance(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.now = h.now.Add(d)
+}
+
+func (h *scalerHarness) resized() []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]int(nil), h.applied...)
+}
+
+func newTestScaler(h *scalerHarness, cfg AutoscalerConfig) *Autoscaler {
+	cfg.Now = h.clockNow
+	return NewAutoscaler(cfg, h.stats, h.resize)
+}
+
+// hotTicks runs n polls with a saturated queue, advancing the clock by
+// the poll interval before each.
+func hotTicks(h *scalerHarness, a *Autoscaler, n int) {
+	for i := 0; i < n; i++ {
+		h.advance(a.cfg.Interval)
+		st := h.stats()
+		h.setLoad(st.ActiveShards, st.QueueDepth, st.QueueDepth, st.Rejected)
+		a.tick()
+	}
+}
+
+// idleTicks runs n polls with an empty queue and one idle shard.
+func idleTicks(h *scalerHarness, a *Autoscaler, n int) {
+	for i := 0; i < n; i++ {
+		h.advance(a.cfg.Interval)
+		st := h.stats()
+		h.setLoad(st.ActiveShards, 0, st.QueueDepth, st.Rejected)
+		h.idleShard()
+		a.tick()
+	}
+}
+
+// TestAutoscalerHysteresisNoFlapOnSingleHotPoll: one hot poll — or hot
+// polls separated by a cold one — never grows the pool; only the
+// configured consecutive streak does.
+func TestAutoscalerHysteresisNoFlapOnSingleHotPoll(t *testing.T) {
+	h := newScalerHarness(1)
+	a := newTestScaler(h, AutoscalerConfig{Min: 1, Max: 4, GrowAfter: 3, Cooldown: time.Nanosecond})
+	hotTicks(h, a, 2)
+	if got := h.resized(); len(got) != 0 {
+		t.Fatalf("resized %v after 2/3 hot polls", got)
+	}
+	// A cold poll breaks the streak: two more hot polls still don't fire.
+	h.advance(a.cfg.Interval)
+	st := h.stats()
+	h.setLoad(st.ActiveShards, 0, st.QueueDepth, st.Rejected)
+	a.tick()
+	hotTicks(h, a, 2)
+	if got := h.resized(); len(got) != 0 {
+		t.Fatalf("resized %v across a broken streak", got)
+	}
+	if d, ok := a.Last(); !ok || d.Action != "hold" {
+		t.Fatalf("last decision %+v, want hold", d)
+	}
+	// The third consecutive hot poll fires exactly one grow.
+	hotTicks(h, a, 1)
+	if got := h.resized(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("resized %v, want [2]", got)
+	}
+	d, _ := a.Last()
+	if d.Action != "grow" || d.From != 1 || d.To != 2 || d.Reason == "" {
+		t.Fatalf("grow decision %+v", d)
+	}
+}
+
+// TestAutoscalerIdleShrinks: the configured streak of idle polls drains
+// one shard, and the streak resets after the resize.
+func TestAutoscalerIdleShrinks(t *testing.T) {
+	h := newScalerHarness(3)
+	a := newTestScaler(h, AutoscalerConfig{Min: 1, Max: 4, ShrinkAfter: 2, Cooldown: time.Nanosecond})
+	idleTicks(h, a, 1)
+	if got := h.resized(); len(got) != 0 {
+		t.Fatalf("resized %v after a single idle poll", got)
+	}
+	idleTicks(h, a, 1)
+	if got := h.resized(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("resized %v, want [2]", got)
+	}
+	d, _ := a.Last()
+	if d.Action != "shrink" || d.From != 3 || d.To != 2 {
+		t.Fatalf("shrink decision %+v", d)
+	}
+	// The streak restarted: one more idle poll is not enough again.
+	idleTicks(h, a, 1)
+	if got := h.resized(); len(got) != 1 {
+		t.Fatalf("resized %v right after a shrink — streak did not reset", got)
+	}
+}
+
+// TestAutoscalerClampsAtBounds: a hot pool at Max and an idle pool at Min
+// hold, with the bound surfaced in the decision's reason.
+func TestAutoscalerClampsAtBounds(t *testing.T) {
+	h := newScalerHarness(2)
+	a := newTestScaler(h, AutoscalerConfig{Min: 2, Max: 2, GrowAfter: 1, ShrinkAfter: 1, Cooldown: time.Nanosecond})
+	hotTicks(h, a, 3)
+	if got := h.resized(); len(got) != 0 {
+		t.Fatalf("grew %v beyond max", got)
+	}
+	if d, _ := a.Last(); d.Action != "hold" || d.Reason == "" {
+		t.Fatalf("at-max decision %+v, want reasoned hold", d)
+	}
+	idleTicks(h, a, 3)
+	if got := h.resized(); len(got) != 0 {
+		t.Fatalf("shrank %v below min", got)
+	}
+	if d, _ := a.Last(); d.Action != "hold" || d.Reason == "" {
+		t.Fatalf("at-min decision %+v, want reasoned hold", d)
+	}
+}
+
+// TestAutoscalerCooldownBetweenResizes: a sustained hot signal steps the
+// pool one shard per cooldown window, not one per poll.
+func TestAutoscalerCooldownBetweenResizes(t *testing.T) {
+	h := newScalerHarness(1)
+	a := newTestScaler(h, AutoscalerConfig{
+		Min: 1, Max: 8, GrowAfter: 1,
+		Interval: time.Second, Cooldown: 10 * time.Second,
+	})
+	// First fire needs the cooldown budget too (lastResize starts at the
+	// zero time, so it is long since cooled).
+	hotTicks(h, a, 1)
+	if got := h.resized(); len(got) != 1 {
+		t.Fatalf("resized %v, want one grow", got)
+	}
+	// 9 more hot polls land inside the cooldown: held, with the cooldown
+	// surfaced as the reason.
+	hotTicks(h, a, 9)
+	if got := h.resized(); len(got) != 1 {
+		t.Fatalf("resized %v during cooldown", got)
+	}
+	if d, _ := a.Last(); d.Action != "hold" || d.Reason == "" {
+		t.Fatalf("cooldown decision %+v, want reasoned hold", d)
+	}
+	// The next poll crosses the 10s mark: one more grow.
+	hotTicks(h, a, 1)
+	if got := h.resized(); len(got) != 2 || got[1] != 3 {
+		t.Fatalf("resized %v, want second grow to 3", got)
+	}
+}
+
+// TestAutoscalerRejectionsCountAsHot: with QueueDepth 0 the queue can
+// never fill; rejections since the previous poll are the saturation
+// signal.
+func TestAutoscalerRejectionsCountAsHot(t *testing.T) {
+	h := newScalerHarness(1)
+	a := newTestScaler(h, AutoscalerConfig{Min: 1, Max: 2, GrowAfter: 2, Cooldown: time.Nanosecond})
+	rejected := int64(0)
+	for i := 0; i < 2; i++ {
+		h.advance(a.cfg.Interval)
+		rejected += 5
+		st := h.stats()
+		h.setLoad(st.ActiveShards, 0, 0, rejected)
+		a.tick()
+	}
+	if got := h.resized(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("resized %v, want [2] from rejection signal", got)
+	}
+}
+
+// TestAutoscalerOperatorOverrideRestartsHysteresis: a pool size change
+// the controller did not make (POST /engine/resize) resets the streaks
+// and the cooldown, so the override is not immediately fought.
+func TestAutoscalerOperatorOverrideRestartsHysteresis(t *testing.T) {
+	h := newScalerHarness(1)
+	a := newTestScaler(h, AutoscalerConfig{
+		Min: 1, Max: 8, GrowAfter: 3,
+		Interval: time.Second, Cooldown: time.Second,
+	})
+	hotTicks(h, a, 2) // streak at 2/3
+	// Operator slams the pool to 6 between polls.
+	st := h.stats()
+	h.setLoad(6, st.QueueDepth, st.QueueDepth, st.Rejected)
+	// Still hot, but the streak restarted: two more hot polls must not
+	// resize (2/3 again), the third may.
+	hotTicks(h, a, 2)
+	if got := h.resized(); len(got) != 0 {
+		t.Fatalf("resized %v right after an operator override", got)
+	}
+	hotTicks(h, a, 1)
+	if got := h.resized(); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("resized %v, want [7] (grow from the operator's 6)", got)
+	}
+}
+
+// TestAutoscalerHoldsWhileDraining: a draining gate is never resized and
+// the decision state is left untouched.
+func TestAutoscalerHoldsWhileDraining(t *testing.T) {
+	h := newScalerHarness(1)
+	a := newTestScaler(h, AutoscalerConfig{Min: 1, Max: 4, GrowAfter: 1, Cooldown: time.Nanosecond})
+	h.mu.Lock()
+	h.st.Draining = true
+	h.st.Queued, h.st.QueueDepth = 8, 8
+	h.mu.Unlock()
+	h.advance(a.cfg.Interval)
+	a.tick()
+	if got := h.resized(); len(got) != 0 {
+		t.Fatalf("resized %v while draining", got)
+	}
+	if _, ok := a.Last(); ok {
+		t.Fatal("draining tick recorded a decision")
+	}
+}
+
+// TestAutoscalerResizeFailureHolds: a failing resize is reported as a
+// hold with the error in the reason, and the streak keeps retrying.
+func TestAutoscalerResizeFailureHolds(t *testing.T) {
+	h := newScalerHarness(1)
+	h.fail = errors.New("boom")
+	a := newTestScaler(h, AutoscalerConfig{Min: 1, Max: 4, GrowAfter: 1, Cooldown: time.Nanosecond})
+	hotTicks(h, a, 1)
+	d, ok := a.Last()
+	if !ok || d.Action != "hold" || d.To != 1 {
+		t.Fatalf("failed-resize decision %+v, want hold at 1", d)
+	}
+	if d.Reason == "" {
+		t.Fatal("failed resize lost its reason")
+	}
+}
+
+// TestAutoscalerStartStop: the background loop polls a real gate and
+// stops cleanly; Stop without Start is safe.
+func TestAutoscalerStartStop(t *testing.T) {
+	// Queue depth 1, so a single queued waiter already reads as "more
+	// than half full" to the controller.
+	g := NewGate(Config{Shards: 1, MaxLivePerShard: 1, QueueDepth: 1})
+	a := NewAutoscaler(AutoscalerConfig{
+		Min: 1, Max: 3, Interval: time.Millisecond, GrowAfter: 1, Cooldown: time.Nanosecond,
+	}, g.Stats, func(from, to int, reason string) error { return g.ResizeFrom(from, to, "autoscale", reason) })
+	held, _ := g.Admit(nil)
+	queued := make(chan struct{})
+	go func() {
+		s, err := g.Admit(context.Background())
+		if err == nil {
+			defer s.Release()
+		}
+		close(queued)
+	}()
+	waitQueued(t, g, 1)
+	a.Start()
+	a.Start() // idempotent
+	select {
+	case <-queued:
+	case <-time.After(5 * time.Second):
+		t.Fatal("autoscaler never grew the saturated pool")
+	}
+	a.Stop()
+	a.Stop() // idempotent
+	held.Release()
+	if st := g.Stats(); st.ActiveShards < 2 {
+		t.Fatalf("pool still at %d shards", st.ActiveShards)
+	}
+	// Stop without Start on a fresh controller returns immediately.
+	NewAutoscaler(AutoscalerConfig{}, g.Stats, func(int, int, string) error { return nil }).Stop()
+}

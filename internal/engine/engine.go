@@ -1,6 +1,7 @@
-// Package engine is the sharded execution core of progressd: a fixed pool
-// of workload replicas ("shards") behind one admission gate with a
-// bounded wait queue, least-loaded dispatch and a draining shutdown path.
+// Package engine is the sharded execution core of progressd: a pool of
+// workload replicas ("shards") behind one admission gate with a bounded
+// wait queue, least-loaded dispatch, a draining shutdown path and
+// runtime resizing — the pool grows and shrinks while admissions flow.
 // The gate is execution-agnostic — it hands out shard slots and the
 // caller runs whatever work the slot admits, releasing it on completion —
 // so the admission logic is unit-testable without a database, a trained
@@ -18,7 +19,7 @@ import (
 // Config sizes the gate.
 type Config struct {
 	// Shards is the number of workload replicas behind the gate
-	// (default 1).
+	// (default 1). The pool can be resized at runtime (Resize).
 	Shards int
 	// MaxLivePerShard bounds the queries executing concurrently on one
 	// shard (default 64).
@@ -48,7 +49,51 @@ var ErrSaturated = errors.New("engine: all shards at capacity and the admission 
 
 // ErrDraining is returned by Admit once Drain has begun: the gate admits
 // nothing new, and already queued admissions fail rather than strand.
+// Resize fails with it too — a draining pool has no future to size.
 var ErrDraining = errors.New("engine: draining, not accepting new queries")
+
+// ErrResizeConflict is returned by ResizeFrom when the pool size changed
+// between the caller's observation and the resize — the decision was made
+// against a stale snapshot and must not be applied.
+var ErrResizeConflict = errors.New("engine: pool size changed concurrently; resize skipped")
+
+// Shard lifecycle states reported in ShardStats.State.
+const (
+	// ShardActive shards receive dispatches.
+	ShardActive = "active"
+	// ShardDraining shards were shrink-marked: they finish their live
+	// queries but receive nothing new, and are reaped when empty. A grow
+	// reactivates them first — their live work is capacity already paid
+	// for.
+	ShardDraining = "draining"
+	// ShardReaped shards left the pool; their lifetime counters survive
+	// in Stats, and a later grow resurrects their slot before appending
+	// a new one.
+	ShardReaped = "reaped"
+)
+
+// shardState is one replica slot's admission bookkeeping. Slots are
+// identified by their index in the gate's slice, which is stable for the
+// gate's life: shrink never compacts the slice, it only marks slots
+// draining/reaped, so a Slot.Shard handed out earlier always refers to
+// the same replica.
+type shardState struct {
+	live     int
+	admitted int64
+	draining bool
+	reaped   bool
+}
+
+func (s *shardState) state() string {
+	switch {
+	case s.reaped:
+		return ShardReaped
+	case s.draining:
+		return ShardDraining
+	default:
+		return ShardActive
+	}
+}
 
 // Slot is one admitted unit of work, pinned to a shard. Release it
 // exactly when the work finishes; Release is idempotent.
@@ -72,45 +117,81 @@ type waiter struct {
 	ch chan int
 }
 
+// maxResizeEvents bounds the retained resize history.
+const maxResizeEvents = 32
+
+// ResizeEvent records one applied pool resize.
+type ResizeEvent struct {
+	// At is when the resize was applied.
+	At time.Time `json:"at"`
+	// From and To are the active shard counts before and after.
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Source is who asked: "autoscale" or "operator".
+	Source string `json:"source"`
+	// Reason is the requester's rationale (the autoscaler's trigger, or
+	// the operator endpoint).
+	Reason string `json:"reason,omitempty"`
+}
+
 // Gate is the admission gate in front of the shard pool. Admissions are
-// dispatched to the least-loaded shard; when every shard is at its
-// per-shard live bound they wait in a bounded FIFO queue.
+// dispatched to the least-loaded active shard; when every active shard is
+// at its per-shard live bound they wait in a bounded FIFO queue. The pool
+// is resizable at runtime: grow makes fresh slots dispatchable (admitting
+// queued work immediately), shrink marks shards draining and reaps them
+// once their live count hits zero.
 type Gate struct {
 	cfg Config
 
-	mu            sync.Mutex
-	live          []int
-	shardAdmitted []int64
-	waiters       []*waiter
-	admitted      int64
-	rejected      int64
-	draining      bool
+	mu       sync.Mutex
+	shards   []shardState
+	waiters  []*waiter
+	admitted int64
+	rejected int64
+	draining bool
+	resizes  int64
+	events   []ResizeEvent
 }
 
 // NewGate builds a gate for cfg.
 func NewGate(cfg Config) *Gate {
 	cfg = cfg.withDefaults()
 	return &Gate{
-		cfg:           cfg,
-		live:          make([]int, cfg.Shards),
-		shardAdmitted: make([]int64, cfg.Shards),
+		cfg:    cfg,
+		shards: make([]shardState, cfg.Shards),
 	}
 }
 
-// NumShards returns the defaulted shard count the gate dispatches over.
-func (g *Gate) NumShards() int { return len(g.live) }
+// NumShards returns the number of active (dispatchable) shards.
+func (g *Gate) NumShards() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.activeLocked()
+}
 
-// leastLoadedLocked returns the shard with the fewest live queries that
-// still has capacity, or -1 when all are full. Ties break to the lowest
-// index, which keeps dispatch deterministic (and spreads a burst round-
-// robin across idle shards).
+func (g *Gate) activeLocked() int {
+	n := 0
+	for i := range g.shards {
+		if !g.shards[i].draining && !g.shards[i].reaped {
+			n++
+		}
+	}
+	return n
+}
+
+// leastLoadedLocked returns the active shard with the fewest live queries
+// that still has capacity, or -1 when all are full. Draining and reaped
+// shards never receive dispatches. Ties break to the lowest index, which
+// keeps dispatch deterministic (and spreads a burst round-robin across
+// idle shards).
 func (g *Gate) leastLoadedLocked() int {
 	best := -1
-	for s, n := range g.live {
-		if n >= g.cfg.MaxLivePerShard {
+	for s := range g.shards {
+		sh := &g.shards[s]
+		if sh.draining || sh.reaped || sh.live >= g.cfg.MaxLivePerShard {
 			continue
 		}
-		if best < 0 || n < g.live[best] {
+		if best < 0 || sh.live < g.shards[best].live {
 			best = s
 		}
 	}
@@ -118,15 +199,30 @@ func (g *Gate) leastLoadedLocked() int {
 }
 
 func (g *Gate) grantLocked(shard int) {
-	g.live[shard]++
-	g.shardAdmitted[shard]++
+	g.shards[shard].live++
+	g.shards[shard].admitted++
 	g.admitted++
 }
 
-// Admit claims a slot on the least-loaded shard. When every shard is at
-// capacity it waits in the bounded FIFO queue until a slot frees, the
-// queue overflows (ErrSaturated), the gate starts draining (ErrDraining)
-// or ctx expires. A nil ctx never expires.
+// dispatchLocked grants queued admissions while active capacity remains —
+// the shared tail of release and grow.
+func (g *Gate) dispatchLocked() {
+	for len(g.waiters) > 0 {
+		s := g.leastLoadedLocked()
+		if s < 0 {
+			break
+		}
+		w := g.waiters[0]
+		g.waiters = g.waiters[1:]
+		g.grantLocked(s)
+		w.ch <- s
+	}
+}
+
+// Admit claims a slot on the least-loaded active shard. When every active
+// shard is at capacity it waits in the bounded FIFO queue until a slot
+// frees, the queue overflows (ErrSaturated), the gate starts draining
+// (ErrDraining) or ctx expires. A nil ctx never expires.
 func (g *Gate) Admit(ctx context.Context) (*Slot, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -180,22 +276,122 @@ func (g *Gate) Admit(ctx context.Context) (*Slot, error) {
 	}
 }
 
-// release frees one slot and dispatches queued admissions while capacity
-// remains.
+// release frees one slot, reaps the shard if a shrink marked it draining
+// and this was its last live query, and dispatches queued admissions
+// while capacity remains.
 func (g *Gate) release(shard int) {
 	g.mu.Lock()
-	g.live[shard]--
-	for len(g.waiters) > 0 {
-		s := g.leastLoadedLocked()
-		if s < 0 {
-			break
-		}
-		w := g.waiters[0]
-		g.waiters = g.waiters[1:]
-		g.grantLocked(s)
-		w.ch <- s
+	sh := &g.shards[shard]
+	sh.live--
+	if sh.draining && !sh.reaped && sh.live == 0 {
+		sh.reaped = true
 	}
+	g.dispatchLocked()
 	g.mu.Unlock()
+}
+
+// Resize sets the number of active shards to n. Grow reactivates draining
+// shards first (their live work is capacity already paid for), then
+// resurrects reaped slots, and only appends brand-new slots for the
+// remainder — so a caller owning per-slot replicas must provision every
+// slot this could activate (len(Stats().Shards) existing slots plus the
+// appended tail up to n) BEFORE calling Resize, because fresh capacity
+// admits queued work immediately, inside this call. Shrink marks the emptiest
+// active shards draining (ties to the highest index, so slot 0 — the
+// primary replica — is the last to go); a draining shard finishes its
+// live queries, receives nothing new, and is reaped when empty, keeping
+// its lifetime counters in Stats. Resizing a draining gate fails with
+// ErrDraining; n == current active count is a recorded no-op-free
+// success.
+func (g *Gate) Resize(n int, source, reason string) error {
+	return g.resizeChecked(-1, n, source, reason)
+}
+
+// ResizeFrom is Resize guarded by the caller's observed active count: it
+// applies only while the pool is still `from` shards, failing with
+// ErrResizeConflict otherwise. The autoscaler uses it so a decision
+// computed from a stats snapshot can never revert an operator resize
+// that landed between the snapshot and the actuation.
+func (g *Gate) ResizeFrom(from, n int, source, reason string) error {
+	return g.resizeChecked(from, n, source, reason)
+}
+
+func (g *Gate) resizeChecked(expectFrom, n int, source, reason string) error {
+	if n < 1 {
+		return fmt.Errorf("engine: resize to %d shards: need at least 1", n)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.draining {
+		return ErrDraining
+	}
+	from := g.activeLocked()
+	if expectFrom >= 0 && from != expectFrom {
+		return ErrResizeConflict
+	}
+	switch {
+	case n == from:
+		return nil
+	case n > from:
+		// Grow order — reactivate draining, resurrect reaped
+		// lowest-index first, append — is a contract: the caller owning
+		// per-slot replicas provisions a superset of the slots this
+		// order can activate before calling (see
+		// progressest.Engine.resize, which also covers a draining slot
+		// reaping between its snapshot and this commit).
+		need := n - from
+		for i := range g.shards {
+			if need == 0 {
+				break
+			}
+			if g.shards[i].draining && !g.shards[i].reaped {
+				g.shards[i].draining = false
+				need--
+			}
+		}
+		for i := range g.shards {
+			if need == 0 {
+				break
+			}
+			if g.shards[i].reaped {
+				g.shards[i].reaped = false
+				g.shards[i].draining = false
+				need--
+			}
+		}
+		for ; need > 0; need-- {
+			g.shards = append(g.shards, shardState{})
+		}
+		// A grow under saturation is exactly when it matters: the queued
+		// work spreads onto the fresh capacity right now.
+		g.dispatchLocked()
+	default:
+		for mark := from - n; mark > 0; mark-- {
+			pick := -1
+			for i := range g.shards {
+				s := &g.shards[i]
+				if s.draining || s.reaped {
+					continue
+				}
+				if pick < 0 || s.live < g.shards[pick].live ||
+					(s.live == g.shards[pick].live && i > pick) {
+					pick = i
+				}
+			}
+			g.shards[pick].draining = true
+			if g.shards[pick].live == 0 {
+				g.shards[pick].reaped = true
+			}
+		}
+	}
+	g.resizes++
+	g.events = append(g.events, ResizeEvent{
+		At: time.Now(), From: from, To: n, Source: source, Reason: reason,
+	})
+	if len(g.events) > maxResizeEvents {
+		g.events = append(g.events[:0], g.events[len(g.events)-maxResizeEvents:]...)
+	}
+	return nil
 }
 
 // Drain stops admission: new Admit calls and every already queued waiter
@@ -214,8 +410,8 @@ func (g *Gate) Drain(ctx context.Context) error {
 	for {
 		g.mu.Lock()
 		live := 0
-		for _, n := range g.live {
-			live += n
+		for i := range g.shards {
+			live += g.shards[i].live
 		}
 		g.mu.Unlock()
 		if live == 0 {
@@ -229,22 +425,32 @@ func (g *Gate) Drain(ctx context.Context) error {
 	}
 }
 
-// ShardStats is one shard's live/lifetime counters.
+// ShardStats is one shard's live/lifetime counters. Reaped shards keep
+// reporting their lifetime Admitted count — shrinking never erases
+// history.
 type ShardStats struct {
-	Shard    int   `json:"shard"`
-	Live     int   `json:"live"`
-	Admitted int64 `json:"admitted"`
+	Shard    int    `json:"shard"`
+	Live     int    `json:"live"`
+	Admitted int64  `json:"admitted"`
+	State    string `json:"state"`
 }
 
-// Stats is a point-in-time snapshot of the gate.
+// Stats is a point-in-time snapshot of the gate. The whole snapshot —
+// shard slice, active count, counters and resize history — is taken
+// under the same lock Resize mutates them with, so a concurrent resize
+// can never yield a torn view (e.g. an ActiveShards count disagreeing
+// with the per-shard states).
 type Stats struct {
-	Shards          []ShardStats `json:"shards"`
-	Queued          int          `json:"queued"`
-	QueueDepth      int          `json:"queue_depth"`
-	MaxLivePerShard int          `json:"max_live_per_shard"`
-	Admitted        int64        `json:"admitted"`
-	Rejected        int64        `json:"rejected"`
-	Draining        bool         `json:"draining"`
+	Shards          []ShardStats  `json:"shards"`
+	ActiveShards    int           `json:"active_shards"`
+	Queued          int           `json:"queued"`
+	QueueDepth      int           `json:"queue_depth"`
+	MaxLivePerShard int           `json:"max_live_per_shard"`
+	Admitted        int64         `json:"admitted"`
+	Rejected        int64         `json:"rejected"`
+	Resizes         int64         `json:"resizes"`
+	ResizeEvents    []ResizeEvent `json:"resize_events,omitempty"`
+	Draining        bool          `json:"draining"`
 }
 
 // Stats snapshots the gate's counters.
@@ -252,16 +458,24 @@ func (g *Gate) Stats() Stats {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	st := Stats{
-		Shards:          make([]ShardStats, len(g.live)),
+		Shards:          make([]ShardStats, len(g.shards)),
+		ActiveShards:    g.activeLocked(),
 		Queued:          len(g.waiters),
 		QueueDepth:      g.cfg.QueueDepth,
 		MaxLivePerShard: g.cfg.MaxLivePerShard,
 		Admitted:        g.admitted,
 		Rejected:        g.rejected,
+		Resizes:         g.resizes,
+		ResizeEvents:    append([]ResizeEvent(nil), g.events...),
 		Draining:        g.draining,
 	}
-	for s := range g.live {
-		st.Shards[s] = ShardStats{Shard: s, Live: g.live[s], Admitted: g.shardAdmitted[s]}
+	for s := range g.shards {
+		st.Shards[s] = ShardStats{
+			Shard:    s,
+			Live:     g.shards[s].live,
+			Admitted: g.shards[s].admitted,
+			State:    g.shards[s].state(),
+		}
 	}
 	return st
 }

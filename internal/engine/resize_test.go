@@ -1,0 +1,461 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGateResizeTransitions is the table-driven grow/shrink suite over an
+// idle gate: each case applies a sequence of resizes and checks the
+// resulting active count, total slot count (slots are never compacted,
+// and regrowth resurrects reaped slots before appending new ones) and the
+// recorded event history.
+func TestGateResizeTransitions(t *testing.T) {
+	cases := []struct {
+		name       string
+		start      int
+		resizes    []int
+		wantActive int
+		wantSlots  int
+		wantEvents int
+	}{
+		{"grow appends slots", 1, []int{3}, 3, 3, 1},
+		{"shrink reaps idle shards in place", 4, []int{2}, 2, 4, 1},
+		{"regrow resurrects reaped slots", 4, []int{2, 4}, 4, 4, 2},
+		{"regrow past old size appends the rest", 2, []int{1, 4}, 4, 4, 2},
+		{"resize to current size is a no-op", 3, []int{3}, 3, 3, 0},
+		{"stepwise walk", 1, []int{2, 3, 2, 1}, 1, 3, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := NewGate(Config{Shards: tc.start, MaxLivePerShard: 2, QueueDepth: 4})
+			for _, n := range tc.resizes {
+				if err := g.Resize(n, "operator", "test"); err != nil {
+					t.Fatalf("resize to %d: %v", n, err)
+				}
+			}
+			st := g.Stats()
+			if st.ActiveShards != tc.wantActive {
+				t.Fatalf("active %d, want %d", st.ActiveShards, tc.wantActive)
+			}
+			if len(st.Shards) != tc.wantSlots {
+				t.Fatalf("slots %d, want %d", len(st.Shards), tc.wantSlots)
+			}
+			if int(st.Resizes) != tc.wantEvents || len(st.ResizeEvents) != tc.wantEvents {
+				t.Fatalf("resizes %d (%d events), want %d", st.Resizes, len(st.ResizeEvents), tc.wantEvents)
+			}
+			// Events chain: each From is the previous To, starting at the
+			// initial size.
+			prev := tc.start
+			for i, ev := range st.ResizeEvents {
+				if ev.From != prev || ev.Source != "operator" {
+					t.Fatalf("event %d: %+v, want From %d Source operator", i, ev, prev)
+				}
+				prev = ev.To
+			}
+			// Admissions after the walk respect the final active set.
+			var slots []*Slot
+			for i := 0; i < tc.wantActive*2; i++ {
+				s, err := g.Admit(context.Background())
+				if err != nil {
+					t.Fatalf("admit %d after walk: %v", i, err)
+				}
+				slots = append(slots, s)
+			}
+			st = g.Stats()
+			for _, sh := range st.Shards {
+				switch sh.State {
+				case ShardActive:
+					if sh.Live != 2 {
+						t.Fatalf("active shard %d live %d, want 2", sh.Shard, sh.Live)
+					}
+				default:
+					if sh.Live != 0 {
+						t.Fatalf("%s shard %d has %d live", sh.State, sh.Shard, sh.Live)
+					}
+				}
+			}
+			for _, s := range slots {
+				s.Release()
+			}
+		})
+	}
+}
+
+// TestGateShrinkDrainsLoadedShardAndKeepsCounters: a shrink with live
+// work marks the victim draining (not reaped), stops dispatching to it,
+// reaps it on its last release, and keeps its lifetime Admitted count in
+// Stats afterwards.
+func TestGateShrinkDrainsLoadedShardAndKeepsCounters(t *testing.T) {
+	g := NewGate(Config{Shards: 2, MaxLivePerShard: 3})
+	a, _ := g.Admit(nil) // shard 0
+	b, _ := g.Admit(nil) // shard 1
+	if a.Shard != 0 || b.Shard != 1 {
+		t.Fatalf("spread %d,%d, want 0,1", a.Shard, b.Shard)
+	}
+	if err := g.Resize(1, "operator", "test"); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	// Both have 1 live; the tie breaks to the highest index, so shard 1
+	// drains and shard 0 stays the survivor.
+	if st.Shards[1].State != ShardDraining || st.Shards[0].State != ShardActive {
+		t.Fatalf("states %s/%s, want active/draining", st.Shards[0].State, st.Shards[1].State)
+	}
+	// New admissions avoid the draining shard entirely.
+	c, _ := g.Admit(nil)
+	d, _ := g.Admit(nil)
+	if c.Shard != 0 || d.Shard != 0 {
+		t.Fatalf("post-shrink admissions on shards %d,%d, want 0,0", c.Shard, d.Shard)
+	}
+	// Its last release reaps it; the lifetime counter survives.
+	b.Release()
+	st = g.Stats()
+	if st.Shards[1].State != ShardReaped {
+		t.Fatalf("drained shard state %s, want reaped", st.Shards[1].State)
+	}
+	if st.Shards[1].Admitted != 1 || st.Shards[1].Live != 0 {
+		t.Fatalf("reaped shard counters %+v, want lifetime admitted 1", st.Shards[1])
+	}
+	if st.ActiveShards != 1 {
+		t.Fatalf("active %d, want 1", st.ActiveShards)
+	}
+	// Engine-wide admitted equals the per-shard sum, reaped included.
+	var sum int64
+	for _, sh := range st.Shards {
+		sum += sh.Admitted
+	}
+	if sum != st.Admitted {
+		t.Fatalf("shard admitted sum %d != engine admitted %d", sum, st.Admitted)
+	}
+	a.Release()
+	c.Release()
+	d.Release()
+}
+
+// TestGateShrinkWhileQueuedNeverStrandsWaiter: shrinking under a full
+// queue leaves every waiter dispatchable — releases on the surviving
+// shard admit them all, and none lands on a draining shard.
+func TestGateShrinkWhileQueuedNeverStrandsWaiter(t *testing.T) {
+	g := NewGate(Config{Shards: 2, MaxLivePerShard: 1, QueueDepth: 4})
+	a, _ := g.Admit(nil)
+	b, _ := g.Admit(nil)
+	granted := make(chan int, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			s, err := g.Admit(context.Background())
+			if err != nil {
+				t.Errorf("queued admit: %v", err)
+				granted <- -1
+				return
+			}
+			granted <- s.Shard
+			time.Sleep(time.Millisecond)
+			s.Release()
+		}()
+	}
+	waitQueued(t, g, 3)
+	if err := g.Resize(1, "operator", "test"); err != nil {
+		t.Fatal(err)
+	}
+	// Free both original slots; the waiters must all be admitted — on the
+	// surviving active shard only — despite the shrink.
+	a.Release()
+	b.Release()
+	for i := 0; i < 3; i++ {
+		select {
+		case s := <-granted:
+			if s != 0 {
+				t.Fatalf("waiter %d granted shard %d, want surviving shard 0", i, s)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("waiter %d stranded by shrink", i)
+		}
+	}
+	if st := g.Stats(); st.Queued != 0 {
+		t.Fatalf("queue not drained: %+v", st)
+	}
+}
+
+// TestGateGrowDuringSaturationAdmitsQueuedWork: growing a saturated gate
+// dispatches queued waiters onto the fresh capacity inside Resize itself,
+// with no release required.
+func TestGateGrowDuringSaturationAdmitsQueuedWork(t *testing.T) {
+	g := NewGate(Config{Shards: 1, MaxLivePerShard: 1, QueueDepth: 4})
+	held, _ := g.Admit(nil)
+	granted := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			s, err := g.Admit(context.Background())
+			if err != nil {
+				t.Errorf("queued admit: %v", err)
+				granted <- -1
+				return
+			}
+			granted <- s.Shard
+		}()
+	}
+	waitQueued(t, g, 2)
+	if err := g.Resize(3, "autoscale", "test burst"); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 2; i++ {
+		select {
+		case s := <-granted:
+			if s < 1 || s > 2 {
+				t.Fatalf("waiter granted shard %d, want a fresh shard 1 or 2", s)
+			}
+			seen[s] = true
+		case <-time.After(5 * time.Second):
+			t.Fatal("queued waiter not admitted by grow")
+		}
+	}
+	if len(seen) != 2 {
+		t.Fatalf("both waiters on one shard: %v", seen)
+	}
+	st := g.Stats()
+	if st.Queued != 0 || st.ActiveShards != 3 {
+		t.Fatalf("post-grow stats: %+v", st)
+	}
+	held.Release()
+}
+
+// TestGateResizeDuringDrainRejected: once Drain began, Resize fails with
+// ErrDraining — both while live work still drains and after it finished —
+// and changes nothing.
+func TestGateResizeDuringDrainRejected(t *testing.T) {
+	g := NewGate(Config{Shards: 2, MaxLivePerShard: 1})
+	a, _ := g.Admit(nil)
+	done := make(chan error, 1)
+	go func() { done <- g.Drain(context.Background()) }()
+	// Wait for the drain flag, then resize against live work.
+	deadline := time.Now().Add(5 * time.Second)
+	for !g.Stats().Draining {
+		if time.Now().After(deadline) {
+			t.Fatal("drain never started")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if err := g.Resize(4, "operator", "test"); !errors.Is(err, ErrDraining) {
+		t.Fatalf("resize during drain: %v, want ErrDraining", err)
+	}
+	a.Release()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Resize(4, "operator", "test"); !errors.Is(err, ErrDraining) {
+		t.Fatalf("resize after drain: %v, want ErrDraining", err)
+	}
+	st := g.Stats()
+	if st.ActiveShards != 2 || st.Resizes != 0 {
+		t.Fatalf("rejected resize left a mark: %+v", st)
+	}
+}
+
+// TestGateResizeValidation: a resize below one shard is refused without
+// touching the pool.
+func TestGateResizeValidation(t *testing.T) {
+	g := NewGate(Config{Shards: 2})
+	for _, n := range []int{0, -1} {
+		if err := g.Resize(n, "operator", "test"); err == nil {
+			t.Fatalf("resize to %d succeeded", n)
+		}
+	}
+	if st := g.Stats(); st.ActiveShards != 2 || st.Resizes != 0 {
+		t.Fatalf("invalid resize left a mark: %+v", st)
+	}
+}
+
+// TestGateResizeFromRefusesStaleSnapshot: a conditional resize computed
+// against an outdated active count (an operator override landed in
+// between) is skipped with ErrResizeConflict instead of reverting the
+// override; a matching one applies.
+func TestGateResizeFromRefusesStaleSnapshot(t *testing.T) {
+	g := NewGate(Config{Shards: 3, MaxLivePerShard: 2})
+	// The controller observed 3 and decided to grow to 4, but an operator
+	// slammed the pool to 8 first.
+	if err := g.Resize(8, "operator", "override"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ResizeFrom(3, 4, "autoscale", "stale decision"); !errors.Is(err, ErrResizeConflict) {
+		t.Fatalf("stale conditional resize: %v, want ErrResizeConflict", err)
+	}
+	st := g.Stats()
+	if st.ActiveShards != 8 || st.Resizes != 1 {
+		t.Fatalf("stale resize touched the pool: %+v", st)
+	}
+	// With a fresh observation the conditional resize applies.
+	if err := g.ResizeFrom(8, 4, "autoscale", "fresh decision"); err != nil {
+		t.Fatal(err)
+	}
+	if st := g.Stats(); st.ActiveShards != 4 {
+		t.Fatalf("fresh conditional resize did not apply: %+v", st)
+	}
+}
+
+// TestGateStatsNeverTornUnderResize: Stats snapshots the shard slice
+// under the same lock Resize mutates it with, so every snapshot taken
+// concurrently with a resize storm is internally consistent — the active
+// count always equals the per-shard states, the slot count never shrinks,
+// and the engine-wide admitted counter always equals the per-shard sum.
+func TestGateStatsNeverTornUnderResize(t *testing.T) {
+	g := NewGate(Config{Shards: 2, MaxLivePerShard: 4, QueueDepth: 8})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(1))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = g.Resize(1+rng.Intn(8), "operator", "storm")
+		}
+	}()
+	// A little live traffic so shard states churn through all three
+	// lifecycle states, not just active/reaped.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if s, err := g.Admit(context.Background()); err == nil {
+				time.Sleep(50 * time.Microsecond)
+				s.Release()
+			}
+		}
+	}()
+	deadline := time.Now().Add(300 * time.Millisecond)
+	lastSlots := 0
+	for time.Now().Before(deadline) {
+		st := g.Stats()
+		active, queuedSum := 0, int64(0)
+		for _, sh := range st.Shards {
+			if sh.State == ShardActive {
+				active++
+			}
+			if sh.Live < 0 {
+				t.Fatalf("negative live: %+v", sh)
+			}
+			queuedSum += sh.Admitted
+		}
+		if active != st.ActiveShards {
+			t.Fatalf("torn snapshot: ActiveShards %d but %d active states in %+v", st.ActiveShards, active, st.Shards)
+		}
+		if len(st.Shards) < lastSlots {
+			t.Fatalf("slot count shrank %d -> %d", lastSlots, len(st.Shards))
+		}
+		lastSlots = len(st.Shards)
+		if queuedSum != st.Admitted {
+			t.Fatalf("torn counters: shard sum %d != admitted %d", queuedSum, st.Admitted)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestGateResizeSoak hammers Admit/Release from many goroutines while a
+// resizer walks the pool up and down, under -race: the per-shard live
+// bound must hold in every observed snapshot, every admission must
+// eventually land (no stranded waiters), and after the storm the gate is
+// exactly empty with lifetime counters intact.
+func TestGateResizeSoak(t *testing.T) {
+	const (
+		maxLive = 3
+		workers = 24
+		perGoro = 30
+		maxPool = 6
+		minPool = 1
+	)
+	g := NewGate(Config{Shards: 2, MaxLivePerShard: maxLive, QueueDepth: workers})
+	stopResize := make(chan struct{})
+	var resizeWg sync.WaitGroup
+	resizeWg.Add(1)
+	go func() {
+		defer resizeWg.Done()
+		rng := rand.New(rand.NewSource(7))
+		for {
+			select {
+			case <-stopResize:
+				return
+			default:
+			}
+			_ = g.Resize(minPool+rng.Intn(maxPool-minPool+1), "autoscale", "soak")
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	var over atomic.Bool
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perGoro; i++ {
+				s, err := g.Admit(context.Background())
+				if err != nil {
+					if errors.Is(err, ErrSaturated) {
+						time.Sleep(200 * time.Microsecond)
+						i--
+						continue
+					}
+					t.Errorf("admit: %v", err)
+					return
+				}
+				// live ≤ maxLive per shard at every observation — including
+				// on shards that were drained out from under the slot.
+				for _, sh := range g.Stats().Shards {
+					if sh.Live > maxLive || sh.Live < 0 {
+						over.Store(true)
+					}
+				}
+				admitted.Add(1)
+				time.Sleep(30 * time.Microsecond)
+				s.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stopResize)
+	resizeWg.Wait()
+	if over.Load() {
+		t.Fatal("per-shard live bound violated during resize soak")
+	}
+	if got := admitted.Load(); got != workers*perGoro {
+		t.Fatalf("admitted %d, want %d — some admissions stranded", got, workers*perGoro)
+	}
+	st := g.Stats()
+	if st.Queued != 0 {
+		t.Fatalf("%d waiters stranded after soak", st.Queued)
+	}
+	var sum int64
+	for _, sh := range st.Shards {
+		if sh.Live != 0 {
+			t.Fatalf("shard %d still has %d live after all releases (%s)", sh.Shard, sh.Live, sh.State)
+		}
+		sum += sh.Admitted
+	}
+	if sum != st.Admitted {
+		t.Fatalf("lifetime counters lost by reaping: shard sum %d != admitted %d", sum, st.Admitted)
+	}
+	// The pool is still usable at whatever size the storm left it.
+	s, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatalf("admit after soak: %v", err)
+	}
+	s.Release()
+}

@@ -19,7 +19,8 @@ import (
 //	POST /queries                {"query": i}  -> {"id": "q1", "shard": s, ...}
 //	GET  /queries                              -> list of submitted queries
 //	GET  /queries/{id}/progress                -> live progress JSON
-//	GET  /engine/stats                         -> per-shard live/queued counts
+//	GET  /engine/stats                         -> shard pool, queue + resize state
+//	POST /engine/resize          {"shards": n} -> operator pool resize
 //	GET  /healthz                              -> {"status": "ok"}
 //
 // When MonitorOptions.Learning is set, the model-lifecycle routes come
@@ -93,6 +94,7 @@ func NewEngineServer(e *Engine) *Server {
 	s.mux.HandleFunc("GET /queries", s.handleList)
 	s.mux.HandleFunc("GET /queries/{id}/progress", s.handleProgress)
 	s.mux.HandleFunc("GET /engine/stats", s.handleEngineStats)
+	s.mux.HandleFunc("POST /engine/resize", s.handleResize)
 	s.mux.HandleFunc("GET /models", s.handleModels)
 	s.mux.HandleFunc("GET /models/drift", s.handleDrift)
 	s.mux.HandleFunc("POST /models/retrain", s.handleRetrain)
@@ -137,6 +139,34 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleEngineStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.eng.Stats())
+}
+
+// resizeRequest is the POST /engine/resize body.
+type resizeRequest struct {
+	// Shards is the desired active replica count.
+	Shards int `json:"shards"`
+}
+
+// handleResize is the operator override of the shard pool size: it
+// resizes immediately (the autoscaler, if any, restarts its hysteresis
+// from the new size) and answers with the post-resize engine stats.
+func (s *Server) handleResize(w http.ResponseWriter, r *http.Request) {
+	var req resizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid body: %v", err)
+		return
+	}
+	err := s.eng.Resize(req.Shards)
+	switch {
+	case errors.Is(err, errResizeInvalid):
+		writeError(w, http.StatusBadRequest, "resize: %v", err)
+	case IsDraining(err):
+		writeError(w, http.StatusConflict, "resize: %v", err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "resize: %v", err)
+	default:
+		writeJSON(w, http.StatusOK, s.eng.Stats())
+	}
 }
 
 // submitRequest is the POST /queries body.

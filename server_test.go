@@ -81,6 +81,8 @@ func TestServerRejectsBadRoutesAndMethods(t *testing.T) {
 		{http.MethodPost, "/healthz"},
 		{http.MethodDelete, "/queries"},
 		{http.MethodPost, "/queries/q1/progress"},
+		{http.MethodPost, "/engine/stats"},
+		{http.MethodGet, "/engine/resize"},
 		{http.MethodPost, "/models"},
 		{http.MethodGet, "/models/retrain"},
 		{http.MethodGet, "/models/rollback"},
