@@ -1,0 +1,203 @@
+// Command benchjson turns `go test -bench -benchmem` output into the
+// repo's machine-readable perf trajectory: a JSON map from benchmark name
+// to ns/op, B/op and allocs/op. CI regenerates it as an artifact on every
+// run (BENCH_ci.json) and the committed BENCH_baseline.json records the
+// reference point future PRs diff against.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson \
+//	    [-o BENCH_ci.json] \
+//	    [-assert-zero-allocs 'BenchmarkSnapshotUpdateCycle/'] \
+//	    [-diff BENCH_baseline.json]
+//
+// -assert-zero-allocs fails (exit 1) when any matching benchmark reports
+// a non-zero allocs/op — the regression gate for the zero-alloc
+// observation hot path — and also when nothing matches, so a silently
+// deleted benchmark cannot pass the gate. -diff prints a per-benchmark
+// ns/op comparison against an earlier recording (informational only).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics are one benchmark's recorded measurements. AllocsOp and BOp are
+// -1 when the run lacked -benchmem.
+type Metrics struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      int64   `json:"b_op"`
+	AllocsOp int64   `json:"allocs_op"`
+	Iters    int64   `json:"iterations"`
+}
+
+// parseBench extracts benchmark result lines ("BenchmarkX-8  N  t ns/op
+// [b B/op  a allocs/op]") from go test output. The trailing -GOMAXPROCS
+// suffix is stripped so recordings compare across machines.
+func parseBench(r io.Reader) (map[string]Metrics, error) {
+	out := make(map[string]Metrics)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		m := Metrics{Iters: iters, BOp: -1, AllocsOp: -1}
+		seen := false
+		for i := 2; i+1 < len(f); i += 2 {
+			v := f[i]
+			switch f[i+1] {
+			case "ns/op":
+				m.NsOp, err = strconv.ParseFloat(v, 64)
+				seen = err == nil
+			case "B/op":
+				m.BOp, _ = strconv.ParseInt(v, 10, 64)
+			case "allocs/op":
+				m.AllocsOp, _ = strconv.ParseInt(v, 10, 64)
+			}
+		}
+		if !seen {
+			continue
+		}
+		out[stripProcs(f[0])] = m
+	}
+	return out, sc.Err()
+}
+
+// stripProcs removes the -GOMAXPROCS suffix go test appends to benchmark
+// names ("BenchmarkFoo/bar-8" -> "BenchmarkFoo/bar").
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// assertZeroAllocs returns an error when any benchmark matching re
+// reports non-zero (or unrecorded) allocs/op, or when none matches.
+func assertZeroAllocs(results map[string]Metrics, re *regexp.Regexp) error {
+	matched := 0
+	for name, m := range results {
+		if !re.MatchString(name) {
+			continue
+		}
+		matched++
+		if m.AllocsOp < 0 {
+			return fmt.Errorf("%s: allocs/op not recorded (run with -benchmem)", name)
+		}
+		if m.AllocsOp != 0 {
+			return fmt.Errorf("%s: %d allocs/op, want 0", name, m.AllocsOp)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no benchmark matches %q — hot-path benchmarks missing from the run", re)
+	}
+	return nil
+}
+
+// diff renders a per-benchmark ns/op comparison against a baseline.
+func diff(w io.Writer, baseline, current map[string]Metrics) {
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cur := current[name]
+		base, ok := baseline[name]
+		if !ok || base.NsOp == 0 {
+			fmt.Fprintf(w, "%-60s %12.1f ns/op  (no baseline)\n", name, cur.NsOp)
+			continue
+		}
+		fmt.Fprintf(w, "%-60s %12.1f ns/op  baseline %12.1f  %+.1f%%\n",
+			name, cur.NsOp, base.NsOp, (cur.NsOp-base.NsOp)/base.NsOp*100)
+	}
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON recording to this file (default stdout)")
+	assertRe := flag.String("assert-zero-allocs", "", "fail unless every matching benchmark reports 0 allocs/op (regexp)")
+	diffPath := flag.String("diff", "", "print a ns/op comparison against this earlier recording")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "benchjson: at most one input file")
+		os.Exit(2)
+	}
+
+	results, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results in input")
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *diffPath != "" {
+		raw, err := os.ReadFile(*diffPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		baseline := make(map[string]Metrics)
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		diff(os.Stderr, baseline, results)
+	}
+
+	if *assertRe != "" {
+		re, err := regexp.Compile(*assertRe)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := assertZeroAllocs(results, re); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: zero-alloc gate failed: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

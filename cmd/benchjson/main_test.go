@@ -1,0 +1,64 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: progressest
+BenchmarkSnapshotUpdateCycle/batched-8         	  120000	      9876 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSnapshotUpdateCycle/unbatched-8       	  100000	     12345.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMonitorStartToDone/batched-8          	     100	  11223344 ns/op	   65536 B/op	     321 allocs/op
+BenchmarkGateAdmit/fixed-16                    	 5000000	       250 ns/op
+PASS
+ok  	progressest	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	res, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(res))
+	}
+	m, ok := res["BenchmarkSnapshotUpdateCycle/batched"]
+	if !ok {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+	if m.NsOp != 9876 || m.BOp != 0 || m.AllocsOp != 0 || m.Iters != 120000 {
+		t.Fatalf("bad metrics: %+v", m)
+	}
+	if res["BenchmarkSnapshotUpdateCycle/unbatched"].NsOp != 12345.5 {
+		t.Fatal("fractional ns/op not parsed")
+	}
+	if mm := res["BenchmarkMonitorStartToDone/batched"]; mm.AllocsOp != 321 || mm.BOp != 65536 {
+		t.Fatalf("bad alloc metrics: %+v", mm)
+	}
+	// Without -benchmem the alloc columns are absent, recorded as -1.
+	if mm := res["BenchmarkGateAdmit/fixed"]; mm.AllocsOp != -1 || mm.BOp != -1 {
+		t.Fatalf("missing -benchmem columns not marked: %+v", mm)
+	}
+}
+
+func TestAssertZeroAllocs(t *testing.T) {
+	res, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := assertZeroAllocs(res, regexp.MustCompile(`^BenchmarkSnapshotUpdateCycle/`)); err != nil {
+		t.Fatalf("zero-alloc pair should pass: %v", err)
+	}
+	if err := assertZeroAllocs(res, regexp.MustCompile(`^BenchmarkMonitorStartToDone/`)); err == nil {
+		t.Fatal("allocating benchmark passed the gate")
+	}
+	if err := assertZeroAllocs(res, regexp.MustCompile(`^BenchmarkGateAdmit/`)); err == nil {
+		t.Fatal("benchmark without -benchmem columns passed the gate")
+	}
+	if err := assertZeroAllocs(res, regexp.MustCompile(`^BenchmarkNoSuch`)); err == nil {
+		t.Fatal("empty match passed the gate")
+	}
+}

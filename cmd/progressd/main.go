@@ -53,6 +53,13 @@
 //	          [-learn corpus/] [-retrain-after N] [-retrain-every D]
 //	          [-gate-tolerance F] [-no-gate]
 //	          [-drift-ratio F] [-drift-window N] [-no-drift-retrain]
+//	          [-pprof addr]
+//
+// -pprof serves the net/http/pprof profiling endpoints on a separate
+// listener (for example -pprof localhost:6060 exposes
+// /debug/pprof/profile, /debug/pprof/heap, ...), so the zero-alloc
+// observation hot path can be profiled in a running daemon under real
+// load. Off by default; bind it to localhost in production.
 //
 // -gate-tolerance is the quality gate's accepted relative holdout-L1
 // regression (0 means strict: a candidate must not be worse than the
@@ -80,6 +87,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux (served only with -pprof)
 	"os"
 	"os/signal"
 	"syscall"
@@ -117,6 +125,7 @@ func main() {
 	noDriftRetrain := flag.Bool("no-drift-retrain", false, "track drift but never auto-retrain on it (operator decides)")
 	trees := flag.Int("trees", 200, "MART boosting iterations for retrained models")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown deadline for in-flight queries")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
 	datasets := map[string]progressest.Dataset{
@@ -192,6 +201,18 @@ func main() {
 		if *routeByFamily {
 			log.Printf("warning: -route-by-family needs -learn; serving the global model only")
 		}
+	}
+
+	if *pprofAddr != "" {
+		// The profiling endpoints live on their own listener (the default
+		// mux, which the pprof import registers on), so enabling them never
+		// widens the serving API's exposure.
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
 	}
 
 	eng := progressest.NewEngine(w, progressest.EngineConfig{

@@ -1,0 +1,49 @@
+//go:build !race
+
+package progressest
+
+import (
+	"testing"
+
+	"progressest/internal/progress"
+)
+
+// The zero-alloc assertions live behind !race because testing.AllocsPerRun
+// reports spurious allocations under the race detector's instrumentation.
+
+// TestSnapshotUpdateCycleZeroAlloc asserts the tentpole property: at
+// steady state, one full snapshot→estimate→update tick — including the
+// synthetic thins a long-running query incurs — performs zero heap
+// allocations, in both delivery modes.
+func TestSnapshotUpdateCycleZeroAlloc(t *testing.T) {
+	for _, mode := range cycleModes {
+		t.Run(mode.name, func(t *testing.T) {
+			c := newSnapshotCycle(t, mode.batched)
+			if avg := testing.AllocsPerRun(200, c.tick); avg != 0 {
+				t.Fatalf("%s snapshot→update cycle: %v allocs/op at steady state, want 0",
+					mode.name, avg)
+			}
+		})
+	}
+}
+
+// TestQueryEstimateZeroAlloc covers the satellite read-path fix: the live
+// eq. 5 combination and the scratch-buffer series read allocate nothing
+// once warm.
+func TestQueryEstimateZeroAlloc(t *testing.T) {
+	c := newSnapshotCycle(t, true)
+	view := c.obs.view
+	choose := func(int) progress.Kind { return progress.DNE }
+	view.QueryEstimate(choose) // warm (already warm via ticks; belt and braces)
+	if avg := testing.AllocsPerRun(100, func() {
+		view.QueryEstimate(choose)
+	}); avg != 0 {
+		t.Fatalf("QueryEstimate: %v allocs/op, want 0", avg)
+	}
+	scratch := make([]float64, 0, 512)
+	if avg := testing.AllocsPerRun(100, func() {
+		scratch = view.Pipelines[0].AppendSeries(scratch[:0], progress.DNE)
+	}); avg != 0 {
+		t.Fatalf("AppendSeries into scratch: %v allocs/op, want 0", avg)
+	}
+}

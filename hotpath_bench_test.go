@@ -1,0 +1,146 @@
+package progressest
+
+import (
+	"testing"
+
+	"progressest/internal/exec"
+)
+
+// snapshotCycle is the steady-state replay harness behind the paired
+// hot-path benchmarks and the zero-alloc assertions: a warm
+// monitorObserver plus the recorded snapshots of one real execution, fed
+// in UpdateEvery-sized ticks that wrap around the recording. A synthetic
+// thin keeps the view's storage inside its reservation, exactly as the
+// engine's MaxObservations bound does in a long-running query — so each
+// tick is one Start→Update→Done-cycle slice at steady state.
+type snapshotCycle struct {
+	obs      *monitorObserver
+	snaps    []exec.Snapshot
+	every    int
+	pos      int
+	retained int // mirrors the view's retained snapshot count
+	batched  bool
+}
+
+// thinAt bounds the retained history just under the monitor's storage
+// reservation (exec.DefaultTargetObservations+1), so steady state never
+// grows the series.
+const thinAt = 384
+
+func newSnapshotCycle(t testing.TB, batched bool) *snapshotCycle {
+	t.Helper()
+	w, err := Open(Config{Dataset: TPCH, Queries: 2, Scale: 0.08, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := w.planned(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := exec.RunDecomposed(w.inner.DB, pq.plan, pq.pipes, exec.Options{})
+	const every = 8
+	if len(tr.Snapshots) < 4*every {
+		t.Fatalf("recorded trace too short for cycling: %d snapshots", len(tr.Snapshots))
+	}
+	obs, _ := newTestObserver(t, w, 0, every)
+	// Replay the pipeline starts so every pipeline that ran is live.
+	for pi := range tr.Pipes.Pipelines {
+		if tr.PipeSpans[pi].Start < 0 {
+			continue
+		}
+		totals := make(map[int]int64)
+		for _, d := range tr.Pipes.Pipelines[pi].Drivers {
+			totals[d] = tr.DriverTotal[d]
+		}
+		obs.OnPipelineStart(exec.PipelineStart{
+			Pipe: pi, Time: tr.PipeSpans[pi].Start,
+			DriverTotalsKnown: tr.DriverTotalsKnown[pi], DriverTotals: totals,
+		})
+	}
+	c := &snapshotCycle{obs: obs, snaps: tr.Snapshots, every: every, batched: batched}
+	// Warm to steady state: past the first updates (whose buffers enter
+	// the conflation recycle) and through several thins, after which every
+	// buffer in the path has reached its final capacity.
+	for i := 0; i < 4*thinAt/every; i++ {
+		c.tick()
+	}
+	return c
+}
+
+// tick feeds one UpdateEvery-sized segment of snapshots — producing
+// exactly one conflated ProgressUpdate — and thins when the retained
+// history reaches the bound.
+func (c *snapshotCycle) tick() {
+	if c.pos+c.every > len(c.snaps) {
+		c.pos = 0
+	}
+	seg := c.snaps[c.pos : c.pos+c.every]
+	c.pos += c.every
+	if c.batched {
+		c.obs.OnSnapshots(seg)
+	} else {
+		for i := range seg {
+			c.obs.OnSnapshot(seg[i])
+		}
+	}
+	c.retained += c.every
+	if c.retained >= thinAt {
+		c.obs.OnThin()
+		c.retained /= 2
+	}
+}
+
+// cycleModes are the paired delivery modes under comparison.
+var cycleModes = []struct {
+	name    string
+	batched bool
+}{
+	{"batched", true},
+	{"unbatched", false},
+}
+
+// BenchmarkSnapshotUpdateCycle is the paired hot-path benchmark: one
+// update tick (UpdateEvery snapshots fed, estimates advanced, one
+// conflated ProgressUpdate assembled and sent) at steady state, batched
+// vs per-snapshot delivery. CI asserts 0 allocs/op on both modes.
+func BenchmarkSnapshotUpdateCycle(b *testing.B) {
+	for _, mode := range cycleModes {
+		b.Run(mode.name, func(b *testing.B) {
+			c := newSnapshotCycle(b, mode.batched)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.tick()
+			}
+		})
+	}
+}
+
+// BenchmarkMonitorStartToDone is the end-to-end pair: a full monitored
+// query — Start, stream every update, Wait — in both delivery modes.
+// Execution itself dominates; the delta is the observation path.
+func BenchmarkMonitorStartToDone(b *testing.B) {
+	w, err := Open(Config{Dataset: TPCH, Queries: 2, Scale: 0.08, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := w.planned(0); err != nil { // warm the plan cache
+		b.Fatal(err)
+	}
+	for _, mode := range cycleModes {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m, err := w.Start(0, MonitorOptions{Unbatched: !mode.batched})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for range m.Updates {
+				}
+				if _, err := m.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,160 @@
+package progressest
+
+import (
+	"testing"
+
+	"progressest/internal/exec"
+	"progressest/internal/progress"
+)
+
+// collectUpdates drives a monitorObserver through a synchronous execution
+// of query qi, capturing the exact update stream through the deliver test
+// hook (no conflation, no goroutine), in batched or per-snapshot delivery
+// mode. The final Done update is included.
+func collectUpdates(t testing.TB, w *Workload, qi int, sel *Selector, unbatched bool, execOpts exec.Options) []ProgressUpdate {
+	t.Helper()
+	const every = 4
+	obs, pq := newTestObserver(t, w, qi, every)
+	if sel != nil {
+		obs.sel = sel.inner
+	}
+	var got []ProgressUpdate
+	obs.deliver = func(u ProgressUpdate) {
+		u.Pipelines = append([]PipelineProgress(nil), u.Pipelines...)
+		got = append(got, u)
+	}
+	execOpts.Observer = obs
+	if !unbatched {
+		execOpts.SnapshotBatch = every
+	}
+	exec.RunDecomposed(w.inner.DB, pq.plan, pq.pipes, execOpts)
+	obs.emit(true)
+	return got
+}
+
+// newTestObserver builds a monitorObserver exactly as Start does, minus
+// the channel plumbing.
+func newTestObserver(t testing.TB, w *Workload, qi, every int) (*monitorObserver, *plannedQuery) {
+	t.Helper()
+	pq, err := w.planned(qi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := progress.NewOnlineView(pq.plan, pq.pipes)
+	view.Reserve = exec.DefaultTargetObservations + 1
+	np := len(pq.pipes.Pipelines)
+	return &monitorObserver{
+		view:      view,
+		every:     every,
+		choice:    make([]progress.Kind, np),
+		nextMark:  make([]int, np),
+		obsBefore: make([]int, np),
+		ch:        make(chan ProgressUpdate, 1),
+	}, pq
+}
+
+// TestBatchedMonitorMatchesUnbatched is the monitor-level equivalence
+// proof of the batched hot path: across every dataset family — with a
+// fixed estimator and with a trained selector re-picking at marker
+// crossings, and under forced thinning — the delivered update stream is
+// bit-identical between batched and per-snapshot delivery.
+func TestBatchedMonitorMatchesUnbatched(t *testing.T) {
+	var sel *Selector
+	{
+		tw, err := Open(Config{Dataset: TPCH, Queries: 4, Scale: 0.08, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		examples, err := tw.Harvest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel, err = TrainSelector(examples, SelectorConfig{Trees: 24}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ds := range []Dataset{TPCH, TPCDS, Real1, Real2} {
+		t.Run(ds.String(), func(t *testing.T) {
+			w, err := Open(Config{Dataset: ds, Queries: 4, Scale: 0.08, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for qi := 0; qi < w.NumQueries(); qi++ {
+				for _, s := range []*Selector{nil, sel} {
+					for _, execOpts := range []exec.Options{
+						{},
+						{TargetObservations: 900, MaxObservations: 64}, // forces thinning
+					} {
+						batched := collectUpdates(t, w, qi, s, false, execOpts)
+						unbatched := collectUpdates(t, w, qi, s, true, execOpts)
+						assertSameUpdates(t, qi, batched, unbatched)
+					}
+				}
+			}
+		})
+	}
+}
+
+func assertSameUpdates(t *testing.T, qi int, a, b []ProgressUpdate) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("query %d: %d batched updates, %d unbatched", qi, len(a), len(b))
+	}
+	for i := range a {
+		ua, ub := a[i], b[i]
+		if ua.Seq != ub.Seq || ua.Time != ub.Time || ua.Query != ub.Query ||
+			ua.Done != ub.Done || ua.TrueProgress != ub.TrueProgress {
+			t.Fatalf("query %d update %d diverges:\nbatched   %+v\nunbatched %+v", qi, i, ua, ub)
+		}
+		if len(ua.Pipelines) != len(ub.Pipelines) {
+			t.Fatalf("query %d update %d: pipeline counts diverge", qi, i)
+		}
+		for p := range ua.Pipelines {
+			if ua.Pipelines[p] != ub.Pipelines[p] {
+				t.Fatalf("query %d update %d: pipeline %d diverges:\nbatched   %+v\nunbatched %+v",
+					qi, i, p, ua.Pipelines[p], ub.Pipelines[p])
+			}
+		}
+	}
+}
+
+// TestPlanCacheReusesPlans checks the per-workload plan cache: repeated
+// runs of one query share the cached plan and decomposition, and an
+// engine replica starts with its own empty cache.
+func TestPlanCacheReusesPlans(t *testing.T) {
+	w, err := Open(Config{Dataset: TPCH, Queries: 2, Scale: 0.08, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq1, err := w.planned(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq2, err := w.planned(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pq1 != pq2 || pq1.plan != pq2.plan || pq1.pipes != pq2.pipes {
+		t.Fatal("second planning of the same query did not hit the cache")
+	}
+	if _, err := w.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if pq3, _ := w.planned(0); pq3 != pq1 {
+		t.Fatal("Run evicted or replaced the cached plan")
+	}
+	r := w.replica()
+	if r.plans.entries != nil {
+		t.Fatal("replica inherited the parent's plan cache")
+	}
+	rq, err := r.planned(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rq == pq1 {
+		t.Fatal("replica shares the parent's cache entries")
+	}
+	if rq.plan.String() != pq1.plan.String() {
+		t.Fatal("replica planned a different plan for the same query")
+	}
+}

@@ -21,28 +21,41 @@ import (
 	"progressest/internal/storage"
 )
 
+// Default observation-capture parameters (see Options).
+const (
+	DefaultTargetObservations = 400
+	DefaultMaxObservations    = 1200
+)
+
 // Options configures one query execution.
 type Options struct {
 	// MemBudgetRows is the number of rows a blocking operator (hash join
 	// build, sort) can hold before spilling. Zero means unlimited.
 	MemBudgetRows int
 	// TargetObservations is the approximate number of counter snapshots to
-	// capture (default 400).
+	// capture (default DefaultTargetObservations).
 	TargetObservations int
 	// MaxObservations caps stored snapshots; when exceeded, the trace is
-	// thinned and the sampling interval doubled (default 1200).
+	// thinned and the sampling interval doubled (default
+	// DefaultMaxObservations).
 	MaxObservations int
 	// Observer, when non-nil, receives the execution event stream (pipeline
 	// starts/ends, snapshots, thinning, completion) while the query runs.
 	Observer Observer
+	// SnapshotBatch, when > 1 and Observer implements BatchObserver,
+	// buffers up to this many consecutive snapshots and delivers them in
+	// one OnSnapshots call. Pending snapshots always flush before another
+	// event fires, so the delivered stream is identical to the unbatched
+	// one — only the call granularity changes. Ignored otherwise.
+	SnapshotBatch int
 }
 
 func (o Options) withDefaults() Options {
 	if o.TargetObservations <= 0 {
-		o.TargetObservations = 400
+		o.TargetObservations = DefaultTargetObservations
 	}
 	if o.MaxObservations <= 0 {
-		o.MaxObservations = 1200
+		o.MaxObservations = DefaultMaxObservations
 	}
 	return o
 }
@@ -50,8 +63,15 @@ func (o Options) withDefaults() Options {
 // Run executes the plan to completion and returns its Trace, feeding
 // opts.Observer (if any) along the way.
 func Run(db *storage.Database, p *plan.Plan, opts Options) *Trace {
+	return RunDecomposed(db, p, pipeline.Decompose(p), opts)
+}
+
+// RunDecomposed is Run with the plan's pipeline decomposition supplied by
+// the caller. Execution never mutates the plan or the decomposition, so
+// callers that run the same plan repeatedly (the serving hot path) can
+// decompose once and reuse it across runs.
+func RunDecomposed(db *storage.Database, p *plan.Plan, pipes *pipeline.Decomposition, opts Options) *Trace {
 	opts = opts.withDefaults()
-	pipes := pipeline.Decompose(p)
 
 	obsEvery := int64(p.TotalEstRows()) / int64(opts.TargetObservations)
 	if obsEvery < 1 {
@@ -68,6 +88,7 @@ func Run(db *storage.Database, p *plan.Plan, opts Options) *Trace {
 	}
 	root.close()
 	ctx.snapshot() // final observation at tend
+	ctx.flushSnapshots()
 
 	tr := &Trace{
 		Plan:      p,
@@ -160,6 +181,13 @@ func newContext(db *storage.Database, p *plan.Plan, pipes *pipeline.Decompositio
 		pipeKnown:   make([]bool, len(pipes.Pipelines)),
 		obsEvery:    obsEvery,
 	}
+	ctx.sink.init(n, opts.TargetObservations+1, opts.MaxObservations+1)
+	if opts.SnapshotBatch > 1 {
+		if bo, ok := opts.Observer.(BatchObserver); ok {
+			ctx.batchObs = bo
+			ctx.batchSize = opts.SnapshotBatch
+		}
+	}
 	for i := range ctx.firstActive {
 		ctx.firstActive[i] = -1
 		ctx.blockTotal[i] = -1
@@ -202,6 +230,13 @@ type context struct {
 	obsEvery  int64
 	sink      traceSink
 	lastSnapT float64
+
+	// Batched snapshot delivery (Options.SnapshotBatch): rows
+	// sink.snapshots[flushed:] have been captured but not yet delivered
+	// to batchObs.
+	batchObs  BatchObserver
+	batchSize int
+	flushed   int
 }
 
 // produced records one GetNext call at node n: increments K_n, advances
@@ -262,6 +297,7 @@ func (c *context) startPipeline(pi int) {
 		totals[d] = t
 	}
 	c.pipeKnown[pi] = known
+	c.flushSnapshots() // starts must not land mid-batch
 	if c.observer != nil {
 		c.observer.OnPipelineStart(PipelineStart{
 			Pipe:              pi,
@@ -303,9 +339,14 @@ func (c *context) maybeSnapshot() {
 		return
 	}
 	c.snapshot()
-	if len(c.sink.snapshots) > c.opts.MaxObservations {
+	if c.sink.rows() > c.opts.MaxObservations {
 		// Thin: keep every other snapshot and halve the sampling rate.
-		c.sink.OnThin()
+		// Pending batched snapshots flush first — thinning compacts the
+		// arena in place, and the event order must match the unbatched
+		// stream (every snapshot delivered before the thin that drops it).
+		c.flushSnapshots()
+		c.sink.thin()
+		c.flushed = c.sink.rows()
 		if c.observer != nil {
 			c.observer.OnThin()
 		}
@@ -314,20 +355,32 @@ func (c *context) maybeSnapshot() {
 }
 
 func (c *context) snapshot() {
-	if len(c.sink.snapshots) > 0 && c.clock == c.lastSnapT {
+	if c.sink.rows() > 0 && c.clock == c.lastSnapT {
 		return
 	}
-	s := Snapshot{
-		Time: c.clock,
-		K:    append([]int64(nil), c.K...),
-		R:    append([]int64(nil), c.R...),
-		W:    append([]int64(nil), c.W...),
-	}
-	c.sink.OnSnapshot(s)
-	if c.observer != nil {
+	s := c.sink.add(c.clock, c.K, c.R, c.W)
+	if c.batchObs != nil {
+		if c.sink.rows()-c.flushed >= c.batchSize {
+			c.flushSnapshots()
+		}
+	} else if c.observer != nil {
 		c.observer.OnSnapshot(s)
+		c.flushed = c.sink.rows()
 	}
 	c.lastSnapT = c.clock
+}
+
+// flushSnapshots delivers the captured-but-undelivered snapshots as one
+// batch. No-op in unbatched mode (delivery already happened per
+// snapshot) and when nothing is pending.
+func (c *context) flushSnapshots() {
+	if c.batchObs == nil {
+		return
+	}
+	if n := c.sink.rows(); n > c.flushed {
+		c.batchObs.OnSnapshots(c.sink.snapshots[c.flushed:n])
+		c.flushed = n
+	}
 }
 
 // buildIter constructs the iterator for a plan node.

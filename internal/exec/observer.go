@@ -51,6 +51,23 @@ type Observer interface {
 	OnDone(tr *Trace)
 }
 
+// BatchObserver is an optional extension of Observer. When the engine
+// runs with Options.SnapshotBatch > 1 and the observer implements it,
+// consecutive counter snapshots are buffered and delivered in one
+// OnSnapshots call per batch instead of one OnSnapshot call each — the
+// batched hot path the live monitor uses to conflate per-snapshot work
+// into per-tick work. The event stream is otherwise identical: pending
+// snapshots are always flushed before an OnPipelineStart, OnThin or
+// OnDone event, so a batch never straddles another event and the
+// delivery order matches the unbatched stream snapshot for snapshot.
+type BatchObserver interface {
+	Observer
+	// OnSnapshots delivers a batch of consecutive snapshots in execution
+	// order. The slice and the counter slices inside its elements are
+	// only valid for the duration of the call.
+	OnSnapshots(batch []Snapshot)
+}
+
 // BaseObserver is a no-op Observer for embedding, so implementations can
 // override only the events they care about.
 type BaseObserver struct{}
@@ -70,24 +87,108 @@ func (BaseObserver) OnThin() {}
 // OnDone implements Observer.
 func (BaseObserver) OnDone(*Trace) {}
 
-// traceSink is the Observer that accumulates the snapshot history of the
-// Trace returned by Run. It receives exactly the same event stream as a
-// user-supplied Observer.
+// traceSink accumulates the snapshot history of the Trace returned by
+// Run. It sees exactly the event stream a user-supplied Observer does,
+// but stores the counter rows in one contiguous arena (3·nodes int64s
+// per row) instead of three fresh slices per snapshot: at steady state —
+// once thinning caps the row count — capturing a snapshot allocates
+// nothing. Snapshot headers alias arena rows, so the no-mutation
+// contract of Observer extends to the finished Trace.
 type traceSink struct {
-	BaseObserver
-	snapshots []Snapshot
+	nodes   int
+	maxRows int // thinning bound: rows never exceed it (0 = unbounded)
+
+	buf       []int64    // rows×3·nodes counter arena
+	snapshots []Snapshot // headers aliasing buf, one per row
 }
 
-func (t *traceSink) OnSnapshot(s Snapshot) {
-	t.snapshots = append(t.snapshots, s)
-}
-
-func (t *traceSink) OnThin() {
-	kept := t.snapshots[:0]
-	for i, s := range t.snapshots {
-		if i%2 == 1 {
-			kept = append(kept, s)
-		}
+// init sizes the arena. initRows is a starting capacity hint; the arena
+// grows geometrically up to maxRows, the ceiling thinning enforces.
+func (t *traceSink) init(nodes, initRows, maxRows int) {
+	if initRows < 16 {
+		initRows = 16
 	}
-	t.snapshots = kept
+	if maxRows > 0 && initRows > maxRows {
+		initRows = maxRows
+	}
+	t.nodes = nodes
+	t.maxRows = maxRows
+	t.buf = make([]int64, 0, initRows*3*nodes)
+	t.snapshots = make([]Snapshot, 0, initRows)
+}
+
+func (t *traceSink) rows() int { return len(t.snapshots) }
+
+// add copies the counters into the arena's next row and appends a
+// Snapshot header aliasing it. Alloc-free while within capacity.
+func (t *traceSink) add(time float64, K, R, W []int64) Snapshot {
+	if len(t.snapshots) == cap(t.snapshots) {
+		t.grow()
+	}
+	n := t.nodes
+	base := len(t.buf)
+	t.buf = t.buf[:base+3*n]
+	row := t.buf[base : base+3*n]
+	copy(row[:n], K)
+	copy(row[n:2*n], R)
+	copy(row[2*n:], W)
+	s := Snapshot{Time: time, K: row[:n:n], R: row[n : 2*n : 2*n], W: row[2*n : 3*n : 3*n]}
+	t.snapshots = append(t.snapshots, s)
+	return s
+}
+
+// grow doubles the arena (clipped to maxRows) and re-points every
+// retained header at the moved backing array. Headers handed out before
+// the move stay valid — they alias the old, no-longer-mutated backing.
+func (t *traceSink) grow() {
+	newCap := 2 * cap(t.snapshots)
+	if newCap < 16 {
+		newCap = 16
+	}
+	if t.maxRows > len(t.snapshots) && newCap > t.maxRows {
+		newCap = t.maxRows
+	}
+	if newCap <= cap(t.snapshots) {
+		newCap = cap(t.snapshots) + 1
+	}
+	stride := 3 * t.nodes
+	nb := make([]int64, len(t.buf), newCap*stride)
+	copy(nb, t.buf)
+	t.buf = nb
+	ns := make([]Snapshot, len(t.snapshots), newCap)
+	copy(ns, t.snapshots)
+	t.snapshots = ns
+	for i := range t.snapshots {
+		t.bind(i)
+	}
+}
+
+// bind points snapshot header i at its arena row.
+func (t *traceSink) bind(i int) {
+	n := t.nodes
+	row := t.buf[i*3*n : (i+1)*3*n]
+	s := &t.snapshots[i]
+	s.K = row[:n:n]
+	s.R = row[n : 2*n : 2*n]
+	s.W = row[2*n : 3*n : 3*n]
+}
+
+// thin keeps every other snapshot (the odd 0-based ordinals), compacting
+// the surviving rows down the arena in place. Headers are positional —
+// header i always aliases row i — so they stay bound through the move.
+func (t *traceSink) thin() {
+	n := t.nodes
+	w := 0
+	for r := 0; r < len(t.snapshots); r++ {
+		if r%2 != 1 {
+			continue
+		}
+		if w != r {
+			copy(t.buf[w*3*n:(w+1)*3*n], t.buf[r*3*n:(r+1)*3*n])
+			t.snapshots[w].Time = t.snapshots[r].Time
+		}
+		w++
+	}
+	t.snapshots = t.snapshots[:w]
+	t.buf = t.buf[:w*3*n]
 }

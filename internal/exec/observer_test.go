@@ -7,7 +7,9 @@ import (
 )
 
 // recordingObserver mirrors the trace sink through the Observer interface
-// and records the event ordering invariants.
+// and records the event ordering invariants. Counters are deep-copied:
+// the slices inside a delivered Snapshot alias the engine's reusable
+// arena and must not be retained.
 type recordingObserver struct {
 	BaseObserver
 	snapshots []Snapshot
@@ -19,8 +21,15 @@ type recordingObserver struct {
 
 func (r *recordingObserver) OnPipelineStart(st PipelineStart) { r.starts = append(r.starts, st) }
 func (r *recordingObserver) OnPipelineEnd(p int, end float64) { r.ends[p] = end }
-func (r *recordingObserver) OnSnapshot(s Snapshot)            { r.snapshots = append(r.snapshots, s) }
-func (r *recordingObserver) OnDone(tr *Trace)                 { r.done = tr }
+func (r *recordingObserver) OnSnapshot(s Snapshot) {
+	r.snapshots = append(r.snapshots, Snapshot{
+		Time: s.Time,
+		K:    append([]int64(nil), s.K...),
+		R:    append([]int64(nil), s.R...),
+		W:    append([]int64(nil), s.W...),
+	})
+}
+func (r *recordingObserver) OnDone(tr *Trace) { r.done = tr }
 
 func (r *recordingObserver) OnThin() {
 	r.thins++
@@ -146,5 +155,97 @@ func TestTraceThinning(t *testing.T) {
 	if len(rec.snapshots) != len(tr.Snapshots) {
 		t.Fatalf("observer retained %d snapshots after thinning, trace has %d",
 			len(rec.snapshots), len(tr.Snapshots))
+	}
+}
+
+// batchRecorder records the same stream as recordingObserver, but through
+// the BatchObserver extension, interleaving event markers so the ordering
+// guarantee (batches never straddle starts/thins/completion) is checkable.
+type batchRecorder struct {
+	recordingObserver
+	batches []int    // size of each delivered batch
+	events  []string // flattened event order: "snap", "start", "thin", "done"
+}
+
+func (b *batchRecorder) OnSnapshots(batch []Snapshot) {
+	b.batches = append(b.batches, len(batch))
+	for i := range batch {
+		b.recordingObserver.OnSnapshot(batch[i])
+		b.events = append(b.events, "snap")
+	}
+}
+func (b *batchRecorder) OnSnapshot(Snapshot) { panic("unbatched delivery in batch mode") }
+func (b *batchRecorder) OnPipelineStart(st PipelineStart) {
+	b.events = append(b.events, "start")
+	b.recordingObserver.OnPipelineStart(st)
+}
+func (b *batchRecorder) OnThin() {
+	b.events = append(b.events, "thin")
+	b.recordingObserver.OnThin()
+}
+func (b *batchRecorder) OnDone(tr *Trace) {
+	b.events = append(b.events, "done")
+	b.recordingObserver.OnDone(tr)
+}
+
+// TestSnapshotBatchingDeliversIdenticalStream runs the same plan with and
+// without SnapshotBatch and checks the batched observer sees exactly the
+// unbatched event stream — same snapshots (times and all counters), same
+// starts and thins in the same relative order — just grouped into batches
+// bounded by the configured size.
+func TestSnapshotBatchingDeliversIdenticalStream(t *testing.T) {
+	db := testDB(t, catalog.PartiallyTuned, 1)
+	spec := joinSpec()
+	pl := mustPlan(t, db, spec)
+
+	for _, opt := range []Options{
+		{TargetObservations: 600},
+		{TargetObservations: 600, MaxObservations: 48}, // forces thinning
+	} {
+		plain := &recordingObserver{ends: make(map[int]float64)}
+		optPlain := opt
+		optPlain.Observer = plain
+		trPlain := Run(db, pl, optPlain)
+
+		const batchSize = 7
+		batched := &batchRecorder{recordingObserver: recordingObserver{ends: make(map[int]float64)}}
+		optBatch := opt
+		optBatch.Observer = batched
+		optBatch.SnapshotBatch = batchSize
+		trBatch := Run(db, pl, optBatch)
+
+		if len(batched.batches) == 0 {
+			t.Fatal("no batches delivered")
+		}
+		for _, n := range batched.batches {
+			if n < 1 || n > batchSize {
+				t.Fatalf("batch size %d outside [1,%d]", n, batchSize)
+			}
+		}
+		if batched.thins != plain.thins {
+			t.Fatalf("batched saw %d thins, unbatched %d", batched.thins, plain.thins)
+		}
+		if len(batched.snapshots) != len(plain.snapshots) {
+			t.Fatalf("batched retained %d snapshots, unbatched %d",
+				len(batched.snapshots), len(plain.snapshots))
+		}
+		for i := range plain.snapshots {
+			a, b := plain.snapshots[i], batched.snapshots[i]
+			if a.Time != b.Time {
+				t.Fatalf("snapshot %d: time %v vs %v", i, a.Time, b.Time)
+			}
+			for id := range a.K {
+				if a.K[id] != b.K[id] || a.R[id] != b.R[id] || a.W[id] != b.W[id] {
+					t.Fatalf("snapshot %d node %d: counters diverge", i, id)
+				}
+			}
+		}
+		// The trace itself is delivery-mode independent.
+		if len(trPlain.Snapshots) != len(trBatch.Snapshots) {
+			t.Fatalf("trace lengths diverge: %d vs %d", len(trPlain.Snapshots), len(trBatch.Snapshots))
+		}
+		if batched.events[len(batched.events)-1] != "done" {
+			t.Fatal("done not last event")
+		}
 	}
 }

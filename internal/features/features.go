@@ -231,13 +231,22 @@ func markerObservation(v Source, frac float64) int {
 // marker, and time-correlation features quantifying how well each
 // estimator tracks elapsed time.
 func Dynamic(v Source) []float64 {
-	out := make([]float64, 0, NumTotal-NumStatic)
+	return AppendDynamic(make([]float64, 0, NumTotal-NumStatic), v)
+}
+
+// AppendDynamic appends the dynamic features to dst and returns the
+// extended slice — the alloc-free form the streaming hot path uses with a
+// reusable scratch buffer.
+func AppendDynamic(dst []float64, v Source) []float64 {
+	out := dst
 
 	// Marker observations: first ordinal where the driver fraction reaches
-	// x%.
-	markerObs := make([]int, len(Markers))
-	for mi, x := range Markers {
-		markerObs[mi] = markerObservation(v, float64(x)/100)
+	// x%. The marker list is small and fixed, so the ordinals live on the
+	// stack.
+	var markerArr [8]int
+	markerObs := markerArr[:0]
+	for _, x := range Markers {
+		markerObs = append(markerObs, markerObservation(v, float64(x)/100))
 	}
 
 	for _, pr := range diffPairs {
@@ -307,11 +316,19 @@ func OnlineStatic(v *progress.OnlinePipeline) []float64 {
 // seen so far. Markers not yet reached contribute their neutral defaults,
 // so the vector is well-formed from the very first observation onwards and
 // converges to the offline Full vector as the pipeline completes.
+//
+// The vector is assembled into the pipeline's FeatBuf scratch, so at
+// steady state a re-pick allocates nothing; the returned slice is only
+// valid until the next OnlineFull call on the same pipeline.
 func OnlineFull(v *progress.OnlinePipeline) []float64 {
 	st := OnlineStatic(v)
-	out := make([]float64, 0, NumTotal)
-	out = append(out, st...)
-	return append(out, Dynamic(v)...)
+	if cap(v.FeatBuf) < NumTotal {
+		v.FeatBuf = make([]float64, 0, NumTotal)
+	}
+	out := append(v.FeatBuf[:0], st...)
+	out = AppendDynamic(out, v)
+	v.FeatBuf = out
+	return out
 }
 
 func logp1(x float64) float64 {

@@ -25,14 +25,29 @@ type OnlineView struct {
 	// Trace is the finished trace, set by OnDone.
 	Trace *exec.Trace
 
+	// Reserve, when positive, pre-sizes each pipeline's observation
+	// storage for this many observations at pipeline start: all
+	// per-observation series are carved from one slab, so feeding
+	// snapshots allocates nothing until the reservation is exceeded
+	// (and then only the amortized growth the append built-in performs).
+	// The live monitor reserves the engine's target observation count.
+	Reserve int
+
 	snapCount int // retained snapshots seen so far (mirrors the trace sink)
 	done      bool
+
+	wbuf []float64 // QueryEstimate weight scratch, reused across calls
 }
 
 // NewOnlineView prepares a streaming view for one execution of the plan.
 // Pass it as exec.Options.Observer.
 func NewOnlineView(p *plan.Plan, pipes *pipeline.Decomposition) *OnlineView {
-	o := &OnlineView{Plan: p, Pipes: pipes}
+	o := &OnlineView{
+		Plan:      p,
+		Pipes:     pipes,
+		Pipelines: make([]*OnlinePipeline, 0, len(pipes.Pipelines)),
+		wbuf:      make([]float64, len(pipes.Pipelines)),
+	}
 	for _, pl := range pipes.Pipelines {
 		o.Pipelines = append(o.Pipelines, &OnlinePipeline{pipe: pl, plan: p})
 	}
@@ -51,6 +66,10 @@ func (o *OnlineView) OnPipelineStart(st exec.PipelineStart) {
 	p.Started = true
 	p.StartTime = st.Time
 	p.worst = newWorstState()
+	if p.lastSig == nil {
+		p.lastSig = make([]int64, 3*len(p.pipe.Nodes))
+	}
+	p.reserve(o.Reserve)
 }
 
 // OnSnapshot implements exec.Observer: every started, still-active
@@ -62,6 +81,16 @@ func (o *OnlineView) OnSnapshot(s exec.Snapshot) {
 		if p.Started && !p.Ended {
 			p.feed(&s, g)
 		}
+	}
+}
+
+// OnSnapshots implements exec.BatchObserver: one call folds a whole
+// delivery batch into the per-pipeline state, observation by observation
+// — the arithmetic is the per-snapshot path's, so the accumulated series
+// are bit-identical to unbatched delivery.
+func (o *OnlineView) OnSnapshots(batch []exec.Snapshot) {
+	for i := range batch {
+		o.OnSnapshot(batch[i])
 	}
 }
 
@@ -109,9 +138,16 @@ func (o *OnlineView) OnDone(tr *exec.Trace) {
 // contribute zero; their weights use plan-time estimates until their
 // driver totals become known at start. choose picks the estimator per
 // pipeline.
+// QueryEstimate is not safe for concurrent calls on one view (the weight
+// scratch is reused across calls); the monitor invokes it only from the
+// executing goroutine.
 func (o *OnlineView) QueryEstimate(choose func(p int) Kind) float64 {
 	var total, sum float64
-	weights := make([]float64, len(o.Pipelines))
+	weights := o.wbuf
+	if len(weights) != len(o.Pipelines) {
+		weights = make([]float64, len(o.Pipelines))
+		o.wbuf = weights
+	}
 	for i, p := range o.Pipelines {
 		var w float64
 		for _, id := range p.pipe.Nodes {
@@ -158,6 +194,12 @@ type OnlinePipeline struct {
 	// once at pipeline start by the features package.
 	StaticCache []float64
 
+	// FeatBuf is the reusable scratch the features package assembles the
+	// full online feature vector into, so a selector re-pick allocates
+	// nothing at steady state. Owned by features.OnlineFull; callers must
+	// consume the returned vector before the next pick on this pipeline.
+	FeatBuf []float64
+
 	pipe *pipeline.Pipeline
 	plan *plan.Plan
 
@@ -195,9 +237,16 @@ func (p *OnlinePipeline) Estimate(kind Kind) float64 {
 // EstimateAt returns estimator kind's value at observation ordinal i.
 func (p *OnlinePipeline) EstimateAt(kind Kind, i int) float64 { return p.est[kind][i] }
 
+// AppendSeries appends estimator kind's accumulated series to dst and
+// returns the extended slice — the alloc-free counterpart of Series for
+// callers that reuse a scratch buffer across reads.
+func (p *OnlinePipeline) AppendSeries(dst []float64, kind Kind) []float64 {
+	return append(dst, p.est[kind]...)
+}
+
 // Series returns a copy of estimator kind's accumulated series.
 func (p *OnlinePipeline) Series(kind Kind) []float64 {
-	return append([]float64(nil), p.est[kind]...)
+	return p.AppendSeries(nil, kind)
 }
 
 // DriverFraction returns the consumed driver-input fraction at observation
@@ -216,6 +265,33 @@ func (p *OnlinePipeline) CurrentDriverFraction() float64 {
 // TimeSinceStart returns the virtual time elapsed since the pipeline's
 // start at observation ordinal i.
 func (p *OnlinePipeline) TimeSinceStart(i int) float64 { return p.times[i] - p.StartTime }
+
+// reserve pre-sizes every per-observation series for n observations,
+// carving them all from one slab so pipeline start costs one allocation
+// (plus one for the index column) instead of thirteen. Subsequent feeds
+// append within capacity — allocation-free until n is exceeded.
+func (p *OnlinePipeline) reserve(n int) {
+	if n <= 0 || cap(p.times) >= n {
+		return
+	}
+	slab := make([]float64, (5+int(NumKinds))*n)
+	off := 0
+	carve := func(old []float64) []float64 {
+		s := slab[off : off+len(old) : off+n]
+		copy(s, old)
+		off += n
+		return s
+	}
+	p.times = carve(p.times)
+	p.fracs = carve(p.fracs)
+	p.kNodes = carve(p.kNodes)
+	p.kDrivers = carve(p.kDrivers)
+	p.eDrivers = carve(p.eDrivers)
+	for k := range p.est {
+		p.est[k] = carve(p.est[k])
+	}
+	p.gidx = append(make([]int, 0, n), p.gidx...)
+}
 
 // feed appends the estimates for one snapshot.
 func (p *OnlinePipeline) feed(s *exec.Snapshot, g int) {

@@ -108,6 +108,59 @@ func assertOnlineEqualsOffline(t *testing.T, ov *progress.OnlineView, tr *exec.T
 	}
 }
 
+// TestOnlineBatchedDeliveryMatches checks the zero-alloc hot path's
+// delivery conflation: an OnlineView fed through batched OnSnapshots
+// calls (exec.Options.SnapshotBatch) accumulates bit-identical series —
+// and an identical trace — to one fed snapshot by snapshot, across every
+// dataset family and under forced thinning.
+func TestOnlineBatchedDeliveryMatches(t *testing.T) {
+	kinds := []datagen.DatasetKind{
+		datagen.TPCHLike, datagen.TPCDSLike, datagen.Real1Like, datagen.Real2Like,
+	}
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			w, err := workload.Build(workload.Spec{
+				Name: kind.String(), Kind: kind, Queries: 6, Scale: 0.08, Zipf: 1, Seed: 7,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for qi := range w.Queries {
+				for _, opts := range []exec.Options{
+					{SnapshotBatch: 8},
+					{SnapshotBatch: 8, TargetObservations: 900, MaxObservations: 64}, // thinning
+				} {
+					plain, trPlain := runOnline(t, w, qi, exec.Options{
+						TargetObservations: opts.TargetObservations,
+						MaxObservations:    opts.MaxObservations,
+					})
+					batched, trBatch := runOnline(t, w, qi, opts)
+					if len(trPlain.Snapshots) != len(trBatch.Snapshots) {
+						t.Fatalf("query %d: trace lengths diverge: %d vs %d",
+							qi, len(trPlain.Snapshots), len(trBatch.Snapshots))
+					}
+					for p := range trPlain.Pipes.Pipelines {
+						a, b := plain.Pipelines[p], batched.Pipelines[p]
+						if a.NumObs() != b.NumObs() {
+							t.Fatalf("query %d pipeline %d: %d obs unbatched, %d batched",
+								qi, p, a.NumObs(), b.NumObs())
+						}
+						for _, k := range progress.Kinds() {
+							sa, sb := a.Series(k), b.Series(k)
+							for i := range sa {
+								if sa[i] != sb[i] {
+									t.Fatalf("query %d pipeline %d %v obs %d: unbatched %v != batched %v",
+										qi, p, k, i, sa[i], sb[i])
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestOnlineFeaturesConvergeToOffline checks the feature split: the online
 // static prefix plus the dynamic suffix computed from the completed online
 // view equals the offline Full vector.

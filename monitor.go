@@ -7,7 +7,6 @@ import (
 	"progressest/internal/exec"
 	"progressest/internal/features"
 	"progressest/internal/feedback"
-	"progressest/internal/pipeline"
 	"progressest/internal/progress"
 	"progressest/internal/selection"
 )
@@ -41,6 +40,12 @@ type MonitorOptions struct {
 	// Monitor.ModelFamily reports which target served. Without Learning
 	// the flag has no effect.
 	RouteByFamily bool
+	// Unbatched delivers counter snapshots to the estimator path one at a
+	// time instead of batched per update tick. The batched path produces
+	// bit-identical updates (asserted by the equivalence suite) with less
+	// per-snapshot overhead; the flag exists for paired benchmarks and
+	// equivalence tests.
+	Unbatched bool
 }
 
 func (o MonitorOptions) withDefaults() MonitorOptions {
@@ -147,7 +152,12 @@ var reselectMarkers = func() []float64 {
 
 // monitorObserver adapts the exec event stream into conflated
 // ProgressUpdates: it maintains the streaming OnlineView, re-selects
-// estimators at marker crossings, and emits an update every n-th snapshot.
+// estimators at marker crossings, and emits an update every n-th
+// snapshot. It implements exec.BatchObserver, so with batched delivery
+// the engine hands it whole segments of snapshots at once and the
+// per-snapshot work between two update marks collapses into one
+// OnlineView advance plus one selector sweep — producing exactly the
+// updates per-snapshot delivery would.
 type monitorObserver struct {
 	view  *progress.OnlineView
 	sel   *selection.Selector
@@ -164,6 +174,14 @@ type monitorObserver struct {
 	sinceSend int
 	lastTime  float64
 	ch        chan ProgressUpdate
+
+	// deliver, when non-nil, replaces the channel send — a test hook that
+	// captures the exact update stream without conflation.
+	deliver func(ProgressUpdate)
+
+	one       [1]exec.Snapshot   // scratch for unbatched delivery
+	obsBefore []int              // per-pipeline observation count at segment start
+	spare     []PipelineProgress // recycled update buffer (see send)
 }
 
 func (m *monitorObserver) OnPipelineStart(st exec.PipelineStart) {
@@ -186,31 +204,78 @@ func (m *monitorObserver) OnDone(tr *exec.Trace) {
 }
 
 func (m *monitorObserver) OnSnapshot(s exec.Snapshot) {
-	m.view.OnSnapshot(s)
-	m.lastTime = s.Time
-	if m.sel != nil {
-		for pi, p := range m.view.Pipelines {
-			if !p.Started || p.Ended {
-				continue
+	m.one[0] = s
+	m.OnSnapshots(m.one[:1])
+}
+
+// OnSnapshots implements exec.BatchObserver: the batch is consumed in
+// segments bounded by the UpdateEvery mark, each segment advancing the
+// view in one call, re-picking estimators once, and emitting at most one
+// update. With batch size 1 this degenerates to exactly the per-snapshot
+// path, so both delivery modes share one code path.
+func (m *monitorObserver) OnSnapshots(batch []exec.Snapshot) {
+	for len(batch) > 0 {
+		n := m.every - m.sinceSend
+		if n > len(batch) {
+			n = len(batch)
+		}
+		seg := batch[:n]
+		batch = batch[n:]
+		if m.sel != nil {
+			for pi, p := range m.view.Pipelines {
+				m.obsBefore[pi] = p.NumObs()
 			}
-			crossed := false
-			for m.nextMark[pi] < len(reselectMarkers) &&
-				p.CurrentDriverFraction() >= reselectMarkers[m.nextMark[pi]] {
+		}
+		m.view.OnSnapshots(seg)
+		m.lastTime = seg[n-1].Time
+		if m.sel != nil {
+			m.repickCrossed()
+		}
+		m.sinceSend += n
+		if m.sinceSend >= m.every {
+			m.sinceSend = 0
+			m.emit(false)
+		}
+	}
+}
+
+// repickCrossed advances each active pipeline's marker cursor over the
+// observations its segment appended, re-picking the estimator when a
+// marker was crossed. Scanning every new observation's recorded fraction
+// (not just the segment's final one) keeps the marker bookkeeping — and
+// therefore the picks, whose dynamic features depend only on the
+// first-crossing ordinals and the immutable history at them — identical
+// to per-snapshot delivery. Pipeline starts and thins always flush the
+// pending batch, so the active set and the history are segment-stable.
+func (m *monitorObserver) repickCrossed() {
+	for pi, p := range m.view.Pipelines {
+		if !p.Started || p.Ended {
+			continue
+		}
+		crossed := false
+		for i := m.obsBefore[pi]; i < p.NumObs(); i++ {
+			f := p.DriverFraction(i)
+			for m.nextMark[pi] < len(reselectMarkers) && f >= reselectMarkers[m.nextMark[pi]] {
 				m.nextMark[pi]++
 				crossed = true
 			}
-			if crossed {
-				m.choice[pi] = m.sel.PickOnline(p)
-			}
+		}
+		if crossed {
+			m.choice[pi] = m.sel.PickOnline(p)
 		}
 	}
-	m.sinceSend++
-	if m.sinceSend >= m.every {
-		m.sinceSend = 0
-		m.send(m.update(false))
-		if m.pace > 0 {
-			time.Sleep(m.pace)
-		}
+}
+
+// emit assembles and delivers one update.
+func (m *monitorObserver) emit(done bool) {
+	u := m.update(done)
+	if m.deliver != nil {
+		m.deliver(u)
+		return
+	}
+	m.send(u)
+	if !done && m.pace > 0 {
+		time.Sleep(m.pace)
 	}
 }
 
@@ -230,6 +295,13 @@ func (m *monitorObserver) update(done bool) ProgressUpdate {
 	} else {
 		u.Query = m.view.QueryEstimate(func(p int) progress.Kind { return m.choice[p] })
 	}
+	buf := m.spare
+	m.spare = nil
+	if cap(buf) < len(m.view.Pipelines) {
+		buf = make([]PipelineProgress, 0, len(m.view.Pipelines))
+	} else {
+		buf = buf[:0]
+	}
 	for pi, p := range m.view.Pipelines {
 		pp := PipelineProgress{
 			Pipeline:      pi,
@@ -245,8 +317,9 @@ func (m *monitorObserver) update(done bool) ProgressUpdate {
 		if pp.Done {
 			pp.Estimate = 1
 		}
-		u.Pipelines = append(u.Pipelines, pp)
+		buf = append(buf, pp)
 	}
+	u.Pipelines = buf
 	if done {
 		u.TrueProgress = 1
 	}
@@ -255,10 +328,14 @@ func (m *monitorObserver) update(done bool) ProgressUpdate {
 
 // send delivers conflated: if the consumer has not drained the previous
 // update, it is replaced by the fresh one. This goroutine is the only
-// sender, so after the drain the buffered send always succeeds.
+// sender, so after the drain the buffered send always succeeds. A drained
+// stale update was never received by anyone, so its Pipelines buffer is
+// exclusively ours again and backs the next assembly — at steady state
+// with a slow (or absent) consumer, updates allocate nothing.
 func (m *monitorObserver) send(u ProgressUpdate) {
 	select {
-	case <-m.ch:
+	case stale := <-m.ch:
+		m.spare = stale.Pipelines
 	default:
 	}
 	m.ch <- u
@@ -304,18 +381,23 @@ func (w *Workload) Start(i int, opts MonitorOptions) (*Monitor, error) {
 		}
 	}
 	opts = opts.withDefaults()
-	pl, err := w.inner.Planner.Plan(w.inner.Queries[i])
+	pq, err := w.planned(i)
 	if err != nil {
 		return nil, err
 	}
-	pipes := pipeline.Decompose(pl)
+	pl, pipes := pq.plan, pq.pipes
+	view := progress.NewOnlineView(pl, pipes)
+	// Pre-size the per-pipeline series for the engine's observation
+	// target, so feeding snapshots stays allocation-free at steady state.
+	view.Reserve = exec.DefaultTargetObservations + 1
 	obs := &monitorObserver{
-		view:     progress.NewOnlineView(pl, pipes),
-		every:    opts.UpdateEvery,
-		pace:     opts.Pace,
-		choice:   make([]progress.Kind, len(pipes.Pipelines)),
-		nextMark: make([]int, len(pipes.Pipelines)),
-		ch:       make(chan ProgressUpdate, 1),
+		view:      view,
+		every:     opts.UpdateEvery,
+		pace:      opts.Pace,
+		choice:    make([]progress.Kind, len(pipes.Pipelines)),
+		nextMark:  make([]int, len(pipes.Pipelines)),
+		obsBefore: make([]int, len(pipes.Pipelines)),
+		ch:        make(chan ProgressUpdate, 1),
 	}
 	obs.sel = sel
 	if opts.Learning != nil {
@@ -335,16 +417,22 @@ func (w *Workload) Start(i int, opts MonitorOptions) (*Monitor, error) {
 		shard:       -1,
 		done:        make(chan struct{}),
 	}
+	execOpts := exec.Options{Observer: obs}
+	if !opts.Unbatched {
+		// One snapshot batch per update tick: the engine conflates
+		// delivery to the granularity updates are emitted at anyway.
+		execOpts.SnapshotBatch = opts.UpdateEvery
+	}
 	go func() {
 		defer close(m.done)
-		tr := exec.Run(w.inner.DB, pl, exec.Options{Observer: obs})
+		tr := exec.RunDecomposed(w.inner.DB, pl, pipes, execOpts)
 		run := &QueryRun{trace: tr}
 		for p := range tr.Pipes.Pipelines {
 			run.views = append(run.views, progress.NewPipelineView(tr, p))
 		}
 		m.run = run
 		// The final update replaces any stale value, then the stream ends.
-		obs.send(obs.update(true))
+		obs.emit(true)
 		close(obs.ch)
 	}()
 	return m, nil

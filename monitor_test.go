@@ -65,6 +65,87 @@ func TestMonitorStreamsLiveUpdates(t *testing.T) {
 	}
 }
 
+// TestMonitorConflationUnderBatching pins the Updates contract on the
+// batched hot path: a slow consumer never blocks the executing observer —
+// the query runs to completion regardless of consumer pace — and every
+// read observes fresh state (sequence numbers strictly increase, stale
+// intermediate updates are conflated away, the final read is Done).
+// Run under -race this also proves the recycled update buffers never leak
+// across the channel: a delivered update is never written to again.
+func TestMonitorConflationUnderBatching(t *testing.T) {
+	w := testWorkload(t)
+	m, err := w.Start(0, progressest.MonitorOptions{UpdateEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consume far slower than the update rate: UpdateEvery=1 emits one
+	// update per snapshot (~hundreds per query), while this loop sleeps
+	// between reads. Without conflation the observer would stall on the
+	// full channel and the deadline below would trip.
+	lastSeq := -1
+	reads := 0
+	var final progressest.ProgressUpdate
+	for u := range m.Updates {
+		if u.Seq <= lastSeq {
+			t.Fatalf("stale update: seq %d after %d", u.Seq, lastSeq)
+		}
+		// The received update must stay immutable while the observer keeps
+		// emitting: hold the slice across the sleep and re-check it below.
+		pipes := u.Pipelines
+		snap := append([]progressest.PipelineProgress(nil), pipes...)
+		lastSeq = u.Seq
+		reads++
+		time.Sleep(2 * time.Millisecond)
+		for i := range pipes {
+			if pipes[i] != snap[i] {
+				t.Fatal("delivered update mutated after receipt")
+			}
+		}
+		final = u
+	}
+	if !final.Done || final.Query != 1 {
+		t.Fatalf("terminal update not observed: %+v", final)
+	}
+	if reads == 0 {
+		t.Fatal("no updates read")
+	}
+	run, err := m.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slow consumer saw a conflated subset, not the full stream: the
+	// final Seq counts every emitted update.
+	if final.Seq < reads-1 {
+		t.Fatalf("final seq %d below read count %d", final.Seq, reads)
+	}
+	if run.NumPipelines() != len(final.Pipelines) {
+		t.Fatalf("run has %d pipelines, final update %d", run.NumPipelines(), len(final.Pipelines))
+	}
+}
+
+// TestMonitorUnbatchedMatchesBatched drives the public API in both
+// delivery modes and checks the terminal state agrees (the full
+// bit-identity proof lives in the in-package equivalence suite).
+func TestMonitorUnbatchedMatchesBatched(t *testing.T) {
+	w := testWorkload(t)
+	for _, unbatched := range []bool{false, true} {
+		m, err := w.Start(1, progressest.MonitorOptions{UpdateEvery: 4, Unbatched: unbatched})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var last progressest.ProgressUpdate
+		for u := range m.Updates {
+			last = u
+		}
+		if !last.Done || last.Query != 1 || last.TrueProgress != 1 {
+			t.Fatalf("unbatched=%v: bad terminal update %+v", unbatched, last)
+		}
+		if _, err := m.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestMonitorOutOfRange checks index validation.
 func TestMonitorOutOfRange(t *testing.T) {
 	w := testWorkload(t)

@@ -23,11 +23,14 @@ package progressest
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"progressest/internal/catalog"
 	"progressest/internal/datagen"
 	"progressest/internal/exec"
 	"progressest/internal/features"
+	"progressest/internal/pipeline"
+	"progressest/internal/plan"
 	"progressest/internal/progress"
 	"progressest/internal/selection"
 	"progressest/internal/workload"
@@ -99,6 +102,49 @@ type Config struct {
 // Workload is a generated database plus parameterised queries.
 type Workload struct {
 	inner *workload.Workload
+	plans planCache
+}
+
+// planCache memoizes the physical plan and pipeline decomposition per
+// query index. Planning is deterministic and execution never mutates a
+// plan, so one planned query can back any number of runs. Each engine
+// replica owns its own cache (replica() starts fresh), keeping the reuse
+// shard-local on the serving hot path.
+type planCache struct {
+	mu      sync.RWMutex
+	entries map[int]*plannedQuery
+}
+
+type plannedQuery struct {
+	plan  *plan.Plan
+	pipes *pipeline.Decomposition
+}
+
+// planned returns the cached plan+decomposition for query i, planning on
+// first use.
+func (w *Workload) planned(i int) (*plannedQuery, error) {
+	w.plans.mu.RLock()
+	pq := w.plans.entries[i]
+	w.plans.mu.RUnlock()
+	if pq != nil {
+		return pq, nil
+	}
+	pl, err := w.inner.Planner.Plan(w.inner.Queries[i])
+	if err != nil {
+		return nil, err
+	}
+	pq = &plannedQuery{plan: pl, pipes: pipeline.Decompose(pl)}
+	w.plans.mu.Lock()
+	if prior, ok := w.plans.entries[i]; ok {
+		pq = prior // a concurrent planner won; both results are identical
+	} else {
+		if w.plans.entries == nil {
+			w.plans.entries = make(map[int]*plannedQuery)
+		}
+		w.plans.entries[i] = pq
+	}
+	w.plans.mu.Unlock()
+	return pq, nil
 }
 
 // Open generates the database and queries for the configuration.
@@ -164,11 +210,11 @@ func (w *Workload) Run(i int) (*QueryRun, error) {
 	if i < 0 || i >= len(w.inner.Queries) {
 		return nil, fmt.Errorf("progressest: query index %d out of range [0,%d)", i, len(w.inner.Queries))
 	}
-	pl, err := w.inner.Planner.Plan(w.inner.Queries[i])
+	pq, err := w.planned(i)
 	if err != nil {
 		return nil, err
 	}
-	tr := exec.Run(w.inner.DB, pl, exec.Options{})
+	tr := exec.RunDecomposed(w.inner.DB, pq.plan, pq.pipes, exec.Options{})
 	run := &QueryRun{trace: tr}
 	for p := range tr.Pipes.Pipelines {
 		run.views = append(run.views, progress.NewPipelineView(tr, p))
@@ -294,11 +340,11 @@ func (w *Workload) RunBatch(indices []int) (*BatchRun, error) {
 		if i < 0 || i >= len(w.inner.Queries) {
 			return nil, fmt.Errorf("progressest: query index %d out of range", i)
 		}
-		pl, err := w.inner.Planner.Plan(w.inner.Queries[i])
+		pq, err := w.planned(i)
 		if err != nil {
 			return nil, err
 		}
-		traces = append(traces, exec.Run(w.inner.DB, pl, exec.Options{}))
+		traces = append(traces, exec.RunDecomposed(w.inner.DB, pq.plan, pq.pipes, exec.Options{}))
 	}
 	if len(traces) == 0 {
 		return nil, errors.New("progressest: empty batch")
