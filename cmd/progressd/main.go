@@ -19,6 +19,21 @@
 // and the controller's last decision. POST /engine/resize is the
 // operator override; -no-autoscale keeps the pool fixed.
 //
+// Admission is QoS-aware. -qos-weights assigns weighted-fair-queueing
+// weights to workload families ("tpch=9,tpcds=1"): queued submissions
+// are scheduled per admission class — the query's family, refined to
+// family|client when the submission body carries a "client" tag — so
+// under saturation every class converges to at least its weight share
+// of the admissions instead of one hot family (or client) starving the
+// rest. Per-class windowed queue-wait and admission-to-done percentiles
+// (p50/p90/p99) are exported in GET /engine/stats. -slo-p99 declares a
+// p99 queue-wait SLO the autoscaler defends: a sustained breach grows
+// the pool BEFORE the queue fills and submissions start bouncing.
+// -deadline-admission sheds a submission whose "deadline_ms" cannot
+// cover the predicted queue wait immediately (429, reason
+// "deadline_shed") instead of letting it queue to die; rejected
+// submissions carry a Retry-After header derived from observed waits.
+//
 // With -learn the daemon closes the paper's training loop on its own
 // traffic: every finished query is harvested into an on-disk corpus
 // (tagged with its workload family), a background retrainer periodically
@@ -49,6 +64,8 @@
 //	          [-shards N] [-queue-depth N] [-max-live N] [-route-by-family]
 //	          [-min-shards N] [-max-shards N] [-autoscale-interval D]
 //	          [-no-autoscale]
+//	          [-qos-weights fam=w,...] [-class-queue-depth N]
+//	          [-slo-p99 D] [-deadline-admission]
 //	          [-every N] [-pace D] [-model selector.json]
 //	          [-learn corpus/] [-retrain-after N] [-retrain-every D]
 //	          [-gate-tolerance F] [-no-gate]
@@ -111,6 +128,10 @@ func main() {
 	maxShards := flag.Int("max-shards", 0, "upper autoscale bound; above -min-shards it enables load-driven grow/shrink (default: -shards, fixed pool)")
 	autoscaleInterval := flag.Duration("autoscale-interval", 2*time.Second, "how often the autoscaler polls the admission gate")
 	noAutoscale := flag.Bool("no-autoscale", false, "never resize the pool automatically (POST /engine/resize still works)")
+	qosWeights := flag.String("qos-weights", "", "fair-queueing weights per workload family, e.g. tpch=9,tpcds=1 (unlisted classes weigh 1)")
+	classQueueDepth := flag.Int("class-queue-depth", 0, "one admission class's share of the queue (default: -queue-depth, no per-class tightening)")
+	sloP99 := flag.Duration("slo-p99", 0, "p99 queue-wait SLO the autoscaler defends: sustained breach grows the pool before rejections (0 = off)")
+	deadlineAdmission := flag.Bool("deadline-admission", false, "shed submissions whose deadline_ms cannot cover the predicted queue wait instead of queueing them")
 	routeByFamily := flag.Bool("route-by-family", false, "train and serve per-workload-family selection models (needs -learn)")
 	every := flag.Int("every", 8, "record a progress update every N counter snapshots")
 	pace := flag.Duration("pace", 0, "pace execution: sleep per progress update (0 = full speed)")
@@ -135,6 +156,11 @@ func main() {
 	dataset, ok := datasets[*wl]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+	weights, err := progressest.ParseQoSWeights(*qosWeights)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-qos-weights: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -224,6 +250,10 @@ func main() {
 		MaxShards:         *maxShards,
 		DisableAutoscale:  *noAutoscale,
 		AutoscaleInterval: *autoscaleInterval,
+		QoSWeights:        weights,
+		ClassQueueDepth:   *classQueueDepth,
+		SLOQueueWaitP99:   *sloP99,
+		DeadlineAdmission: *deadlineAdmission,
 	}, opts)
 	server := progressest.NewEngineServer(eng)
 	httpSrv := &http.Server{Addr: *addr, Handler: server}
@@ -236,8 +266,18 @@ func main() {
 			pool = fmt.Sprintf("%d shard(s), autoscaling %d..%d every %s",
 				st.CurrentShards, st.MinShards, st.MaxShards, *autoscaleInterval)
 		}
-		log.Printf("progressd listening on %s (%d queries ready, %s × %d live, queue %d)",
-			*addr, w.NumQueries(), pool, *maxLive, *queueDepth)
+		qos := ""
+		if len(weights) > 0 {
+			qos = fmt.Sprintf(", qos weights %v", weights)
+		}
+		if *sloP99 > 0 {
+			qos += fmt.Sprintf(", p99 SLO %s", *sloP99)
+		}
+		if *deadlineAdmission {
+			qos += ", deadline admission"
+		}
+		log.Printf("progressd listening on %s (%d queries ready, %s × %d live, queue %d%s)",
+			*addr, w.NumQueries(), pool, *maxLive, *queueDepth, qos)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 

@@ -4,11 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"progressest/internal/engine"
+	"progressest/internal/qos"
 )
 
 // EngineConfig sizes the sharded execution engine.
@@ -54,6 +57,52 @@ type EngineConfig struct {
 	AutoscaleGrowPolls   int
 	AutoscaleShrinkPolls int
 	AutoscaleCooldown    time.Duration
+
+	// QoSWeights maps workload families to their weighted-fair-queueing
+	// admission weight (default 1 each). Queued admissions are scheduled
+	// per class — the query's family, suffixed "|client" when the
+	// submission carries a client tag, which inherits the family weight
+	// — so under saturation every class converges to at least its weight
+	// share of the admissions instead of one hot family monopolizing
+	// every replica.
+	QoSWeights map[string]int
+	// ClassQueueDepth bounds one class's share of the admission queue
+	// (default QueueDepth: no per-class tightening).
+	ClassQueueDepth int
+	// SLOQueueWaitP99, when positive, declares the latency SLO the
+	// autoscaler defends: a sustained breach of the windowed p99 queue
+	// wait counts as a hot poll, so the pool grows BEFORE the queue
+	// fills and admissions start being rejected.
+	SLOQueueWaitP99 time.Duration
+	// DeadlineAdmission sheds a submission whose remaining deadline
+	// cannot cover the predicted queue wait with an IsDeadlineShed error
+	// immediately, instead of letting it occupy a queue slot it is
+	// doomed to time out of.
+	DeadlineAdmission bool
+}
+
+// ParseQoSWeights parses an operator weight spec of the form
+// "tpch=9,tpcds=1" (the cmd/progressd -qos-weights flag) into the
+// EngineConfig.QoSWeights map. Weights must be positive integers.
+func ParseQoSWeights(s string) (map[string]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		name = strings.TrimSpace(name)
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if !ok || name == "" || err != nil || w < 1 {
+			return nil, fmt.Errorf("progressest: qos weight %q: want family=positive-integer", part)
+		}
+		out[name] = w
+	}
+	return out, nil
 }
 
 // Engine is the sharded execution engine: a pool of Workload replicas
@@ -79,6 +128,8 @@ type Engine struct {
 	resizeMu sync.Mutex
 
 	minShards, maxShards int
+	sloP99               time.Duration
+	deadline             bool
 	scaler               *engine.Autoscaler // nil with autoscaling off
 }
 
@@ -118,9 +169,12 @@ func NewEngine(w *Workload, cfg EngineConfig, opts MonitorOptions) *Engine {
 		shards = maxShards
 	}
 	gate := engine.NewGate(engine.Config{
-		Shards:          shards,
-		MaxLivePerShard: cfg.MaxLivePerShard,
-		QueueDepth:      cfg.QueueDepth,
+		Shards:            shards,
+		MaxLivePerShard:   cfg.MaxLivePerShard,
+		QueueDepth:        cfg.QueueDepth,
+		Weights:           cfg.QoSWeights,
+		ClassQueueDepth:   cfg.ClassQueueDepth,
+		DeadlineAdmission: cfg.DeadlineAdmission,
 	})
 	replicas := make([]*Workload, shards)
 	replicas[0] = w
@@ -132,16 +186,19 @@ func NewEngine(w *Workload, cfg EngineConfig, opts MonitorOptions) *Engine {
 		gate:      gate,
 		minShards: minShards,
 		maxShards: maxShards,
+		sloP99:    cfg.SLOQueueWaitP99,
+		deadline:  cfg.DeadlineAdmission,
 	}
 	e.replicas.Store(&replicas)
 	if !cfg.DisableAutoscale && maxShards > minShards {
 		e.scaler = engine.NewAutoscaler(engine.AutoscalerConfig{
-			Min:         minShards,
-			Max:         maxShards,
-			Interval:    cfg.AutoscaleInterval,
-			GrowAfter:   cfg.AutoscaleGrowPolls,
-			ShrinkAfter: cfg.AutoscaleShrinkPolls,
-			Cooldown:    cfg.AutoscaleCooldown,
+			Min:             minShards,
+			Max:             maxShards,
+			Interval:        cfg.AutoscaleInterval,
+			GrowAfter:       cfg.AutoscaleGrowPolls,
+			ShrinkAfter:     cfg.AutoscaleShrinkPolls,
+			Cooldown:        cfg.AutoscaleCooldown,
+			SLOQueueWaitP99: cfg.SLOQueueWaitP99,
 		}, gate.Stats, func(from, to int, reason string) error {
 			return e.resize(from, to, "autoscale", reason)
 		})
@@ -310,17 +367,33 @@ func (e *Engine) pruneReapedLocked() engine.Stats {
 	return gs
 }
 
-// Start admits query i through the gate — waiting in the bounded
-// admission queue when every replica is at capacity — then plans and
-// executes it on the least-loaded replica, streaming progress through the
-// returned Monitor (whose Shard reports the placement). It fails with an
-// IsSaturated error when the queue is full, an IsDraining error after
-// Drain began, or ctx's error if it expires while queued.
+// Start admits query i through the gate — waiting in the bounded fair
+// queue under the query family's admission class when every replica is
+// at capacity — then plans and executes it on the least-loaded replica,
+// streaming progress through the returned Monitor (whose Shard reports
+// the placement). It fails with an IsSaturated error when the queue is
+// full, an IsDeadlineShed error when deadline admission sheds it, an
+// IsDraining error after Drain began, or ctx's error if it expires
+// while queued.
 func (e *Engine) Start(ctx context.Context, i int) (*Monitor, error) {
-	if n := e.Workload().NumQueries(); i < 0 || i >= n {
+	return e.StartTagged(ctx, i, "")
+}
+
+// StartTagged is Start with a caller-supplied client tag: a non-empty
+// client refines the admission class from the query's family to
+// "family|client" (inheriting the family's weight), so fairness holds
+// between a family's clients too — one flooding client cannot starve
+// the rest of its own family. Monitor.Class reports the class used.
+func (e *Engine) StartTagged(ctx context.Context, i int, client string) (*Monitor, error) {
+	w := e.Workload()
+	if n := w.NumQueries(); i < 0 || i >= n {
 		return nil, fmt.Errorf("progressest: query index %d out of range [0,%d)", i, n)
 	}
-	slot, err := e.gate.Admit(ctx)
+	class := w.QueryFamily(i)
+	if client != "" {
+		class = class + "|" + client
+	}
+	slot, err := e.gate.AdmitClass(ctx, class)
 	if err != nil {
 		return nil, err
 	}
@@ -330,12 +403,18 @@ func (e *Engine) Start(ctx context.Context, i int) (*Monitor, error) {
 		return nil, err
 	}
 	m.shard = slot.Shard
+	m.class = class
 	go func() {
 		<-m.done
 		slot.Release()
 	}()
 	return m, nil
 }
+
+// RetryAfterHint suggests how long a rejected client should back off
+// before resubmitting: the gate-wide windowed p90 queue wait (0 before
+// any admission was observed).
+func (e *Engine) RetryAfterHint() time.Duration { return e.gate.QueueWaitHint() }
 
 // Drain stops the autoscaler and admission — queued submissions fail
 // immediately with an IsDraining error instead of stranding — and waits
@@ -386,6 +465,57 @@ type AutoscaleDecision struct {
 	Reason string    `json:"reason,omitempty"`
 }
 
+// LatencyStats is one windowed latency distribution's wire form:
+// nearest-rank percentiles over the most recent Samples observations,
+// in milliseconds.
+type LatencyStats struct {
+	// Samples is the number of windowed observations behind the
+	// percentiles; Total counts lifetime observations including
+	// rolled-off ones.
+	Samples int   `json:"samples"`
+	Total   int64 `json:"total"`
+	// P50MS, P90MS and P99MS are the nearest-rank percentiles.
+	P50MS float64 `json:"p50_ms"`
+	P90MS float64 `json:"p90_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+func latencyStats(s qos.Summary) LatencyStats {
+	const ms = float64(time.Millisecond)
+	return LatencyStats{
+		Samples: s.Samples,
+		Total:   s.Total,
+		P50MS:   float64(s.P50) / ms,
+		P90MS:   float64(s.P90) / ms,
+		P99MS:   float64(s.P99) / ms,
+	}
+}
+
+// ClassStats is one admission class's QoS accounting in GET
+// /engine/stats: its fair-queueing weight, queue occupancy, lifetime
+// admission/rejection/shed counters, and windowed latency percentiles.
+type ClassStats struct {
+	// Class is the admission class: the workload family, optionally
+	// suffixed "|client" for client-tagged submissions.
+	Class string `json:"class"`
+	// Weight is the class's weighted-fair-queueing weight.
+	Weight int `json:"weight"`
+	// Queued is the number of admissions of this class waiting right
+	// now.
+	Queued int `json:"queued"`
+	// Admitted, Rejected and Shed are lifetime counters: grants,
+	// queue-overflow rejections, and deadline-admission sheds.
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+	Shed     int64 `json:"shed"`
+	// QueueWait is the windowed Admit-to-grant latency (fast-path
+	// admissions record their ~0 wait too, so the percentiles cover all
+	// admissions); Latency the windowed admission-to-done latency
+	// (Admit entry to release, queue wait included).
+	QueueWait LatencyStats `json:"queue_wait"`
+	Latency   LatencyStats `json:"latency"`
+}
+
 // EngineStats is a point-in-time snapshot of the engine (the GET
 // /engine/stats wire form).
 type EngineStats struct {
@@ -405,9 +535,24 @@ type EngineStats struct {
 	QueueDepth int `json:"queue_depth"`
 	// MaxLivePerShard is the per-replica live bound.
 	MaxLivePerShard int `json:"max_live_per_shard"`
-	// Admitted and Rejected are lifetime engine-wide counters.
-	Admitted int64 `json:"admitted"`
-	Rejected int64 `json:"rejected"`
+	// Admitted and Rejected are lifetime engine-wide counters; ShedTotal
+	// counts submissions deadline admission shed before they could occupy
+	// a queue slot (always 0 with DeadlineAdmission off).
+	Admitted  int64 `json:"admitted"`
+	Rejected  int64 `json:"rejected"`
+	ShedTotal int64 `json:"shed_total"`
+	// QueueWait is the gate-wide windowed Admit-to-grant latency across
+	// every class (the distribution the SLOQueueWaitP99 autoscaler signal
+	// and Retry-After hints are computed from).
+	QueueWait LatencyStats `json:"queue_wait"`
+	// Classes is the per-admission-class QoS accounting, sorted by class
+	// name (empty before the first admission).
+	Classes []ClassStats `json:"classes,omitempty"`
+	// SLOQueueWaitP99MS is the declared p99 queue-wait SLO in
+	// milliseconds (0: none declared); DeadlineAdmission reports whether
+	// deadline-aware shedding is on.
+	SLOQueueWaitP99MS float64 `json:"slo_queue_wait_p99_ms,omitempty"`
+	DeadlineAdmission bool    `json:"deadline_admission"`
 	// Resizes counts applied pool resizes; ResizeEvents is the bounded
 	// event history, oldest first.
 	Resizes      int64         `json:"resizes"`
@@ -446,12 +591,29 @@ func (e *Engine) Stats() EngineStats {
 		MaxLivePerShard: gs.MaxLivePerShard,
 		Admitted:        gs.Admitted,
 		Rejected:        gs.Rejected,
+		ShedTotal:       gs.Shed,
+		QueueWait:       latencyStats(gs.QueueWait),
 		Resizes:         gs.Resizes,
 		Draining:        gs.Draining,
 		RouteByFamily:   e.opts.RouteByFamily,
+
+		SLOQueueWaitP99MS: float64(e.sloP99) / float64(time.Millisecond),
+		DeadlineAdmission: e.deadline,
 	}
 	for i, sh := range gs.Shards {
 		st.Shards[i] = ShardStats(sh)
+	}
+	for _, c := range gs.Classes {
+		st.Classes = append(st.Classes, ClassStats{
+			Class:     c.Class,
+			Weight:    c.Weight,
+			Queued:    c.Queued,
+			Admitted:  c.Admitted,
+			Rejected:  c.Rejected,
+			Shed:      c.Shed,
+			QueueWait: latencyStats(c.QueueWait),
+			Latency:   latencyStats(c.Latency),
+		})
 	}
 	for _, ev := range gs.ResizeEvents {
 		st.ResizeEvents = append(st.ResizeEvents, ResizeEvent(ev))
@@ -469,6 +631,13 @@ func (e *Engine) Stats() EngineStats {
 // because every replica is at capacity and the admission queue is full —
 // the HTTP layer's 429.
 func IsSaturated(err error) bool { return errors.Is(err, engine.ErrSaturated) }
+
+// IsDeadlineShed reports whether err means deadline-aware admission shed
+// the query because its remaining deadline could not cover the predicted
+// queue wait — the HTTP layer's 429 with reason "deadline_shed". Use
+// errors.As with *engine.DeadlineShedError for the prediction behind the
+// decision.
+func IsDeadlineShed(err error) bool { return errors.Is(err, engine.ErrDeadlineShed) }
 
 // IsDraining reports whether err means the engine is shutting down and no
 // longer admits queries (nor resizes) — the HTTP layer's 503 (and the

@@ -28,6 +28,12 @@ type AutoscalerConfig struct {
 	// 3×Interval), so one sustained signal steps the pool one shard at a
 	// time instead of slamming to the bound.
 	Cooldown time.Duration
+	// SLOQueueWaitP99 is the operator-declared latency SLO: when
+	// positive, a poll observing the gate's windowed p99 queue wait
+	// above it counts as hot — so a sustained breach grows the pool
+	// BEFORE the queue fills and admissions start being rejected.
+	// 0 disables the signal.
+	SLOQueueWaitP99 time.Duration
 	// Now is the clock (default time.Now; tests inject a fake).
 	Now func() time.Time
 }
@@ -152,10 +158,14 @@ func (a *Autoscaler) tick() {
 
 	rejected := st.Rejected - a.lastRejected
 	a.lastRejected = st.Rejected
-	// Hot: the queue is more than half full, or admissions were rejected
+	// Hot: the queue is more than half full, admissions were rejected
 	// since the last poll (the only saturation signal when QueueDepth is
-	// 0 and the queue cannot fill).
-	hot := rejected > 0 || (st.QueueDepth > 0 && 2*st.Queued > st.QueueDepth)
+	// 0 and the queue cannot fill), or the windowed p99 queue wait
+	// breaches the declared SLO — the leading indicator that fires
+	// while the queue still absorbs the load, so capacity arrives
+	// before anything is shed.
+	sloBreach := a.cfg.SLOQueueWaitP99 > 0 && st.QueueWait.P99 > a.cfg.SLOQueueWaitP99
+	hot := rejected > 0 || (st.QueueDepth > 0 && 2*st.Queued > st.QueueDepth) || sloBreach
 	idle := false
 	if !hot && st.Queued == 0 {
 		for _, sh := range st.Shards {
@@ -181,8 +191,13 @@ func (a *Autoscaler) tick() {
 	switch {
 	case a.hot >= a.cfg.GrowAfter && active < a.cfg.Max && cooled:
 		d.Action, d.To = "grow", active+1
-		d.Reason = fmt.Sprintf("queue hot for %d polls (%d queued / depth %d, %d rejected since last poll)",
-			a.hot, st.Queued, st.QueueDepth, rejected)
+		sloNote := ""
+		if sloBreach {
+			sloNote = fmt.Sprintf(", p99 queue wait %s over the %s SLO",
+				st.QueueWait.P99.Truncate(time.Microsecond), a.cfg.SLOQueueWaitP99)
+		}
+		d.Reason = fmt.Sprintf("queue hot for %d polls (%d queued / depth %d, %d rejected since last poll%s)",
+			a.hot, st.Queued, st.QueueDepth, rejected, sloNote)
 	case a.idle >= a.cfg.ShrinkAfter && active > a.cfg.Min && cooled:
 		d.Action, d.To = "shrink", active-1
 		d.Reason = fmt.Sprintf("idle shard for %d polls", a.idle)

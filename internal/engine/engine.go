@@ -6,6 +6,14 @@
 // caller runs whatever work the slot admits, releasing it on completion —
 // so the admission logic is unit-testable without a database, a trained
 // model or an HTTP layer.
+//
+// Admission is QoS-aware: waiters queue under named classes (workload
+// families, optionally per client) scheduled by the internal/qos
+// weighted fair queue instead of one global FIFO, every admission's
+// queue wait and admission-to-done latency land in per-class windows,
+// and with deadline admission enabled a request whose remaining
+// deadline cannot cover the predicted queue wait is shed immediately
+// (ErrDeadlineShed) instead of queueing to die.
 package engine
 
 import (
@@ -14,6 +22,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"progressest/internal/qos"
 )
 
 // Config sizes the gate.
@@ -28,6 +38,21 @@ type Config struct {
 	// shard is at capacity; 0 disables queueing, so a saturated gate
 	// rejects immediately.
 	QueueDepth int
+
+	// Weights maps admission classes (workload families; "family|client"
+	// names inherit the family weight) to their fair-queueing weight.
+	// Classes absent here weigh 1. With a single class — or no Weights
+	// at all — scheduling degenerates to the old global FIFO.
+	Weights map[string]int
+	// ClassQueueDepth bounds one class's share of the admission queue
+	// (default QueueDepth: no per-class tightening).
+	ClassQueueDepth int
+	// LatencyWindow is the per-class latency window size (default 512).
+	LatencyWindow int
+	// DeadlineAdmission sheds an admission whose ctx deadline cannot
+	// cover the predicted queue wait with ErrDeadlineShed instead of
+	// letting it occupy a queue slot it is doomed to time out of.
+	DeadlineAdmission bool
 }
 
 func (c Config) withDefaults() Config {
@@ -44,7 +69,7 @@ func (c Config) withDefaults() Config {
 }
 
 // ErrSaturated is returned by Admit when every shard is at capacity and
-// the wait queue is full.
+// the wait queue (shared or the class's bounded share of it) is full.
 var ErrSaturated = errors.New("engine: all shards at capacity and the admission queue is full")
 
 // ErrDraining is returned by Admit once Drain has begun: the gate admits
@@ -56,6 +81,29 @@ var ErrDraining = errors.New("engine: draining, not accepting new queries")
 // between the caller's observation and the resize — the decision was made
 // against a stale snapshot and must not be applied.
 var ErrResizeConflict = errors.New("engine: pool size changed concurrently; resize skipped")
+
+// ErrDeadlineShed is the sentinel behind DeadlineShedError: the
+// admission was refused because its remaining deadline cannot cover the
+// predicted queue wait.
+var ErrDeadlineShed = errors.New("engine: deadline cannot cover the predicted queue wait")
+
+// DeadlineShedError reports one deadline-aware admission shed, carrying
+// what the decision was made from (the HTTP layer's Retry-After hint).
+type DeadlineShedError struct {
+	// Class is the admission class the request was judged under.
+	Class string
+	// Predicted is the queue wait the scheduler predicted; Remaining
+	// was the request's remaining deadline budget at admission.
+	Predicted time.Duration
+	Remaining time.Duration
+}
+
+func (e *DeadlineShedError) Error() string {
+	return fmt.Sprintf("engine: shed class %q admission: predicted queue wait %s exceeds remaining deadline %s",
+		e.Class, e.Predicted, e.Remaining)
+}
+
+func (e *DeadlineShedError) Unwrap() error { return ErrDeadlineShed }
 
 // Shard lifecycle states reported in ShardStats.State.
 const (
@@ -102,19 +150,15 @@ type Slot struct {
 	Shard int
 
 	g    *Gate
+	cls  *qos.Class
+	at   time.Time // Admit entry (admission-to-done accounting)
 	once sync.Once
 }
 
-// Release frees the slot, dispatching the oldest queued admission if one
-// waits.
+// Release frees the slot, recording its class's admission-to-done
+// latency and dispatching the next scheduled admission if one waits.
 func (s *Slot) Release() {
-	s.once.Do(func() { s.g.release(s.Shard) })
-}
-
-// waiter is one queued admission; the dispatcher sends the granted shard
-// on ch (buffered, so dispatch never blocks), and Drain closes it.
-type waiter struct {
-	ch chan int
+	s.once.Do(func() { s.g.release(s.Shard, s.cls, s.at) })
 }
 
 // maxResizeEvents bounds the retained resize history.
@@ -136,18 +180,20 @@ type ResizeEvent struct {
 
 // Gate is the admission gate in front of the shard pool. Admissions are
 // dispatched to the least-loaded active shard; when every active shard is
-// at its per-shard live bound they wait in a bounded FIFO queue. The pool
-// is resizable at runtime: grow makes fresh slots dispatchable (admitting
-// queued work immediately), shrink marks shards draining and reaps them
-// once their live count hits zero.
+// at its per-shard live bound they wait in a bounded queue scheduled by
+// weighted fair queueing across admission classes (FIFO within a class).
+// The pool is resizable at runtime: grow makes fresh slots dispatchable
+// (admitting queued work immediately), shrink marks shards draining and
+// reaps them once their live count hits zero.
 type Gate struct {
 	cfg Config
 
 	mu       sync.Mutex
 	shards   []shardState
-	waiters  []*waiter
+	sched    *qos.Sched
 	admitted int64
 	rejected int64
+	shed     int64
 	draining bool
 	resizes  int64
 	events   []ResizeEvent
@@ -159,6 +205,12 @@ func NewGate(cfg Config) *Gate {
 	return &Gate{
 		cfg:    cfg,
 		shards: make([]shardState, cfg.Shards),
+		sched: qos.New(qos.Options{
+			Weights:    cfg.Weights,
+			TotalDepth: cfg.QueueDepth,
+			ClassDepth: cfg.ClassQueueDepth,
+			Window:     cfg.LatencyWindow,
+		}),
 	}
 }
 
@@ -204,64 +256,91 @@ func (g *Gate) grantLocked(shard int) {
 	g.admitted++
 }
 
-// dispatchLocked grants queued admissions while active capacity remains —
-// the shared tail of release and grow.
+// dispatchLocked grants scheduled admissions while active capacity
+// remains — the shared tail of release and grow. The fair queue decides
+// WHO goes next; the least-loaded scan decides WHERE.
 func (g *Gate) dispatchLocked() {
-	for len(g.waiters) > 0 {
+	for g.sched.Len() > 0 {
 		s := g.leastLoadedLocked()
 		if s < 0 {
 			break
 		}
-		w := g.waiters[0]
-		g.waiters = g.waiters[1:]
+		w := g.sched.Next(time.Now())
 		g.grantLocked(s)
-		w.ch <- s
+		w.C <- s
 	}
 }
 
-// Admit claims a slot on the least-loaded active shard. When every active
-// shard is at capacity it waits in the bounded FIFO queue until a slot
-// frees, the queue overflows (ErrSaturated), the gate starts draining
-// (ErrDraining) or ctx expires. A nil ctx never expires.
+// Admit claims a slot under the default admission class — AdmitClass
+// with class "". A single-class gate schedules exactly like the old
+// global FIFO.
 func (g *Gate) Admit(ctx context.Context) (*Slot, error) {
+	return g.AdmitClass(ctx, "")
+}
+
+// AdmitClass claims a slot on the least-loaded active shard for one
+// admission of the named class. When every active shard is at capacity
+// the admission waits in the bounded fair queue until the scheduler
+// grants it a freed slot, its queue (class or shared) overflows
+// (ErrSaturated), the gate starts draining (ErrDraining), deadline
+// admission sheds it (ErrDeadlineShed — the request never occupies a
+// queue slot) or ctx expires. A nil ctx never expires. The entry
+// timestamp is taken before the fast path, so queue-wait percentiles
+// are exact over all admissions, contended or not.
+func (g *Gate) AdmitClass(ctx context.Context, class string) (*Slot, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	t0 := time.Now()
 	g.mu.Lock()
 	if g.draining {
 		g.rejected++
 		g.mu.Unlock()
 		return nil, ErrDraining
 	}
+	cls := g.sched.Lookup(class)
 	if s := g.leastLoadedLocked(); s >= 0 {
 		g.grantLocked(s)
+		g.sched.FastAdmit(cls, time.Since(t0))
 		g.mu.Unlock()
-		return &Slot{Shard: s, g: g}, nil
+		return &Slot{Shard: s, g: g, cls: cls, at: t0}, nil
 	}
-	if len(g.waiters) >= g.cfg.QueueDepth {
+	// Deadline-aware admission: a request that would queue but whose
+	// remaining deadline cannot cover the predicted wait is dead on
+	// arrival — shed it now, before it consumes a queue slot another
+	// request could actually use.
+	if g.cfg.DeadlineAdmission {
+		if dl, ok := ctx.Deadline(); ok {
+			remaining := dl.Sub(t0)
+			pred := g.sched.PredictWait(cls)
+			if remaining <= 0 || pred > remaining {
+				cls.Shed()
+				g.shed++
+				g.mu.Unlock()
+				return nil, &DeadlineShedError{Class: class, Predicted: pred, Remaining: remaining}
+			}
+		}
+	}
+	w := qos.NewWaiter()
+	if err := g.sched.Enqueue(cls, w, t0); err != nil {
 		g.rejected++
 		g.mu.Unlock()
-		return nil, ErrSaturated
+		return nil, fmt.Errorf("%w (%v)", ErrSaturated, err)
 	}
-	w := &waiter{ch: make(chan int, 1)}
-	g.waiters = append(g.waiters, w)
 	g.mu.Unlock()
 
 	select {
-	case s, ok := <-w.ch:
+	case s, ok := <-w.C:
 		if !ok {
 			return nil, ErrDraining
 		}
-		return &Slot{Shard: s, g: g}, nil
+		return &Slot{Shard: s, g: g, cls: cls, at: t0}, nil
 	case <-ctx.Done():
 		g.mu.Lock()
-		for i, q := range g.waiters {
-			if q == w {
-				g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
-				g.rejected++
-				g.mu.Unlock()
-				return nil, ctx.Err()
-			}
+		if g.sched.Remove(w) {
+			g.rejected++
+			g.mu.Unlock()
+			return nil, ctx.Err()
 		}
 		g.mu.Unlock()
 		// The waiter was granted (or drained) concurrently with the
@@ -269,22 +348,25 @@ func (g *Gate) Admit(ctx context.Context) (*Slot, error) {
 		// dispatcher sends before releasing the lock and the drain path
 		// closes the channel. A granted slot is released so the abandoned
 		// admission cannot leak capacity.
-		if s, ok := <-w.ch; ok {
-			(&Slot{Shard: s, g: g}).Release()
+		if s, ok := <-w.C; ok {
+			(&Slot{Shard: s, g: g, cls: cls, at: t0}).Release()
 		}
 		return nil, ctx.Err()
 	}
 }
 
-// release frees one slot, reaps the shard if a shrink marked it draining
-// and this was its last live query, and dispatches queued admissions
-// while capacity remains.
-func (g *Gate) release(shard int) {
+// release frees one slot, records the admission-to-done latency, reaps
+// the shard if a shrink marked it draining and this was its last live
+// query, and dispatches scheduled admissions while capacity remains.
+func (g *Gate) release(shard int, cls *qos.Class, at time.Time) {
 	g.mu.Lock()
 	sh := &g.shards[shard]
 	sh.live--
 	if sh.draining && !sh.reaped && sh.live == 0 {
 		sh.reaped = true
+	}
+	if cls != nil {
+		cls.RecordDone(time.Since(at))
 	}
 	g.dispatchLocked()
 	g.mu.Unlock()
@@ -395,17 +477,13 @@ func (g *Gate) resizeChecked(expectFrom, n int, source, reason string) error {
 }
 
 // Drain stops admission: new Admit calls and every already queued waiter
-// fail with ErrDraining immediately — a shutdown under load cannot strand
-// queued requests — then Drain waits until every live slot releases or
-// ctx expires.
+// — across every class — fail with ErrDraining immediately, so a
+// shutdown under load cannot strand queued requests; then Drain waits
+// until every live slot releases or ctx expires.
 func (g *Gate) Drain(ctx context.Context) error {
 	g.mu.Lock()
 	g.draining = true
-	for _, w := range g.waiters {
-		close(w.ch)
-		g.rejected++
-	}
-	g.waiters = nil
+	g.rejected += int64(g.sched.Drain(func(w *qos.Waiter) { close(w.C) }))
 	g.mu.Unlock()
 	for {
 		g.mu.Lock()
@@ -425,6 +503,14 @@ func (g *Gate) Drain(ctx context.Context) error {
 	}
 }
 
+// QueueWaitHint returns the gate-wide windowed p90 queue wait — the
+// serving layer's Retry-After suggestion for rejected admissions.
+func (g *Gate) QueueWaitHint() time.Duration {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.sched.WaitSummary().P90
+}
+
 // ShardStats is one shard's live/lifetime counters. Reaped shards keep
 // reporting their lifetime Admitted count — shrinking never erases
 // history.
@@ -436,10 +522,10 @@ type ShardStats struct {
 }
 
 // Stats is a point-in-time snapshot of the gate. The whole snapshot —
-// shard slice, active count, counters and resize history — is taken
-// under the same lock Resize mutates them with, so a concurrent resize
-// can never yield a torn view (e.g. an ActiveShards count disagreeing
-// with the per-shard states).
+// shard slice, active count, counters, per-class QoS accounting and
+// resize history — is taken under the same lock Resize mutates them
+// with, so a concurrent resize can never yield a torn view (e.g. an
+// ActiveShards count disagreeing with the per-shard states).
 type Stats struct {
 	Shards          []ShardStats  `json:"shards"`
 	ActiveShards    int           `json:"active_shards"`
@@ -448,26 +534,37 @@ type Stats struct {
 	MaxLivePerShard int           `json:"max_live_per_shard"`
 	Admitted        int64         `json:"admitted"`
 	Rejected        int64         `json:"rejected"`
+	Shed            int64         `json:"shed"`
 	Resizes         int64         `json:"resizes"`
 	ResizeEvents    []ResizeEvent `json:"resize_events,omitempty"`
 	Draining        bool          `json:"draining"`
+
+	// Classes is the per-admission-class QoS accounting, sorted by
+	// class name; QueueWait summarizes the gate-wide windowed queue wait
+	// (the autoscaler's SLO signal reads its P99).
+	Classes   []qos.ClassStats `json:"-"`
+	QueueWait qos.Summary      `json:"-"`
 }
 
 // Stats snapshots the gate's counters.
 func (g *Gate) Stats() Stats {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	agg := g.sched.WaitSummary()
 	st := Stats{
 		Shards:          make([]ShardStats, len(g.shards)),
 		ActiveShards:    g.activeLocked(),
-		Queued:          len(g.waiters),
+		Queued:          g.sched.Len(),
 		QueueDepth:      g.cfg.QueueDepth,
 		MaxLivePerShard: g.cfg.MaxLivePerShard,
 		Admitted:        g.admitted,
 		Rejected:        g.rejected,
+		Shed:            g.shed,
 		Resizes:         g.resizes,
 		ResizeEvents:    append([]ResizeEvent(nil), g.events...),
 		Draining:        g.draining,
+		Classes:         g.sched.Stats(),
+		QueueWait:       agg,
 	}
 	for s := range g.shards {
 		st.Shards[s] = ShardStats{

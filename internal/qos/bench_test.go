@@ -1,0 +1,59 @@
+package qos
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkWFQAdmit measures the scheduler's admission hot path — the
+// work Gate.AdmitClass adds under its mutex on top of the slot
+// bookkeeping BenchmarkGateAdmit times. CI pairs the two and gates this
+// one at 0 allocs/op: the fair queue must not put allocations on the
+// admit path.
+func BenchmarkWFQAdmit(b *testing.B) {
+	at := time.Unix(0, 0)
+
+	// fastpath: capacity was free — one counter bump and two window
+	// writes, the common case of an unsaturated gate.
+	b.Run("fastpath", func(b *testing.B) {
+		s := New(Options{TotalDepth: 64})
+		c := s.Lookup("tpch")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.FastAdmit(c, time.Microsecond)
+		}
+	})
+
+	// queued: saturated gate — tag + enqueue, then the min-start-tag
+	// dispatch scan, across two backlogged classes at weights 9:1.
+	// Waiters are reused: the gate allocates one per queued admission,
+	// the scheduler itself must add nothing.
+	b.Run("queued", func(b *testing.B) {
+		s := New(Options{Weights: map[string]int{"tpch": 9}, TotalDepth: 64})
+		classes := [2]*Class{s.Lookup("tpch"), s.Lookup("tpcds")}
+		var ws [8]*Waiter
+		for i := range ws {
+			ws[i] = NewWaiter()
+		}
+		// Warm the per-class FIFO backing arrays past their growth phase.
+		for round := 0; round < 2; round++ {
+			for i, w := range ws {
+				if err := s.Enqueue(classes[i%2], w, at); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for s.Len() > 0 {
+				s.Next(at)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.Enqueue(classes[i%2], ws[i%len(ws)], at); err != nil {
+				b.Fatal(err)
+			}
+			s.Next(at)
+		}
+	})
+}

@@ -1,0 +1,331 @@
+package qos
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// grantOrder drains the scheduler through Next and returns the class
+// name of each grant in dispatch order.
+func grantOrder(s *Sched) []string {
+	var order []string
+	for s.Len() > 0 {
+		order = append(order, s.Next(time.Now()).Class().Name())
+	}
+	return order
+}
+
+// enqueueN queues n fresh waiters under the named class, failing the
+// test on rejection.
+func enqueueN(t *testing.T, s *Sched, class string, n int) {
+	t.Helper()
+	c := s.Lookup(class)
+	for i := 0; i < n; i++ {
+		if err := s.Enqueue(c, NewWaiter(), time.Now()); err != nil {
+			t.Fatalf("enqueue %s #%d: %v", class, i, err)
+		}
+	}
+}
+
+// TestWFQWeightShares: with both classes backlogged at weights 9:1, every
+// window of grants splits ~9:1 — the light class's share never drops
+// below its weight share, and the heavy class cannot starve it.
+func TestWFQWeightShares(t *testing.T) {
+	s := New(Options{Weights: map[string]int{"heavy": 9, "light": 1}, TotalDepth: 200})
+	enqueueN(t, s, "heavy", 90)
+	enqueueN(t, s, "light", 20)
+
+	order := grantOrder(s)
+	light := 0
+	for i, cls := range order {
+		if cls == "light" {
+			light++
+		}
+		// Over any prefix long enough to cover one virtual round (10
+		// grants at weights 9:1), the light class holds its 1/10 share
+		// (slack 1 for round phase).
+		if n := i + 1; n >= 10 && light < n/10-1 {
+			t.Fatalf("light class starved: %d/%d grants by position %d", light, n, n)
+		}
+	}
+	// While light is backlogged (its last grant is near the end of its 20
+	// spread over 200 virtual time units — past heavy's 90 grants), heavy
+	// keeps ~9x light's rate: in the first 100 grants light got ~10.
+	light100 := 0
+	for _, cls := range order[:100] {
+		if cls == "light" {
+			light100++
+		}
+	}
+	if light100 < 9 || light100 > 12 {
+		t.Fatalf("light got %d of the first 100 grants, want ~10", light100)
+	}
+}
+
+// TestWFQSingleClassIsFIFO: one class degenerates to exact FIFO — grants
+// come back in enqueue order.
+func TestWFQSingleClassIsFIFO(t *testing.T) {
+	s := New(Options{TotalDepth: 64})
+	c := s.Lookup("only")
+	var ws []*Waiter
+	for i := 0; i < 32; i++ {
+		w := NewWaiter()
+		if err := s.Enqueue(c, w, time.Now()); err != nil {
+			t.Fatalf("enqueue #%d: %v", i, err)
+		}
+		ws = append(ws, w)
+	}
+	for i, want := range ws {
+		if got := s.Next(time.Now()); got != want {
+			t.Fatalf("grant #%d out of FIFO order", i)
+		}
+	}
+}
+
+// TestWFQFIFOWithinClass: interleaved enqueues keep FIFO order inside
+// each class even while the scheduler alternates between classes.
+func TestWFQFIFOWithinClass(t *testing.T) {
+	s := New(Options{Weights: map[string]int{"a": 2, "b": 1}, TotalDepth: 64})
+	perClass := map[string][]*Waiter{}
+	for i := 0; i < 24; i++ {
+		name := "a"
+		if i%2 == 1 {
+			name = "b"
+		}
+		w := NewWaiter()
+		if err := s.Enqueue(s.Lookup(name), w, time.Now()); err != nil {
+			t.Fatal(err)
+		}
+		perClass[name] = append(perClass[name], w)
+	}
+	got := map[string][]*Waiter{}
+	for s.Len() > 0 {
+		w := s.Next(time.Now())
+		got[w.Class().Name()] = append(got[w.Class().Name()], w)
+	}
+	for name, want := range perClass {
+		if len(got[name]) != len(want) {
+			t.Fatalf("class %s: granted %d of %d", name, len(got[name]), len(want))
+		}
+		for i := range want {
+			if got[name][i] != want[i] {
+				t.Fatalf("class %s: grant #%d out of FIFO order", name, i)
+			}
+		}
+	}
+}
+
+// TestEnqueueDepthBounds: the shared room bounds total waiters
+// (ErrQueueFull), the per-class depth bounds one class short of that
+// (ErrClassFull), and TotalDepth 0 disables queueing entirely.
+func TestEnqueueDepthBounds(t *testing.T) {
+	s := New(Options{TotalDepth: 4, ClassDepth: 2})
+	a, b := s.Lookup("a"), s.Lookup("b")
+	for i := 0; i < 2; i++ {
+		if err := s.Enqueue(a, NewWaiter(), time.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Enqueue(a, NewWaiter(), time.Now()); !errors.Is(err, ErrClassFull) {
+		t.Fatalf("class-full enqueue: %v, want ErrClassFull", err)
+	}
+	// The shared room still has space for the other class.
+	for i := 0; i < 2; i++ {
+		if err := s.Enqueue(b, NewWaiter(), time.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Enqueue(s.Lookup("c"), NewWaiter(), time.Now()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("room-full enqueue: %v, want ErrQueueFull", err)
+	}
+	st := s.Stats()
+	var rejA, rejC int64
+	for _, c := range st {
+		switch c.Class {
+		case "a":
+			rejA = c.Rejected
+		case "c":
+			rejC = c.Rejected
+		}
+	}
+	if rejA != 1 || rejC != 1 {
+		t.Fatalf("rejections a=%d c=%d, want 1 and 1", rejA, rejC)
+	}
+
+	if err := New(Options{}).Enqueue(s.Lookup("x"), NewWaiter(), time.Now()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("queueing-disabled enqueue: %v, want ErrQueueFull", err)
+	}
+}
+
+// TestRemoveCancelledWaiter: Remove deletes a queued waiter (preserving
+// order around it) and reports false for one already granted.
+func TestRemoveCancelledWaiter(t *testing.T) {
+	s := New(Options{TotalDepth: 8})
+	c := s.Lookup("a")
+	w1, w2, w3 := NewWaiter(), NewWaiter(), NewWaiter()
+	for _, w := range []*Waiter{w1, w2, w3} {
+		if err := s.Enqueue(c, w, time.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Remove(w2) {
+		t.Fatal("Remove lost a queued waiter")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len %d after remove, want 2", s.Len())
+	}
+	if got := s.Next(time.Now()); got != w1 {
+		t.Fatal("order broken before the removed waiter")
+	}
+	if s.Remove(w1) {
+		t.Fatal("Remove claimed an already granted waiter")
+	}
+	if got := s.Next(time.Now()); got != w3 {
+		t.Fatal("order broken after the removed waiter")
+	}
+	if s.Remove(NewWaiter()) {
+		t.Fatal("Remove claimed a never-enqueued waiter")
+	}
+}
+
+// TestDrainFailsAllInDispatchOrder: Drain pops every waiter across
+// classes in the order dispatch would have granted them.
+func TestDrainFailsAllInDispatchOrder(t *testing.T) {
+	s := New(Options{Weights: map[string]int{"heavy": 3}, TotalDepth: 16})
+	enqueueN(t, s, "heavy", 6)
+	enqueueN(t, s, "light", 2)
+	var order []string
+	n := s.Drain(func(w *Waiter) { order = append(order, w.Class().Name()) })
+	if n != 8 || s.Len() != 0 {
+		t.Fatalf("drained %d (len %d), want 8 (0)", n, s.Len())
+	}
+	// Start tags: heavy k at (k-1)/3, light j at j-1, ties to the earlier
+	// enqueue — so both tag-0 waiters lead, then each virtual unit grants
+	// 3 heavy per light.
+	want := []string{"heavy", "light", "heavy", "heavy", "heavy", "light", "heavy", "heavy"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("drain order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestWeightPrefixFallback: "family|client" classes inherit the family's
+// weight unless given one of their own.
+func TestWeightPrefixFallback(t *testing.T) {
+	s := New(Options{Weights: map[string]int{"tpch": 9, "tpch|vip": 20}, TotalDepth: 8})
+	if w := s.Lookup("tpch|alice").Weight(); w != 9 {
+		t.Fatalf("tpch|alice weight %d, want inherited 9", w)
+	}
+	if w := s.Lookup("tpch|vip").Weight(); w != 20 {
+		t.Fatalf("tpch|vip weight %d, want its own 20", w)
+	}
+	if w := s.Lookup("tpcds|bob").Weight(); w != 1 {
+		t.Fatalf("tpcds|bob weight %d, want default 1", w)
+	}
+}
+
+// TestPredictWaitOptimistic: with no evidence the prediction is 0 (never
+// shed before real waits were observed); class evidence predicts from
+// the class window, and a fresh class falls back to the aggregate.
+func TestPredictWaitOptimistic(t *testing.T) {
+	s := New(Options{TotalDepth: 8})
+	a := s.Lookup("a")
+	if p := s.PredictWait(a); p != 0 {
+		t.Fatalf("evidence-free prediction %v, want 0", p)
+	}
+	for i := 1; i <= 10; i++ {
+		s.FastAdmit(a, time.Duration(i)*time.Millisecond)
+	}
+	if p := s.PredictWait(a); p != 9*time.Millisecond {
+		t.Fatalf("class p90 prediction %v, want 9ms", p)
+	}
+	// A class with no samples of its own borrows the aggregate window.
+	if p := s.PredictWait(s.Lookup("fresh")); p != 9*time.Millisecond {
+		t.Fatalf("aggregate fallback prediction %v, want 9ms", p)
+	}
+}
+
+// TestQueueWaitRecordedOnGrant: Next measures the wait from the Enqueue
+// timestamp, landing it in both the class and aggregate windows.
+func TestQueueWaitRecordedOnGrant(t *testing.T) {
+	s := New(Options{TotalDepth: 4})
+	c := s.Lookup("a")
+	at := time.Now().Add(-40 * time.Millisecond)
+	if err := s.Enqueue(c, NewWaiter(), at); err != nil {
+		t.Fatal(err)
+	}
+	s.Next(time.Now())
+	st := s.Stats()
+	if len(st) != 1 || st[0].QueueWait.Samples != 1 {
+		t.Fatalf("class wait samples %+v, want 1", st)
+	}
+	if p := st[0].QueueWait.P99; p < 40*time.Millisecond {
+		t.Fatalf("recorded wait %v, want >= 40ms", p)
+	}
+	if agg := s.WaitSummary(); agg.Samples != 1 || agg.P99 < 40*time.Millisecond {
+		t.Fatalf("aggregate wait %+v, want the same observation", agg)
+	}
+}
+
+// TestWindowNearestRank: percentile reads match the nearest-rank
+// definition exactly, and a full ring rolls the oldest observation off.
+func TestWindowNearestRank(t *testing.T) {
+	w := NewWindow(4)
+	if s := w.Summary(); s.Samples != 0 || s.P99 != 0 {
+		t.Fatalf("empty window summary %+v", s)
+	}
+	for _, d := range []time.Duration{40, 10, 30, 20} {
+		w.Record(d * time.Millisecond)
+	}
+	s := w.Summary()
+	// Sorted: 10,20,30,40. Nearest rank: p50 -> ceil(.5*4)=2nd=20ms,
+	// p90 -> ceil(.9*4)=4th=40ms, p99 likewise.
+	if s.P50 != 20*time.Millisecond || s.P90 != 40*time.Millisecond || s.P99 != 40*time.Millisecond {
+		t.Fatalf("summary %+v, want p50=20ms p90=p99=40ms", s)
+	}
+	// A fifth observation evicts the oldest (40ms): max drops to 30ms.
+	w.Record(5 * time.Millisecond)
+	if s := w.Summary(); s.P99 != 30*time.Millisecond || s.Samples != 4 || s.Total != 5 {
+		t.Fatalf("post-rolloff summary %+v, want p99=30ms samples=4 total=5", s)
+	}
+	// Negative durations (clock weirdness) clamp to zero.
+	w.Record(-time.Second)
+	if q := w.Quantile(0.01); q != 0 {
+		t.Fatalf("clamped min %v, want 0", q)
+	}
+}
+
+// TestSchedSteadyStateZeroAlloc: after warm-up, the enqueue/dispatch
+// cycle and the fast path allocate nothing — the property BenchmarkWFQAdmit
+// gates in CI, checked here so `go test` catches a regression without
+// running benchmarks.
+func TestSchedSteadyStateZeroAlloc(t *testing.T) {
+	s := New(Options{Weights: map[string]int{"a": 3, "b": 1}, TotalDepth: 64})
+	a, b := s.Lookup("a"), s.Lookup("b")
+	ws := make([]*Waiter, 8)
+	for i := range ws {
+		ws[i] = NewWaiter()
+	}
+	at := time.Now()
+	cycle := func() {
+		for i, w := range ws {
+			c := a
+			if i%2 == 1 {
+				c = b
+			}
+			if err := s.Enqueue(c, w, at); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for s.Len() > 0 {
+			s.Next(at)
+		}
+		s.FastAdmit(a, 0)
+	}
+	cycle() // warm the FIFO backing arrays
+	if avg := testing.AllocsPerRun(100, cycle); avg != 0 {
+		t.Fatalf("steady-state enqueue/dispatch allocates %.1f per cycle, want 0", avg)
+	}
+}

@@ -107,6 +107,7 @@ type Monitor struct {
 	family      string
 	modelFamily string
 	shard       int
+	class       string
 	done        chan struct{}
 	run         *QueryRun
 	err         error
@@ -137,6 +138,12 @@ func (m *Monitor) ModelFamily() string { return m.modelFamily }
 // Shard returns the engine replica executing the query, or -1 when the
 // query was started directly on a Workload rather than through an Engine.
 func (m *Monitor) Shard() int { return m.shard }
+
+// Class returns the admission class the query was admitted under — its
+// workload family, suffixed "|client" for a client-tagged submission —
+// or "" when the query was started directly on a Workload rather than
+// through an Engine.
+func (m *Monitor) Class() string { return m.class }
 
 // reselectMarkers are the driver-input fractions at which the selector
 // revises its choice — derived from the dynamic-feature markers so that

@@ -7,7 +7,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
+	"time"
+
+	"progressest/internal/engine"
 )
 
 // Server exposes live query monitoring over HTTP — the daemon core of
@@ -19,9 +23,17 @@ import (
 //	POST /queries                {"query": i}  -> {"id": "q1", "shard": s, ...}
 //	GET  /queries                              -> list of submitted queries
 //	GET  /queries/{id}/progress                -> live progress JSON
-//	GET  /engine/stats                         -> shard pool, queue + resize state
+//	GET  /engine/stats                         -> shard pool, queue, QoS + resize state
 //	POST /engine/resize          {"shards": n} -> operator pool resize
 //	GET  /healthz                              -> {"status": "ok"}
+//
+// A submission may carry "client" (refines the admission class from the
+// query's family to family|client, so fairness holds between a family's
+// clients) and "deadline_ms" (bounds the admission wait; with deadline
+// admission on, a request whose deadline cannot cover the predicted
+// queue wait is shed immediately). Admission refusals answer with a
+// JSON "reason" — "queue_full", "deadline_shed" or "draining" — and
+// 429s carry a Retry-After header derived from observed queue waits.
 //
 // When MonitorOptions.Learning is set, the model-lifecycle routes come
 // alive too (404 otherwise):
@@ -59,6 +71,7 @@ type serverQuery struct {
 	query       int
 	shard       int    // engine replica executing it
 	family      string // the query's workload family
+	class       string // admission class (family, or family|client)
 	model       int    // selector version that serves it (0 = none)
 	modelFamily string // routing target of that version ("" = global)
 
@@ -122,6 +135,25 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// writeReject answers an admission refusal: the machine-readable reason
+// ("queue_full", "deadline_shed" or "draining") rides next to the error
+// text, and a positive retryAfter becomes a Retry-After header (whole
+// seconds, rounded up, at least 1 — clients without backoff of their own
+// can honor it directly).
+func writeReject(w http.ResponseWriter, status int, reason string, retryAfter time.Duration, err error) {
+	if status == http.StatusTooManyRequests || retryAfter > 0 {
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeJSON(w, status, map[string]string{
+		"error":  fmt.Sprintf("submit: %v", err),
+		"reason": reason,
+	})
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	resp := map[string]any{
 		"status":  "ok",
@@ -173,6 +205,15 @@ func (s *Server) handleResize(w http.ResponseWriter, r *http.Request) {
 type submitRequest struct {
 	// Query is the workload query index to execute.
 	Query int `json:"query"`
+	// Client optionally tags the submission with its issuer, refining the
+	// admission class from the query's family to "family|client" (which
+	// inherits the family's QoS weight).
+	Client string `json:"client,omitempty"`
+	// DeadlineMS optionally bounds the admission wait in milliseconds;
+	// with deadline admission on, a submission whose deadline cannot
+	// cover the predicted queue wait is shed immediately (429,
+	// reason "deadline_shed").
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // queryInfo is the wire form of a submitted query's identity.
@@ -183,8 +224,11 @@ type queryInfo struct {
 	Done  bool   `json:"done"`
 	// Shard is the engine replica the query executes on.
 	Shard int `json:"shard"`
-	// Family is the query's workload family (the model-routing key).
+	// Family is the query's workload family (the model-routing key);
+	// Class the admission class it was admitted under (the family, or
+	// "family|client" for a tagged submission — the QoS scheduling key).
 	Family string `json:"family,omitempty"`
+	Class  string `json:"class,omitempty"`
 	// Model is the selector version that serves the query (0 = fixed
 	// estimator or explicitly configured selector); ModelFamily is that
 	// version's routing target ("" = the global model).
@@ -195,7 +239,8 @@ type queryInfo struct {
 func (q *serverQuery) info(text string, done bool) queryInfo {
 	return queryInfo{
 		ID: q.id, Query: q.query, Text: text, Done: done,
-		Shard: q.shard, Family: q.family, Model: q.model, ModelFamily: q.modelFamily,
+		Shard: q.shard, Family: q.family, Class: q.class,
+		Model: q.model, ModelFamily: q.modelFamily,
 	}
 }
 
@@ -211,18 +256,33 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// The engine owns admission: the submission waits in the bounded
-	// queue when every shard is at capacity, and the request context
-	// frees the queue slot if the client gives up.
-	m, err := s.eng.Start(r.Context(), req.Query)
+	// fair queue under its class when every shard is at capacity, and
+	// the request context frees the queue slot if the client gives up.
+	// A deadline_ms bound rides on that same context, so it also feeds
+	// deadline-aware admission.
+	ctx := r.Context()
+	if req.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+	m, err := s.eng.StartTagged(ctx, req.Query, req.Client)
+	var shedErr *engine.DeadlineShedError
 	switch {
+	case errors.As(err, &shedErr):
+		// The predicted queue wait is the honest backoff hint: resubmitting
+		// sooner would just be shed again under the same conditions.
+		writeReject(w, http.StatusTooManyRequests, "deadline_shed", shedErr.Predicted, err)
+		return
 	case IsSaturated(err):
-		writeError(w, http.StatusTooManyRequests, "submit: %v", err)
+		writeReject(w, http.StatusTooManyRequests, "queue_full", s.eng.RetryAfterHint(), err)
 		return
 	case IsDraining(err):
-		writeError(w, http.StatusServiceUnavailable, "submit: %v", err)
+		writeReject(w, http.StatusServiceUnavailable, "draining", 0, err)
 		return
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		// The client abandoned the queued submission; nothing to answer.
+		// The client abandoned the queued submission (or its deadline_ms
+		// expired while queued); nothing to answer.
 		writeError(w, http.StatusServiceUnavailable, "submit: %v", err)
 		return
 	case err != nil:
@@ -237,6 +297,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		query:       req.Query,
 		shard:       m.Shard(),
 		family:      m.Family(),
+		class:       m.Class(),
 		model:       m.ModelVersion(),
 		modelFamily: m.ModelFamily(),
 	}
@@ -295,6 +356,7 @@ type progressResponse struct {
 	Done        bool            `json:"done"`
 	Shard       int             `json:"shard"`
 	Family      string          `json:"family,omitempty"`
+	Class       string          `json:"class,omitempty"`
 	Model       int             `json:"model,omitempty"`
 	ModelFamily string          `json:"model_family,omitempty"`
 	Update      *ProgressUpdate `json:"update,omitempty"`
@@ -312,7 +374,8 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	latest, seen, done := q.snapshot()
 	resp := progressResponse{
 		ID: q.id, Query: q.query, Done: done,
-		Shard: q.shard, Family: q.family, Model: q.model, ModelFamily: q.modelFamily,
+		Shard: q.shard, Family: q.family, Class: q.class,
+		Model: q.model, ModelFamily: q.modelFamily,
 	}
 	if seen {
 		resp.Update = &latest
