@@ -70,6 +70,7 @@
 //	          [-learn corpus/] [-retrain-after N] [-retrain-every D]
 //	          [-gate-tolerance F] [-no-gate]
 //	          [-drift-ratio F] [-drift-window N] [-no-drift-retrain]
+//	          [-scan-workers N] [-train-workers N] [-corpus-cache-mb N]
 //	          [-pprof addr]
 //
 // -pprof serves the net/http/pprof profiling endpoints on a separate
@@ -91,6 +92,13 @@
 // "drift" — unless -no-drift-retrain leaves the decision to the operator.
 // GET /models/drift exposes the per-target standing and the retrainer's
 // decision history.
+//
+// The learning loop scales to large corpora: sealed corpus segments carry
+// sidecar indexes (rebuilt automatically when missing or corrupt) and a
+// bounded decode cache (-corpus-cache-mb), so a retrain re-reads only the
+// active tail and drift retrains read only the drifted family's records;
+// -scan-workers and -train-workers bound the corpus-read and per-family
+// fitting parallelism (results are bit-identical to sequential runs).
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops accepting
 // connections, fails queued admissions instead of stranding them, drains
@@ -145,6 +153,9 @@ func main() {
 	driftWindow := flag.Int("drift-window", 256, "drift monitor: observed errors kept per routing target")
 	noDriftRetrain := flag.Bool("no-drift-retrain", false, "track drift but never auto-retrain on it (operator decides)")
 	trees := flag.Int("trees", 200, "MART boosting iterations for retrained models")
+	scanWorkers := flag.Int("scan-workers", 0, "concurrent corpus-segment reads per retrain (0 = GOMAXPROCS capped at 8, 1 = sequential)")
+	trainWorkers := flag.Int("train-workers", 0, "concurrent per-family model fits per retrain (0 = GOMAXPROCS capped at 8, 1 = sequential)")
+	corpusCacheMB := flag.Int("corpus-cache-mb", 64, "decode-cache budget for sealed corpus segments in MiB (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown deadline for in-flight queries")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	flag.Parse()
@@ -196,6 +207,12 @@ func main() {
 		if gt == 0 {
 			gt = -1
 		}
+		// -corpus-cache-mb 0 means OFF, which the config encodes as
+		// negative (its zero value selects the 64 MiB default).
+		cacheBytes := int64(*corpusCacheMB) << 20
+		if cacheBytes <= 0 {
+			cacheBytes = -1
+		}
 		learning, err = progressest.OpenLearning(progressest.LearningConfig{
 			Dir:                 *learn,
 			Selector:            progressest.SelectorConfig{Trees: *trees, Seed: *seed},
@@ -208,6 +225,9 @@ func main() {
 			DriftRatio:          *driftRatio,
 			DriftWindow:         *driftWindow,
 			DisableDriftRetrain: *noDriftRetrain,
+			CorpusCacheBytes:    cacheBytes,
+			ScanWorkers:         *scanWorkers,
+			TrainWorkers:        *trainWorkers,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -1,0 +1,106 @@
+package feedback
+
+import (
+	"container/list"
+	"sync"
+
+	"progressest/internal/selection"
+)
+
+// decodeCache memoises the decoded examples of SEALED segments, which are
+// immutable — the only way a sealed segment's content changes is
+// retention deleting it, which evicts the entry. Bounded in bytes (the
+// on-disk segment size stands in for the decoded footprint) with
+// least-recently-used eviction, so a corpus larger than the budget keeps
+// its hottest segments decoded and a warm Snapshot re-decodes only the
+// active tail. Cached slices are handed out SHARED: every consumer of
+// Snapshot/SnapshotFamily treats examples as read-only (training and
+// evaluation never mutate them), and the assembly step always copies the
+// slice headers into a fresh top-level slice, so the cache's backing
+// arrays are never appended over.
+type decodeCache struct {
+	mu    sync.Mutex
+	cap   int64
+	size  int64
+	lru   *list.List // front = most recently used
+	byKey map[string]*list.Element
+
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key   string
+	bytes int64
+	exs   []selection.Example
+}
+
+func newDecodeCache(capBytes int64) *decodeCache {
+	return &decodeCache{cap: capBytes, lru: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// get returns the cached decode for a segment and records the hit/miss.
+func (c *decodeCache) get(key string) ([]selection.Example, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).exs, true
+}
+
+// put caches one sealed segment's decode, evicting least-recently-used
+// entries until the byte budget holds. A segment larger than the whole
+// budget is not cached at all — admitting it would just evict everything
+// else for a single entry the next put removes.
+func (c *decodeCache) put(key string, exs []selection.Example, bytes int64) {
+	if bytes > c.cap {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.size += bytes - ent.bytes
+		ent.exs, ent.bytes = exs, bytes
+		c.lru.MoveToFront(el)
+	} else {
+		c.byKey[key] = c.lru.PushFront(&cacheEntry{key: key, bytes: bytes, exs: exs})
+		c.size += bytes
+	}
+	for c.size > c.cap && c.lru.Len() > 1 {
+		c.evictOldestLocked()
+	}
+}
+
+// remove drops a segment's entry (retention deleted the file).
+func (c *decodeCache) remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.removeLocked(el)
+	}
+}
+
+func (c *decodeCache) evictOldestLocked() {
+	if el := c.lru.Back(); el != nil {
+		c.removeLocked(el)
+	}
+}
+
+func (c *decodeCache) removeLocked(el *list.Element) {
+	ent := el.Value.(*cacheEntry)
+	c.lru.Remove(el)
+	delete(c.byKey, ent.key)
+	c.size -= ent.bytes
+}
+
+// stats returns the lifetime hit/miss counters and the current footprint.
+func (c *decodeCache) stats() (hits, misses uint64, size int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.size, c.lru.Len()
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"hash/fnv"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -93,6 +94,13 @@ type RetrainerConfig struct {
 	FamilyModels bool
 	// MinFamilyExamples is the per-family training threshold (default 40).
 	MinFamilyExamples int
+	// TrainWorkers bounds how many family selectors fit concurrently in
+	// one retrain cycle (0 = GOMAXPROCS capped at 8; 1 = sequential).
+	// Fitting is the embarrassingly parallel part; gate evaluation and
+	// registry publication stay serial in sorted family order, so the
+	// published versions — ids, holdout metrics, gate decisions — are
+	// bit-identical to the sequential path.
+	TrainWorkers int
 	// Persist, when non-nil, saves the serving versions (selector files +
 	// manifest) after every run that published, so a restarted daemon
 	// resumes from its last trained models.
@@ -227,6 +235,12 @@ func NewRetrainer(store *ExampleStore, reg *Registry, cfg RetrainerConfig) *Retr
 	if cfg.MinFamilyExamples <= 0 {
 		cfg.MinFamilyExamples = defaultMinFamily
 	}
+	if cfg.TrainWorkers == 0 {
+		cfg.TrainWorkers = min(runtime.GOMAXPROCS(0), 8)
+	}
+	if cfg.TrainWorkers < 1 {
+		cfg.TrainWorkers = 1
+	}
 	return &Retrainer{
 		store:           store,
 		reg:             reg,
@@ -246,25 +260,40 @@ func NewRetrainer(store *ExampleStore, reg *Registry, cfg RetrainerConfig) *Retr
 func (r *Retrainer) Retrain(source string) (*Version, error) {
 	r.trainMu.Lock()
 	defer r.trainMu.Unlock()
-	return r.retrainLocked(source)
+	v, _, err := r.retrainLocked(source)
+	return v, err
 }
 
-// retrainIfDue is the background path: it re-checks the policy AFTER
-// winning trainMu, so an auto tick queued behind a concurrent manual
-// retrain does not immediately train again on the same corpus.
-func (r *Retrainer) retrainIfDue() {
-	r.trainMu.Lock()
-	defer r.trainMu.Unlock()
-	if !r.due() {
+// tick runs one background poll. Both triggers share ONE corpus capture:
+// when the size/age retrain fires, the snapshot it already took feeds any
+// drift retrains of the same tick instead of a second full-corpus read —
+// and when only drift fires, the drift path's family-sliced reads touch
+// just the drifted targets' records.
+func (r *Retrainer) tick() {
+	due := r.due()
+	drifted := len(r.driftDue()) > 0
+	if !due && !drifted {
 		return
 	}
-	// A failure rearms the age gate (see retrainLocked), so it is
-	// retried once MinInterval passes and surfaced via LastError.
-	_, _ = r.retrainLocked("auto")
+	r.trainMu.Lock()
+	defer r.trainMu.Unlock()
+	var shared []selection.Example
+	// Re-check the policy AFTER winning trainMu, so an auto tick queued
+	// behind a concurrent manual retrain does not immediately train again
+	// on the same corpus. A failure rearms the age gate (see
+	// retrainLocked), so it is retried once MinInterval passes and
+	// surfaced via LastError.
+	if r.due() {
+		_, observed, _ := r.retrainLocked("auto")
+		shared = observed
+	}
+	r.retrainDriftedLocked(shared)
 }
 
-// retrainLocked does the actual training run; trainMu must be held.
-func (r *Retrainer) retrainLocked(source string) (*Version, error) {
+// retrainLocked does the actual training run; trainMu must be held. It
+// also returns the corpus capture it trained on, so the caller can reuse
+// it for drift retrains in the same cycle (nil when the capture failed).
+func (r *Retrainer) retrainLocked(source string) (*Version, []selection.Example, error) {
 	// Capture the append counter BEFORE the snapshot: examples landing in
 	// between are then trained on without being charged to the budget (a
 	// harmless slightly-early next retrain) instead of charged without
@@ -276,10 +305,10 @@ func (r *Retrainer) retrainLocked(source string) (*Version, error) {
 		r.lastAt = time.Now()
 		r.lastErr = err
 		r.mu.Unlock()
-		return nil, err
+		return nil, nil, err
 	}
 	if len(observed)+len(r.cfg.Seed) == 0 {
-		return nil, ErrEmptyCorpus
+		return nil, observed, ErrEmptyCorpus
 	}
 
 	global, err := r.trainTarget("", observed, r.cfg.Seed, source, len(observed), 0)
@@ -294,7 +323,7 @@ func (r *Retrainer) retrainLocked(source string) (*Version, error) {
 	}
 	r.mu.Unlock()
 	if err != nil {
-		return nil, err
+		return nil, observed, err
 	}
 
 	// The global model published fine; family-training and persistence
@@ -312,12 +341,17 @@ func (r *Retrainer) retrainLocked(source string) (*Version, error) {
 		r.lastErr = bgErr
 		r.mu.Unlock()
 	}
-	return global, nil
+	return global, observed, nil
 }
 
 // retrainFamiliesLocked trains one selector per sufficiently represented
-// family, in deterministic family order; errors are joined and returned
-// while the remaining families still train.
+// family. Fitting — the expensive, side-effect-free part — runs on up to
+// TrainWorkers goroutines; gate evaluation and publication then run
+// serially in sorted family order, so version ids, holdout metrics and
+// gate decisions are bit-identical to a fully sequential run (training is
+// deterministic per family, and publishes only ever touch their own
+// family's route). Errors are joined and returned while the remaining
+// families still train.
 func (r *Retrainer) retrainFamiliesLocked(observed []selection.Example, source string) error {
 	byFamily := make(map[string][]selection.Example)
 	for _, ex := range observed {
@@ -333,14 +367,10 @@ func (r *Retrainer) retrainFamiliesLocked(observed []selection.Example, source s
 	}
 	families := make([]string, 0, len(byFamily))
 	for f, exs := range byFamily {
-		if len(exs) >= r.cfg.MinFamilyExamples {
-			families = append(families, f)
+		if len(exs) < r.cfg.MinFamilyExamples {
+			continue
 		}
-	}
-	sort.Strings(families)
-	var errs error
-	for _, f := range families {
-		if pinned := r.reg.FallbackPinned(f); pinned {
+		if r.reg.FallbackPinned(f) {
 			// An operator rolled this family back to the global model;
 			// the background loop honors the pin (a fresh auto model
 			// would train on largely the corpus they just rejected). A
@@ -348,13 +378,47 @@ func (r *Retrainer) retrainFamiliesLocked(observed []selection.Example, source s
 			if source != "manual" {
 				continue
 			}
-		} else if len(byFamily[f]) == r.lastFamObserved[f] {
+		} else if len(exs) == r.lastFamObserved[f] {
 			continue // no new evidence: retraining would reproduce the same model
 		}
-		if _, err := r.trainTarget(f, byFamily[f], seedByFamily[f], source, len(byFamily[f]), 0); err != nil {
-			errs = errors.Join(errs, err)
+		families = append(families, f)
+	}
+	sort.Strings(families)
+
+	fits := make([]*targetFit, len(families))
+	fitErrs := make([]error, len(families))
+	workers := min(r.cfg.TrainWorkers, len(families))
+	if workers > 1 {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					f := families[i]
+					fits[i], fitErrs[i] = r.fitTarget(f, byFamily[f], seedByFamily[f])
+				}
+			}()
+		}
+		for i := range families {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	} else {
+		for i, f := range families {
+			fits[i], fitErrs[i] = r.fitTarget(f, byFamily[f], seedByFamily[f])
+		}
+	}
+
+	var errs error
+	for i, f := range families {
+		if fitErrs[i] != nil {
+			errs = errors.Join(errs, fitErrs[i])
 			continue
 		}
+		r.publishFit(fits[i], source, 0)
 		r.lastFamObserved[f] = len(byFamily[f])
 	}
 	return errs
@@ -383,19 +447,24 @@ func splitHoldout(observed []selection.Example) (train, holdout []selection.Exam
 	return train, holdout, false
 }
 
-// trainTarget trains one routing target (family "" = global) and runs the
-// quality gate: the candidate is published (hot-swapped) when it beats or
-// stays within tolerance of the version currently serving the target,
-// evaluated on the same holdout; otherwise it is recorded as rejected.
-// The baseline must be a version of the SAME target: a family whose
-// queries are currently answered by the global fallback gets its first
-// family model ungated — the global model was trained on most of the
-// family's holdout (the strides don't align), so its holdout L1 there is
-// in-sample-optimistic and would starve family routing of a first model
-// that is genuinely better on fresh data. A bad first family model is
-// recoverable: rolling the family back past it falls back to the global
-// model.
-func (r *Retrainer) trainTarget(family string, observed, seed []selection.Example, source string, corpusSize int, observedL1 float64) (*Version, error) {
+// targetFit is the side-effect-free half of training one routing target:
+// everything fitTarget computes before the registry is consulted, so
+// fits for many families can run concurrently and publish later in a
+// deterministic order.
+type targetFit struct {
+	family     string
+	sel        *selection.Selector
+	holdout    []selection.Example
+	candEv     selection.Evaluation
+	inSample   bool
+	corpusSize int
+}
+
+// fitTarget splits the holdout, trains the selector and evaluates the
+// candidate for one routing target (family "" = global). It is pure with
+// respect to the retrainer: no registry reads or writes, no shared state
+// — safe to run concurrently for distinct targets.
+func (r *Retrainer) fitTarget(family string, observed, seed []selection.Example) (*targetFit, error) {
 	trainSet, holdout, inSample := splitHoldout(observed)
 	full := make([]selection.Example, 0, len(seed)+len(trainSet))
 	full = append(full, seed...)
@@ -404,19 +473,41 @@ func (r *Retrainer) trainTarget(family string, observed, seed []selection.Exampl
 	if err != nil {
 		return nil, err
 	}
-	candEv := selection.Evaluate(sel, holdout)
+	return &targetFit{
+		family:     family,
+		sel:        sel,
+		holdout:    holdout,
+		candEv:     selection.Evaluate(sel, holdout),
+		inSample:   inSample,
+		corpusSize: len(observed),
+	}, nil
+}
+
+// publishFit runs the quality gate on a completed fit and publishes or
+// records the version: the candidate is published (hot-swapped) when it
+// beats or stays within tolerance of the version currently serving the
+// target, evaluated on the same holdout; otherwise it is recorded as
+// rejected. The baseline must be a version of the SAME target: a family
+// whose queries are currently answered by the global fallback gets its
+// first family model ungated — the global model was trained on most of
+// the family's holdout (the strides don't align), so its holdout L1 there
+// is in-sample-optimistic and would starve family routing of a first
+// model that is genuinely better on fresh data. A bad first family model
+// is recoverable: rolling the family back past it falls back to the
+// global model.
+func (r *Retrainer) publishFit(f *targetFit, source string, observedL1 float64) *Version {
 	meta := VersionMeta{
 		TrainedAt:  time.Now(),
-		CorpusSize: corpusSize,
-		HoldoutL1:  candEv.AvgL1,
+		CorpusSize: f.corpusSize,
+		HoldoutL1:  f.candEv.AvgL1,
 		Source:     source,
-		Family:     family,
+		Family:     f.family,
 	}
-	if !inSample {
+	if !f.inSample {
 		// In-sample evaluations record HoldoutN 0: the L1 stays visible
 		// in /models, but the version must never pass as a fair
 		// (out-of-sample) gate baseline once the corpus grows.
-		meta.HoldoutN = candEv.N
+		meta.HoldoutN = f.candEv.N
 	}
 	// The gate only fires on a fair comparison, which needs BOTH sides
 	// out-of-sample on the holdout. A baseline qualifies when it was
@@ -428,20 +519,31 @@ func (r *Retrainer) trainTarget(family string, observed, seed []selection.Exampl
 	// retrains. Symmetrically, an in-sample candidate (degenerate split)
 	// carries an optimistically biased L1 of its own and must not use it
 	// to displace an honestly measured serving model.
-	if serving := r.reg.CurrentFor(family); serving != nil && serving.Meta.Family == family &&
-		serving.Meta.HoldoutN > 0 && !inSample &&
-		!r.cfg.Gate.Disabled && candEv.N > 0 && serving.Selector != nil && len(serving.Selector.Kinds) > 0 {
-		servEv := selection.Evaluate(serving.Selector, holdout)
+	if serving := r.reg.CurrentFor(f.family); serving != nil && serving.Meta.Family == f.family &&
+		serving.Meta.HoldoutN > 0 && !f.inSample &&
+		!r.cfg.Gate.Disabled && f.candEv.N > 0 && serving.Selector != nil && len(serving.Selector.Kinds) > 0 {
+		servEv := selection.Evaluate(serving.Selector, f.holdout)
 		meta.BaselineL1 = servEv.AvgL1
-		if servEv.N > 0 && candEv.AvgL1 > servEv.AvgL1*(1+r.cfg.Gate.Tolerance)+gateAbsSlack {
-			v := r.reg.Record(sel, meta)
+		if servEv.N > 0 && f.candEv.AvgL1 > servEv.AvgL1*(1+r.cfg.Gate.Tolerance)+gateAbsSlack {
+			v := r.reg.Record(f.sel, meta)
 			r.recordDecision(v, source, observedL1)
-			return v, nil
+			return v
 		}
 	}
-	v := r.reg.Publish(sel, meta)
+	v := r.reg.Publish(f.sel, meta)
 	r.recordDecision(v, source, observedL1)
-	return v, nil
+	return v
+}
+
+// trainTarget fits and publishes one routing target in one step — the
+// sequential path used by the global model and drift retrains.
+func (r *Retrainer) trainTarget(family string, observed, seed []selection.Example, source string, corpusSize int, observedL1 float64) (*Version, error) {
+	f, err := r.fitTarget(family, observed, seed)
+	if err != nil {
+		return nil, err
+	}
+	f.corpusSize = corpusSize
+	return r.publishFit(f, source, observedL1), nil
 }
 
 // recordDecision appends one entry to the bounded decision ring.
@@ -491,6 +593,15 @@ func (r *Retrainer) driftDue() []DriftState {
 func (r *Retrainer) retrainDrifted() {
 	r.trainMu.Lock()
 	defer r.trainMu.Unlock()
+	r.retrainDriftedLocked(nil)
+}
+
+// retrainDriftedLocked is retrainDrifted with trainMu already held.
+// shared, when non-nil, is a corpus capture the caller just took (the
+// size/age retrain of the same tick) and is reused instead of reading the
+// corpus again; family targets otherwise use SnapshotFamily, which the
+// segment indexes reduce to exactly that family's records.
+func (r *Retrainer) retrainDriftedLocked(shared []selection.Example) {
 	// Re-check after winning trainMu: a concurrent manual retrain may
 	// have just replaced the drifted version.
 	drifted := r.driftDue()
@@ -534,24 +645,44 @@ func (r *Retrainer) retrainDrifted() {
 	if len(actionable) == 0 {
 		return
 	}
-	observed, err := r.store.Snapshot()
-	if err != nil {
-		r.mu.Lock()
-		r.lastErr = err
-		r.mu.Unlock()
-		return
+	// Only a drifted GLOBAL target needs the whole corpus; family targets
+	// read just their own slice. When the same tick's size/age retrain
+	// already captured the corpus, both reuse it for free.
+	if shared == nil {
+		for _, st := range actionable {
+			if st.Target == "" {
+				observed, err := r.store.Snapshot()
+				if err != nil {
+					r.mu.Lock()
+					r.lastErr = err
+					r.mu.Unlock()
+					return
+				}
+				shared = observed
+				break
+			}
+		}
 	}
 	var errs error
 	published := false
 	for _, st := range actionable {
-		obs := observed
+		obs := shared
 		seed := r.cfg.Seed
 		if st.Target != "" {
-			obs = nil
 			seed = nil
-			for _, ex := range observed {
-				if ex.Family == st.Target {
-					obs = append(obs, ex)
+			if shared != nil {
+				obs = nil
+				for _, ex := range shared {
+					if ex.Family == st.Target {
+						obs = append(obs, ex)
+					}
+				}
+			} else {
+				var err error
+				obs, err = r.store.SnapshotFamily(st.Target)
+				if err != nil {
+					errs = errors.Join(errs, err)
+					continue
 				}
 			}
 			for _, ex := range r.cfg.Seed {
@@ -635,12 +766,7 @@ func (r *Retrainer) Start() {
 				case <-r.stop:
 					return
 				case <-ticker.C:
-					if r.due() {
-						r.retrainIfDue()
-					}
-					if len(r.driftDue()) > 0 {
-						r.retrainDrifted()
-					}
+					r.tick()
 				}
 			}
 		}()

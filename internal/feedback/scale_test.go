@@ -1,0 +1,535 @@
+package feedback
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"progressest/internal/selection"
+)
+
+// scaleFamilies are the families the scale tests spread examples over.
+var scaleFamilies = []string{"alpha", "beta", "gamma"}
+
+// buildScaleCorpus writes n family-tagged examples into dir through a
+// store with tiny segments, so the corpus spans several sealed segments
+// plus an active tail. It returns the appended examples in order.
+func buildScaleCorpus(t testing.TB, dir string, n int) []selection.Example {
+	t.Helper()
+	s, err := OpenStore(dir, StoreOptions{MaxSegmentBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]selection.Example, n)
+	for i := range want {
+		want[i] = familyExample(i, scaleFamilies[i%len(scaleFamilies)], false)
+		if err := s.Append(want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Segments(); got < 3 {
+		t.Fatalf("corpus spans %d segments, want >= 3 (shrink MaxSegmentBytes?)", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// filterFamily mirrors SnapshotFamily's contract on a full snapshot.
+func filterFamily(exs []selection.Example, family string) []selection.Example {
+	var out []selection.Example
+	for _, ex := range exs {
+		if ex.Family == family {
+			out = append(out, ex)
+		}
+	}
+	return out
+}
+
+// sameExamples compares element-wise, treating nil and empty as equal
+// (SnapshotFamily pre-sizes its result; the filter oracle does not).
+func sameExamples(a, b []selection.Example) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// sidecarPaths returns the index files present in dir, sorted.
+func sidecarPaths(t *testing.T, dir string) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "seg-*.idx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paths
+}
+
+// TestSealedSegmentsGetSidecars: every sealed (non-last) segment carries a
+// valid sidecar after rotation, and the sidecar content matches what a
+// from-scratch rebuild of the segment produces.
+func TestSealedSegmentsGetSidecars(t *testing.T) {
+	dir := t.TempDir()
+	buildScaleCorpus(t, dir, 60)
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxs := sidecarPaths(t, dir)
+	if len(idxs) != len(segs)-1 {
+		t.Fatalf("%d sidecars for %d segments, want one per sealed segment (%d)", len(idxs), len(segs), len(segs)-1)
+	}
+	for _, seg := range segs[:len(segs)-1] {
+		data, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, ok := loadSegIndex(seg, data)
+		if !ok {
+			t.Fatalf("sidecar for %s fails validation", seg)
+		}
+		rebuilt, err := buildSegIndex(data, seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ix, rebuilt) {
+			t.Fatalf("sealed sidecar diverges from rebuild for %s:\n got %+v\nwant %+v", seg, ix, rebuilt)
+		}
+	}
+}
+
+// TestIndexRobustness: a missing, truncated, bit-flipped or stale sidecar
+// must never change what the store reads — open falls back to a full
+// rescan, returns the exact same corpus, and rewrites the sidecar.
+func TestIndexRobustness(t *testing.T) {
+	corrupt := map[string]func(t *testing.T, segPath string){
+		"missing": func(t *testing.T, segPath string) {
+			if err := os.Remove(indexPath(segPath)); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"truncated": func(t *testing.T, segPath string) {
+			b, err := os.ReadFile(indexPath(segPath))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(indexPath(segPath), b[:len(b)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"bitflip": func(t *testing.T, segPath string) {
+			b, err := os.ReadFile(indexPath(segPath))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b[len(b)/2] ^= 0x40
+			if err := os.WriteFile(indexPath(segPath), b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		// An older binary (no index support) appended a record to a
+		// segment a newer binary had sealed: the prefix CRC still
+		// matches, only the watermark probe catches it.
+		"stale-grown": func(t *testing.T, segPath string) {
+			ex := familyExample(9999, "late", false)
+			payload, err := encodeExample(&ex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := os.OpenFile(segPath, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(appendRecord(nil, payload)); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	for name, breakIt := range corrupt {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			want := buildScaleCorpus(t, dir, 60)
+			segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+			victim := segs[1] // a sealed, non-first segment
+			breakIt(t, victim)
+
+			s, err := OpenStore(dir, StoreOptions{MaxSegmentBytes: 2048})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			got, err := s.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if name == "stale-grown" {
+				// The late append IS part of the corpus now — the index
+				// must not hide it. Rebuild the expectation from the
+				// segments on disk, in segment order.
+				want = nil
+				for _, seg := range segs {
+					data, err := os.ReadFile(seg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					exs, _, _, _, err := scanRecords(data, seg, true)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want = append(want, exs...)
+				}
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: snapshot diverges after sidecar damage: got %d examples, want %d", name, len(got), len(want))
+			}
+			for _, fam := range append([]string{""}, scaleFamilies...) {
+				byFam, err := s.SnapshotFamily(fam)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameExamples(byFam, filterFamily(want, fam)) {
+					t.Fatalf("%s: SnapshotFamily(%q) diverges after sidecar damage", name, fam)
+				}
+			}
+			// The open rebuilt and rewrote the sidecar: it must validate
+			// against the segment now.
+			data, err := os.ReadFile(victim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := loadSegIndex(victim, data); !ok {
+				t.Fatalf("%s: sidecar not repaired on open", name)
+			}
+		})
+	}
+}
+
+// TestSnapshotFamilyMatchesFilter: the indexed per-family read is
+// indistinguishable from filtering a full snapshot, for every family
+// including the untagged "" slice and an absent one.
+func TestSnapshotFamilyMatchesFilter(t *testing.T) {
+	dir := t.TempDir()
+	buildScaleCorpus(t, dir, 60)
+	s, err := OpenStore(dir, StoreOptions{MaxSegmentBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Grow the live tail too, so the test covers the undecoded-tail path.
+	if _, err := s.AppendAll(familyExamples(7, 500, "alpha", false)); err != nil {
+		t.Fatal(err)
+	}
+	full, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{"alpha", "beta", "gamma", "", "absent"} {
+		got, err := s.SnapshotFamily(fam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameExamples(got, filterFamily(full, fam)) {
+			t.Fatalf("SnapshotFamily(%q) = %d examples, want %d (filter of full snapshot)",
+				fam, len(got), len(filterFamily(full, fam)))
+		}
+	}
+}
+
+// TestSnapshotScanWorkersEquivalent: the parallel segment scan assembles
+// the exact sequential result for every worker count.
+func TestSnapshotScanWorkersEquivalent(t *testing.T) {
+	dir := t.TempDir()
+	want := buildScaleCorpus(t, dir, 90)
+	for _, workers := range []int{1, 2, 4, 16} {
+		s, err := OpenStore(dir, StoreOptions{MaxSegmentBytes: 2048, ScanWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("ScanWorkers=%d snapshot diverges from append order", workers)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDecodeCacheWarmSnapshots: a second snapshot serves every sealed
+// segment from the cache; disabling the cache keeps misses growing; and
+// retention evicts the dropped segment's entry.
+func TestDecodeCacheWarmSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	buildScaleCorpus(t, dir, 60)
+	s, err := OpenStore(dir, StoreOptions{MaxSegmentBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	cold := s.Stats()
+	if cold.CacheHits != 0 || cold.CacheMisses == 0 {
+		t.Fatalf("cold snapshot: hits=%d misses=%d, want 0 hits and >0 misses", cold.CacheHits, cold.CacheMisses)
+	}
+	if _, err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	warm := s.Stats()
+	if warm.CacheMisses != cold.CacheMisses {
+		t.Fatalf("warm snapshot re-decoded sealed segments: misses %d -> %d", cold.CacheMisses, warm.CacheMisses)
+	}
+	if wantHits := uint64(cold.Segments - 1); warm.CacheHits != wantHits {
+		t.Fatalf("warm snapshot hits = %d, want %d (every sealed segment)", warm.CacheHits, wantHits)
+	}
+	if warm.CachedSegments == 0 || warm.CacheBytes == 0 || warm.CacheCapBytes != defaultCacheBytes {
+		t.Fatalf("cache footprint not reported: %+v", warm)
+	}
+}
+
+func TestDecodeCacheDisabled(t *testing.T) {
+	dir := t.TempDir()
+	buildScaleCorpus(t, dir, 60)
+	s, err := OpenStore(dir, StoreOptions{MaxSegmentBytes: 2048, CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := s.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.CacheHits != 0 || st.CacheMisses != 0 || st.CacheCapBytes != 0 {
+		t.Fatalf("disabled cache still counting: %+v", st)
+	}
+}
+
+// TestCorpusStatsShape: Stats reports the segment count, byte total and
+// per-family example counts without touching the disk.
+func TestCorpusStatsShape(t *testing.T) {
+	dir := t.TempDir()
+	want := buildScaleCorpus(t, dir, 60)
+	s, err := OpenStore(dir, StoreOptions{MaxSegmentBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	st := s.Stats()
+	if st.Segments != s.Segments() || st.Examples != len(want) {
+		t.Fatalf("Stats = %+v, want %d segments / %d examples", st, s.Segments(), len(want))
+	}
+	wantFams := make(map[string]int)
+	for _, ex := range want {
+		wantFams[ex.Family]++
+	}
+	if !reflect.DeepEqual(st.Families, wantFams) {
+		t.Fatalf("Stats.Families = %v, want %v", st.Families, wantFams)
+	}
+	var diskBytes int64
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	for _, seg := range segs {
+		fi, err := os.Stat(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diskBytes += fi.Size()
+	}
+	if st.Bytes != diskBytes {
+		t.Fatalf("Stats.Bytes = %d, disk holds %d", st.Bytes, diskBytes)
+	}
+}
+
+// versionKey strips the wall-clock from a version for bit-identity
+// comparison across two independently trained registries.
+type versionKey struct {
+	ID         int
+	Family     string
+	Source     string
+	Decision   string
+	CorpusSize int
+	HoldoutL1  float64
+	HoldoutN   int
+	BaselineL1 float64
+	Current    bool
+}
+
+func registryKeys(reg *Registry) []versionKey {
+	vs := reg.Versions()
+	out := make([]versionKey, len(vs))
+	for i, v := range vs {
+		out[i] = versionKey{
+			ID:         v.ID,
+			Family:     v.Meta.Family,
+			Source:     v.Meta.Source,
+			Decision:   v.Meta.Decision,
+			CorpusSize: v.Meta.CorpusSize,
+			HoldoutL1:  v.Meta.HoldoutL1,
+			HoldoutN:   v.Meta.HoldoutN,
+			BaselineL1: v.Meta.BaselineL1,
+			Current:    reg.IsCurrent(v),
+		}
+	}
+	return out
+}
+
+// TestRetrainFamiliesParallelMatchesSequential: a parallel-fit retrain
+// publishes the exact version sequence — ids, metrics, gate decisions,
+// selectors, routing — a sequential retrain of the same corpus does.
+func TestRetrainFamiliesParallelMatchesSequential(t *testing.T) {
+	run := func(workers int) (*Registry, *Retrainer) {
+		t.Helper()
+		store, err := OpenStore(t.TempDir(), StoreOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { store.Close() })
+		// Mixed truthful/inverted families so the models differ and the
+		// second round exercises the gate against real baselines.
+		if _, err := store.AppendAll(familyExamples(30, 0, "alpha", false)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := store.AppendAll(familyExamples(30, 100, "beta", true)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := store.AppendAll(familyExamples(30, 200, "gamma", false)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := store.AppendAll(familyExamples(30, 300, "delta", true)); err != nil {
+			t.Fatal(err)
+		}
+		reg := NewRegistry()
+		ret := NewRetrainer(store, reg, RetrainerConfig{
+			Selection:         fastConfig(),
+			FamilyModels:      true,
+			MinFamilyExamples: 20,
+			TrainWorkers:      workers,
+		})
+		if _, err := ret.Retrain("manual"); err != nil {
+			t.Fatal(err)
+		}
+		// Second round on a grown corpus: families now have serving
+		// baselines, so the gate path runs too.
+		if _, err := store.AppendAll(familyExamples(10, 400, "alpha", false)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := store.AppendAll(familyExamples(10, 500, "beta", true)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ret.Retrain("manual"); err != nil {
+			t.Fatal(err)
+		}
+		return reg, ret
+	}
+
+	seqReg, seqRet := run(1)
+	parReg, parRet := run(4)
+
+	seqKeys, parKeys := registryKeys(seqReg), registryKeys(parReg)
+	if !reflect.DeepEqual(seqKeys, parKeys) {
+		t.Fatalf("parallel retrain diverges from sequential:\n seq %+v\n par %+v", seqKeys, parKeys)
+	}
+	seqVs, parVs := seqReg.Versions(), parReg.Versions()
+	for i := range seqVs {
+		if !reflect.DeepEqual(seqVs[i].Selector, parVs[i].Selector) {
+			t.Fatalf("version %d: parallel selector differs from sequential", seqVs[i].ID)
+		}
+	}
+	// Decision histories match too (modulo wall-clock).
+	seqDs, parDs := seqRet.Decisions(), parRet.Decisions()
+	if len(seqDs) != len(parDs) {
+		t.Fatalf("decision count: seq %d, par %d", len(seqDs), len(parDs))
+	}
+	for i := range seqDs {
+		seqDs[i].At, parDs[i].At = time.Time{}, time.Time{}
+		if seqDs[i] != parDs[i] {
+			t.Fatalf("decision %d diverges:\n seq %+v\n par %+v", i, seqDs[i], parDs[i])
+		}
+	}
+}
+
+// TestTickTrainsWhenDue: the shared background tick still runs the
+// size/age retrain (it replaced the Start loop's direct calls).
+func TestTickTrainsWhenDue(t *testing.T) {
+	store, err := OpenStore(t.TempDir(), StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if _, err := store.AppendAll(familyExamples(30, 0, "alpha", false)); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	ret := NewRetrainer(store, reg, RetrainerConfig{
+		Selection: fastConfig(),
+		Policy:    RetrainPolicy{MinNewExamples: 1, MinInterval: time.Nanosecond},
+	})
+	ret.tick()
+	if reg.Current() == nil {
+		t.Fatal("tick with a due policy did not train")
+	}
+	if got := reg.Current().Meta.Source; got != "auto" {
+		t.Fatalf("tick trained with source %q, want auto", got)
+	}
+}
+
+// TestStoreOptionsDefaults pins the new knobs' zero-value behavior.
+func TestStoreOptionsDefaults(t *testing.T) {
+	o := StoreOptions{}.withDefaults()
+	if o.CacheBytes != defaultCacheBytes {
+		t.Fatalf("default CacheBytes = %d, want %d", o.CacheBytes, int64(defaultCacheBytes))
+	}
+	if o.ScanWorkers < 1 {
+		t.Fatalf("default ScanWorkers = %d, want >= 1", o.ScanWorkers)
+	}
+	o = StoreOptions{CacheBytes: -1, ScanWorkers: -3}.withDefaults()
+	if o.CacheBytes > 0 || o.ScanWorkers != 1 {
+		t.Fatalf("negative knobs not clamped: %+v", o)
+	}
+}
+
+// TestDecodeCacheEviction exercises the LRU bound directly.
+func TestDecodeCacheEviction(t *testing.T) {
+	c := newDecodeCache(100)
+	exs := func(n int) []selection.Example { return make([]selection.Example, n) }
+	c.put("a", exs(1), 40)
+	c.put("b", exs(2), 40)
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted under budget")
+	}
+	c.put("c", exs(3), 40) // over budget: evicts b (a was just used)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("LRU victim b survived")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("recently used a evicted")
+	}
+	c.put("huge", exs(4), 1000) // larger than the whole budget: not admitted
+	if _, ok := c.get("huge"); ok {
+		t.Fatal("oversized entry admitted")
+	}
+	c.remove("a")
+	if _, ok := c.get("a"); ok {
+		t.Fatal("removed entry still served")
+	}
+	_, _, size, entries := c.stats()
+	if size != 40 || entries != 1 {
+		t.Fatalf("cache footprint after eviction: size=%d entries=%d, want 40/1", size, entries)
+	}
+}

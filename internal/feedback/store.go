@@ -19,9 +19,11 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 
+	"progressest/internal/atomicio"
 	"progressest/internal/progress"
 	"progressest/internal/selection"
 )
@@ -62,7 +64,20 @@ type StoreOptions struct {
 	// entirely — required when appending to a corpus someone else bounds,
 	// so an "append" can never delete another owner's history.
 	MaxExamples int
+	// CacheBytes bounds the sealed-segment decode cache: immutable
+	// segments keep their decoded examples in memory (LRU by on-disk
+	// bytes), so a warm Snapshot re-decodes only the active tail. 0 means
+	// the 64 MiB default; negative disables caching entirely.
+	CacheBytes int64
+	// ScanWorkers bounds how many segments Snapshot/SnapshotFamily read
+	// and decode concurrently (assembly stays in segment order, so the
+	// result is bit-identical to a sequential scan). 0 means GOMAXPROCS
+	// capped at 8; 1 forces the sequential path.
+	ScanWorkers int
 }
+
+// defaultCacheBytes is the decode-cache budget when CacheBytes is 0.
+const defaultCacheBytes = 64 << 20
 
 func (o StoreOptions) withDefaults() StoreOptions {
 	if o.MaxSegmentBytes <= 0 {
@@ -71,18 +86,62 @@ func (o StoreOptions) withDefaults() StoreOptions {
 	if o.MaxExamples == 0 {
 		o.MaxExamples = 100000
 	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = defaultCacheBytes
+	}
+	if o.ScanWorkers == 0 {
+		o.ScanWorkers = min(runtime.GOMAXPROCS(0), 8)
+	}
+	if o.ScanWorkers < 1 {
+		o.ScanWorkers = 1
+	}
 	return o
 }
 
 // segment is one corpus file's bookkeeping. Examples live on disk only —
 // the store never mirrors the corpus in memory; Snapshot decodes it on
-// demand (retrains are rare, serving-path memory is precious).
+// demand (retrains are rare, serving-path memory is precious), with the
+// bounded decodeCache softening that for immutable sealed segments.
 type segment struct {
 	index  int
 	path   string
 	count  int
 	bytes  int64
 	format int
+	// idx is the sealed segment's in-memory sidecar index (non-nil iff
+	// the segment is sealed). Immutable once set.
+	idx *segIndex
+	// Active-tail bookkeeping, maintained incrementally on append so
+	// sealing builds the sidecar without re-reading the file: per-record
+	// start offsets and family tags, plus the running CRC of the
+	// good-byte prefix.
+	offsets []int64
+	fams    []string
+	crc     uint32
+}
+
+// sealed reports whether the segment stopped accepting appends.
+func (seg *segment) sealed() bool { return seg.idx != nil }
+
+// sealLocked freezes the active-tail bookkeeping into a sidecar index
+// and writes it next to the segment. The write is atomic but unsynced
+// (atomicio.WriteFileLazy) and best-effort: the index is derived state a
+// future open validates and rebuilds, so losing it can never lose
+// corpus, while an fsync per rotation would tax the append path.
+func (seg *segment) sealLocked() {
+	fams := make(map[string][]int32, 4)
+	for ord, f := range seg.fams {
+		fams[f] = append(fams[f], int32(ord))
+	}
+	seg.idx = &segIndex{
+		format:   seg.format,
+		good:     seg.bytes,
+		segCRC:   seg.crc,
+		offsets:  seg.offsets,
+		families: fams,
+	}
+	seg.offsets, seg.fams = nil, nil
+	_ = atomicio.WriteFileLazy(indexPath(seg.path), seg.idx.encode())
 }
 
 // ExampleStore is an append-only, segmented, crash-safe on-disk corpus of
@@ -92,6 +151,9 @@ type segment struct {
 type ExampleStore struct {
 	dir  string
 	opts StoreOptions
+	// cache memoises sealed segments' decoded examples (nil when
+	// disabled). It has its own lock; snapshot reads never hold s.mu.
+	cache *decodeCache
 
 	mu       sync.Mutex
 	segments []*segment
@@ -130,8 +192,16 @@ func OpenStore(dir string, opts StoreOptions) (*ExampleStore, error) {
 		files = append(files, segFile{name, idx})
 	}
 	s := &ExampleStore{dir: dir, opts: opts}
+	if opts.CacheBytes > 0 {
+		s.cache = newDecodeCache(opts.CacheBytes)
+	}
 	for i, f := range files {
-		seg, err := readSegment(f.name, f.idx, i == len(files)-1)
+		var seg *segment
+		if i == len(files)-1 {
+			seg, err = readTailSegment(f.name, f.idx)
+		} else {
+			seg, err = readSealedSegment(f.name, f.idx)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -206,35 +276,72 @@ func ReadCorpus(dir string) ([]selection.Example, error) {
 	return out, nil
 }
 
-// readSegment validates one segment file and returns its bookkeeping
-// (record count, good-byte watermark) WITHOUT materialising the examples
-// — a restart over a capped corpus would otherwise decode and discard
-// the whole thing. tail selects crash-recovery semantics: a torn or
-// corrupt record at the end is truncated away so the segment can keep
-// growing; in a sealed segment corruption keeps the intact prefix and
-// ignores the remainder.
-func readSegment(path string, index int, tail bool) (*segment, error) {
+// readSealedSegment validates one sealed segment file and returns its
+// bookkeeping WITHOUT materialising the examples. The fast path loads
+// and validates the sidecar index (see loadSegIndex) — one file read and
+// a CRC pass, no per-record scan; a missing, corrupt or stale sidecar
+// falls back to a full rescan that rebuilds and rewrites it, so the two
+// paths always agree on count, watermark and family layout. Corruption
+// inside a sealed segment keeps the intact prefix and ignores the
+// remainder, exactly as before sidecars existed.
+func readSealedSegment(path string, index int) (*segment, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("feedback: read segment: %w", err)
+	}
+	ix, ok := loadSegIndex(path, data)
+	if !ok {
+		if ix, err = buildSegIndex(data, path); err != nil {
+			return nil, err
+		}
+		_ = atomicio.WriteFileLazy(indexPath(path), ix.encode())
+	}
+	return &segment{
+		index:  index,
+		path:   path,
+		count:  len(ix.offsets),
+		bytes:  ix.good,
+		format: ix.format,
+		idx:    ix,
+	}, nil
+}
+
+// readTailSegment recovers the tail segment with crash semantics: a torn
+// or corrupt record at the end is truncated away so the segment can keep
+// growing. The scan also rebuilds the tail's incremental index state
+// (per-record offsets, family tags, running CRC), so a later seal writes
+// its sidecar without re-reading the file.
+func readTailSegment(path string, index int) (*segment, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("feedback: read segment: %w", err)
 	}
 	seg := &segment{index: index, path: path, format: storeFormat}
-	if tail && len(data) < segHeaderSize {
+	if len(data) < segHeaderSize {
 		// A crash between create and header write; rewrite from scratch.
 		if err := os.WriteFile(path, segmentHeader(), 0o644); err != nil {
 			return nil, fmt.Errorf("feedback: reset torn segment: %w", err)
 		}
 		seg.bytes = int64(segHeaderSize)
+		seg.crc = crc32.ChecksumIEEE(segmentHeader())
 		return seg, nil
 	}
-	_, count, good, format, err := scanRecords(data, path, false)
+	ix, err := buildSegIndex(data, path)
 	if err != nil {
 		return nil, err
 	}
-	seg.count = count
-	seg.bytes = int64(good)
-	seg.format = format
-	if tail && good < len(data) {
+	seg.count = len(ix.offsets)
+	seg.bytes = ix.good
+	seg.format = ix.format
+	seg.crc = ix.segCRC
+	seg.offsets = ix.offsets
+	seg.fams = make([]string, len(ix.offsets))
+	for f, ords := range ix.families {
+		for _, o := range ords {
+			seg.fams[o] = f
+		}
+	}
+	if good := int(ix.good); good < len(data) {
 		if err := os.Truncate(path, int64(good)); err != nil {
 			return nil, fmt.Errorf("feedback: truncate torn tail: %w", err)
 		}
@@ -319,8 +426,20 @@ func (s *ExampleStore) newSegmentLocked(index int) error {
 		s.active.Sync()
 		s.active.Close()
 	}
+	// The outgoing tail is sealed from here on: freeze its incremental
+	// bookkeeping into the sidecar index that family-sliced and warm
+	// snapshots read.
+	if prev := s.tail(); prev != nil && !prev.sealed() {
+		prev.sealLocked()
+	}
 	s.active = f
-	s.segments = append(s.segments, &segment{index: index, path: path, bytes: int64(segHeaderSize), format: storeFormat})
+	s.segments = append(s.segments, &segment{
+		index:  index,
+		path:   path,
+		bytes:  int64(segHeaderSize),
+		format: storeFormat,
+		crc:    crc32.ChecksumIEEE(segmentHeader()),
+	})
 	return nil
 }
 
@@ -342,6 +461,10 @@ func (s *ExampleStore) enforceRetentionLocked() {
 	for s.total > s.opts.MaxExamples && len(s.segments) > 1 {
 		old := s.segments[0]
 		os.Remove(old.path)
+		os.Remove(indexPath(old.path))
+		if s.cache != nil {
+			s.cache.remove(old.path)
+		}
 		s.total -= old.count
 		s.segments = s.segments[1:]
 	}
@@ -382,12 +505,17 @@ func (s *ExampleStore) AppendAll(exs []selection.Example) (int, error) {
 			// appended after it would be silently discarded by the next
 			// recovery scan. Roll the file back to the last good offset;
 			// if even that fails, seal the segment and move on so future
-			// appends land in a clean file.
+			// appends land in a clean file. (The tracked offsets/CRC cover
+			// exactly the good prefix, so the sidecar written by that seal
+			// stays truthful about the torn remainder.)
 			if terr := s.active.Truncate(tail.bytes); terr != nil {
 				_ = s.newSegmentLocked(tail.index + 1)
 			}
 			return i, fmt.Errorf("feedback: append: %w", err)
 		}
+		tail.offsets = append(tail.offsets, tail.bytes)
+		tail.fams = append(tail.fams, exs[i].Family)
+		tail.crc = crc32.Update(tail.crc, crc32.IEEETable, rec)
 		tail.bytes += int64(len(rec))
 		tail.count++
 		s.total++
@@ -426,53 +554,283 @@ func (s *ExampleStore) Segments() int {
 	return len(s.segments)
 }
 
-// Snapshot decodes the retained corpus from disk in append order. The
-// store keeps no in-memory mirror — a daemon at the retention cap would
-// otherwise pin tens of MB of heap for data read only at rare retrain
-// time — so this costs one sequential read of the corpus. Only the
-// segment list and byte watermarks are captured under the lock; the
-// files are read and decoded outside it, so a large snapshot never
-// stalls query-completion appends or the health probes. The returned
-// examples share no state with the store.
-func (s *ExampleStore) Snapshot() ([]selection.Example, error) {
-	type segRead struct {
-		path  string
-		limit int64 // good bytes at capture time; later appends are excluded
-	}
+// segView is one segment's snapshot-capture state: everything a reader
+// needs, lifted out of the store lock. For sealed segments idx is the
+// immutable sidecar index; the active tail has idx nil.
+type segView struct {
+	path  string
+	limit int64 // good bytes at capture time; later appends are excluded
+	count int
+	idx   *segIndex
+}
+
+// captureViews snapshots the segment list under the lock; the files are
+// read and decoded outside it, so a large snapshot never stalls
+// query-completion appends or the health probes.
+func (s *ExampleStore) captureViews() ([]segView, error) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
-		s.mu.Unlock()
 		return nil, ErrClosed
 	}
-	total := s.total
-	reads := make([]segRead, len(s.segments))
+	views := make([]segView, len(s.segments))
 	for i, seg := range s.segments {
-		reads[i] = segRead{path: seg.path, limit: seg.bytes}
+		views[i] = segView{path: seg.path, limit: seg.bytes, count: seg.count, idx: seg.idx}
 	}
-	s.mu.Unlock()
+	return views, nil
+}
 
+// forEachView runs fn over every view, fanning out across ScanWorkers
+// goroutines when more than one segment needs work. Results land in
+// caller-owned per-view slots, so assembly order is the segment order no
+// matter how the workers interleave; errors are joined in segment order,
+// so the leading one matches what a sequential scan reports first.
+func (s *ExampleStore) forEachView(views []segView, fn func(int, segView) error) error {
+	workers := s.opts.ScanWorkers
+	if workers > len(views) {
+		workers = len(views)
+	}
+	errs := make([]error, len(views))
+	if workers <= 1 {
+		for i, v := range views {
+			errs[i] = fn(i, v)
+		}
+	} else {
+		work := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					errs[i] = fn(i, views[i])
+				}
+			}()
+		}
+		for i := range views {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+	return errors.Join(errs...)
+}
+
+// decodeView reads and decodes one segment view, serving sealed segments
+// from the decode cache when possible (and populating it on a miss). A
+// segment deleted by retention after the capture yields nil, nil.
+func (s *ExampleStore) decodeView(v segView) ([]selection.Example, error) {
+	if v.idx != nil && s.cache != nil {
+		if exs, ok := s.cache.get(v.path); ok {
+			return exs, nil
+		}
+	}
+	// Writes go straight to the file (no userspace buffering), so a
+	// plain read sees every record appended so far; the watermark
+	// bounds the view to the capture instant.
+	data, err := os.ReadFile(v.path)
+	if os.IsNotExist(err) {
+		return nil, nil // retention dropped this segment after the capture
+	}
+	if err != nil {
+		return nil, fmt.Errorf("feedback: snapshot: %w", err)
+	}
+	if int64(len(data)) > v.limit {
+		data = data[:v.limit]
+	}
+	exs, _, _, _, err := scanRecords(data, v.path, true)
+	if err != nil {
+		return nil, err
+	}
+	if v.idx != nil && s.cache != nil {
+		s.cache.put(v.path, exs, int64(len(data)))
+	}
+	return exs, nil
+}
+
+// assemble concatenates per-segment decode results in segment order,
+// sized exactly from what the reads actually returned — segments dropped
+// by retention mid-snapshot contribute nothing, so the output is never
+// over-allocated from a stale pre-capture total.
+func assemble(parts [][]selection.Example) []selection.Example {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
 	out := make([]selection.Example, 0, total)
-	for _, r := range reads {
-		// Writes go straight to the file (no userspace buffering), so a
-		// plain read sees every record appended so far; the watermark
-		// bounds the view to the capture instant.
-		data, err := os.ReadFile(r.path)
-		if os.IsNotExist(err) {
-			continue // retention dropped this segment after the capture
-		}
-		if err != nil {
-			return nil, fmt.Errorf("feedback: snapshot: %w", err)
-		}
-		if int64(len(data)) > r.limit {
-			data = data[:r.limit]
-		}
-		exs, _, _, _, err := scanRecords(data, r.path, true)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Snapshot decodes the retained corpus in append order. The store keeps
+// no unbounded in-memory mirror — segments are read and decoded on
+// demand, concurrently across ScanWorkers, with sealed (immutable)
+// segments served from the bounded decode cache — so a warm snapshot
+// costs one decode of the active tail plus slice copies. The returned
+// slice is the caller's; the examples themselves may share backing
+// arrays with the cache and other snapshots and must be treated as
+// read-only (training and evaluation never mutate them).
+func (s *ExampleStore) Snapshot() ([]selection.Example, error) {
+	views, err := s.captureViews()
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]selection.Example, len(views))
+	err = s.forEachView(views, func(i int, v segView) error {
+		exs, err := s.decodeView(v)
+		parts[i] = exs
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return assemble(parts), nil
+}
+
+// SnapshotFamily decodes only the examples of one workload family, in
+// the same order Snapshot would yield them. Sealed segments use their
+// sidecar index: a segment holding none of the family's records is
+// skipped without touching the disk, and one that does either filters
+// the cached decode or decodes exactly the family's records off its
+// offsets — so a family-targeted retrain reads O(family), not O(corpus).
+// The active tail (index-less) is scanned and filtered. The read-only
+// sharing contract matches Snapshot's.
+//
+// The family is matched exactly; use Snapshot for the global ("") target,
+// which trains on every example regardless of tag.
+func (s *ExampleStore) SnapshotFamily(family string) ([]selection.Example, error) {
+	views, err := s.captureViews()
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]selection.Example, len(views))
+	err = s.forEachView(views, func(i int, v segView) error {
+		exs, err := s.decodeViewFamily(v, family)
+		parts[i] = exs
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return assemble(parts), nil
+}
+
+// decodeViewFamily extracts one family's examples from a segment view.
+func (s *ExampleStore) decodeViewFamily(v segView, family string) ([]selection.Example, error) {
+	if v.idx == nil {
+		// Active tail: full decode, then filter.
+		exs, err := s.decodeView(v)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, exs...)
+		var out []selection.Example
+		for _, ex := range exs {
+			if ex.Family == family {
+				out = append(out, ex)
+			}
+		}
+		return out, nil
+	}
+	ords := v.idx.families[family]
+	if len(ords) == 0 {
+		return nil, nil // no I/O: the index proves the family is absent here
+	}
+	if s.cache != nil {
+		if all, ok := s.cache.get(v.path); ok && len(all) == len(v.idx.offsets) {
+			out := make([]selection.Example, 0, len(ords))
+			for _, o := range ords {
+				out = append(out, all[o])
+			}
+			return out, nil
+		}
+	}
+	data, err := os.ReadFile(v.path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("feedback: snapshot: %w", err)
+	}
+	if int64(len(data)) > v.limit {
+		data = data[:v.limit]
+	}
+	out := make([]selection.Example, 0, len(ords))
+	for _, o := range ords {
+		_, payload, ok := recordAt(data, v.idx.offsets[o])
+		if !ok {
+			// The file under the index changed (it should never: sealed
+			// segments are immutable). Fall back to the full scan, whose
+			// corruption semantics — keep the intact prefix — are the
+			// ground truth the index is only a shortcut for.
+			exs, _, _, _, err := scanRecords(data, v.path, true)
+			if err != nil {
+				return nil, err
+			}
+			out = out[:0]
+			for _, ex := range exs {
+				if ex.Family == family {
+					out = append(out, ex)
+				}
+			}
+			return out, nil
+		}
+		ex, err := decodeExample(payload, v.idx.format)
+		if err != nil {
+			return nil, fmt.Errorf("feedback: %s: %w", v.path, err)
+		}
+		out = append(out, ex)
 	}
 	return out, nil
+}
+
+// CorpusStats describes the on-disk corpus shape and the decode cache's
+// standing — what a retrain is about to pay for, surfaced to operators
+// via GET /models.
+type CorpusStats struct {
+	// Segments and Bytes are the on-disk segment count and their summed
+	// good bytes; Examples is the retained example count.
+	Segments int
+	Bytes    int64
+	Examples int
+	// Families maps each workload family to its retained example count
+	// (the empty key counts untagged v1-era examples), straight from the
+	// sidecar indexes plus the tail's incremental bookkeeping — no scan.
+	Families map[string]int
+	// CacheHits/CacheMisses are lifetime decode-cache lookups;
+	// CacheBytes/CachedSegments the current footprint; CacheCapBytes the
+	// configured budget (0 = caching disabled).
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheBytes     int64
+	CacheCapBytes  int64
+	CachedSegments int
+}
+
+// Stats reports the corpus shape and cache counters. O(segments ×
+// families) under the lock — nothing is read from disk.
+func (s *ExampleStore) Stats() CorpusStats {
+	s.mu.Lock()
+	st := CorpusStats{Segments: len(s.segments), Examples: s.total, Families: make(map[string]int)}
+	for _, seg := range s.segments {
+		st.Bytes += seg.bytes
+		if seg.idx != nil {
+			for f, ords := range seg.idx.families {
+				st.Families[f] += len(ords)
+			}
+		} else {
+			for _, f := range seg.fams {
+				st.Families[f]++
+			}
+		}
+	}
+	s.mu.Unlock()
+	if s.cache != nil {
+		st.CacheCapBytes = s.opts.CacheBytes
+		st.CacheHits, st.CacheMisses, st.CacheBytes, st.CachedSegments = s.cache.stats()
+	}
+	return st
 }
 
 // Sync flushes the active segment to stable storage.
@@ -547,6 +905,10 @@ func encodeExample(e *selection.Example) ([]byte, error) {
 	return buf, nil
 }
 
+// errCorruptFeatureCount flags a record whose feature count cannot fit
+// its payload (shared by the full decode and the family-only skip).
+var errCorruptFeatureCount = errors.New("corrupt example: feature count")
+
 // decodeExample is the inverse of encodeExample. format selects the
 // record layout; v1 records carry no family tag (Family stays "").
 func decodeExample(b []byte, format int) (selection.Example, error) {
@@ -554,7 +916,7 @@ func decodeExample(b []byte, format int) (selection.Example, error) {
 	r := reader{b: b}
 	nf := r.uint32()
 	if nf > uint32(len(b)) {
-		return e, errors.New("corrupt example: feature count")
+		return e, errCorruptFeatureCount
 	}
 	e.Features = make([]float64, nf)
 	for i := range e.Features {
@@ -640,6 +1002,19 @@ func (r *reader) float64() float64 {
 	return v
 }
 
+func (r *reader) uint64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 8 {
+		r.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
 func (r *reader) string() string {
 	n := r.uint32()
 	if r.err != nil {
@@ -652,4 +1027,25 @@ func (r *reader) string() string {
 	s := string(r.b[:n])
 	r.b = r.b[n:]
 	return s
+}
+
+// skip advances the cursor n bytes without materialising anything.
+func (r *reader) skip(n int) {
+	if r.err != nil {
+		return
+	}
+	if n < 0 || len(r.b) < n {
+		r.err = io.ErrUnexpectedEOF
+		return
+	}
+	r.b = r.b[n:]
+}
+
+// skipString advances past one length-prefixed string.
+func (r *reader) skipString() {
+	n := r.uint32()
+	if r.err != nil {
+		return
+	}
+	r.skip(int(n))
 }

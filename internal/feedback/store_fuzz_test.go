@@ -353,3 +353,71 @@ func TestStoreCRCCorruptionEveryByte(t *testing.T) {
 		t.Fatalf("healed segment: count %d err %v", count, err)
 	}
 }
+
+// FuzzIndexDecode: arbitrary sidecar bytes must decode to a
+// self-consistent index or error — never panic, never over-allocate past
+// the input, and never yield an index that re-encodes into something the
+// decoder rejects (the seal path round-trips through exactly this pair).
+func FuzzIndexDecode(f *testing.F) {
+	ex := mkExample(3)
+	ex.Family = "fam"
+	payload, err := encodeExample(&ex)
+	if err != nil {
+		f.Fatal(err)
+	}
+	img := segmentImage(2, payload, payload, payload)
+	ix, err := buildSegIndex(img, "seed")
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := ix.encode()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3]) // torn tail
+	f.Add(valid[:idxHeaderSize])
+	f.Add([]byte("PESTCIDX"))
+	f.Add([]byte("not an index"))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x10
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := decodeSegIndex(data, "fuzz")
+		if err != nil {
+			return
+		}
+		// Structural invariants decode promises: ascending in-bounds
+		// offsets and families that exactly partition the records.
+		indexed := 0
+		for _, ords := range ix.families {
+			indexed += len(ords)
+			for _, o := range ords {
+				if int(o) >= len(ix.offsets) {
+					t.Fatalf("ordinal %d out of range", o)
+				}
+			}
+		}
+		if indexed != len(ix.offsets) {
+			t.Fatalf("families cover %d of %d records", indexed, len(ix.offsets))
+		}
+		prev := int64(0)
+		for _, off := range ix.offsets {
+			if off <= prev && prev != 0 {
+				t.Fatalf("offsets not ascending: %d after %d", off, prev)
+			}
+			if off+recHeaderSize > ix.good {
+				t.Fatalf("offset %d past watermark %d", off, ix.good)
+			}
+			prev = off
+		}
+		// Round trip: what a seal would write must decode to the same
+		// index (families may have been stored unsorted; encode
+		// canonicalises, decode must still accept it).
+		again, err := decodeSegIndex(ix.encode(), "fuzz-roundtrip")
+		if err != nil {
+			t.Fatalf("re-encoded index rejected: %v", err)
+		}
+		if !reflect.DeepEqual(ix, again) {
+			t.Fatal("encode/decode round trip diverges")
+		}
+	})
+}

@@ -47,6 +47,19 @@ type LearningConfig struct {
 	// 4 MiB per segment, 100000 examples; oldest segments are dropped).
 	MaxSegmentBytes int64
 	MaxExamples     int
+	// CorpusCacheBytes bounds the sealed-segment decode cache: immutable
+	// corpus segments keep their decoded examples in memory (LRU by
+	// on-disk bytes), so a warm retrain re-decodes only the active tail.
+	// 0 means the 64 MiB default; negative disables caching.
+	CorpusCacheBytes int64
+	// ScanWorkers bounds how many corpus segments a retrain reads and
+	// decodes concurrently; TrainWorkers bounds how many family selectors
+	// fit concurrently per retrain cycle. Both default (at 0) to
+	// GOMAXPROCS capped at 8; 1 forces the sequential path. Results are
+	// bit-identical to sequential either way — parallelism only changes
+	// wall-clock time.
+	ScanWorkers  int
+	TrainWorkers int
 	// FamilyModels additionally trains one selector per workload family
 	// with at least MinFamilyExamples harvested examples (default 40).
 	// Queries routed by family (MonitorOptions.RouteByFamily, which
@@ -182,6 +195,29 @@ type HarvestStats struct {
 	Errors int `json:"errors"`
 }
 
+// CorpusStats describes the on-disk corpus shape and the standing of the
+// sealed-segment decode cache — what the next retrain is about to pay
+// for. Surfaced in GET /models as "corpus".
+type CorpusStats struct {
+	// Segments and Bytes are the on-disk segment count and their summed
+	// intact bytes; Examples is the retained example count.
+	Segments int   `json:"segments"`
+	Bytes    int64 `json:"bytes"`
+	Examples int   `json:"examples"`
+	// Families maps each workload family to its retained example count
+	// (the empty key counts untagged examples), read from the segment
+	// indexes — no corpus scan.
+	Families map[string]int `json:"families"`
+	// CacheHits/CacheMisses are lifetime decode-cache lookups;
+	// CacheBytes/CachedSegments the current footprint; CacheCapBytes the
+	// configured budget (0 = caching disabled).
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	CacheBytes     int64  `json:"cache_bytes"`
+	CacheCapBytes  int64  `json:"cache_cap_bytes"`
+	CachedSegments int    `json:"cached_segments"`
+}
+
 // Learning is the continuous-learning subsystem: an on-disk corpus of
 // examples harvested from finished queries, a background retrainer, and a
 // versioned selector registry with atomic hot-swap. Attach it to queries
@@ -206,6 +242,8 @@ func OpenLearning(cfg LearningConfig) (*Learning, error) {
 	store, err := feedback.OpenStore(cfg.Dir, feedback.StoreOptions{
 		MaxSegmentBytes: cfg.MaxSegmentBytes,
 		MaxExamples:     cfg.MaxExamples,
+		CacheBytes:      cfg.CorpusCacheBytes,
+		ScanWorkers:     cfg.ScanWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -259,6 +297,7 @@ func OpenLearning(cfg LearningConfig) (*Learning, error) {
 		},
 		FamilyModels:      cfg.FamilyModels,
 		MinFamilyExamples: cfg.MinFamilyExamples,
+		TrainWorkers:      cfg.TrainWorkers,
 		Persist:           models,
 		Drift:             drift,
 		DriftRetrain:      !cfg.DisableDriftRetrain,
@@ -282,6 +321,13 @@ func (l *Learning) CorpusSize() int { return l.store.Len() }
 // HarvestStats returns the harvesting counters.
 func (l *Learning) HarvestStats() HarvestStats {
 	return HarvestStats(l.harv.Stats())
+}
+
+// CorpusStats reports the corpus shape (segments, bytes, per-family
+// example counts) and the decode cache's hit/miss counters. Cheap: it
+// reads the in-memory segment indexes, never the disk.
+func (l *Learning) CorpusStats() CorpusStats {
+	return CorpusStats(l.store.Stats())
 }
 
 // Retrain synchronously trains new selector versions on the accumulated

@@ -394,6 +394,9 @@ type modelsResponse struct {
 	Families map[string]int `json:"families"`
 	// CorpusSize is the number of harvested examples retained on disk.
 	CorpusSize int `json:"corpus_size"`
+	// Corpus is the corpus shape — segment count, on-disk bytes,
+	// per-family example counts — plus the decode cache's counters.
+	Corpus CorpusStats `json:"corpus"`
 	// Harvest are the lifetime harvesting counters.
 	Harvest HarvestStats `json:"harvest"`
 	// Versions is the publication history, oldest first, including
@@ -437,6 +440,7 @@ func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 	resp := modelsResponse{
 		Families:   l.FamilyVersions(),
 		CorpusSize: l.CorpusSize(),
+		Corpus:     l.CorpusStats(),
 		Harvest:    l.HarvestStats(),
 		Versions:   l.Versions(),
 		Drift:      l.DriftStatus(),
