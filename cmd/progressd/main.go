@@ -70,6 +70,8 @@
 //	          [-learn corpus/] [-retrain-after N] [-retrain-every D]
 //	          [-gate-tolerance F] [-no-gate]
 //	          [-drift-ratio F] [-drift-window N] [-no-drift-retrain]
+//	          [-family-quota N] [-compact-interval D]
+//	          [-canary-window N] [-canary-max-age D] [-drift-reject-limit N]
 //	          [-scan-workers N] [-train-workers N] [-corpus-cache-mb N]
 //	          [-pprof addr]
 //
@@ -99,6 +101,23 @@
 // active tail and drift retrains read only the drifted family's records;
 // -scan-workers and -train-workers bound the corpus-read and per-family
 // fitting parallelism (results are bit-identical to sequential runs).
+//
+// -family-quota protects sparse workload families from burst traffic:
+// retention and compaction keep at least N examples of every tagged
+// family on disk, and a background compactor (every -compact-interval)
+// rewrites sealed segments, downsampling the largest (family, plan
+// signature) groups first, so one hot family's flood cannot evict the
+// examples a rarer family's drift retrain will need.
+//
+// -canary-window gates hot-swaps on live evidence: a background-retrained
+// model that passes the holdout gate first shadow-scores on N live
+// queries against the serving champion and only swaps in if its observed
+// error holds up (pending challengers are visible in GET /models as
+// "canaries"; -canary-max-age bounds the wait). -drift-reject-limit is
+// the auto-rollback breaker: after N consecutive rejected drift retrains
+// of a still-drifting target, the serving version itself is rolled back
+// (or the family pinned to the global model), exactly as POST
+// /models/rollback would.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops accepting
 // connections, fails queued admissions instead of stranding them, drains
@@ -152,6 +171,11 @@ func main() {
 	driftRatio := flag.Float64("drift-ratio", 1.5, "drift monitor: a target drifts once its observed serving L1 exceeds baseline*ratio + 0.01")
 	driftWindow := flag.Int("drift-window", 256, "drift monitor: observed errors kept per routing target")
 	noDriftRetrain := flag.Bool("no-drift-retrain", false, "track drift but never auto-retrain on it (operator decides)")
+	familyQuota := flag.Int("family-quota", 0, "per-family corpus retention floor: keep at least N examples of every tagged family through retention and compaction (0 = off)")
+	compactInterval := flag.Duration("compact-interval", 30*time.Second, "how often the corpus compactor downsamples over-represented (family, signature) groups (needs -family-quota; 0 disables)")
+	canaryWindow := flag.Int("canary-window", 0, "champion/challenger confirmation: shadow-score retrained models on N live queries before hot-swap (0 = swap immediately)")
+	canaryMaxAge := flag.Duration("canary-max-age", 5*time.Minute, "reject a challenger that cannot fill its confirmation window within this long")
+	driftRejectLimit := flag.Int("drift-reject-limit", 3, "auto-rollback after N consecutive rejected drift retrains of a still-drifting target (0 = off)")
 	trees := flag.Int("trees", 200, "MART boosting iterations for retrained models")
 	scanWorkers := flag.Int("scan-workers", 0, "concurrent corpus-segment reads per retrain (0 = GOMAXPROCS capped at 8, 1 = sequential)")
 	trainWorkers := flag.Int("train-workers", 0, "concurrent per-family model fits per retrain (0 = GOMAXPROCS capped at 8, 1 = sequential)")
@@ -213,6 +237,17 @@ func main() {
 		if cacheBytes <= 0 {
 			cacheBytes = -1
 		}
+		// Same convention for -compact-interval 0 (no compactor) and
+		// -drift-reject-limit 0 (no auto-rollback breaker): explicit zero
+		// means OFF, which the config encodes as negative.
+		ci := *compactInterval
+		if ci <= 0 {
+			ci = -1
+		}
+		drl := *driftRejectLimit
+		if drl <= 0 {
+			drl = -1
+		}
 		learning, err = progressest.OpenLearning(progressest.LearningConfig{
 			Dir:                 *learn,
 			Selector:            progressest.SelectorConfig{Trees: *trees, Seed: *seed},
@@ -225,6 +260,11 @@ func main() {
 			DriftRatio:          *driftRatio,
 			DriftWindow:         *driftWindow,
 			DisableDriftRetrain: *noDriftRetrain,
+			FamilyQuota:         *familyQuota,
+			CompactInterval:     ci,
+			CanaryWindow:        *canaryWindow,
+			CanaryMaxAge:        *canaryMaxAge,
+			DriftRejectLimit:    drl,
 			CorpusCacheBytes:    cacheBytes,
 			ScanWorkers:         *scanWorkers,
 			TrainWorkers:        *trainWorkers,

@@ -639,7 +639,8 @@ func TestModelDirSyncSkipsUnchanged(t *testing.T) {
 		t.Fatal("unchanged selector file was rewritten")
 	}
 	// A new version commits under a fresh name (the manifest rename is
-	// the file-set's commit point) and the superseded file is collected.
+	// the file-set's commit point). The superseded file is NOT collected
+	// yet — it is now the target's persisted rollback history.
 	reg.Publish(sel, VersionMeta{Source: "manual"})
 	if err := md.Sync(reg); err != nil {
 		t.Fatal(err)
@@ -647,8 +648,23 @@ func TestModelDirSyncSkipsUnchanged(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(dir, "global-v2.json")); err != nil {
 		t.Fatalf("new version file missing: %v", err)
 	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("rollback-history selector file was collected: %v", err)
+	}
+	// Two more versions push v1 off the bounded history chain; only then
+	// is its file garbage-collected.
+	reg.Publish(sel, VersionMeta{Source: "manual"})
+	reg.Publish(sel, VersionMeta{Source: "manual"})
+	if err := md.Sync(reg); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := os.Stat(path); !os.IsNotExist(err) {
-		t.Fatal("superseded selector file was not garbage-collected")
+		t.Fatal("selector file beyond the history depth was not garbage-collected")
+	}
+	for _, keep := range []string{"global-v2.json", "global-v3.json", "global-v4.json"} {
+		if _, err := os.Stat(filepath.Join(dir, keep)); err != nil {
+			t.Fatalf("%s missing: %v", keep, err)
+		}
 	}
 }
 

@@ -35,16 +35,19 @@ type Harvester struct {
 	// drift, when non-nil, receives the observed serving errors of every
 	// harvested query that was served by a pinned model version.
 	drift *DriftTracker
+	// canary, when non-nil, shadow-scores pending challengers on the same
+	// harvested examples (champion/challenger confirmation, see canary.go).
+	canary *Canary
 
 	mu      sync.Mutex
 	stats   HarvestStats
 	lastErr error
 }
 
-// NewHarvester wires a harvester to its corpus store. drift may be nil
-// (no observed-error tracking).
-func NewHarvester(store *ExampleStore, minObs int, drift *DriftTracker) *Harvester {
-	return &Harvester{store: store, minObs: minObs, drift: drift}
+// NewHarvester wires a harvester to its corpus store. drift and canary
+// may be nil (no observed-error tracking / no canary confirmation).
+func NewHarvester(store *ExampleStore, minObs int, drift *DriftTracker, canary *Canary) *Harvester {
+	return &Harvester{store: store, minObs: minObs, drift: drift, canary: canary}
 }
 
 // HarvestTrace labels one finished trace and appends its examples to the
@@ -78,12 +81,17 @@ func (h *Harvester) harvestServed(tr *exec.Trace, workloadName, family string, q
 	// partial failure that is the prefix): a verdict built from evidence
 	// the corpus never stored would trigger retrains on a corpus that
 	// lacks the very traffic that drifted.
-	if h.drift != nil && served != nil && served.Selector != nil && n > 0 {
+	if served != nil && served.Selector != nil && n > 0 && (h.drift != nil || h.canary.enabled()) {
 		obs := make([]float64, n)
 		for i := 0; i < n; i++ {
 			obs[i] = exs[i].ErrL1[served.Selector.Select(exs[i].Features)]
 		}
-		h.drift.Record(*served, obs)
+		if h.drift != nil {
+			h.drift.Record(*served, obs)
+		}
+		// The challenger replays exactly the queries the champion served —
+		// obs already holds the champion's per-example error.
+		h.canary.Observe(served.Target, served.Version, exs[:n], obs)
 	}
 	return n, err
 }

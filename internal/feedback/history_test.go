@@ -1,0 +1,109 @@
+package feedback
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestModelDirPersistsVersionHistory: the manifest carries up to
+// maxPersistHistory earlier versions per routing target, and a restored
+// registry can Rollback without ever having trained — the operator
+// escape hatch survives a restart.
+func TestModelDirPersistsVersionHistory(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(filepath.Join(dir, "corpus"), StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	md, err := OpenModelDir(filepath.Join(dir, "models"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	ret := NewRetrainer(store, reg, RetrainerConfig{
+		Selection: fastConfig(),
+		Gate:      QualityGate{Disabled: true},
+		Persist:   md,
+	})
+	if _, err := store.AppendAll(trainable(40, 0)); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := ret.Retrain("manual")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grow the corpus so v2 is distinguishable by CorpusSize after the
+	// restore renumbers version IDs.
+	if _, err := store.AppendAll(trainable(20, 100)); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := ret.Retrain("manual")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Meta.CorpusSize == v2.Meta.CorpusSize {
+		t.Fatal("test needs distinguishable versions")
+	}
+
+	// The manifest on disk records the earlier version as history.
+	raw, err := os.ReadFile(filepath.Join(dir, "models", "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Targets []struct {
+			Family  string `json:"family"`
+			History []struct {
+				CorpusSize int `json:"corpus_size"`
+			} `json:"history"`
+		} `json:"targets"`
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Targets) != 1 || m.Targets[0].Family != "" {
+		t.Fatalf("manifest targets = %+v, want the global target only", m.Targets)
+	}
+	hist := m.Targets[0].History
+	if len(hist) != 1 || hist[0].CorpusSize != v1.Meta.CorpusSize {
+		t.Fatalf("manifest history = %+v, want one entry with corpus size %d", hist, v1.Meta.CorpusSize)
+	}
+
+	// "Restart": a fresh registry restored from disk serves v2 and can
+	// still roll back to v1 — the history entries were republished.
+	md2, err := OpenModelDir(filepath.Join(dir, "models"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg2 := NewRegistry()
+	if _, err := md2.Restore(reg2); err != nil {
+		t.Fatal(err)
+	}
+	cur := reg2.Current()
+	if cur == nil || cur.Meta.CorpusSize != v2.Meta.CorpusSize || !cur.Meta.TrainedAt.Equal(v2.Meta.TrainedAt) {
+		t.Fatalf("restored current = %+v, want v2 (corpus %d)", cur, v2.Meta.CorpusSize)
+	}
+	back, err := reg2.Rollback("")
+	if err != nil {
+		t.Fatalf("rollback after restore: %v", err)
+	}
+	if back.Meta.CorpusSize != v1.Meta.CorpusSize || !back.Meta.TrainedAt.Equal(v1.Meta.TrainedAt) {
+		t.Fatalf("rolled back to %+v, want v1 (corpus %d)", back.Meta, v1.Meta.CorpusSize)
+	}
+
+	// Syncing the rolled-back state and restoring again serves v1: the
+	// rollback itself survives the next restart.
+	if err := md2.Sync(reg2); err != nil {
+		t.Fatal(err)
+	}
+	reg3 := NewRegistry()
+	if _, err := md2.Restore(reg3); err != nil {
+		t.Fatal(err)
+	}
+	if cur := reg3.Current(); cur == nil || cur.Meta.CorpusSize != v1.Meta.CorpusSize {
+		t.Fatalf("post-rollback restart serves %+v, want v1 (corpus %d)", cur, v1.Meta.CorpusSize)
+	}
+}

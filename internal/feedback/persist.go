@@ -16,8 +16,11 @@ import (
 
 // manifestFormat versions manifest.json; manifestName is its file name
 // inside the model directory.
+// Format history: v1 persisted only the serving version per target; v2
+// adds each target's bounded rollback history. v1 manifests still
+// restore (with empty histories).
 const (
-	manifestFormat = 1
+	manifestFormat = 2
 	manifestName   = "manifest.json"
 )
 
@@ -43,6 +46,23 @@ type manifestTarget struct {
 	HoldoutL1  float64   `json:"holdout_l1"`
 	HoldoutN   int       `json:"holdout_n"`
 	Source     string    `json:"source"`
+	// History is the target's rollback chain, nearest candidate first —
+	// the versions successive POST /models/rollback calls would serve,
+	// bounded at maxPersistHistory. Restoring them means rollback still
+	// has somewhere to go after a restart.
+	History []manifestVersion `json:"history,omitempty"`
+}
+
+// manifestVersion is one persisted non-serving version in a target's
+// rollback history.
+type manifestVersion struct {
+	File       string    `json:"file"`
+	ID         int       `json:"id"`
+	TrainedAt  time.Time `json:"trained_at"`
+	CorpusSize int       `json:"corpus_size"`
+	HoldoutL1  float64   `json:"holdout_l1"`
+	HoldoutN   int       `json:"holdout_n"`
+	Source     string    `json:"source"`
 }
 
 // ModelDir persists the serving selector versions next to the corpus so
@@ -56,26 +76,27 @@ type manifestTarget struct {
 // failure — between selector saves and the manifest rename leaves the old
 // manifest pointing at the old, untouched files, never at a file whose
 // contents changed underneath it. Files no longer referenced are
-// garbage-collected after a successful manifest write. Only the CURRENT
-// version per target is persisted; the in-memory history (and rollback
-// depth) restarts fresh.
+// garbage-collected after a successful manifest write. Each target
+// persists its serving version PLUS its rollback chain (bounded at
+// maxPersistHistory), so a restarted daemon can still roll back.
 type ModelDir struct {
 	dir string
 
 	mu sync.Mutex
-	// saved maps family → the version ID and file name on disk, so a Sync
-	// after a rollback (or an unchanged family) skips the multi-MB
+	// saved maps (family, version id) → the file name on disk, so a Sync
+	// after a rollback (or an unchanged target) skips the multi-MB
 	// selector rewrite and only refreshes the manifest — and so a synced
 	// restored version keeps pointing at the file it was loaded from.
-	saved map[string]savedModel
+	// Entries whose files the GC pass dropped are forgotten with them.
+	saved map[savedKey]string
 	// lastSync is the most recent Sync outcome (nil on success); while
 	// non-nil, the on-disk manifest may trail the live routing table.
 	lastSync error
 }
 
-type savedModel struct {
-	id   int
-	file string
+type savedKey struct {
+	family string
+	id     int
 }
 
 // OpenModelDir opens (or creates) the model directory.
@@ -83,16 +104,17 @@ func OpenModelDir(dir string) (*ModelDir, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("feedback: open model dir: %w", err)
 	}
-	return &ModelDir{dir: dir, saved: make(map[string]savedModel)}, nil
+	return &ModelDir{dir: dir, saved: make(map[savedKey]string)}, nil
 }
 
 // Dir returns the model directory path.
 func (d *ModelDir) Dir() string { return d.dir }
 
-// Sync persists the registry's current routing table: every routed
-// version's selector file (skipped when already on disk) plus the
-// manifest. Selector files of targets no longer routed are left behind
-// harmlessly — the manifest alone decides what Restore loads.
+// Sync persists the registry's current routing table and each target's
+// rollback chain: every referenced version's selector file (skipped when
+// already on disk) plus the manifest. Selector files of versions no
+// longer referenced are garbage-collected after the manifest commit —
+// the manifest alone decides what Restore loads.
 func (d *ModelDir) Sync(reg *Registry) (err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -101,9 +123,9 @@ func (d *ModelDir) Sync(reg *Registry) (err error) {
 	// (retrainer publish vs. operator rollback) then serialise in
 	// registry-mutation order, so the last manifest written always
 	// reflects the registry's latest state, never a stale preempted
-	// snapshot. RoutingState couples the table and the pins atomically —
-	// they must describe the same instant.
-	routed, pins := reg.RoutingState()
+	// snapshot. PersistState couples the table, the rollback chains and
+	// the pins atomically — they must describe the same instant.
+	routed, chains, pins := reg.PersistState(maxPersistHistory)
 	families := make([]string, 0, len(routed))
 	for f := range routed {
 		families = append(families, f)
@@ -112,24 +134,36 @@ func (d *ModelDir) Sync(reg *Registry) (err error) {
 	m := manifest{Format: manifestFormat, SavedAt: time.Now(), Pinned: pins}
 	for _, f := range families {
 		v := routed[f]
-		sm, ok := d.saved[f]
-		if !ok || sm.id != v.ID {
-			sm = savedModel{id: v.ID, file: targetFile(f, v.ID)}
-			if err := v.Selector.Save(filepath.Join(d.dir, sm.file)); err != nil {
-				return fmt.Errorf("feedback: persist model for %q: %w", f, err)
-			}
-			d.saved[f] = sm
+		file, err := d.ensureSavedLocked(f, v)
+		if err != nil {
+			return err
 		}
-		m.Targets = append(m.Targets, manifestTarget{
+		t := manifestTarget{
 			Family:     f,
-			File:       sm.file,
+			File:       file,
 			ID:         v.ID,
 			TrainedAt:  v.Meta.TrainedAt,
 			CorpusSize: v.Meta.CorpusSize,
 			HoldoutL1:  v.Meta.HoldoutL1,
 			HoldoutN:   v.Meta.HoldoutN,
 			Source:     v.Meta.Source,
-		})
+		}
+		for _, h := range chains[f] {
+			hf, err := d.ensureSavedLocked(f, h)
+			if err != nil {
+				return err
+			}
+			t.History = append(t.History, manifestVersion{
+				File:       hf,
+				ID:         h.ID,
+				TrainedAt:  h.Meta.TrainedAt,
+				CorpusSize: h.Meta.CorpusSize,
+				HoldoutL1:  h.Meta.HoldoutL1,
+				HoldoutN:   h.Meta.HoldoutN,
+				Source:     h.Meta.Source,
+			})
+		}
+		m.Targets = append(m.Targets, t)
 	}
 	if err := d.writeManifestLocked(&m); err != nil {
 		return err
@@ -138,15 +172,34 @@ func (d *ModelDir) Sync(reg *Registry) (err error) {
 	return nil
 }
 
+// ensureSavedLocked makes sure the version's selector file exists on
+// disk and returns its name. Versions already written (or restored) are
+// not rewritten.
+func (d *ModelDir) ensureSavedLocked(family string, v *Version) (string, error) {
+	k := savedKey{family: family, id: v.ID}
+	if file, ok := d.saved[k]; ok {
+		return file, nil
+	}
+	file := targetFile(family, v.ID)
+	if err := v.Selector.Save(filepath.Join(d.dir, file)); err != nil {
+		return "", fmt.Errorf("feedback: persist model for %q: %w", family, err)
+	}
+	d.saved[k] = file
+	return file, nil
+}
+
 // collectGarbageLocked removes selector files the committed manifest no
 // longer references — leftovers of superseded versions or of writes whose
 // manifest commit never happened. Only files matching this package's
 // naming scheme are touched; removal failures are ignored (an orphan
 // costs disk, not correctness, and the next Sync retries).
 func (d *ModelDir) collectGarbageLocked(m *manifest) {
-	referenced := make(map[string]bool, len(m.Targets))
+	referenced := make(map[string]bool, 2*len(m.Targets))
 	for _, t := range m.Targets {
 		referenced[t.File] = true
+		for _, h := range t.History {
+			referenced[h.File] = true
+		}
 	}
 	entries, err := os.ReadDir(d.dir)
 	if err != nil {
@@ -161,6 +214,14 @@ func (d *ModelDir) collectGarbageLocked(m *manifest) {
 			continue // not ours (e.g. the manifest, or an operator's file)
 		}
 		os.Remove(filepath.Join(d.dir, name))
+	}
+	// Forget saved entries for files the manifest dropped — they may be
+	// deleted now, and without this the map grows one entry per version
+	// ever persisted.
+	for k, file := range d.saved {
+		if !referenced[file] {
+			delete(d.saved, k)
+		}
 	}
 }
 
@@ -217,6 +278,28 @@ func (d *ModelDir) Restore(reg *Registry) (int, error) {
 	sort.Slice(targets, func(i, j int) bool { return targets[i].Family < targets[j].Family })
 	restored := 0
 	for _, t := range targets {
+		// Rollback history first, deepest first, so the registry's version
+		// order reproduces the chain: each restored history version is an
+		// earlier accepted same-family version of the one published after
+		// it — exactly what rollbackCandidateLocked walks. History is
+		// best-effort: an unreadable entry only shortens the chain, it
+		// must not block restoring the serving model.
+		for i := len(t.History) - 1; i >= 0; i-- {
+			h := t.History[i]
+			sel, err := selection.Load(filepath.Join(d.dir, h.File))
+			if err != nil {
+				continue
+			}
+			v := reg.Publish(sel, VersionMeta{
+				TrainedAt:  h.TrainedAt,
+				CorpusSize: h.CorpusSize,
+				HoldoutL1:  h.HoldoutL1,
+				HoldoutN:   h.HoldoutN,
+				Source:     "restored",
+				Family:     t.Family,
+			})
+			d.saved[savedKey{family: t.Family, id: v.ID}] = h.File
+		}
 		sel, err := selection.Load(filepath.Join(d.dir, t.File))
 		if err != nil {
 			return restored, fmt.Errorf("feedback: restore model for %q: %w", t.Family, err)
@@ -229,11 +312,11 @@ func (d *ModelDir) Restore(reg *Registry) (int, error) {
 			Source:     "restored",
 			Family:     t.Family,
 		})
-		// Remember the file the version came from: the registry assigned
+		// Remember the file each version came from: the registry assigned
 		// it a fresh ID, and a later Sync must keep the manifest pointing
 		// at this existing file rather than inventing a name that was
 		// never written.
-		d.saved[t.Family] = savedModel{id: v.ID, file: t.File}
+		d.saved[savedKey{family: t.Family, id: v.ID}] = t.File
 		restored++
 	}
 	for _, f := range m.Pinned {

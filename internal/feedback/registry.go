@@ -17,6 +17,10 @@ const (
 	// DecisionRejected marks a trained version the quality gate refused to
 	// serve; it stays in the history for operator inspection only.
 	DecisionRejected = "rejected"
+	// DecisionCanary marks a gate-accepted candidate that entered
+	// champion/challenger confirmation instead of hot-swapping; the final
+	// verdict lands as a later "canary"-triggered decision (see canary.go).
+	DecisionCanary = "canary"
 )
 
 // VersionMeta describes how a selector version came to be.
@@ -74,8 +78,11 @@ type Registry struct {
 	// last version, deleting the route: the background retrainer must not
 	// quietly re-publish a model for them (it would be trained on largely
 	// the same corpus the operator just rejected). A Publish for the
-	// family — e.g. from a manual retrain — clears the pin.
+	// family — e.g. from a manual retrain — clears the pin. pinOrder
+	// remembers pin insertion order so the set stays bounded (see
+	// maxFallbackPins) on a long-lived daemon that pins many families.
 	pinnedToGlobal map[string]bool
+	pinOrder       []string
 	nextID         int
 }
 
@@ -89,6 +96,19 @@ func NewRegistry() *Registry {
 		pinnedToGlobal: make(map[string]bool),
 	}
 }
+
+// maxPersistHistory is how deep a rollback chain each routing target
+// persists (and pruning protects): the serving version plus this many
+// earlier rollback candidates survive both version pruning and a daemon
+// restart, so POST /models/rollback keeps working after either.
+const maxPersistHistory = 2
+
+// maxFallbackPins bounds the pinned-to-global set: pins beyond it are
+// forgotten oldest-first. A forgotten pin only means the background
+// retrainer may train that family again — acceptable for pins hundreds
+// of rollbacks old, and the bound keeps the bookkeeping from leaking on
+// a long-lived daemon.
+const maxFallbackPins = 256
 
 // maxVersions bounds the retained publication history: a daemon
 // retraining every minute for weeks must not pin thousands of multi-MB
@@ -153,11 +173,17 @@ func (r *Registry) pruneLocked() {
 	for _, v := range routed {
 		protected[v.ID] = true
 	}
-	// Protect each target's rollback candidate — the exact version
-	// Rollback would move to.
+	// Protect each target's rollback chain to the persisted depth — the
+	// exact versions successive Rollbacks would move to, which are also
+	// what Sync writes into the manifest's history.
 	for family, cur := range routed {
-		if v := r.rollbackCandidateLocked(family, cur); v != nil {
+		for d := 0; d < maxPersistHistory; d++ {
+			v := r.rollbackCandidateLocked(family, cur)
+			if v == nil {
+				break
+			}
 			protected[v.ID] = true
+			cur = v
 		}
 	}
 	// Two passes: gate-rejected versions go first, then the oldest
@@ -177,6 +203,21 @@ func (r *Registry) pruneLocked() {
 			}
 			delete(r.rolledBack, r.versions[drop].ID)
 			r.versions = append(r.versions[:drop], r.versions[drop+1:]...)
+		}
+	}
+	// Defensive sweep: rollback marks must only reference live versions.
+	// The per-drop delete above keeps this true already, but the invariant
+	// is cheap to enforce and a leak here would grow for the life of the
+	// daemon.
+	if len(r.rolledBack) > len(r.versions) {
+		live := make(map[int]bool, len(r.versions))
+		for _, v := range r.versions {
+			live[v.ID] = true
+		}
+		for id := range r.rolledBack {
+			if !live[id] {
+				delete(r.rolledBack, id)
+			}
 		}
 	}
 }
@@ -217,6 +258,12 @@ func (r *Registry) IsCurrent(v *Version) bool {
 // to.
 var ErrNoRollback = errors.New("feedback: no earlier selector version to roll back to")
 
+// ErrUnknownTarget is returned by Rollback for a family the registry has
+// never seen — no route, no pin, no version in the history. It separates
+// "nothing to roll back to" (a real target out of history, 409 material)
+// from a typo'd family name (404 material), so operators aren't misled.
+var ErrUnknownTarget = errors.New("feedback: unknown routing target")
+
 // Rollback atomically moves family's current pointer ("" = the global
 // model) to the newest earlier accepted version of the same family that
 // was never itself rolled back. The serving version is marked bad, so
@@ -233,6 +280,9 @@ func (r *Registry) Rollback(family string) (*Version, error) {
 	defer r.mu.Unlock()
 	cur, ok := r.router.Get(family)
 	if !ok {
+		if family != "" && !r.knownFamilyLocked(family) {
+			return nil, ErrUnknownTarget
+		}
 		return nil, ErrNoRollback
 	}
 	if v := r.rollbackCandidateLocked(family, cur); v != nil {
@@ -244,11 +294,45 @@ func (r *Registry) Rollback(family string) (*Version, error) {
 		if global, ok := r.router.Get(""); ok {
 			r.rolledBack[cur.ID] = true
 			r.router.Delete(family)
-			r.pinnedToGlobal[family] = true
+			r.pinLocked(family)
 			return global, nil
 		}
 	}
 	return nil, ErrNoRollback
+}
+
+// knownFamilyLocked reports whether the registry has ever dealt with the
+// family: it is pinned to global, or some retained version (serving or
+// not) was trained for it.
+func (r *Registry) knownFamilyLocked(family string) bool {
+	if r.pinnedToGlobal[family] {
+		return true
+	}
+	for _, v := range r.versions {
+		if v.Meta.Family == family {
+			return true
+		}
+	}
+	return false
+}
+
+// pinLocked records a fallback pin, keeping the set bounded: the oldest
+// pins are forgotten past maxFallbackPins. Re-pinning a family refreshes
+// its position; stale order entries (families unpinned by a Publish) are
+// compacted away on the same pass.
+func (r *Registry) pinLocked(family string) {
+	r.pinnedToGlobal[family] = true
+	order := r.pinOrder[:0]
+	for _, f := range r.pinOrder {
+		if f != family && r.pinnedToGlobal[f] {
+			order = append(order, f)
+		}
+	}
+	r.pinOrder = append(order, family)
+	for len(r.pinOrder) > maxFallbackPins {
+		delete(r.pinnedToGlobal, r.pinOrder[0])
+		r.pinOrder = r.pinOrder[1:]
+	}
 }
 
 // rollbackCandidateLocked returns the version Rollback would move
@@ -283,27 +367,40 @@ func (r *Registry) FallbackPinned(family string) bool {
 	return r.pinnedToGlobal[family]
 }
 
-// RoutingState returns the exact routing table and the sorted fallback
-// pins as ONE snapshot under the registry lock — a persist must never
-// combine a pre-rollback routing table with post-rollback pins (the
-// restored family would end up both served by the rolled-back model and
-// pinned against retraining).
-func (r *Registry) RoutingState() (map[string]*Version, []string) {
+// RestoreFallbackPin re-applies a persisted fallback pin on restart.
+func (r *Registry) RestoreFallbackPin(family string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.pinLocked(family)
+}
+
+// PersistState returns, as one snapshot under the registry lock, the
+// routing table, each routed target's rollback chain (nearest candidate
+// first, up to depth versions), and the sorted fallback pins — everything
+// Sync writes to disk. The chain entries are exactly what successive
+// Rollback calls would serve, so a restart restores not just the serving
+// version but somewhere to roll back to.
+func (r *Registry) PersistState(depth int) (map[string]*Version, map[string][]*Version, []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	routed := r.router.Snapshot()
+	chains := make(map[string][]*Version, len(routed))
+	for f, cur := range routed {
+		for len(chains[f]) < depth {
+			v := r.rollbackCandidateLocked(f, cur)
+			if v == nil {
+				break
+			}
+			chains[f] = append(chains[f], v)
+			cur = v
+		}
+	}
 	pins := make([]string, 0, len(r.pinnedToGlobal))
 	for f := range r.pinnedToGlobal {
 		pins = append(pins, f)
 	}
 	sort.Strings(pins)
-	return r.router.Snapshot(), pins
-}
-
-// RestoreFallbackPin re-applies a persisted fallback pin on restart.
-func (r *Registry) RestoreFallbackPin(family string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.pinnedToGlobal[family] = true
+	return routed, chains, pins
 }
 
 // Versions returns the publication history, oldest first.

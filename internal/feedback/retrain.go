@@ -114,6 +114,19 @@ type RetrainerConfig struct {
 	// the operator.
 	Drift        *DriftTracker
 	DriftRetrain bool
+	// Canary, when non-nil with a positive Window, holds gate-accepted
+	// versions from background (non-manual) runs back for live
+	// confirmation before the hot-swap: the candidate shadow-scores on
+	// the traffic its champion serves and is promoted only if its live
+	// error stays within the gate tolerance of the champion's (see
+	// Canary). Manual retrains always swap immediately.
+	Canary *Canary
+	// DriftRejectLimit is how many consecutive rejected drift retrains a
+	// routing target gets before the retrainer concludes the corpus —
+	// not the model — went bad and auto-rolls the target back (a family
+	// with nowhere to roll back to is pinned to the global model). 0
+	// means the default 3; negative disables auto-rollback.
+	DriftRejectLimit int
 }
 
 // TrainDecision is one bounded-history entry of the retrainer's
@@ -122,8 +135,10 @@ type RetrainerConfig struct {
 type TrainDecision struct {
 	// At is the decision time.
 	At time.Time
-	// Trigger is what caused the run: "manual", "auto" (size/age policy)
-	// or "drift" (observed-vs-predicted monitor).
+	// Trigger is what caused the run: "manual", "auto" (size/age policy),
+	// "drift" (observed-vs-predicted monitor), "canary" (a challenger's
+	// live-traffic verdict) or "auto-rollback" (the consecutive-drift-
+	// rejection breaker firing).
 	Trigger string
 	// Family is the routing target trained ("" = the global model).
 	Family string
@@ -216,6 +231,12 @@ type Retrainer struct {
 	// decisions is the bounded ring of recent publication decisions,
 	// newest last (see TrainDecision).
 	decisions []TrainDecision
+	// driftRejects counts each target's CONSECUTIVE rejected drift
+	// retrains (immediate gate rejections and full-window canary
+	// rejections alike); an acceptance clears it, and reaching
+	// DriftRejectLimit trips the auto-rollback breaker. Under r.mu so
+	// GET /models/drift never waits behind a training run.
+	driftRejects map[string]int
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -241,12 +262,16 @@ func NewRetrainer(store *ExampleStore, reg *Registry, cfg RetrainerConfig) *Retr
 	if cfg.TrainWorkers < 1 {
 		cfg.TrainWorkers = 1
 	}
+	if cfg.DriftRejectLimit == 0 {
+		cfg.DriftRejectLimit = 3
+	}
 	return &Retrainer{
 		store:           store,
 		reg:             reg,
 		cfg:             cfg,
 		lastFamObserved: make(map[string]int),
 		lastDriftAt:     make(map[string]time.Time),
+		driftRejects:    make(map[string]int),
 		stop:            make(chan struct{}),
 		done:            make(chan struct{}),
 	}
@@ -256,7 +281,10 @@ func NewRetrainer(store *ExampleStore, reg *Registry, cfg RetrainerConfig) *Retr
 // synthetic seed) and publishes the results as new versions tagged with
 // source: one global version, plus — with FamilyModels — one per
 // sufficiently represented workload family. It returns the global
-// version; per-family versions are visible in the registry history.
+// version; per-family versions are visible in the registry history. With
+// canary confirmation enabled, a non-manual run whose global candidate
+// entered confirmation returns a nil version (the verdict lands later in
+// the decision ring).
 func (r *Retrainer) Retrain(source string) (*Version, error) {
 	r.trainMu.Lock()
 	defer r.trainMu.Unlock()
@@ -272,11 +300,16 @@ func (r *Retrainer) Retrain(source string) (*Version, error) {
 func (r *Retrainer) tick() {
 	due := r.due()
 	drifted := len(r.driftDue()) > 0
-	if !due && !drifted {
+	canaryDue := r.cfg.Canary.resolvable(time.Now())
+	if !due && !drifted && !canaryDue {
 		return
 	}
 	r.trainMu.Lock()
 	defer r.trainMu.Unlock()
+	// Resolve ripe challengers BEFORE this tick's training: a promoted
+	// challenger becomes the serving baseline the new candidates gate
+	// (and canary) against.
+	r.resolveCanariesLocked()
 	var shared []selection.Example
 	// Re-check the policy AFTER winning trainMu, so an auto tick queued
 	// behind a concurrent manual retrain does not immediately train again
@@ -530,6 +563,29 @@ func (r *Retrainer) publishFit(f *targetFit, source string, observedL1 float64) 
 			return v
 		}
 	}
+	// Canary divert: with confirmation enabled, a background candidate
+	// that PASSED the holdout gate against a serving same-target champion
+	// still does not hot-swap — it becomes a pending challenger that must
+	// confirm on live traffic first (see canary.go). Manual retrains
+	// bypass the divert (the operator asked for the swap and the returned
+	// version), as does a target's FIRST model: the global fallback is a
+	// different target, so there is no champion to shadow-score against —
+	// exactly the asymmetry the gate above already encodes.
+	if r.cfg.Canary.enabled() && source != "manual" {
+		if serving := r.reg.CurrentFor(f.family); serving != nil && serving.Meta.Family == f.family && serving.Selector != nil {
+			r.cfg.Canary.propose(f, meta, source, observedL1, serving.ID, time.Now())
+			r.appendDecision(TrainDecision{
+				At:         meta.TrainedAt,
+				Trigger:    source,
+				Family:     meta.Family,
+				Decision:   DecisionCanary,
+				HoldoutL1:  meta.HoldoutL1,
+				BaselineL1: meta.BaselineL1,
+				ObservedL1: observedL1,
+			})
+			return nil
+		}
+	}
 	v := r.reg.Publish(f.sel, meta)
 	r.recordDecision(v, source, observedL1)
 	return v
@@ -548,7 +604,7 @@ func (r *Retrainer) trainTarget(family string, observed, seed []selection.Exampl
 
 // recordDecision appends one entry to the bounded decision ring.
 func (r *Retrainer) recordDecision(v *Version, trigger string, observedL1 float64) {
-	d := TrainDecision{
+	r.appendDecision(TrainDecision{
 		At:         v.Meta.TrainedAt,
 		Trigger:    trigger,
 		Family:     v.Meta.Family,
@@ -557,7 +613,11 @@ func (r *Retrainer) recordDecision(v *Version, trigger string, observedL1 float6
 		HoldoutL1:  v.Meta.HoldoutL1,
 		BaselineL1: v.Meta.BaselineL1,
 		ObservedL1: observedL1,
-	}
+	})
+}
+
+// appendDecision pushes one entry onto the bounded decision ring.
+func (r *Retrainer) appendDecision(d TrainDecision) {
 	r.mu.Lock()
 	r.decisions = append(r.decisions, d)
 	if len(r.decisions) > maxDecisions {
@@ -716,8 +776,17 @@ func (r *Retrainer) retrainDriftedLocked(shared []selection.Example) {
 		if st.Target != "" {
 			r.lastFamObserved[st.Target] = len(obs)
 		}
-		if v.Meta.Decision == DecisionAccepted {
+		switch {
+		case v == nil:
+			// Diverted into canary confirmation (see publishFit); the
+			// reject streak moves only on the eventual live verdict.
+		case v.Meta.Decision == DecisionAccepted:
 			published = true
+			r.clearDriftRejects(st.Target)
+		case v.Meta.Decision == DecisionRejected:
+			if r.bumpDriftRejects(st.Target) {
+				published = r.autoRollbackLocked(st.Target, st.ObservedL1) || published
+			}
 		}
 		r.cfg.Drift.Reset(st.Target)
 	}
@@ -733,6 +802,164 @@ func (r *Retrainer) retrainDriftedLocked(shared []selection.Example) {
 		r.lastErr = errs
 		r.mu.Unlock()
 	}
+}
+
+// resolveCanariesLocked delivers verdicts on every ripe challenger
+// (confirmation window full, or expired waiting for traffic). Requires
+// trainMu: a promotion is a publication and must not interleave with a
+// concurrent training run's gate reads.
+func (r *Retrainer) resolveCanariesLocked() {
+	due := r.cfg.Canary.take(time.Now())
+	if len(due) == 0 {
+		return
+	}
+	published := false
+	for _, st := range due {
+		target := st.meta.Family
+		// The champion the challenger shadow-scored against must still be
+		// serving: a manual retrain, rollback or pin in the meantime makes
+		// the comparison moot — record the challenger as rejected (the
+		// history keeps it inspectable) and move on.
+		serving := r.reg.CurrentFor(target)
+		if serving == nil || serving.Meta.Family != target || serving.ID != st.champion {
+			v := r.reg.Record(st.fit.sel, st.meta)
+			r.recordDecision(v, "canary", st.observedL1)
+			continue
+		}
+		if st.n >= r.cfg.Canary.Window() {
+			champMean := st.champSum / float64(st.n)
+			chalMean := st.chalSum / float64(st.n)
+			// The live comparison supersedes the training-time baseline:
+			// record what the verdict was actually judged against.
+			st.meta.BaselineL1 = champMean
+			if chalMean <= champMean*(1+r.cfg.Gate.Tolerance)+gateAbsSlack {
+				v := r.reg.Publish(st.fit.sel, st.meta)
+				r.recordDecision(v, "canary", chalMean)
+				if st.source == "drift" {
+					r.clearDriftRejects(target)
+				}
+				published = true
+				continue
+			}
+			// Full window and live traffic disagreed with the holdout: a
+			// genuine quality rejection, so it counts against the drift
+			// breaker exactly like an immediate gate rejection.
+			v := r.reg.Record(st.fit.sel, st.meta)
+			r.recordDecision(v, "canary", chalMean)
+			if st.source == "drift" && r.bumpDriftRejects(target) {
+				published = r.autoRollbackLocked(target, st.observedL1) || published
+			}
+			continue
+		}
+		// Expired before the window filled: traffic dried up, so there is
+		// no quality judgement either way — rejected without moving the
+		// drift breaker.
+		v := r.reg.Record(st.fit.sel, st.meta)
+		r.recordDecision(v, "canary", st.observedL1)
+	}
+	if published && r.cfg.Persist != nil {
+		if err := r.cfg.Persist.Sync(r.reg); err != nil {
+			r.mu.Lock()
+			r.lastErr = err
+			r.mu.Unlock()
+		}
+	}
+}
+
+// autoRollbackLocked trips the drift breaker for one routing target:
+// DriftRejectLimit consecutive drift-triggered retrains produced nothing
+// the gate (or the canary) would accept, so the live corpus cannot
+// currently beat the serving model — yet that model keeps drifting. The
+// champion itself is the problem; retraining harder will not fix it.
+// Roll the target back to its previous accepted version (a family with
+// no earlier version of its own is pinned to the global fallback)
+// exactly as an operator rollback would, re-keying the drift window to
+// whatever now serves. Requires trainMu.
+func (r *Retrainer) autoRollbackLocked(target string, observedL1 float64) bool {
+	r.cfg.Canary.Drop(target)
+	rolledFrom := 0
+	if from := r.reg.CurrentFor(target); from != nil && from.Meta.Family == target {
+		rolledFrom = from.ID
+	}
+	v, err := r.reg.Rollback(target)
+	d := TrainDecision{
+		At:         time.Now(),
+		Trigger:    "auto-rollback",
+		Family:     target,
+		ObservedL1: observedL1,
+	}
+	switch {
+	case err != nil:
+		// Nothing to fall back to (a global model with no accepted
+		// predecessor). The breaker still resets — re-tripping it every
+		// K rejections would only spam the decision ring.
+		d.Decision = "rollback_unavailable"
+	case target != "" && r.reg.FallbackPinned(target):
+		d.Decision = "pinned_to_global"
+		d.Version = v.ID
+		d.HoldoutL1 = v.Meta.HoldoutL1
+	default:
+		d.Decision = "rolled_back"
+		d.Version = v.ID
+		d.HoldoutL1 = v.Meta.HoldoutL1
+	}
+	r.appendDecision(d)
+	if err != nil {
+		return false
+	}
+	// Re-key the drift window to the rolled-back-to model (mirrors the
+	// operator rollback path in Learning.rollback): the bound version
+	// moved backwards, which harvest-driven re-keying cannot express. A
+	// family pinned to global tombstones its window instead.
+	if r.cfg.Drift != nil {
+		if cur := r.reg.CurrentFor(target); cur != nil && cur.Meta.Family == target {
+			r.cfg.Drift.Rebind(target, ServedModel{
+				Target: target, Version: cur.ID, Selector: cur.Selector,
+				BaselineL1: cur.Meta.HoldoutL1, BaselineN: cur.Meta.HoldoutN,
+			}, rolledFrom)
+		} else {
+			r.cfg.Drift.Rebind(target, ServedModel{Target: target}, rolledFrom)
+		}
+	}
+	return true
+}
+
+// clearDriftRejects resets the target's consecutive-rejection streak
+// (an accepted drift retrain proves the corpus can still beat serving).
+func (r *Retrainer) clearDriftRejects(target string) {
+	r.mu.Lock()
+	delete(r.driftRejects, target)
+	r.mu.Unlock()
+}
+
+// bumpDriftRejects advances the target's consecutive gate-rejected
+// drift-retrain streak and reports whether the auto-rollback breaker
+// tripped (the streak resets when it does). A negative DriftRejectLimit
+// disables the breaker.
+func (r *Retrainer) bumpDriftRejects(target string) bool {
+	if r.cfg.DriftRejectLimit < 0 {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.driftRejects[target]++
+	if r.driftRejects[target] >= r.cfg.DriftRejectLimit {
+		delete(r.driftRejects, target)
+		return true
+	}
+	return false
+}
+
+// DriftRejects returns the per-target consecutive gate-rejected
+// drift-retrain streaks (targets at zero are omitted).
+func (r *Retrainer) DriftRejects() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int, len(r.driftRejects))
+	for k, n := range r.driftRejects {
+		out[k] = n
+	}
+	return out
 }
 
 // LastError returns the most recent training failure (nil after a fully

@@ -74,6 +74,15 @@ type StoreOptions struct {
 	// result is bit-identical to a sequential scan). 0 means GOMAXPROCS
 	// capped at 8; 1 forces the sequential path.
 	ScanWorkers int
+	// FamilyQuota protects each tagged family's newest examples from
+	// retention and compaction: while a family retains no more than this
+	// many examples, none of them may be dropped, no matter how far
+	// another family's burst pushes the corpus past MaxExamples. The
+	// quota outranks the cap — a corpus whose every example is
+	// quota-protected stays over MaxExamples rather than starve a family.
+	// Untagged ("") examples carry no quota. 0 or negative disables
+	// quotas, restoring whole-oldest-segment retention.
+	FamilyQuota int
 }
 
 // defaultCacheBytes is the decode-cache budget when CacheBytes is 0.
@@ -94,6 +103,9 @@ func (o StoreOptions) withDefaults() StoreOptions {
 	}
 	if o.ScanWorkers < 1 {
 		o.ScanWorkers = 1
+	}
+	if o.FamilyQuota < 0 {
+		o.FamilyQuota = 0
 	}
 	return o
 }
@@ -118,10 +130,43 @@ type segment struct {
 	offsets []int64
 	fams    []string
 	crc     uint32
+	// gen counts in-place rewrites of this segment (compaction). It
+	// qualifies the decode-cache key, so a reader that captured a view of
+	// the pre-compaction image can never install its decode under the key
+	// the post-compaction image lives at.
+	gen int
 }
 
 // sealed reports whether the segment stopped accepting appends.
 func (seg *segment) sealed() bool { return seg.idx != nil }
+
+// cacheKey returns the decode-cache key for the segment's CURRENT image.
+// Generation 0 (never compacted) keys by bare path.
+func (seg *segment) cacheKey() string {
+	if seg.gen == 0 {
+		return seg.path
+	}
+	return seg.path + "#" + fmt.Sprint(seg.gen)
+}
+
+// forEachFamilyCount calls fn with each family present in the segment and
+// its record count, whether the segment is sealed (sidecar) or the active
+// tail (incremental bookkeeping).
+func (seg *segment) forEachFamilyCount(fn func(family string, n int)) {
+	if seg.idx != nil {
+		for f, ords := range seg.idx.families {
+			fn(f, len(ords))
+		}
+		return
+	}
+	counts := make(map[string]int, 4)
+	for _, f := range seg.fams {
+		counts[f]++
+	}
+	for f, n := range counts {
+		fn(f, n)
+	}
+}
 
 // sealLocked freezes the active-tail bookkeeping into a sidecar index
 // and writes it next to the segment. The write is atomic but unsynced
@@ -161,6 +206,14 @@ type ExampleStore struct {
 	total    int
 	appended int // lifetime appends, monotonic: retention never lowers it
 	closed   bool
+	// famCounts tracks retained examples per family, maintained
+	// incrementally on append, retention delete and compaction — the
+	// quota checks and Stats read it instead of walking segment indexes.
+	famCounts map[string]int
+	// Compaction lifetime counters (under mu).
+	compactRuns    int
+	compactedSegs  int
+	compactDropped int
 }
 
 // OpenStore opens (or creates) the corpus directory, recovering from any
@@ -191,7 +244,7 @@ func OpenStore(dir string, opts StoreOptions) (*ExampleStore, error) {
 		}
 		files = append(files, segFile{name, idx})
 	}
-	s := &ExampleStore{dir: dir, opts: opts}
+	s := &ExampleStore{dir: dir, opts: opts, famCounts: make(map[string]int)}
 	if opts.CacheBytes > 0 {
 		s.cache = newDecodeCache(opts.CacheBytes)
 	}
@@ -207,6 +260,7 @@ func OpenStore(dir string, opts StoreOptions) (*ExampleStore, error) {
 		}
 		s.segments = append(s.segments, seg)
 		s.total += seg.count
+		seg.forEachFamilyCount(func(fam string, n int) { s.famCounts[fam] += n })
 	}
 	s.appended = s.total
 	switch tail := s.tail(); {
@@ -451,23 +505,58 @@ func (s *ExampleStore) tail() *segment {
 	return s.segments[len(s.segments)-1]
 }
 
-// enforceRetentionLocked deletes the oldest whole segments while the
-// corpus exceeds the example bound. The active segment always survives;
-// a negative bound disables retention.
+// enforceRetentionLocked deletes old whole segments while the corpus
+// exceeds the example bound, oldest first. The active segment always
+// survives; a negative bound disables retention. With family quotas on, a
+// segment whose deletion would push any tagged family below its quota is
+// SKIPPED rather than blocking retention outright — newer all-abundant
+// segments behind it are still deletable, and the compactor reclaims the
+// skipped segment's abundant records in place.
 func (s *ExampleStore) enforceRetentionLocked() {
 	if s.opts.MaxExamples < 0 {
 		return
 	}
-	for s.total > s.opts.MaxExamples && len(s.segments) > 1 {
-		old := s.segments[0]
-		os.Remove(old.path)
-		os.Remove(indexPath(old.path))
-		if s.cache != nil {
-			s.cache.remove(old.path)
+	for i := 0; s.total > s.opts.MaxExamples && i < len(s.segments)-1; {
+		old := s.segments[i]
+		if !s.deletableLocked(old) {
+			i++
+			continue
 		}
-		s.total -= old.count
-		s.segments = s.segments[1:]
+		s.dropSegmentLocked(i)
 	}
+}
+
+// deletableLocked reports whether dropping the whole segment keeps every
+// tagged family at or above its retention quota.
+func (s *ExampleStore) deletableLocked(seg *segment) bool {
+	quota := s.opts.FamilyQuota
+	if quota <= 0 {
+		return true
+	}
+	ok := true
+	seg.forEachFamilyCount(func(fam string, n int) {
+		if fam != "" && s.famCounts[fam]-n < quota {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// dropSegmentLocked removes segment i from disk and bookkeeping.
+func (s *ExampleStore) dropSegmentLocked(i int) {
+	old := s.segments[i]
+	os.Remove(old.path)
+	os.Remove(indexPath(old.path))
+	if s.cache != nil {
+		s.cache.remove(old.cacheKey())
+	}
+	s.total -= old.count
+	old.forEachFamilyCount(func(fam string, n int) {
+		if s.famCounts[fam] -= n; s.famCounts[fam] <= 0 {
+			delete(s.famCounts, fam)
+		}
+	})
+	s.segments = append(s.segments[:i], s.segments[i+1:]...)
 }
 
 // Append encodes and durably appends one example to the tail segment,
@@ -520,6 +609,7 @@ func (s *ExampleStore) AppendAll(exs []selection.Example) (int, error) {
 		tail.count++
 		s.total++
 		s.appended++
+		s.famCounts[exs[i].Family]++
 		if tail.bytes >= s.opts.MaxSegmentBytes {
 			if err := s.newSegmentLocked(tail.index + 1); err != nil {
 				return i + 1, err
@@ -559,7 +649,8 @@ func (s *ExampleStore) Segments() int {
 // immutable sidecar index; the active tail has idx nil.
 type segView struct {
 	path  string
-	limit int64 // good bytes at capture time; later appends are excluded
+	key   string // decode-cache key for the image this view captured
+	limit int64  // good bytes at capture time; later appends are excluded
 	count int
 	idx   *segIndex
 }
@@ -575,7 +666,7 @@ func (s *ExampleStore) captureViews() ([]segView, error) {
 	}
 	views := make([]segView, len(s.segments))
 	for i, seg := range s.segments {
-		views[i] = segView{path: seg.path, limit: seg.bytes, count: seg.count, idx: seg.idx}
+		views[i] = segView{path: seg.path, key: seg.cacheKey(), limit: seg.bytes, count: seg.count, idx: seg.idx}
 	}
 	return views, nil
 }
@@ -621,7 +712,7 @@ func (s *ExampleStore) forEachView(views []segView, fn func(int, segView) error)
 // segment deleted by retention after the capture yields nil, nil.
 func (s *ExampleStore) decodeView(v segView) ([]selection.Example, error) {
 	if v.idx != nil && s.cache != nil {
-		if exs, ok := s.cache.get(v.path); ok {
+		if exs, ok := s.cache.get(v.key); ok {
 			return exs, nil
 		}
 	}
@@ -643,7 +734,10 @@ func (s *ExampleStore) decodeView(v segView) ([]selection.Example, error) {
 		return nil, err
 	}
 	if v.idx != nil && s.cache != nil {
-		s.cache.put(v.path, exs, int64(len(data)))
+		// The key is generation-qualified: if compaction replaced the
+		// image after this view was captured, this put lands under the
+		// retired key and can never shadow the new image's decode.
+		s.cache.put(v.key, exs, int64(len(data)))
 	}
 	return exs, nil
 }
@@ -738,7 +832,7 @@ func (s *ExampleStore) decodeViewFamily(v segView, family string) ([]selection.E
 		return nil, nil // no I/O: the index proves the family is absent here
 	}
 	if s.cache != nil {
-		if all, ok := s.cache.get(v.path); ok && len(all) == len(v.idx.offsets) {
+		if all, ok := s.cache.get(v.key); ok && len(all) == len(v.idx.offsets) {
 			out := make([]selection.Example, 0, len(ords))
 			for _, o := range ords {
 				out = append(out, all[o])
@@ -806,24 +900,37 @@ type CorpusStats struct {
 	CacheBytes     int64
 	CacheCapBytes  int64
 	CachedSegments int
+	// FamilyQuota echoes the configured per-family retention floor (0 =
+	// quotas off); the compaction counters are lifetime totals:
+	// CompactionRuns successful CompactOnce passes, CompactedSegments
+	// segments rewritten or removed by them, CompactionDropped examples
+	// downsampled away.
+	FamilyQuota       int
+	CompactionRuns    int
+	CompactedSegments int
+	CompactionDropped int
 }
 
-// Stats reports the corpus shape and cache counters. O(segments ×
-// families) under the lock — nothing is read from disk.
+// Stats reports the corpus shape and cache counters. The lock is held
+// only to copy the incrementally-maintained counters — O(families), never
+// O(segments × families) — so a huge corpus can't stall appends behind a
+// health probe.
 func (s *ExampleStore) Stats() CorpusStats {
 	s.mu.Lock()
-	st := CorpusStats{Segments: len(s.segments), Examples: s.total, Families: make(map[string]int)}
+	st := CorpusStats{
+		Segments:          len(s.segments),
+		Examples:          s.total,
+		Families:          make(map[string]int, len(s.famCounts)),
+		FamilyQuota:       s.opts.FamilyQuota,
+		CompactionRuns:    s.compactRuns,
+		CompactedSegments: s.compactedSegs,
+		CompactionDropped: s.compactDropped,
+	}
+	for f, n := range s.famCounts {
+		st.Families[f] = n
+	}
 	for _, seg := range s.segments {
 		st.Bytes += seg.bytes
-		if seg.idx != nil {
-			for f, ords := range seg.idx.families {
-				st.Families[f] += len(ords)
-			}
-		} else {
-			for _, f := range seg.fams {
-				st.Families[f]++
-			}
-		}
 	}
 	s.mu.Unlock()
 	if s.cache != nil {

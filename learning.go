@@ -47,6 +47,21 @@ type LearningConfig struct {
 	// 4 MiB per segment, 100000 examples; oldest segments are dropped).
 	MaxSegmentBytes int64
 	MaxExamples     int
+	// FamilyQuota is a per-family retention floor: when retention or
+	// compaction must shed examples, every tagged workload family keeps at
+	// least this many of its newest examples on disk (quota outranks
+	// MaxExamples — a corpus where every example is quota-protected stops
+	// shrinking). 0 disables quotas; untagged examples are never
+	// protected. With a quota set, a background compactor additionally
+	// rewrites sealed segments in place of whole-segment drops,
+	// downsampling the largest (family, plan-signature) groups first so a
+	// burst family's bulk is shed while sparse families survive intact.
+	FamilyQuota int
+	// CompactInterval is how often the background compactor looks for
+	// over-cap segments to rewrite (default 30s; negative disables the
+	// compactor, leaving whole-segment retention only). It only runs when
+	// FamilyQuota > 0 and the background loop is enabled.
+	CompactInterval time.Duration
 	// CorpusCacheBytes bounds the sealed-segment decode cache: immutable
 	// corpus segments keep their decoded examples in memory (LRU by
 	// on-disk bytes), so a warm retrain re-decodes only the active tail.
@@ -101,6 +116,25 @@ type LearningConfig struct {
 	// operator decides. By default a drifted target is retrained on its
 	// own, with trigger "drift", leaving healthy targets' models alone.
 	DisableDriftRetrain bool
+	// CanaryWindow enables champion/challenger serving: a gate-accepted
+	// version from a background retrain shadow-scores on CanaryWindow live
+	// harvested pipelines before it may hot-swap, and is rejected when its
+	// live error exceeds the champion's by more than the quality gate's
+	// tolerance. 0 (the default) disables confirmation — accepted versions
+	// hot-swap immediately. Manual retrains always bypass the canary.
+	CanaryWindow int
+	// CanaryMaxAge bounds how long a challenger may wait for its window
+	// before being rejected for lack of traffic (default 5 minutes).
+	CanaryMaxAge time.Duration
+	// DriftRejectLimit is the auto-rollback breaker: after this many
+	// CONSECUTIVE drift-triggered retrains of one target were rejected (by
+	// the quality gate or by canary confirmation) while the target kept
+	// drifting, the serving version itself is judged bad and the target is
+	// rolled back to its previous accepted version (a family with no
+	// earlier version is pinned to the global fallback), exactly as POST
+	// /models/rollback would. 0 means the default, 3; negative disables
+	// the breaker.
+	DriftRejectLimit int
 }
 
 // ModelVersion is the wire-friendly description of one published selector
@@ -161,9 +195,38 @@ type DriftStatus struct {
 	// LastTrigger and LastDecision are the most recent retrain
 	// provenance for this target from the decision history ("" before any
 	// decision): what fired the last training run ("manual", "auto",
-	// "drift") and how the quality gate ruled.
+	// "drift", "canary", "auto-rollback") and how the quality gate ruled.
 	LastTrigger  string `json:"last_trigger,omitempty"`
 	LastDecision string `json:"last_decision,omitempty"`
+	// RejectStreak counts consecutive gate-rejected drift retrains of this
+	// target; at LearningConfig.DriftRejectLimit the auto-rollback breaker
+	// trips and the streak resets.
+	RejectStreak int `json:"reject_streak,omitempty"`
+}
+
+// CanaryStatus is one pending challenger in champion/challenger
+// confirmation, surfaced in GET /models as "canaries".
+type CanaryStatus struct {
+	// Family is the routing target ("" = the global model).
+	Family string `json:"family"`
+	// Source is the trigger of the training run that produced the
+	// challenger ("auto" or "drift").
+	Source string `json:"source"`
+	// Champion is the serving version id the challenger shadow-scores
+	// against.
+	Champion int `json:"champion"`
+	// ProposedAt is when confirmation began; ExpiresAt when the challenger
+	// is rejected for lack of traffic.
+	ProposedAt time.Time `json:"proposed_at"`
+	ExpiresAt  time.Time `json:"expires_at"`
+	// Samples of Window live observations are in; ChampionL1/ChallengerL1
+	// are the running mean L1 errors on exactly those queries.
+	Samples      int     `json:"samples"`
+	Window       int     `json:"window"`
+	ChampionL1   float64 `json:"champion_l1"`
+	ChallengerL1 float64 `json:"challenger_l1"`
+	// HoldoutL1 is the challenger's training-time holdout error.
+	HoldoutL1 float64 `json:"holdout_l1"`
 }
 
 // RetrainDecision is one entry of the retrainer's bounded decision
@@ -216,6 +279,13 @@ type CorpusStats struct {
 	CacheBytes     int64  `json:"cache_bytes"`
 	CacheCapBytes  int64  `json:"cache_cap_bytes"`
 	CachedSegments int    `json:"cached_segments"`
+	// FamilyQuota is the per-family retention floor (0 = off); the
+	// compaction counters are lifetime totals for the signature-aware
+	// compactor.
+	FamilyQuota       int `json:"family_quota,omitempty"`
+	CompactionRuns    int `json:"compaction_runs,omitempty"`
+	CompactedSegments int `json:"compacted_segments,omitempty"`
+	CompactionDropped int `json:"compaction_dropped,omitempty"`
 }
 
 // Learning is the continuous-learning subsystem: an on-disk corpus of
@@ -225,12 +295,14 @@ type CorpusStats struct {
 // from the current version) and to the HTTP daemon via NewServer, which
 // then exposes /models, /models/retrain and /models/rollback.
 type Learning struct {
-	store  *feedback.ExampleStore
-	harv   *feedback.Harvester
-	reg    *feedback.Registry
-	ret    *feedback.Retrainer
-	drift  *feedback.DriftTracker
-	models *feedback.ModelDir // nil when persistence is disabled
+	store     *feedback.ExampleStore
+	harv      *feedback.Harvester
+	reg       *feedback.Registry
+	ret       *feedback.Retrainer
+	drift     *feedback.DriftTracker
+	canary    *feedback.Canary    // nil when canary confirmation is disabled
+	compactor *feedback.Compactor // nil when the background compactor is off
+	models    *feedback.ModelDir  // nil when persistence is disabled
 }
 
 // OpenLearning opens (or creates) the corpus directory and starts the
@@ -242,6 +314,7 @@ func OpenLearning(cfg LearningConfig) (*Learning, error) {
 	store, err := feedback.OpenStore(cfg.Dir, feedback.StoreOptions{
 		MaxSegmentBytes: cfg.MaxSegmentBytes,
 		MaxExamples:     cfg.MaxExamples,
+		FamilyQuota:     cfg.FamilyQuota,
 		CacheBytes:      cfg.CorpusCacheBytes,
 		ScanWorkers:     cfg.ScanWorkers,
 	})
@@ -283,6 +356,13 @@ func OpenLearning(cfg LearningConfig) (*Learning, error) {
 		Ratio:      cfg.DriftRatio,
 		AbsSlack:   cfg.DriftAbsSlack,
 	})
+	var canary *feedback.Canary
+	if cfg.CanaryWindow > 0 {
+		canary = feedback.NewCanary(feedback.CanaryConfig{
+			Window: cfg.CanaryWindow,
+			MaxAge: cfg.CanaryMaxAge,
+		})
+	}
 	ret := feedback.NewRetrainer(store, reg, feedback.RetrainerConfig{
 		Selection: selectionConfig(cfg.Selector),
 		Seed:      seed,
@@ -301,17 +381,26 @@ func OpenLearning(cfg LearningConfig) (*Learning, error) {
 		Persist:           models,
 		Drift:             drift,
 		DriftRetrain:      !cfg.DisableDriftRetrain,
+		Canary:            canary,
+		DriftRejectLimit:  cfg.DriftRejectLimit,
 	})
+	var compactor *feedback.Compactor
 	if !cfg.DisableBackground {
 		ret.Start()
+		if cfg.FamilyQuota > 0 && cfg.CompactInterval >= 0 {
+			compactor = feedback.NewCompactor(store, cfg.CompactInterval)
+			compactor.Start()
+		}
 	}
 	return &Learning{
-		store:  store,
-		harv:   feedback.NewHarvester(store, cfg.MinObservations, drift),
-		reg:    reg,
-		ret:    ret,
-		drift:  drift,
-		models: models,
+		store:     store,
+		harv:      feedback.NewHarvester(store, cfg.MinObservations, drift, canary),
+		reg:       reg,
+		ret:       ret,
+		drift:     drift,
+		canary:    canary,
+		compactor: compactor,
+		models:    models,
 	}, nil
 }
 
@@ -369,6 +458,9 @@ func (l *Learning) rollback(family string) (ModelVersion, error) {
 	if err != nil {
 		return ModelVersion{}, err
 	}
+	// An operator moving off this model line moots any pending challenger
+	// for the target — it was shadow-scoring against the rolled-off model.
+	l.canary.Drop(family)
 	// Re-key the target's drift window to what now serves it. The bound
 	// version moved BACKWARDS, which harvest-driven re-keying alone
 	// cannot express (a lower id normally means a late harvest to drop);
@@ -450,22 +542,24 @@ func (l *Learning) LastTrainingError() error { return l.ret.LastError() }
 func (l *Learning) DriftStatus() []DriftStatus {
 	states := l.drift.Statuses()
 	decisions := l.ret.Decisions()
+	rejects := l.ret.DriftRejects()
 	cfg := l.drift.Config()
 	out := make([]DriftStatus, len(states))
 	for i, st := range states {
 		out[i] = DriftStatus{
-			Family:      st.Target,
-			Version:     st.Version,
-			BaselineL1:  st.BaselineL1,
-			BaselineN:   st.BaselineN,
-			ObservedL1:  st.ObservedL1,
-			ObservedP90: st.ObservedP90,
-			Samples:     st.Samples,
-			Window:      cfg.Window,
-			MinSamples:  cfg.MinSamples,
-			Ratio:       cfg.Ratio,
-			Drifted:     st.Drifted,
-			Since:       st.Since,
+			Family:       st.Target,
+			Version:      st.Version,
+			BaselineL1:   st.BaselineL1,
+			BaselineN:    st.BaselineN,
+			ObservedL1:   st.ObservedL1,
+			ObservedP90:  st.ObservedP90,
+			Samples:      st.Samples,
+			Window:       cfg.Window,
+			MinSamples:   cfg.MinSamples,
+			Ratio:        cfg.Ratio,
+			Drifted:      st.Drifted,
+			Since:        st.Since,
+			RejectStreak: rejects[st.Target],
 		}
 		// The ring is oldest-first; the last match is the target's most
 		// recent decision.
@@ -474,6 +568,29 @@ func (l *Learning) DriftStatus() []DriftStatus {
 				out[i].LastTrigger = d.Trigger
 				out[i].LastDecision = d.Decision
 			}
+		}
+	}
+	return out
+}
+
+// Canaries returns the challengers currently in champion/challenger
+// confirmation, sorted by family (empty when canary serving is off or
+// nothing is pending).
+func (l *Learning) Canaries() []CanaryStatus {
+	states := l.canary.States()
+	out := make([]CanaryStatus, len(states))
+	for i, st := range states {
+		out[i] = CanaryStatus{
+			Family:       st.Target,
+			Source:       st.Source,
+			Champion:     st.Champion,
+			ProposedAt:   st.ProposedAt,
+			ExpiresAt:    st.ExpiresAt,
+			Samples:      st.Samples,
+			Window:       st.Window,
+			ChampionL1:   st.ChampionL1,
+			ChallengerL1: st.ChallengerL1,
+			HoldoutL1:    st.HoldoutL1,
 		}
 	}
 	return out
@@ -506,6 +623,9 @@ func (l *Learning) Decisions() []RetrainDecision {
 // are dropped (and counted in HarvestStats.Errors). Daemons with a
 // shutdown deadline should prefer Shutdown.
 func (l *Learning) Close() error {
+	if l.compactor != nil {
+		l.compactor.Stop()
+	}
 	l.ret.Stop()
 	return l.store.Close()
 }
@@ -522,6 +642,9 @@ func (l *Learning) Shutdown(ctx context.Context) error {
 	}
 	done := make(chan struct{})
 	go func() {
+		if l.compactor != nil {
+			l.compactor.Stop()
+		}
 		l.ret.Stop()
 		close(done)
 	}()
@@ -573,6 +696,12 @@ func IsEmptyCorpus(err error) bool { return errors.Is(err, feedback.ErrEmptyCorp
 
 // IsNoRollback reports whether err means no earlier version exists.
 func IsNoRollback(err error) bool { return errors.Is(err, feedback.ErrNoRollback) }
+
+// IsUnknownFamily reports whether err means the rollback named a routing
+// target the registry has never dealt with — no serving version, no
+// history, no fallback pin. Distinguishes a typo'd family name (not
+// found) from a real family with nothing to roll back to (conflict).
+func IsUnknownFamily(err error) bool { return errors.Is(err, feedback.ErrUnknownTarget) }
 
 // selectionConfig translates the public SelectorConfig into the internal
 // training configuration, applying the paper defaults.

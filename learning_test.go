@@ -262,6 +262,80 @@ func TestLearningCorpusPersistsAcrossReopen(t *testing.T) {
 	}
 }
 
+// TestLearningRollbackSurvivesReopen: an operator rollback is durable.
+// The rolled-back-to version — not the version it displaced — must be the
+// one a restarted daemon serves, which is exactly what the manifest sync
+// inside Learning's rollback path guarantees.
+func TestLearningRollbackSurvivesReopen(t *testing.T) {
+	w := learningWorkload(t)
+	dir := t.TempDir()
+	cfg := LearningConfig{
+		Dir:               dir,
+		Selector:          SelectorConfig{Trees: 10},
+		DisableBackground: true,
+		DisableGate:       true,
+	}
+	lrn, err := OpenLearning(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two versions with distinguishable corpus sizes: restore renumbers
+	// IDs, so the reopened daemon's serving version is matched by
+	// training metadata instead.
+	grow := func(q int) {
+		m, err := w.Start(q, MonitorOptions{UpdateEvery: 4, Learning: lrn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for range m.Updates {
+		}
+		if _, err := m.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grow(0)
+	v1, err := lrn.Retrain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grow(1)
+	v2, err := lrn.Retrain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.CorpusSize == v2.CorpusSize {
+		t.Fatal("test needs distinguishable versions")
+	}
+	back, err := lrn.Rollback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != v1.ID {
+		t.Fatalf("rollback landed on version %d, want %d", back.ID, v1.ID)
+	}
+	if err := lrn.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": the reopened daemon serves the rolled-back-to version.
+	lrn2, err := OpenLearning(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lrn2.Close()
+	cur, ok := lrn2.Current()
+	if !ok {
+		t.Fatal("no serving version after reopen")
+	}
+	if cur.CorpusSize != v1.CorpusSize || !cur.TrainedAt.Equal(v1.TrainedAt) {
+		t.Fatalf("reopened daemon serves %+v, want the rolled-back-to version (corpus %d, trained %v)",
+			cur, v1.CorpusSize, v1.TrainedAt)
+	}
+	if cur.Source != "restored" {
+		t.Fatalf("reopened serving source %q, want restored", cur.Source)
+	}
+}
+
 // TestExportImportExamples round-trips a batch harvest through the shared
 // corpus format (the cmd/trainsel -corpus/-export path).
 func TestExportImportExamples(t *testing.T) {

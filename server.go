@@ -407,6 +407,10 @@ type modelsResponse struct {
 	// the serving version's windowed live error against its holdout
 	// baseline, the drift flag, and the target's last retrain trigger.
 	Drift []DriftStatus `json:"drift"`
+	// Canaries are the challengers currently in champion/challenger
+	// confirmation, shadow-scoring on live traffic before they may
+	// hot-swap (empty unless canary serving is enabled).
+	Canaries []CanaryStatus `json:"canaries"`
 	// Decisions is the retrainer's bounded decision history, oldest
 	// first: which trigger (manual, auto, drift) trained which target and
 	// how the quality gate ruled.
@@ -444,6 +448,7 @@ func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 		Harvest:    l.HarvestStats(),
 		Versions:   l.Versions(),
 		Drift:      l.DriftStatus(),
+		Canaries:   l.Canaries(),
 		Decisions:  l.Decisions(),
 	}
 	if perr := l.PersistError(); perr != nil {
@@ -460,6 +465,9 @@ func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 	}
 	if resp.Drift == nil {
 		resp.Drift = []DriftStatus{}
+	}
+	if resp.Canaries == nil {
+		resp.Canaries = []CanaryStatus{}
 	}
 	if resp.Decisions == nil {
 		resp.Decisions = []RetrainDecision{}
@@ -529,6 +537,11 @@ func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
 	}
 	v, err := l.rollback(req.Family)
 	switch {
+	case IsUnknownFamily(err):
+		// A routing target the registry has never dealt with is a client
+		// addressing error (likely a typo'd family name), not a conflict
+		// with the target's current state.
+		writeError(w, http.StatusNotFound, "rollback: %v", err)
 	case IsNoRollback(err):
 		writeError(w, http.StatusConflict, "rollback: %v", err)
 	case err != nil:

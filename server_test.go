@@ -316,6 +316,12 @@ func TestServerModelRoutes(t *testing.T) {
 	if code := doJSON(t, http.MethodPost, srv.URL+"/models/rollback", "", nil); code != http.StatusConflict {
 		t.Fatalf("rollback past first: status %d, want 409", code)
 	}
+	// A typo'd family is "unknown target", not "nothing to roll back to":
+	// 404, so an operator fat-fingering the family name can tell the
+	// difference from a real exhausted history.
+	if code := doJSON(t, http.MethodPost, srv.URL+"/models/rollback", `{"family": "no-such-family"}`, nil); code != http.StatusNotFound {
+		t.Fatalf("rollback of unknown family: status %d, want 404", code)
+	}
 
 	// Healthz reports the serving model and corpus size.
 	var health struct {
