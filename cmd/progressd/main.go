@@ -56,6 +56,20 @@
 //	GET  /models/drift                         observed-vs-predicted per target (-learn)
 //	POST /models/retrain                       train + gate + hot-swap (-learn)
 //	POST /models/rollback      [{"family":f}]  revert to previous (-learn)
+//	POST   /sessions                           open an external estimation session
+//	POST   /sessions/{id}/observations         stream counter observations
+//	GET    /sessions/{id}/progress             freshest session progress update
+//	GET    /sessions                           list sessions
+//	DELETE /sessions/{id}                      abort an open session
+//
+// The session endpoints serve progress estimation to queries executing
+// on EXTERNAL engines: the engine opens a session with its plan shape,
+// streams monotone counter observations, and reads the same progress
+// stream native queries get; on completion the run is harvested into the
+// -learn corpus under the session's family, joining retraining and
+// drift monitoring. Sessions admit through the same QoS gate as native
+// submissions; -ingest-ttl expires sessions that stop streaming, and
+// -ingest-max-sessions bounds the concurrently open ones.
 //
 // Usage:
 //
@@ -180,6 +194,9 @@ func main() {
 	scanWorkers := flag.Int("scan-workers", 0, "concurrent corpus-segment reads per retrain (0 = GOMAXPROCS capped at 8, 1 = sequential)")
 	trainWorkers := flag.Int("train-workers", 0, "concurrent per-family model fits per retrain (0 = GOMAXPROCS capped at 8, 1 = sequential)")
 	corpusCacheMB := flag.Int("corpus-cache-mb", 64, "decode-cache budget for sealed corpus segments in MiB (0 disables)")
+	ingestTTL := flag.Duration("ingest-ttl", 2*time.Minute, "expire external estimation sessions that ingested nothing for this long (negative = never)")
+	ingestMaxSessions := flag.Int("ingest-max-sessions", 256, "concurrently open external estimation sessions")
+	ingestMaxObs := flag.Int("ingest-max-obs", 0, "counter snapshots one session may ingest (0 = default 65536)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown deadline for in-flight queries")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	flag.Parse()
@@ -316,6 +333,12 @@ func main() {
 		DeadlineAdmission: *deadlineAdmission,
 	}, opts)
 	server := progressest.NewEngineServer(eng)
+	server.SetSessionConfig(progressest.SessionConfig{
+		TTL:             *ingestTTL,
+		MaxSessions:     *ingestMaxSessions,
+		MaxObservations: *ingestMaxObs,
+	})
+	defer server.Close()
 	httpSrv := &http.Server{Addr: *addr, Handler: server}
 
 	errCh := make(chan error, 1)

@@ -564,6 +564,33 @@ type EngineStats struct {
 	Draining bool `json:"draining"`
 	// RouteByFamily reports whether per-family model routing is on.
 	RouteByFamily bool `json:"route_by_family"`
+	// Ingest is the external counter-ingestion session accounting, when
+	// the stats come from a Server with the session layer attached.
+	Ingest *IngestStats `json:"ingest,omitempty"`
+}
+
+// IngestStats is the external estimation-session accounting inside GET
+// /engine/stats: live and lifetime session counts plus ingestion volume.
+type IngestStats struct {
+	// OpenSessions is the number of sessions open right now (each holds
+	// an engine admission slot).
+	OpenSessions int `json:"open_sessions"`
+	// Opened, Completed, Expired and Aborted are lifetime counters over
+	// the session state machine.
+	Opened    int64 `json:"opened"`
+	Completed int64 `json:"completed"`
+	Expired   int64 `json:"expired"`
+	Aborted   int64 `json:"aborted"`
+	// Batches and Observations count successfully ingested observation
+	// batches and the counter snapshots they carried; RejectedBatches the
+	// batches refused by validation (out-of-order times, counter
+	// regressions, retention limits).
+	Batches         int64 `json:"batches"`
+	RejectedBatches int64 `json:"rejected_batches"`
+	Observations    int64 `json:"observations"`
+	// TTLSeconds is the idle-session expiry in seconds (negative:
+	// disabled).
+	TTLSeconds float64 `json:"ttl_seconds"`
 }
 
 // Stats snapshots the engine's admission counters.

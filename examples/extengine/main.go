@@ -1,0 +1,128 @@
+// Command extengine is a minimal external-engine adapter for the
+// progressd ingestion surface: it plays the role of a query executor
+// that is NOT this repository's native engine, opening an estimation
+// session, streaming monotone counter observations as its (simulated)
+// scan advances, and reading back the live progress estimates.
+//
+// Run a daemon first, then the adapter:
+//
+//	go run ./cmd/progressd -addr :8080 &
+//	go run ./examples/extengine -addr http://localhost:8080 -rows 500000
+//
+// The adapter's plan is a table scan with a known input total feeding a
+// filter — the smallest shape that exercises the exact-denominator
+// estimators. A real integration maps its own operator tree into
+// ingest.Spec nodes and forwards its real GetNext/bytes counters.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"progressest/internal/ingest"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "progressd base URL")
+	family := flag.String("family", "extengine-demo", "workload family (admission class + corpus tag)")
+	rows := flag.Int64("rows", 250000, "simulated scan input size")
+	ticks := flag.Int("ticks", 20, "observation batches to stream")
+	pace := flag.Duration("pace", 150*time.Millisecond, "delay between batches")
+	flag.Parse()
+
+	spec := &ingest.Spec{
+		Workload:    "extengine",
+		Family:      *family,
+		UpdateEvery: 1, // one estimate per streamed snapshot
+		Nodes: []ingest.NodeSpec{
+			{Op: "TableScan", Table: "events", EstRows: float64(*rows), RowWidth: 64, Total: rows},
+			{Op: "Filter", Children: []int{0}, EstRows: float64(*rows) * 0.4},
+		},
+	}
+	var sess struct {
+		ID string `json:"id"`
+	}
+	if err := post(*addr+"/sessions", spec, &sess); err != nil {
+		log.Fatalf("open session: %v", err)
+	}
+	fmt.Printf("session %s open (family %s)\n", sess.ID, *family)
+
+	obsURL := fmt.Sprintf("%s/sessions/%s/observations", *addr, sess.ID)
+	progURL := fmt.Sprintf("%s/sessions/%s/progress", *addr, sess.ID)
+	var scanned, emitted int64
+	for i := 1; i <= *ticks; i++ {
+		// The simulated executor advances its counters; a real adapter
+		// reads them off its operator instrumentation instead.
+		target := *rows * int64(i) / int64(*ticks)
+		dScan := target - scanned
+		dOut := target*4/10 - emitted
+		scanned, emitted = target, emitted+dOut
+		batch := &ingest.Batch{
+			Events: []ingest.Event{{Snapshot: &ingest.SnapshotEvent{
+				Time: float64(i) * pace.Seconds(),
+				Deltas: []ingest.Delta{
+					{Node: 0, K: dScan, R: dScan * 64},
+					{Node: 1, K: dOut},
+				},
+			}}},
+			Done: i == *ticks,
+		}
+		if err := post(obsURL, batch, nil); err != nil {
+			log.Fatalf("batch %d: %v", i, err)
+		}
+		var prog struct {
+			State  string `json:"state"`
+			Update *struct {
+				Query float64 `json:"query"`
+			} `json:"update"`
+		}
+		if err := get(progURL, &prog); err != nil {
+			log.Fatalf("progress: %v", err)
+		}
+		if prog.Update != nil {
+			fmt.Printf("  t=%2d  state=%-9s  estimate=%5.1f%%\n", i, prog.State, prog.Update.Query*100)
+		}
+		if !batch.Done {
+			time.Sleep(*pace)
+		}
+	}
+	fmt.Println("session completed; its counters were harvested for the learning loop")
+}
+
+func post(url string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	return finish(resp, out)
+}
+
+func get(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return finish(resp, out)
+}
+
+func finish(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(buf.Bytes()))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

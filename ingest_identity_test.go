@@ -1,0 +1,187 @@
+package progressest
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"progressest/internal/exec"
+	"progressest/internal/ingest"
+	"progressest/internal/pipeline"
+	"progressest/internal/plan"
+	"progressest/internal/progress"
+)
+
+// identityObserver builds a monitorObserver over an arbitrary plan (not
+// necessarily a workload query's), capturing the exact update stream
+// through the deliver hook.
+func identityObserver(pl *plan.Plan, pipes *pipeline.Decomposition, sel *Selector, every int, got *[]ProgressUpdate) *monitorObserver {
+	view := progress.NewOnlineView(pl, pipes)
+	view.Reserve = exec.DefaultTargetObservations + 1
+	np := len(pipes.Pipelines)
+	obs := &monitorObserver{
+		view:      view,
+		every:     every,
+		choice:    make([]progress.Kind, np),
+		nextMark:  make([]int, np),
+		obsBefore: make([]int, np),
+		ch:        make(chan ProgressUpdate, 1),
+	}
+	if sel != nil {
+		obs.sel = sel.inner
+	}
+	obs.deliver = func(u ProgressUpdate) {
+		u.Pipelines = append([]PipelineProgress(nil), u.Pipelines...)
+		*got = append(*got, u)
+	}
+	return obs
+}
+
+// replayedUpdates drives the native trace through the monitor machinery
+// via exec.Replay — the in-process reference stream.
+func replayedUpdates(tr *exec.Trace, sel *Selector, every int) []ProgressUpdate {
+	var got []ProgressUpdate
+	obs := identityObserver(tr.Plan, tr.Pipes, sel, every, &got)
+	exec.Replay(tr, obs, every)
+	obs.emit(true)
+	return got
+}
+
+// ingestedUpdates pushes the same trace through the full external path:
+// spec and observation batches serialized to JSON, decoded by the strict
+// wire decoders, rebuilt by ingest.Build, and streamed through an
+// ingest.Runner into an identical monitor — returning the update stream
+// plus the synthesized trace.
+func ingestedUpdates(t *testing.T, tr *exec.Trace, sel *Selector, every, snapsPerBatch int) ([]ProgressUpdate, *exec.Trace) {
+	t.Helper()
+	specJSON, err := json.Marshal(ingest.SpecFromTrace(tr, "ext-engine", "ext-fam"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ingest.DecodeSpec(bytes.NewReader(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := ingest.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []ProgressUpdate
+	obs := identityObserver(model.Plan, model.Pipes, sel, every, &got)
+	runner := ingest.NewRunner(model, obs, every, 0)
+	var synth *exec.Trace
+	for _, b := range ingest.RecordBatches(tr, snapsPerBatch) {
+		wire, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := ingest.DecodeBatch(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := runner.Apply(batch); err != nil {
+			t.Fatal(err)
+		}
+		if batch.Done {
+			if synth, err = runner.Finish(batch.Ends); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if synth == nil {
+		t.Fatal("recorded stream carried no completion marker")
+	}
+	obs.emit(true)
+	return got, synth
+}
+
+// TestIngestedStreamBitIdentical is the tentpole's equivalence proof:
+// across every dataset family — with a fixed estimator and with a
+// trained selector re-picking at marker crossings, over full and
+// thinned traces, at batch sizes aligned and misaligned with the update
+// cadence — a query streamed through the external ingestion wire
+// (JSON-encoded spec + observation batches) produces an update stream
+// bit-identical to the in-process monitor observing the same counters,
+// and a synthesized trace whose estimator-relevant state matches the
+// native one exactly.
+func TestIngestedStreamBitIdentical(t *testing.T) {
+	var sel *Selector
+	{
+		tw, err := Open(Config{Dataset: TPCH, Queries: 4, Scale: 0.08, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		examples, err := tw.Harvest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel, err = TrainSelector(examples, SelectorConfig{Trees: 24}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const every = 4
+	for _, ds := range []Dataset{TPCH, TPCDS, Real1, Real2} {
+		t.Run(ds.String(), func(t *testing.T) {
+			w, err := Open(Config{Dataset: ds, Queries: 4, Scale: 0.08, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for qi := 0; qi < w.NumQueries(); qi++ {
+				pq, err := w.planned(qi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, execOpts := range []exec.Options{
+					{},
+					{TargetObservations: 900, MaxObservations: 64}, // forces thinning
+				} {
+					tr := exec.RunDecomposed(w.inner.DB, pq.plan, pq.pipes, execOpts)
+					for _, s := range []*Selector{nil, sel} {
+						native := replayedUpdates(tr, s, every)
+						for _, snapsPerBatch := range []int{1, 5, 64} {
+							ingested, synth := ingestedUpdates(t, tr, s, every, snapsPerBatch)
+							assertSameUpdates(t, qi, native, ingested)
+							assertSameTrace(t, qi, tr, synth)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// assertSameTrace checks the estimator-relevant trace state: counters,
+// spans, knowability, and the retained snapshot history.
+func assertSameTrace(t *testing.T, qi int, a, b *exec.Trace) {
+	t.Helper()
+	if a.TotalTime != b.TotalTime {
+		t.Fatalf("query %d: total time %v vs %v", qi, a.TotalTime, b.TotalTime)
+	}
+	for i := range a.N {
+		if a.N[i] != b.N[i] || a.FinalR[i] != b.FinalR[i] || a.FinalW[i] != b.FinalW[i] {
+			t.Fatalf("query %d node %d: final counters diverge", qi, i)
+		}
+	}
+	for pi := range a.PipeSpans {
+		if a.PipeSpans[pi] != b.PipeSpans[pi] {
+			t.Fatalf("query %d pipeline %d: span %v vs %v", qi, pi, a.PipeSpans[pi], b.PipeSpans[pi])
+		}
+		if a.DriverTotalsKnown[pi] != b.DriverTotalsKnown[pi] {
+			t.Fatalf("query %d pipeline %d: knowability diverges", qi, pi)
+		}
+	}
+	if len(a.Snapshots) != len(b.Snapshots) {
+		t.Fatalf("query %d: %d native snapshots, %d synthesized", qi, len(a.Snapshots), len(b.Snapshots))
+	}
+	for i := range a.Snapshots {
+		sa, sb := a.Snapshots[i], b.Snapshots[i]
+		if sa.Time != sb.Time {
+			t.Fatalf("query %d snapshot %d: time %v vs %v", qi, i, sa.Time, sb.Time)
+		}
+		for n := range sa.K {
+			if sa.K[n] != sb.K[n] || sa.R[n] != sb.R[n] || sa.W[n] != sb.W[n] {
+				t.Fatalf("query %d snapshot %d node %d: counters diverge", qi, i, n)
+			}
+		}
+	}
+}

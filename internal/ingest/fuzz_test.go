@@ -1,0 +1,55 @@
+package ingest
+
+import (
+	"testing"
+
+	"progressest/internal/exec"
+)
+
+// FuzzDecodeBatch fuzzes the observation-batch wire decoder and the
+// runner behind it: whatever bytes arrive, decoding either fails cleanly
+// or yields a batch the session state machine processes without panics,
+// and the monotone-counter invariants hold on every accepted prefix.
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add([]byte(`{"events":[{"snapshot":{"time":1,"deltas":[{"node":0,"k":5,"r":40}]}}]}`))
+	f.Add([]byte(`{"events":[{"start":{"pipeline":0,"time":0.5}},{"snapshot":{"time":1,"deltas":[{"node":0,"k":5}]}}],"done":true,"ends":[{"pipeline":0,"time":1}]}`))
+	f.Add([]byte(`{"done":true}`))
+	f.Add([]byte(`{"events":[{"snapshot":{"time":-1,"deltas":[{"node":0,"k":-3}]}}]}`))
+	f.Add([]byte(`{"events":[{}]}`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBatch(data)
+		if err != nil {
+			return
+		}
+		for _, ev := range b.Events {
+			if (ev.Start == nil) == (ev.Snapshot == nil) {
+				t.Fatal("decoder accepted an event without exactly one of start/snapshot")
+			}
+		}
+		model, err := Build(testSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := NewRunner(model, exec.BaseObserver{}, 0, 64)
+		if err := r.Apply(b); err != nil {
+			return
+		}
+		// Every accepted snapshot kept the counters monotone; the
+		// synthesized trace must finalize cleanly.
+		tr, err := r.Finish(nil)
+		if err != nil {
+			t.Fatalf("Finish after clean Apply: %v", err)
+		}
+		for i, k := range tr.N {
+			if k < 0 || tr.FinalR[i] < 0 || tr.FinalW[i] < 0 {
+				t.Fatalf("node %d: negative final counter after accepted stream", i)
+			}
+		}
+		for i := 1; i < len(tr.Snapshots); i++ {
+			if tr.Snapshots[i].Time <= tr.Snapshots[i-1].Time {
+				t.Fatalf("retained snapshots out of order at %d", i)
+			}
+		}
+	})
+}

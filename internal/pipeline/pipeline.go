@@ -54,6 +54,51 @@ func (d *Decomposition) PipelineOf(id int) *Pipeline {
 	return d.Pipelines[d.byNode[id]]
 }
 
+// FromPipelines builds a Decomposition from an explicitly supplied
+// pipeline set — the counter-ingestion path, where an external engine
+// declares its own decomposition instead of deriving one from the plan's
+// operator semantics. It validates what Decompose guarantees by
+// construction: every plan node belongs to exactly one pipeline, and
+// every driver is a member of its pipeline.
+func FromPipelines(p *plan.Plan, pipes []*Pipeline) (*Decomposition, error) {
+	if len(pipes) == 0 {
+		return nil, fmt.Errorf("pipeline: no pipelines")
+	}
+	d := &Decomposition{byNode: make([]int, p.NumNodes())}
+	for i := range d.byNode {
+		d.byNode[i] = -1
+	}
+	for i, pl := range pipes {
+		if pl.ID != i {
+			return nil, fmt.Errorf("pipeline: pipeline at position %d has id %d", i, pl.ID)
+		}
+		if len(pl.Nodes) == 0 {
+			return nil, fmt.Errorf("pipeline: pipeline %d has no nodes", i)
+		}
+		for _, id := range pl.Nodes {
+			if id < 0 || id >= p.NumNodes() {
+				return nil, fmt.Errorf("pipeline: pipeline %d names node %d, plan has %d nodes", i, id, p.NumNodes())
+			}
+			if d.byNode[id] >= 0 {
+				return nil, fmt.Errorf("pipeline: node %d belongs to pipelines %d and %d", id, d.byNode[id], i)
+			}
+			d.byNode[id] = i
+		}
+		for _, dr := range pl.Drivers {
+			if !pl.Contains(dr) {
+				return nil, fmt.Errorf("pipeline: driver %d is not a member of pipeline %d", dr, i)
+			}
+		}
+		d.Pipelines = append(d.Pipelines, pl)
+	}
+	for id, pid := range d.byNode {
+		if pid < 0 {
+			return nil, fmt.Errorf("pipeline: node %d not assigned to any pipeline", id)
+		}
+	}
+	return d, nil
+}
+
 // Decompose splits the plan into pipelines.
 func Decompose(p *plan.Plan) *Decomposition {
 	d := &Decomposition{byNode: make([]int, p.NumNodes())}

@@ -378,7 +378,11 @@ func (s *Sched) Drain(fail func(*Waiter)) int {
 
 // predictMinSamples is the minimum windowed class evidence before the
 // class's own p90 predicts; with less, the aggregate window stands in.
-const predictMinSamples = 1
+// The floor matters: below it a single outlier queue wait IS the class
+// p90 (nearest-rank over one sample), and deadline admission would shed
+// every deadline-bearing request of the class until the window turned
+// over, on the strength of one observation.
+const predictMinSamples = 8
 
 // PredictWait estimates the queue wait an admission of class c would
 // incur right now: the class's windowed p90 queue wait when it has

@@ -247,6 +247,39 @@ func TestPredictWaitOptimistic(t *testing.T) {
 	}
 }
 
+// TestPredictWaitEvidenceFloor: a class's own p90 must not predict until
+// the class has real windowed evidence. With fewer than
+// predictMinSamples observations, one outlier wait in a class would BE
+// that class's nearest-rank p90 — and deadline admission would shed
+// every deadline-bearing request of the class on a single sample — so
+// the prediction must keep borrowing the aggregate window instead.
+func TestPredictWaitEvidenceFloor(t *testing.T) {
+	s := New(Options{TotalDepth: 8})
+	a, b := s.Lookup("a"), s.Lookup("b")
+	// Plenty of healthy aggregate evidence from another class — enough
+	// that the outliers below stay beyond the aggregate's p90 too.
+	for i := 0; i < 100; i++ {
+		s.FastAdmit(b, time.Millisecond)
+	}
+	// One outlier in class a: far too little evidence to trust.
+	s.FastAdmit(a, 10*time.Second)
+	if p := s.PredictWait(a); p >= 10*time.Second {
+		t.Fatalf("single-outlier class p90 %v overrode the aggregate", p)
+	}
+	// Below the floor the aggregate still stands in...
+	for i := 0; i < predictMinSamples-2; i++ {
+		s.FastAdmit(a, 10*time.Second)
+	}
+	if p := s.PredictWait(a); p >= 10*time.Second {
+		t.Fatalf("below-floor class p90 %v overrode the aggregate (samples=%d)", p, a.wait.Samples())
+	}
+	// ...and at the floor the class's own evidence takes over.
+	s.FastAdmit(a, 10*time.Second)
+	if p := s.PredictWait(a); p != 10*time.Second {
+		t.Fatalf("at-floor prediction %v, want the class p90 10s", p)
+	}
+}
+
 // TestQueueWaitRecordedOnGrant: Next measures the wait from the Enqueue
 // timestamp, landing it in both the class and aggregate windows.
 func TestQueueWaitRecordedOnGrant(t *testing.T) {

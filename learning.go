@@ -435,17 +435,27 @@ func (l *Learning) Retrain() (ModelVersion, error) {
 }
 
 // Rollback atomically reverts the global model to the previously
-// published version.
-func (l *Learning) Rollback() (ModelVersion, error) { return l.rollback("") }
+// published version. A rollback that applied but could not persist the
+// routing table reports the failure via PersistError.
+func (l *Learning) Rollback() (ModelVersion, error) {
+	v, _, err := l.rollback("")
+	return v, err
+}
 
 // RollbackFamily atomically reverts one family's model to its previously
 // published version. A family serving from the global fallback (or with
 // only one version) has nothing to roll back to.
 func (l *Learning) RollbackFamily(family string) (ModelVersion, error) {
-	return l.rollback(family)
+	v, _, err := l.rollback(family)
+	return v, err
 }
 
-func (l *Learning) rollback(family string) (ModelVersion, error) {
+// rollback reverts one routing target. persistErr reports a rollback
+// that APPLIED in memory but failed to rewrite the on-disk manifest —
+// the caller must surface it (a restart would resume from the previously
+// persisted routing table), distinctly from err, which means the
+// rollback itself did not happen.
+func (l *Learning) rollback(family string) (v ModelVersion, persistErr, err error) {
 	// The version about to be rolled off: the drift tracker needs its id
 	// as a drop floor — if it never finished a query, the tracker's own
 	// high-water mark has not seen it, and its first straggler harvest
@@ -454,9 +464,9 @@ func (l *Learning) rollback(family string) (ModelVersion, error) {
 	if from := l.reg.CurrentFor(family); from != nil && from.Meta.Family == family {
 		rolledFrom = from.ID
 	}
-	v, err := l.reg.Rollback(family)
+	rv, err := l.reg.Rollback(family)
 	if err != nil {
-		return ModelVersion{}, err
+		return ModelVersion{}, nil, err
 	}
 	// An operator moving off this model line moots any pending challenger
 	// for the target — it was shadow-scoring against the rolled-off model.
@@ -475,16 +485,15 @@ func (l *Learning) rollback(family string) (ModelVersion, error) {
 	}
 	if l.models != nil {
 		// The routing table changed; refresh the persisted manifest so a
-		// restart resumes from the rolled-back-to version. The write is
-		// best-effort: the rollback IS applied, and returning an error
-		// here would read as "rollback failed" and bait a retry that
-		// walks back one version further than intended. A failure is
-		// surfaced via PersistError (GET /models) instead, and any later
-		// successful Sync — the next retrain's, or another rollback's —
-		// rewrites the manifest and repairs the staleness.
-		_ = l.models.Sync(l.reg)
+		// restart resumes from the rolled-back-to version. The rollback IS
+		// applied even when the write fails — returning it as err would
+		// read as "rollback failed" and bait a retry that walks back one
+		// version further than intended — so a failure travels separately
+		// as persistErr (and via PersistError / GET /models) until a later
+		// successful Sync rewrites the manifest and repairs the staleness.
+		persistErr = l.models.Sync(l.reg)
 	}
-	return l.modelVersion(v), nil
+	return l.modelVersion(rv), persistErr, nil
 }
 
 // PersistError returns the most recent failure to persist the serving

@@ -7,6 +7,8 @@ import (
 	"progressest/internal/exec"
 	"progressest/internal/features"
 	"progressest/internal/feedback"
+	"progressest/internal/pipeline"
+	"progressest/internal/plan"
 	"progressest/internal/progress"
 	"progressest/internal/selection"
 )
@@ -346,6 +348,101 @@ func (m *monitorObserver) send(u ProgressUpdate) {
 	default:
 	}
 	m.ch <- u
+}
+
+// newIngestMonitor prepares the live-monitor machinery for an
+// externally executed query — a counter-ingestion session. Selector
+// resolution, the streaming OnlineView and the harvest subscription are
+// wired exactly as Start wires them, but no executor goroutine runs:
+// the session delivers the exec.Observer events itself, synthesized
+// from the ingested counter stream by an ingest.Runner, so the
+// estimates are bit-identical to an in-process run observing the same
+// counters. The caller completes the monitor with finishIngest (or
+// abortIngest) once the stream ends.
+func newIngestMonitor(pl *plan.Plan, pipes *pipeline.Decomposition, workloadName, family string, opts MonitorOptions) (*Monitor, *monitorObserver, error) {
+	if opts.Estimator < 0 || int(opts.Estimator) >= int(progress.NumKinds) {
+		return nil, nil, fmt.Errorf("progressest: estimator %v is not computable online", opts.Estimator)
+	}
+	var sel *selection.Selector
+	var served *feedback.ServedModel
+	version := 0
+	modelFamily := ""
+	if opts.Selector != nil {
+		sel = opts.Selector.inner
+	} else if opts.Learning != nil {
+		target := ""
+		if opts.RouteByFamily {
+			target = family
+		}
+		if served = opts.Learning.servedFor(target); served != nil {
+			sel = served.Selector
+			version = served.Version
+			modelFamily = served.Target
+		}
+	}
+	if sel != nil {
+		for _, k := range sel.Kinds {
+			if k < 0 || int(k) >= int(progress.NumKinds) {
+				return nil, nil, fmt.Errorf("progressest: selector candidate %v is not computable online", k)
+			}
+		}
+	}
+	opts = opts.withDefaults()
+	view := progress.NewOnlineView(pl, pipes)
+	view.Reserve = exec.DefaultTargetObservations + 1
+	obs := &monitorObserver{
+		view:      view,
+		every:     opts.UpdateEvery,
+		choice:    make([]progress.Kind, len(pipes.Pipelines)),
+		nextMark:  make([]int, len(pipes.Pipelines)),
+		obsBefore: make([]int, len(pipes.Pipelines)),
+		ch:        make(chan ProgressUpdate, 1),
+	}
+	obs.sel = sel
+	if opts.Learning != nil {
+		// queryIndex -1: the query is not one of the bundled workload's —
+		// external sessions harvest under their own workload and family
+		// tags, joining drift, retraining and canary serving exactly as
+		// native queries do.
+		obs.harvest = opts.Learning.harv.Observer(workloadName, family, -1, served)
+	}
+	for pi := range obs.choice {
+		obs.choice[pi] = opts.Estimator
+	}
+	m := &Monitor{
+		Updates:     obs.ch,
+		version:     version,
+		family:      family,
+		modelFamily: modelFamily,
+		shard:       -1,
+		done:        make(chan struct{}),
+	}
+	return m, obs, nil
+}
+
+// finishIngest publishes the completed externally-executed run behind
+// the monitor: the final Done update goes out, the update stream closes
+// and Wait unblocks with the QueryRun over the synthesized trace. The
+// observer must already have seen the full event stream, OnDone
+// included.
+func (m *Monitor) finishIngest(obs *monitorObserver, tr *exec.Trace) {
+	run := &QueryRun{trace: tr}
+	for p := range tr.Pipes.Pipelines {
+		run.views = append(run.views, progress.NewPipelineView(tr, p))
+	}
+	m.run = run
+	obs.emit(true)
+	close(obs.ch)
+	close(m.done)
+}
+
+// abortIngest ends an ingest monitor without a completed run (the
+// session was aborted or expired): the update stream closes with no
+// final Done update and Wait unblocks with err.
+func (m *Monitor) abortIngest(obs *monitorObserver, err error) {
+	m.err = err
+	close(obs.ch)
+	close(m.done)
 }
 
 // Start plans query i and executes it on its own goroutine, streaming

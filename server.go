@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"progressest/internal/engine"
+	"progressest/internal/ingest"
 )
 
 // Server exposes live query monitoring over HTTP — the daemon core of
@@ -33,7 +34,24 @@ import (
 // admission on, a request whose deadline cannot cover the predicted
 // queue wait is shed immediately). Admission refusals answer with a
 // JSON "reason" — "queue_full", "deadline_shed" or "draining" — and
-// 429s carry a Retry-After header derived from observed queue waits.
+// 429/503s carry a Retry-After header derived from observed queue waits.
+//
+// The session routes turn the daemon into progress-estimation-as-a-
+// service for queries executing on external engines (see internal/ingest
+// and the README's "Estimation as a service"):
+//
+//	POST   /sessions                        {plan spec} -> {"id": "s1", ...}
+//	POST   /sessions/{id}/observations      {counter batch} -> apply result
+//	GET    /sessions/{id}/progress                      -> live progress JSON
+//	GET    /sessions                                    -> list of sessions
+//	DELETE /sessions/{id}                               -> abort the session
+//
+// A session admits through the same QoS gate as a native submission
+// (class = its family, optionally "family|client"; deadline-aware),
+// streams monotone counter observations that are validated and rejected
+// on regression or reordering, reads the same ProgressUpdate stream, and
+// on completion harvests into the feedback corpus under its family tag.
+// Idle sessions expire after a configurable TTL (SetSessionConfig).
 //
 // When MonitorOptions.Learning is set, the model-lifecycle routes come
 // alive too (404 otherwise):
@@ -47,8 +65,9 @@ import (
 // family, and which selector version served it ("model"/"model_family" in
 // the submit, list and progress responses).
 type Server struct {
-	eng *Engine
-	mux *http.ServeMux
+	eng      *Engine
+	mux      *http.ServeMux
+	sessions *sessionManager
 
 	// maxKept is the retention bound for finished queries, settable before
 	// the server starts handling requests (tests shrink it).
@@ -112,15 +131,39 @@ func NewEngineServer(e *Engine) *Server {
 	s.mux.HandleFunc("GET /models/drift", s.handleDrift)
 	s.mux.HandleFunc("POST /models/retrain", s.handleRetrain)
 	s.mux.HandleFunc("POST /models/rollback", s.handleRollback)
+	s.sessions = newSessionManager(e, SessionConfig{})
+	s.mux.HandleFunc("POST /sessions", s.handleSessionOpen)
+	s.mux.HandleFunc("GET /sessions", s.handleSessionList)
+	s.mux.HandleFunc("POST /sessions/{id}/observations", s.handleSessionObserve)
+	s.mux.HandleFunc("GET /sessions/{id}/progress", s.handleSessionProgress)
+	s.mux.HandleFunc("DELETE /sessions/{id}", s.handleSessionDelete)
 	return s
 }
 
+// SetSessionConfig replaces the external-session layer's sizing (TTL,
+// open-session bound, observation cap, retention). Call it before the
+// server starts handling requests; sessions already open keep the old
+// manager's state.
+func (s *Server) SetSessionConfig(cfg SessionConfig) {
+	s.sessions.stop()
+	s.sessions = newSessionManager(s.eng, cfg)
+}
+
+// Close stops the session layer's background janitor. It does not drain;
+// use Drain first for a graceful shutdown.
+func (s *Server) Close() { s.sessions.stop() }
+
 // Drain stops admission — queued submissions get 503 immediately instead
 // of stranding — and blocks until every admitted query has finished or
-// the context expires. It is the graceful-shutdown hook cmd/progressd
-// uses between http.Server.Shutdown and Learning.Close, so in-flight
-// queries still land in the corpus.
-func (s *Server) Drain(ctx context.Context) error { return s.eng.Drain(ctx) }
+// the context expires. Open ingestion sessions are aborted first: each
+// holds an admission slot for its lifetime, and an external engine that
+// never completes must not hold the drain hostage. It is the
+// graceful-shutdown hook cmd/progressd uses between http.Server.Shutdown
+// and Learning.Close, so in-flight queries still land in the corpus.
+func (s *Server) Drain(ctx context.Context) error {
+	s.sessions.drain()
+	return s.eng.Drain(ctx)
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -134,6 +177,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
+
+// drainingRetryAfter is the fixed Retry-After stamped on 503 draining
+// rejections. Draining has no observed-wait signal to derive a hint from
+// (the queue is being failed, not measured), but well-behaved clients
+// still need SOME backoff — without a header they hammer a shutting-down
+// node, or worse, a load balancer re-targets them at full rate. A few
+// seconds is enough for the fleet's usual drain-and-restart.
+const drainingRetryAfter = 5 * time.Second
 
 // writeReject answers an admission refusal: the machine-readable reason
 // ("queue_full", "deadline_shed" or "draining") rides next to the error
@@ -170,7 +221,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleEngineStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.eng.Stats())
+	st := s.eng.Stats()
+	st.Ingest = s.sessions.stats()
+	writeJSON(w, http.StatusOK, st)
 }
 
 // resizeRequest is the POST /engine/resize body.
@@ -278,7 +331,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeReject(w, http.StatusTooManyRequests, "queue_full", s.eng.RetryAfterHint(), err)
 		return
 	case IsDraining(err):
-		writeReject(w, http.StatusServiceUnavailable, "draining", 0, err)
+		writeReject(w, http.StatusServiceUnavailable, "draining", drainingRetryAfter, err)
 		return
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// The client abandoned the queued submission (or its deadline_ms
@@ -525,6 +578,18 @@ type rollbackRequest struct {
 	Family string `json:"family"`
 }
 
+// rollbackResponse is the POST /models/rollback wire form: the
+// rolled-back-to version, plus the outcome of persisting the change.
+type rollbackResponse struct {
+	ModelVersion
+	// PersistError, when set, means the rollback applied in memory but
+	// the on-disk manifest could not be rewritten — a restart would
+	// resume from the previously persisted routing table. The same
+	// failure shows as "persist_error" in GET /models until a later
+	// sync repairs it.
+	PersistError string `json:"persist_error,omitempty"`
+}
+
 func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
 	l := s.learning(w)
 	if l == nil {
@@ -535,7 +600,7 @@ func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid body: %v", err)
 		return
 	}
-	v, err := l.rollback(req.Family)
+	v, persistErr, err := l.rollback(req.Family)
 	switch {
 	case IsUnknownFamily(err):
 		// A routing target the registry has never dealt with is a client
@@ -547,6 +612,211 @@ func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
 	case err != nil:
 		writeError(w, http.StatusInternalServerError, "rollback: %v", err)
 	default:
-		writeJSON(w, http.StatusOK, v)
+		resp := rollbackResponse{ModelVersion: v}
+		if persistErr != nil {
+			resp.PersistError = persistErr.Error()
+		}
+		writeJSON(w, http.StatusOK, resp)
 	}
+}
+
+// sessionInfo is the wire form of an external estimation session's
+// identity (POST /sessions response; GET /sessions entries).
+type sessionInfo struct {
+	ID       string `json:"id"`
+	Workload string `json:"workload"`
+	// Family is the session's workload family; Class the admission class
+	// it was admitted under (the family, or "family|client").
+	Family string `json:"family"`
+	Class  string `json:"class"`
+	// Shard is the engine slot whose capacity the session occupies.
+	Shard int `json:"shard"`
+	// Model is the selector version serving the session (0 = fixed
+	// estimator); ModelFamily that version's routing target ("" = global).
+	Model       int    `json:"model,omitempty"`
+	ModelFamily string `json:"model_family,omitempty"`
+	// State is "open", "completed", "aborted" or "expired".
+	State string `json:"state"`
+	// Observations is the number of counter snapshots ingested so far.
+	Observations int64 `json:"observations"`
+}
+
+func (s *ingestSession) info() sessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return sessionInfo{
+		ID: s.id, Workload: s.workload, Family: s.family, Class: s.class,
+		Shard: s.shard, Model: s.model, ModelFamily: s.modelFamily,
+		State: sessionStateName(s.state), Observations: s.ingested,
+	}
+}
+
+// handleSessionOpen is POST /sessions: validate the plan spec, admit
+// through the engine gate under the session's class, and register the
+// session. Admission refusals answer exactly as query submissions do
+// (429 queue_full / deadline_shed, 503 draining, Retry-After included).
+func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
+	spec, err := ingest.DecodeSpec(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "open session: %v", err)
+		return
+	}
+	if spec.Family == "" {
+		writeError(w, http.StatusBadRequest, "open session: family is required (it is the admission class and the corpus tag)")
+		return
+	}
+	model, err := ingest.Build(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "open session: %v", err)
+		return
+	}
+	ctx := r.Context()
+	if spec.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(spec.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+	sess, err := s.sessions.open(ctx, spec, model)
+	var shedErr *engine.DeadlineShedError
+	switch {
+	case errors.As(err, &shedErr):
+		writeReject(w, http.StatusTooManyRequests, "deadline_shed", shedErr.Predicted, err)
+		return
+	case errors.Is(err, errSessionLimit):
+		writeReject(w, http.StatusTooManyRequests, "session_limit", s.eng.RetryAfterHint(), err)
+		return
+	case IsSaturated(err):
+		writeReject(w, http.StatusTooManyRequests, "queue_full", s.eng.RetryAfterHint(), err)
+		return
+	case IsDraining(err):
+		writeReject(w, http.StatusServiceUnavailable, "draining", drainingRetryAfter, err)
+		return
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusServiceUnavailable, "open session: %v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "open session: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sess.info())
+}
+
+func (s *Server) handleSessionList(w http.ResponseWriter, _ *http.Request) {
+	sessions := s.sessions.list()
+	infos := make([]sessionInfo, 0, len(sessions))
+	for _, sess := range sessions {
+		infos = append(infos, sess.info())
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+// observeResponse is the POST /sessions/{id}/observations wire form.
+type observeResponse struct {
+	ID string `json:"id"`
+	// Added is the number of snapshots this batch ingested.
+	Added int `json:"added"`
+	// Observations is the session's ingested snapshot total.
+	Observations int64 `json:"observations"`
+	// State is the session's state after the batch ("completed" once the
+	// Done marker applied).
+	State string `json:"state"`
+}
+
+// handleSessionObserve is POST /sessions/{id}/observations: one strict
+// observation batch. Validation failures map onto the ingest error
+// taxonomy — 400 malformed, 409 ordering/regression/already-completed,
+// 413 size or retention limits — and a rejected batch leaves the session
+// at its last consistent prefix.
+func (s *Server) handleSessionObserve(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessions.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, ingest.MaxBatchBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "observations: %v", err)
+		return
+	}
+	batch, err := ingest.DecodeBatch(body)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ingest.ErrBatchTooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, "observations: %v", err)
+		return
+	}
+	added, state, err := s.sessions.apply(sess, batch)
+	if err != nil {
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, ingest.ErrOutOfOrder), errors.Is(err, ingest.ErrRegression),
+			errors.Is(err, ingest.ErrCompleted):
+			status = http.StatusConflict
+		case errors.Is(err, ingest.ErrLimit):
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, "observations: %v", err)
+		return
+	}
+	sess.mu.Lock()
+	total := sess.ingested
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, observeResponse{
+		ID: sess.id, Added: added, Observations: total,
+		State: sessionStateName(state),
+	})
+}
+
+// sessionProgressResponse is the GET /sessions/{id}/progress wire form —
+// the session's identity plus the freshest conflated ProgressUpdate,
+// exactly the shape native query progress reads get.
+type sessionProgressResponse struct {
+	ID          string          `json:"id"`
+	Workload    string          `json:"workload"`
+	Family      string          `json:"family"`
+	Class       string          `json:"class"`
+	State       string          `json:"state"`
+	Done        bool            `json:"done"`
+	Model       int             `json:"model,omitempty"`
+	ModelFamily string          `json:"model_family,omitempty"`
+	Update      *ProgressUpdate `json:"update,omitempty"`
+}
+
+func (s *Server) handleSessionProgress(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessions.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	sess.mu.Lock()
+	state := sess.state
+	sess.mu.Unlock()
+	latest, seen := sess.snapshotProgress()
+	resp := sessionProgressResponse{
+		ID: sess.id, Workload: sess.workload, Family: sess.family,
+		Class: sess.class, State: sessionStateName(state),
+		Done:  state == sessionCompleted,
+		Model: sess.model, ModelFamily: sess.modelFamily,
+	}
+	if seen {
+		resp.Update = &latest
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSessionDelete aborts an open session (idempotent: a terminal
+// session just reports its state).
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessions.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	state := s.sessions.abort(sess)
+	writeJSON(w, http.StatusOK, map[string]string{
+		"id":    sess.id,
+		"state": sessionStateName(state),
+	})
 }
